@@ -1,0 +1,774 @@
+//! Real stateful packet-processing applications (paper §4.4).
+//!
+//! The four applications the paper evaluates — flowlet switching,
+//! CONGA load balancing, priority computation for weighted fair
+//! queuing, and the network sequencer — written in the Domino-like DSL,
+//! plus several additional programs from the stateful-algorithm
+//! literature the paper cites (§3.1's analysis list): heavy-hitter
+//! detection via a count-min sketch, per-source DDoS counting, a
+//! per-flow token-bucket rate limiter, and a SYN-flood detector.
+//!
+//! Each [`AppSpec`] bundles the program source with a field filler that
+//! populates packet headers from a flow key, so the traffic generators
+//! can drive any app without knowing its header layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mp5_compiler::{compile, CompileError, CompiledProgram, Target};
+use mp5_types::{FlowKey, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A bundled application: name, DSL source, and header filler.
+#[derive(Clone, Copy)]
+pub struct AppSpec {
+    /// Short identifier (used by benches and reports).
+    pub name: &'static str,
+    /// What the application does.
+    pub description: &'static str,
+    /// DSL source text.
+    pub source: &'static str,
+    /// Populates one packet's declared fields from its flow key.
+    pub fill: fn(&CompiledProgram, &FlowKey, &mut SmallRng, &mut [Value]),
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec").field("name", &self.name).finish()
+    }
+}
+
+impl AppSpec {
+    /// Compiles the application for the default 16-stage target.
+    pub fn compile(&self) -> Result<CompiledProgram, CompileError> {
+        compile(self.source, &Target::default())
+    }
+}
+
+/// Writes the canonical 5-tuple into fields named like
+/// [`FlowKey::FIELD_NAMES`], if present.
+fn fill_five_tuple(prog: &CompiledProgram, key: &FlowKey, fields: &mut [Value]) {
+    for (name, value) in FlowKey::FIELD_NAMES.iter().zip(key.field_values()) {
+        if let Some(id) = prog.field(name) {
+            fields[id.index()] = value;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The four §4.4 applications
+// ---------------------------------------------------------------------
+
+/// Flowlet switching (Sinha et al., HotNets 2004; the paper's §3.1
+/// example of preemptively resolvable indexes: "the registers a packet
+/// accesses are indexed by the hash of 5-tuple").
+pub const FLOWLET: AppSpec = AppSpec {
+    name: "flowlet",
+    description: "flowlet switching: new next-hop when the inter-packet gap exceeds delta",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int arr_ts;     // arrival timestamp (metadata from ingress)
+            int new_hop;    // candidate next hop from the load balancer
+            int hop;        // chosen next hop (output)
+        };
+
+        int last_time[1024] = {0};
+        int saved_hop[1024] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
+            // New flowlet: the gap since the last packet exceeds delta.
+            if (p.arr_ts - last_time[idx] > 50) {
+                saved_hop[idx] = p.new_hop;
+            }
+            p.hop = saved_hop[idx];
+            last_time[idx] = p.arr_ts;
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        fill_five_tuple(prog, key, fields);
+        if let Some(id) = prog.field("arr_ts") {
+            // Filled properly (with the packet's arrival) by callers that
+            // know it; a monotone-ish fallback keeps the app meaningful.
+            fields[id.index()] = rng.gen_range(0..1_000_000);
+        }
+        if let Some(id) = prog.field("new_hop") {
+            fields[id.index()] = rng.gen_range(0..16);
+        }
+    },
+};
+
+/// CONGA-style congestion-aware load balancing (Alizadeh et al.,
+/// SIGCOMM 2014): track the least-utilized path per destination leaf.
+pub const CONGA: AppSpec = AppSpec {
+    name: "conga",
+    description: "CONGA: per-destination-leaf best-path selection by path utilization",
+    source: r#"
+        struct Packet {
+            int dst_leaf;
+            int path_id;    // path this packet's feedback describes
+            int path_util;  // utilization feedback carried by the packet
+            int best;       // chosen best path (output)
+        };
+
+        int best_util[256] = {0};
+        int best_path[256] = {0};
+        int init[256] = {0};
+
+        void func(struct Packet p) {
+            int leaf = p.dst_leaf % 256;
+            // First packet for a leaf initializes; afterwards keep the
+            // minimum-utilization path.
+            if (init[leaf] == 0) {
+                init[leaf] = 1;
+                best_util[leaf] = p.path_util;
+                best_path[leaf] = p.path_id;
+            } else {
+                if (p.path_util < best_util[leaf]) {
+                    best_util[leaf] = p.path_util;
+                    best_path[leaf] = p.path_id;
+                }
+            }
+            p.best = best_path[leaf];
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        if let Some(id) = prog.field("dst_leaf") {
+            fields[id.index()] = (key.dst_ip % 64) as Value;
+        }
+        if let Some(id) = prog.field("path_id") {
+            fields[id.index()] = rng.gen_range(0..8);
+        }
+        if let Some(id) = prog.field("path_util") {
+            fields[id.index()] = rng.gen_range(0..10_000);
+        }
+    },
+};
+
+/// Start-time fair queuing priority computation (Sivaraman et al.,
+/// SIGCOMM 2016 "Programmable Packet Scheduling at Line Rate").
+pub const WFQ: AppSpec = AppSpec {
+    name: "wfq",
+    description: "weighted fair queuing: per-flow virtual finish-time computation",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int size;    // bytes
+            int weight;  // flow weight (>= 1)
+            int vt;      // scheduler virtual time (metadata)
+            int prio;    // computed priority / finish round (output)
+        };
+
+        int last_finish[1024] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
+            int start = max(last_finish[idx], p.vt);
+            p.prio = start + p.size * 16 / p.weight;
+            last_finish[idx] = p.prio;
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        fill_five_tuple(prog, key, fields);
+        if let Some(id) = prog.field("size") {
+            fields[id.index()] = rng.gen_range(64..1500);
+        }
+        if let Some(id) = prog.field("weight") {
+            fields[id.index()] = rng.gen_range(1..8);
+        }
+        if let Some(id) = prog.field("vt") {
+            fields[id.index()] = rng.gen_range(0..1_000_000);
+        }
+    },
+};
+
+/// Network sequencer (Li et al., OSDI 2016, NOPaxos): stamp a
+/// per-group monotonically increasing sequence number into OUM packets.
+pub const SEQUENCER: AppSpec = AppSpec {
+    name: "sequencer",
+    description: "network sequencer: per-group sequence numbers stamped into packets",
+    source: r#"
+        struct Packet {
+            int group;   // consensus group id
+            int is_oum;  // 1 = ordered unreliable multicast packet
+            int seq;     // assigned sequence number (output)
+        };
+
+        int seqnum[16] = {0};
+
+        void func(struct Packet p) {
+            int g = p.group % 16;
+            if (p.is_oum == 1) {
+                seqnum[g] = seqnum[g] + 1;
+                p.seq = seqnum[g];
+            }
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        if let Some(id) = prog.field("group") {
+            fields[id.index()] = (key.hash() % 16) as Value;
+        }
+        if let Some(id) = prog.field("is_oum") {
+            fields[id.index()] = i64::from(rng.gen_bool(0.8));
+        }
+    },
+};
+
+// ---------------------------------------------------------------------
+// Additional programs from the paper's §3.1 algorithm survey
+// ---------------------------------------------------------------------
+
+/// Heavy-hitter detection with a 3-row count-min sketch (OpenSketch /
+/// HashPipe style).
+pub const HEAVY_HITTER: AppSpec = AppSpec {
+    name: "heavy_hitter",
+    description: "count-min sketch heavy-hitter detection (3 hash rows)",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int size;
+            int est;     // min-count estimate (output)
+            int heavy;   // 1 if estimated bytes exceed threshold (output)
+        };
+
+        int row0[512] = {0};
+        int row1[512] = {0};
+        int row2[512] = {0};
+
+        void func(struct Packet p) {
+            int fk = hash3(hash2(p.src_ip, p.dst_ip),
+                           hash2(p.src_port, p.dst_port), p.proto);
+            int i0 = hash2(fk, 101) % 512;
+            int i1 = hash2(fk, 202) % 512;
+            int i2 = hash2(fk, 303) % 512;
+            row0[i0] = row0[i0] + p.size;
+            row1[i1] = row1[i1] + p.size;
+            row2[i2] = row2[i2] + p.size;
+            p.est = min(row0[i0], min(row1[i1], row2[i2]));
+            p.heavy = p.est > 100000;
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        fill_five_tuple(prog, key, fields);
+        if let Some(id) = prog.field("size") {
+            fields[id.index()] = rng.gen_range(64..1500);
+        }
+    },
+};
+
+/// Per-source packet counting for DDoS / scan detection (EXPOSURE-style
+/// per-key statistics).
+pub const DDOS_COUNTER: AppSpec = AppSpec {
+    name: "ddos_counter",
+    description: "per-source-IP packet counter with threshold flag",
+    source: r#"
+        struct Packet {
+            int src_ip;
+            int flagged;  // output
+        };
+
+        int counts[2048] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash2(p.src_ip, 7) % 2048;
+            counts[idx] = counts[idx] + 1;
+            p.flagged = counts[idx] > 1000;
+        }
+    "#,
+    fill: |prog, key, _rng, fields| {
+        if let Some(id) = prog.field("src_ip") {
+            fields[id.index()] = key.src_ip as Value;
+        }
+    },
+};
+
+/// Token-bucket rate limiter per flow (AVQ/CoDel-adjacent stateful
+/// policing).
+pub const RATE_LIMITER: AppSpec = AppSpec {
+    name: "rate_limiter",
+    description: "per-flow token bucket: drop flag when tokens exhausted",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int arr_ts;
+            int size;
+            int drop;   // 1 = out of profile (output)
+        };
+
+        int tokens[512] = {0};
+        int last_ts[512] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                            hash2(p.src_port, p.dst_port), p.proto) % 512;
+            // Refill: one token per 8 time units since the last packet,
+            // capped at 1500.
+            int refill = (p.arr_ts - last_ts[idx]) / 8;
+            int filled = min(tokens[idx] + refill, 1500);
+            last_ts[idx] = p.arr_ts;
+            if (filled >= p.size) {
+                tokens[idx] = filled - p.size;
+                p.drop = 0;
+            } else {
+                tokens[idx] = filled;
+                p.drop = 1;
+            }
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        fill_five_tuple(prog, key, fields);
+        if let Some(id) = prog.field("arr_ts") {
+            fields[id.index()] = rng.gen_range(0..1_000_000);
+        }
+        if let Some(id) = prog.field("size") {
+            fields[id.index()] = rng.gen_range(64..1500);
+        }
+    },
+};
+
+/// SYN-flood detection: per-destination SYN minus ACK balance.
+pub const SYN_FLOOD: AppSpec = AppSpec {
+    name: "syn_flood",
+    description: "per-destination SYN/ACK imbalance detector",
+    source: r#"
+        struct Packet {
+            int dst_ip;
+            int is_syn;
+            int is_ack;
+            int alarm;  // output
+        };
+
+        int balance[1024] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash2(p.dst_ip, 13) % 1024;
+            balance[idx] = balance[idx] + p.is_syn - p.is_ack;
+            p.alarm = balance[idx] > 100;
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        if let Some(id) = prog.field("dst_ip") {
+            fields[id.index()] = key.dst_ip as Value;
+        }
+        let syn = rng.gen_bool(0.55);
+        if let Some(id) = prog.field("is_syn") {
+            fields[id.index()] = i64::from(syn);
+        }
+        if let Some(id) = prog.field("is_ack") {
+            fields[id.index()] = i64::from(!syn);
+        }
+    },
+};
+
+/// Stateful-firewall membership via a bit-packed Bloom filter: three
+/// hash functions over three 4096-bit arrays stored as 64 x 64-bit
+/// words (bitwise or/shift operations, FlowBlaze-style state).
+pub const BLOOM_FIREWALL: AppSpec = AppSpec {
+    name: "bloom_firewall",
+    description: "bit-packed Bloom filter: flow-membership insert + query",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int known;   // 1 if the flow was already present (output)
+        };
+
+        int bloom0[64] = {0};
+        int bloom1[64] = {0};
+        int bloom2[64] = {0};
+
+        void func(struct Packet p) {
+            int fk = hash3(hash2(p.src_ip, p.dst_ip),
+                           hash2(p.src_port, p.dst_port), p.proto);
+            int b0 = hash2(fk, 11) % 4096;
+            int b1 = hash2(fk, 22) % 4096;
+            int b2 = hash2(fk, 33) % 4096;
+            int w0 = bloom0[b0 >> 6];
+            int w1 = bloom1[b1 >> 6];
+            int w2 = bloom2[b2 >> 6];
+            int m0 = 1 << (b0 & 63);
+            int m1 = 1 << (b1 & 63);
+            int m2 = 1 << (b2 & 63);
+            p.known = ((w0 & m0) != 0) && ((w1 & m1) != 0) && ((w2 & m2) != 0);
+            bloom0[b0 >> 6] = w0 | m0;
+            bloom1[b1 >> 6] = w1 | m1;
+            bloom2[b2 >> 6] = w2 | m2;
+        }
+    "#,
+    fill: |prog, key, _rng, fields| {
+        fill_five_tuple(prog, key, fields);
+    },
+};
+
+/// Sampled NetFlow (Cisco, cited in the paper's §3.1 survey): only
+/// every 64th packet of a flow updates the flow record, selected with a
+/// bitmask on the per-packet sequence number.
+pub const SAMPLED_NETFLOW: AppSpec = AppSpec {
+    name: "sampled_netflow",
+    description: "1-in-64 sampled per-flow packet/byte accounting",
+    source: r#"
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int seq;     // per-flow packet sequence number
+            int size;
+            int sampled; // 1 if this packet updated the record (output)
+        };
+
+        int pkts[1024] = {0};
+        int bytes[1024] = {0};
+
+        void func(struct Packet p) {
+            int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
+            if ((p.seq & 63) == 0) {
+                pkts[idx] = pkts[idx] + 64;
+                bytes[idx] = bytes[idx] + p.size * 64;
+                p.sampled = 1;
+            } else {
+                p.sampled = 0;
+            }
+        }
+    "#,
+    fill: |prog, key, rng, fields| {
+        fill_five_tuple(prog, key, fields);
+        if let Some(id) = prog.field("seq") {
+            fields[id.index()] = rng.gen_range(0..100_000);
+        }
+        if let Some(id) = prog.field("size") {
+            fields[id.index()] = rng.gen_range(64..1500);
+        }
+    },
+};
+
+/// The four applications evaluated in the paper's §4.4, in figure
+/// order.
+pub const PAPER_APPS: [AppSpec; 4] = [FLOWLET, CONGA, WFQ, SEQUENCER];
+
+/// Every bundled application.
+pub const ALL_APPS: [AppSpec; 10] = [
+    FLOWLET,
+    CONGA,
+    WFQ,
+    SEQUENCER,
+    HEAVY_HITTER,
+    DDOS_COUNTER,
+    RATE_LIMITER,
+    SYN_FLOOD,
+    BLOOM_FIREWALL,
+    SAMPLED_NETFLOW,
+];
+
+/// Looks up an application by name.
+pub fn by_name(name: &str) -> Option<&'static AppSpec> {
+    ALL_APPS.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_banzai::BanzaiSwitch;
+    use mp5_core::{Mp5Switch, SwitchConfig};
+    use mp5_traffic::FlowTraceBuilder;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_apps_compile_within_machine_limits() {
+        for app in &ALL_APPS {
+            let prog = app
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", app.name));
+            assert!(
+                prog.num_stages() <= 16,
+                "{}: {} stages exceed the machine",
+                app.name,
+                prog.num_stages()
+            );
+            prog.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_apps_have_resolvable_indexes() {
+        // §3.1: "for most packet processing programs, the register
+        // indexes a packet accesses are a function of some subset of
+        // packet header fields" — all four paper apps shard.
+        for app in &PAPER_APPS {
+            let prog = app.compile().unwrap();
+            assert!(
+                prog.regs.iter().all(|r| r.shardable),
+                "{}: all arrays should be shardable",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn sequencer_counts_monotonically() {
+        let prog = SEQUENCER.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let mut regs_seen = Vec::new();
+        for i in 0..10u64 {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(i),
+                mp5_types::PortId(0),
+                i * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[prog.field("group").unwrap().index()] = 3;
+            pkt.fields[prog.field("is_oum").unwrap().index()] = 1;
+            sw.process(&mut pkt);
+            regs_seen.push(pkt.fields[prog.field("seq").unwrap().index()]);
+        }
+        assert_eq!(regs_seen, (1..=10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn flowlet_sticks_within_flowlet_and_switches_on_gap() {
+        let prog = FLOWLET.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |name: &str| prog.field(name).unwrap().index();
+        let mk = |id: u64, ts: i64, hop: i64| {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(id),
+                mp5_types::PortId(0),
+                id * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = 1;
+            pkt.fields[f("dst_ip")] = 2;
+            pkt.fields[f("src_port")] = 3;
+            pkt.fields[f("dst_port")] = 4;
+            pkt.fields[f("proto")] = 6;
+            pkt.fields[f("arr_ts")] = ts;
+            pkt.fields[f("new_hop")] = hop;
+            pkt
+        };
+        let mut p1 = mk(0, 100, 7);
+        sw.process(&mut p1);
+        assert_eq!(p1.fields[f("hop")], 7, "first packet starts a flowlet");
+        let mut p2 = mk(1, 110, 9);
+        sw.process(&mut p2);
+        assert_eq!(p2.fields[f("hop")], 7, "small gap: same flowlet, same hop");
+        let mut p3 = mk(2, 500, 9);
+        sw.process(&mut p3);
+        assert_eq!(p3.fields[f("hop")], 9, "large gap: new flowlet, new hop");
+    }
+
+    #[test]
+    fn conga_tracks_minimum_utilization() {
+        let prog = CONGA.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut send = |id: u64, path: i64, util: i64| {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(id),
+                mp5_types::PortId(0),
+                id * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("dst_leaf")] = 5;
+            pkt.fields[f("path_id")] = path;
+            pkt.fields[f("path_util")] = util;
+            sw.process(&mut pkt);
+            pkt.fields[f("best")]
+        };
+        assert_eq!(send(0, 1, 500), 1);
+        assert_eq!(send(1, 2, 900), 1, "worse path must not displace best");
+        assert_eq!(send(2, 3, 100), 3, "better path wins");
+    }
+
+    #[test]
+    fn wfq_priorities_monotone_per_flow() {
+        let prog = WFQ.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut prev = 0;
+        for i in 0..5u64 {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(i),
+                mp5_types::PortId(0),
+                i * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = 10;
+            pkt.fields[f("dst_ip")] = 20;
+            pkt.fields[f("src_port")] = 30;
+            pkt.fields[f("dst_port")] = 40;
+            pkt.fields[f("proto")] = 6;
+            pkt.fields[f("size")] = 1000;
+            pkt.fields[f("weight")] = 2;
+            pkt.fields[f("vt")] = 0;
+            sw.process(&mut pkt);
+            let prio = pkt.fields[f("prio")];
+            assert!(prio > prev, "finish times must increase within a flow");
+            prev = prio;
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_estimate_at_least_true_count() {
+        let prog = HEAVY_HITTER.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut est = 0;
+        for i in 0..20u64 {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(i),
+                mp5_types::PortId(0),
+                i * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = 1;
+            pkt.fields[f("dst_ip")] = 2;
+            pkt.fields[f("src_port")] = 3;
+            pkt.fields[f("dst_port")] = 4;
+            pkt.fields[f("proto")] = 6;
+            pkt.fields[f("size")] = 100;
+            sw.process(&mut pkt);
+            est = pkt.fields[f("est")];
+        }
+        assert!(est >= 2000, "count-min estimate must not undercount: {est}");
+    }
+
+    #[test]
+    fn rate_limiter_drops_when_exhausted() {
+        let prog = RATE_LIMITER.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut drops = 0;
+        for i in 0..50u64 {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(i),
+                mp5_types::PortId(0),
+                i * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = 1;
+            pkt.fields[f("dst_ip")] = 2;
+            pkt.fields[f("src_port")] = 3;
+            pkt.fields[f("dst_port")] = 4;
+            pkt.fields[f("proto")] = 6;
+            pkt.fields[f("arr_ts")] = i as i64; // back-to-back
+            pkt.fields[f("size")] = 1000;
+            sw.process(&mut pkt);
+            drops += pkt.fields[f("drop")];
+        }
+        assert!(drops > 30, "back-to-back 1000B packets must exceed profile");
+    }
+
+    #[test]
+    fn apps_run_equivalently_on_mp5() {
+        for app in &ALL_APPS {
+            let prog = app.compile().unwrap();
+            let nf = prog.num_fields();
+            let (trace, _) = FlowTraceBuilder::new(800, 42).build(nf, |r, key, fields| {
+                (app.fill)(&prog, key, r, fields);
+            });
+            // Fix up arr_ts to actual arrivals where the app uses it.
+            let mut trace = trace;
+            if let Some(id) = prog.field("arr_ts") {
+                for p in &mut trace {
+                    p.fields[id.index()] = p.arrival as i64;
+                }
+            }
+            let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+            let report = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace);
+            assert!(
+                report.result.equivalent_to(&reference),
+                "{} must be functionally equivalent on MP5",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn fill_functions_are_deterministic_per_seed() {
+        let prog = WFQ.compile().unwrap();
+        let key = FlowKey {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+        };
+        let mut a = vec![0; prog.num_fields()];
+        let mut b = vec![0; prog.num_fields()];
+        (WFQ.fill)(&prog, &key, &mut SmallRng::seed_from_u64(9), &mut a);
+        (WFQ.fill)(&prog, &key, &mut SmallRng::seed_from_u64(9), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bloom_filter_membership_works() {
+        let prog = BLOOM_FIREWALL.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut send = |id: u64, src: i64| {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(id),
+                mp5_types::PortId(0),
+                id * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = src;
+            pkt.fields[f("dst_ip")] = 9;
+            pkt.fields[f("src_port")] = 1234;
+            pkt.fields[f("dst_port")] = 80;
+            pkt.fields[f("proto")] = 6;
+            sw.process(&mut pkt);
+            pkt.fields[f("known")]
+        };
+        assert_eq!(send(0, 1), 0, "first packet of a flow is unknown");
+        assert_eq!(send(1, 1), 1, "second packet must hit all three bits");
+        assert_eq!(send(2, 2), 0, "a different flow is (almost surely) unknown");
+        assert_eq!(send(3, 2), 1);
+    }
+
+    #[test]
+    fn sampled_netflow_counts_every_64th() {
+        let prog = SAMPLED_NETFLOW.compile().unwrap();
+        let mut sw = BanzaiSwitch::new(prog.clone());
+        let f = |n: &str| prog.field(n).unwrap().index();
+        let mut sampled = 0i64;
+        for i in 0..256u64 {
+            let mut pkt = mp5_types::Packet::new(
+                mp5_types::PacketId(i),
+                mp5_types::PortId(0),
+                i * 64,
+                64,
+                prog.num_fields(),
+            );
+            pkt.fields[f("src_ip")] = 1;
+            pkt.fields[f("dst_ip")] = 2;
+            pkt.fields[f("src_port")] = 3;
+            pkt.fields[f("dst_port")] = 4;
+            pkt.fields[f("proto")] = 6;
+            pkt.fields[f("seq")] = i as i64;
+            pkt.fields[f("size")] = 100;
+            sw.process(&mut pkt);
+            sampled += pkt.fields[f("sampled")];
+        }
+        assert_eq!(sampled, 4, "exactly every 64th of 256 packets samples");
+        // Estimated packet count scales the samples by 64.
+        let idx_reg = prog.reg("pkts").unwrap();
+        let total: i64 = sw.regs()[idx_reg.index()].iter().sum();
+        assert_eq!(total, 4 * 64);
+    }
+
+    #[test]
+    fn by_name_finds_apps() {
+        assert!(by_name("flowlet").is_some());
+        assert!(by_name("sequencer").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

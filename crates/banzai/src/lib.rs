@@ -1,0 +1,265 @@
+//! The single-pipeline Banzai reference switch.
+//!
+//! This crate models the *logical single pipelined switch* of §2.2: a
+//! single Banzai pipeline running at the full aggregate rate `N·B`, so
+//! that any admissible input stream is processed at line rate, strictly
+//! in packet entry order (ascending arrival time, ties broken by the
+//! smaller port id).
+//!
+//! Because a Banzai pipeline processes at most one packet per stage with
+//! atomic per-stage state operations, its externally visible behaviour —
+//! final register state, per-packet output headers, and the order in
+//! which packets access each state — is exactly that of processing
+//! packets one at a time to completion in entry order. That is what this
+//! executor does, and it is the **ground truth** against which MP5 and
+//! every baseline are checked for functional equivalence (§2.2.1) and
+//! condition C1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use mp5_compiler::CompiledProgram;
+use mp5_types::{Packet, PacketId, RegId, Value};
+
+/// The order in which packets accessed each register state: the C1
+/// ground truth. Keyed by `(register, index)`.
+pub type AccessLog = HashMap<(RegId, u32), Vec<PacketId>>;
+
+/// Result of running a packet stream through a switch model.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Final contents of every register array.
+    pub final_regs: Vec<Vec<Value>>,
+    /// Final *declared* header fields of each completed packet.
+    pub outputs: HashMap<PacketId, Vec<Value>>,
+    /// Per-state packet access order.
+    pub access_log: AccessLog,
+    /// Packets processed to completion.
+    pub processed: u64,
+}
+
+impl RunResult {
+    /// True if register state, packet outputs, and per-state access
+    /// order all match `other` — the paper's functional equivalence plus
+    /// condition C1.
+    pub fn equivalent_to(&self, other: &RunResult) -> bool {
+        self.final_regs == other.final_regs
+            && self.outputs == other.outputs
+            && self.access_log == other.access_log
+    }
+
+    /// Functional equivalence only (register + packet state), without
+    /// requiring identical access interleavings.
+    pub fn state_equivalent_to(&self, other: &RunResult) -> bool {
+        self.final_regs == other.final_regs && self.outputs == other.outputs
+    }
+}
+
+/// The single-pipeline reference switch.
+#[derive(Debug, Clone)]
+pub struct BanzaiSwitch {
+    prog: CompiledProgram,
+    regs: Vec<Vec<Value>>,
+}
+
+impl BanzaiSwitch {
+    /// Creates a switch programmed with `prog`, registers at their
+    /// initial values.
+    pub fn new(prog: CompiledProgram) -> Self {
+        let regs = prog.initial_regs();
+        BanzaiSwitch { prog, regs }
+    }
+
+    /// The program this switch runs.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    /// Current register state.
+    pub fn regs(&self) -> &[Vec<Value>] {
+        &self.regs
+    }
+
+    /// Processes one packet to completion, mutating switch state and the
+    /// packet's fields. Returns the `(reg, index)` accesses performed.
+    pub fn process(&mut self, pkt: &mut Packet) -> Vec<(RegId, u32)> {
+        let mut fields = std::mem::take(&mut pkt.fields);
+        fields.resize(self.prog.num_fields(), 0);
+        let accesses = self.prog.execute_serial(&mut fields, &mut self.regs);
+        pkt.fields = fields;
+        accesses.into_iter().map(|a| (a.reg, a.index)).collect()
+    }
+
+    /// Runs a whole stream: sorts packets into entry order, processes
+    /// each to completion, and collects the equivalence evidence.
+    pub fn run(&mut self, mut packets: Vec<Packet>) -> RunResult {
+        packets.sort_by_key(|p| p.entry_order_key());
+        let mut result = RunResult {
+            final_regs: Vec::new(),
+            outputs: HashMap::with_capacity(packets.len()),
+            access_log: HashMap::new(),
+            processed: 0,
+        };
+        for mut pkt in packets {
+            let accesses = self.process(&mut pkt);
+            for key in accesses {
+                result.access_log.entry(key).or_default().push(pkt.id);
+            }
+            result
+                .outputs
+                .insert(pkt.id, pkt.fields[..self.prog.declared_fields].to_vec());
+            result.processed += 1;
+        }
+        result.final_regs = self.regs.clone();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_compiler::{compile, Target};
+    use mp5_types::{PortId, BYTES_PER_SLOT};
+
+    fn pkt(id: u64, port: u16, arrival: u64, fields: &[Value], nfields: usize) -> Packet {
+        let mut p = Packet::new(
+            PacketId(id),
+            PortId(port),
+            arrival,
+            BYTES_PER_SLOT as u32,
+            nfields,
+        );
+        p.fields[..fields.len()].copy_from_slice(fields);
+        p
+    }
+
+    #[test]
+    fn sequencer_stamps_in_entry_order() {
+        let prog = compile(
+            "struct Packet { int seq; };
+             int count = 0;
+             void func(struct Packet p) { count = count + 1; p.seq = count; }",
+            &Target::default(),
+        )
+        .unwrap();
+        let nf = prog.num_fields();
+        let mut sw = BanzaiSwitch::new(prog);
+        // Deliberately passed out of order; ids 0,1,2 arrive at t=0,1,2.
+        let packets = vec![
+            pkt(2, 0, 2 * 64, &[0], nf),
+            pkt(0, 0, 0, &[0], nf),
+            pkt(1, 1, 64, &[0], nf),
+        ];
+        let res = sw.run(packets);
+        assert_eq!(res.outputs[&PacketId(0)], vec![1]);
+        assert_eq!(res.outputs[&PacketId(1)], vec![2]);
+        assert_eq!(res.outputs[&PacketId(2)], vec![3]);
+        assert_eq!(res.final_regs[0], vec![3]);
+        assert_eq!(
+            res.access_log[&(RegId(0), 0)],
+            vec![PacketId(0), PacketId(1), PacketId(2)]
+        );
+    }
+
+    #[test]
+    fn simultaneous_arrivals_tie_break_by_port() {
+        let prog = compile(
+            "struct Packet { int seq; };
+             int count = 0;
+             void func(struct Packet p) { count = count + 1; p.seq = count; }",
+            &Target::default(),
+        )
+        .unwrap();
+        let nf = prog.num_fields();
+        let mut sw = BanzaiSwitch::new(prog);
+        let res = sw.run(vec![pkt(0, 5, 100, &[0], nf), pkt(1, 2, 100, &[0], nf)]);
+        // Port 2 enters first (paper §2.2.1).
+        assert_eq!(res.outputs[&PacketId(1)], vec![1]);
+        assert_eq!(res.outputs[&PacketId(0)], vec![2]);
+    }
+
+    #[test]
+    fn equivalence_comparators() {
+        let mut a = RunResult::default();
+        let b = RunResult::default();
+        assert!(a.equivalent_to(&b));
+        a.final_regs.push(vec![1]);
+        assert!(!a.equivalent_to(&b));
+        assert!(!a.state_equivalent_to(&b));
+    }
+
+    #[test]
+    fn empty_trace_yields_initial_state() {
+        let prog = compile(
+            "struct Packet { int h; };
+             int r[4] = {9, 8, 7, 6};
+             void func(struct Packet p) { r[p.h % 4] = 0; }",
+            &Target::default(),
+        )
+        .unwrap();
+        let res = BanzaiSwitch::new(prog).run(Vec::new());
+        assert_eq!(res.processed, 0);
+        assert_eq!(res.final_regs[0], vec![9, 8, 7, 6]);
+        assert!(res.outputs.is_empty());
+        assert!(res.access_log.is_empty());
+    }
+
+    #[test]
+    fn process_mutates_packet_in_place() {
+        let prog = compile(
+            "struct Packet { int a; int b; };
+             void func(struct Packet p) { p.b = p.a * 2; }",
+            &Target::default(),
+        )
+        .unwrap();
+        let nf = prog.num_fields();
+        let mut sw = BanzaiSwitch::new(prog);
+        let mut p = pkt(0, 0, 0, &[21], nf);
+        let acc = sw.process(&mut p);
+        assert!(acc.is_empty(), "stateless program performs no accesses");
+        assert_eq!(p.fields[1], 42);
+    }
+
+    #[test]
+    fn untouched_register_keeps_initializer() {
+        let prog = compile(
+            "struct Packet { int h; };
+             int used[2] = {0};
+             int untouched[3] = {5, 5, 5};
+             void func(struct Packet p) {
+                 if (p.h < 0) { untouched[0] = 1; }
+                 used[p.h % 2] = used[p.h % 2] + 1;
+             }",
+            &Target::default(),
+        )
+        .unwrap();
+        let nf = prog.num_fields();
+        let mut sw = BanzaiSwitch::new(prog);
+        let res = sw.run(vec![pkt(0, 0, 0, &[4], nf), pkt(1, 0, 64, &[5], nf)]);
+        assert_eq!(res.final_regs[1], vec![5, 5, 5]);
+        assert_eq!(res.final_regs[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn access_log_separates_indexes() {
+        let prog = compile(
+            "struct Packet { int h; };
+             int r[4] = {0};
+             void func(struct Packet p) { r[p.h % 4] = r[p.h % 4] + 1; }",
+            &Target::default(),
+        )
+        .unwrap();
+        let nf = prog.num_fields();
+        let mut sw = BanzaiSwitch::new(prog);
+        let res = sw.run(vec![
+            pkt(0, 0, 0, &[0], nf),
+            pkt(1, 0, 64, &[1], nf),
+            pkt(2, 0, 128, &[0], nf),
+        ]);
+        assert_eq!(res.access_log[&(RegId(0), 0)], vec![PacketId(0), PacketId(2)]);
+        assert_eq!(res.access_log[&(RegId(0), 1)], vec![PacketId(1)]);
+        assert_eq!(res.final_regs[0], vec![2, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,488 @@
+//! The state-of-the-art multi-pipelined switch with re-circulation
+//! (paper §2.3).
+//!
+//! Characteristics modeled:
+//!
+//! * **Static port-to-pipeline mapping**: with `N` ports and `k`
+//!   pipelines, ports are mapped in contiguous blocks, Tofino-style
+//!   ("ports 1–16 are mapped to pipeline 1, ...").
+//! * **No state sharing**: each register index's active copy lives in a
+//!   statically chosen pipeline (seeded random shard, matching the
+//!   static-sharding ablation); unshardable arrays live in pipeline 0.
+//! * **Re-circulation**: "the only way a packet can access a state
+//!   stored in another pipeline is by being re-circulated to that
+//!   pipeline" — the packet traverses its current pipeline to the end,
+//!   then loops back (paying `recirc_latency` extra cycles) into the
+//!   *target* pipeline's ingress, where it competes with (and takes
+//!   priority over) fresh arrivals.
+//!
+//! A packet executes its program stages strictly in order: a stage runs
+//! only when the packet is in the pipeline that holds every state the
+//! stage touches for this packet; otherwise execution is suspended until
+//! a later pass. The fundamental re-circulation delay is what breaks
+//! condition C1 (paper Example 2) and costs throughput (§4.3.2, D3).
+
+use std::collections::VecDeque;
+
+use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
+use mp5_compiler::CompiledProgram;
+use mp5_core::RunReport;
+use mp5_fabric::OrderKey;
+use mp5_types::time::cycle_len;
+use mp5_types::{hash2, Packet, PipelineId, StageId, Value};
+
+/// Configuration of the re-circulation baseline.
+#[derive(Debug, Clone)]
+pub struct RecircConfig {
+    /// Parallel pipelines `k`.
+    pub pipelines: usize,
+    /// Switch ports (for the static port map; default 64).
+    pub ports: usize,
+    /// Extra cycles a packet spends looping from egress back to
+    /// ingress (on top of re-traversing the pipeline).
+    pub recirc_latency: u64,
+    /// Seed for the static state shard.
+    pub seed: u64,
+    /// Hard cycle cap override.
+    pub max_cycles: Option<u64>,
+}
+
+impl RecircConfig {
+    /// Default configuration for `k` pipelines.
+    pub fn new(pipelines: usize) -> Self {
+        RecircConfig {
+            pipelines,
+            ports: 64,
+            recirc_latency: 2,
+            seed: 0,
+            max_cycles: None,
+        }
+    }
+}
+
+/// Report of a re-circulation run: the common [`RunReport`] plus
+/// recirculation statistics.
+#[derive(Debug, Clone)]
+pub struct RecircReport {
+    /// Common metrics and equivalence evidence.
+    pub report: RunReport,
+    /// Total re-circulations performed.
+    pub total_recircs: u64,
+    /// Highest number of passes any single packet needed.
+    pub max_passes: u32,
+}
+
+impl RecircReport {
+    /// Average re-circulations per packet.
+    pub fn recircs_per_packet(&self) -> f64 {
+        if self.report.offered == 0 {
+            0.0
+        } else {
+            self.total_recircs as f64 / self.report.offered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flight {
+    pkt: Packet,
+    /// Entry-order key, kept for debugging dumps of in-flight state.
+    #[allow(dead_code)]
+    order: OrderKey,
+    /// Next body stage to execute (stages execute strictly in order).
+    exec_ptr: usize,
+    passes: u32,
+}
+
+/// The re-circulation switch simulator.
+#[derive(Debug)]
+pub struct RecircSwitch {
+    cfg: RecircConfig,
+    prog: CompiledProgram,
+    k: usize,
+    body_stages: usize,
+    prologue: usize,
+    regs: Vec<Vec<Vec<Value>>>,
+    shard: Vec<Vec<u16>>,
+    lanes: Vec<Vec<Option<Flight>>>,
+    /// Per-pipeline fresh-arrival queues (static port map).
+    fresh: Vec<VecDeque<Flight>>,
+    /// Per-pipeline re-circulation queues (priority over fresh).
+    recirc_q: Vec<VecDeque<Flight>>,
+    /// Packets looping back: `(ready_cycle, target pipeline, flight)`.
+    looping: Vec<(u64, usize, Flight)>,
+    arrivals: VecDeque<Packet>,
+    cycle: u64,
+    report: RunReport,
+    total_recircs: u64,
+    max_passes: u32,
+}
+
+impl RecircSwitch {
+    /// Builds the baseline switch.
+    pub fn new(prog: CompiledProgram, cfg: RecircConfig) -> Self {
+        let k = cfg.pipelines;
+        assert!(k >= 1);
+        let body_stages = prog.stages.len();
+        let prologue = prog.resolution.stages;
+        let regs = (0..k).map(|_| prog.initial_regs()).collect();
+        let shard = prog
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| {
+                if r.shardable {
+                    (0..r.size as usize)
+                        .map(|i| {
+                            (hash2(cfg.seed as i64 ^ ((ri as i64) << 32), i as i64)
+                                % k as i64) as u16
+                        })
+                        .collect()
+                } else {
+                    vec![0; r.size as usize]
+                }
+            })
+            .collect();
+        let mut report = RunReport::new();
+        report.set_cycle_len(cycle_len(k));
+        RecircSwitch {
+            lanes: (0..k).map(|_| vec![None; body_stages]).collect(),
+            fresh: (0..k).map(|_| VecDeque::new()).collect(),
+            recirc_q: (0..k).map(|_| VecDeque::new()).collect(),
+            looping: Vec::new(),
+            arrivals: VecDeque::new(),
+            cycle: 0,
+            report,
+            total_recircs: 0,
+            max_passes: 0,
+            cfg,
+            prog,
+            k,
+            body_stages,
+            prologue,
+            regs,
+            shard,
+        }
+    }
+
+    /// Static port-to-pipeline map: contiguous blocks.
+    fn port_pipeline(&self, port: u16) -> usize {
+        ((port as usize) * self.k / self.cfg.ports).min(self.k - 1)
+    }
+
+    /// The pipeline holding the state for a resolved access.
+    fn access_pipeline(&self, reg: mp5_types::RegId, index: u32) -> usize {
+        if reg == REG_STAGE_SENTINEL || index == INDEX_ARRAY_LEVEL {
+            0
+        } else if !self.prog.regs[reg.index()].shardable {
+            0
+        } else {
+            self.shard[reg.index()][index as usize] as usize
+        }
+    }
+
+    /// Runs a trace to completion.
+    pub fn run(mut self, mut packets: Vec<Packet>) -> RecircReport {
+        packets.sort_by_key(|p| p.entry_order_key());
+        self.report.offered = packets.len() as u64;
+        self.report.input_duration = packets
+            .last()
+            .map(|p| p.arrival + mp5_types::BYTES_PER_SLOT)
+            .unwrap_or(0);
+        self.arrivals = packets.into();
+        let clen = cycle_len(self.k);
+        let input_cycles = self.report.input_duration / clen + 1;
+        let cap = self.cfg.max_cycles.unwrap_or_else(|| {
+            // Every packet may recirculate up to once per access tag;
+            // budget generously.
+            input_cycles * (self.k as u64 + 2) * 8 + 100_000
+        });
+        while !self.drained() {
+            assert!(
+                self.cycle < cap,
+                "recirculation simulation exceeded {cap} cycles"
+            );
+            self.step();
+        }
+        self.finish()
+    }
+
+    fn drained(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.looping.is_empty()
+            && self.fresh.iter().all(|q| q.is_empty())
+            && self.recirc_q.iter().all(|q| q.is_empty())
+            && self.lanes.iter().flatten().all(|l| l.is_none())
+    }
+
+    fn step(&mut self) {
+        // 1. Move phase: advance all occupants; handle egress.
+        let mut incoming: Vec<Vec<Option<Flight>>> =
+            (0..self.k).map(|_| vec![None; self.body_stages]).collect();
+        for pl in 0..self.k {
+            for st in (0..self.body_stages).rev() {
+                let Some(fl) = self.lanes[pl][st].take() else {
+                    continue;
+                };
+                if st + 1 == self.body_stages {
+                    self.egress(pl, fl);
+                } else {
+                    incoming[pl][st + 1] = Some(fl);
+                }
+            }
+        }
+
+        // 2. Loop-back deliveries.
+        let mut still: Vec<(u64, usize, Flight)> = Vec::new();
+        for (ready, target, fl) in self.looping.drain(..) {
+            if ready <= self.cycle {
+                self.recirc_q[target].push_back(fl);
+            } else {
+                still.push((ready, target, fl));
+            }
+        }
+        self.looping = still;
+
+        // 3. Fresh arrivals route to their port's pipeline.
+        let now_end = (self.cycle + 1) * cycle_len(self.k);
+        while self
+            .arrivals
+            .front()
+            .map_or(false, |p| p.arrival < now_end)
+        {
+            let mut pkt = self.arrivals.pop_front().expect("front checked");
+            let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
+            // Resolve the itinerary once at first ingress.
+            self.resolve(&mut pkt);
+            let pl = self.port_pipeline(pkt.port.0);
+            self.fresh[pl].push_back(Flight {
+                pkt,
+                order,
+                exec_ptr: 0,
+                passes: 1,
+            });
+        }
+
+        // 4. Ingress: one admission per pipeline per cycle; recirculated
+        // packets have priority (they already consumed switch capacity).
+        for pl in 0..self.k {
+            if incoming[pl][0].is_some() {
+                continue;
+            }
+            if let Some(fl) = self.recirc_q[pl].pop_front() {
+                incoming[pl][0] = Some(fl);
+            } else if let Some(fl) = self.fresh[pl].pop_front() {
+                incoming[pl][0] = Some(fl);
+            }
+        }
+
+        // 5. Work phase: execute eligible stages in program order.
+        for pl in 0..self.k {
+            for st in 0..self.body_stages {
+                if let Some(mut fl) = incoming[pl][st].take() {
+                    if fl.exec_ptr == st && self.stage_executable(pl, st, &fl) {
+                        let accesses = self.prog.execute_stage(
+                            st,
+                            &mut fl.pkt.fields,
+                            &mut self.regs[pl],
+                        );
+                        for a in &accesses {
+                            self.report
+                                .result
+                                .access_log
+                                .entry((a.reg, a.index))
+                                .or_default()
+                                .push(fl.pkt.id);
+                        }
+                        fl.exec_ptr += 1;
+                    }
+                    self.lanes[pl][st] = Some(fl);
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Resolution happens once, at first ingress (the baseline has no
+    /// phantom machinery — we reuse the compiled resolution program only
+    /// to learn the packet's state itinerary).
+    fn resolve(&mut self, pkt: &mut Packet) {
+        let resolved = self.prog.resolve(&mut pkt.fields);
+        pkt.tags = resolved
+            .into_iter()
+            .map(|r| mp5_types::AccessTag {
+                reg: r.reg,
+                index: r.index,
+                pipeline: PipelineId(self.access_pipeline(r.reg, r.index) as u16),
+                stage: r.stage,
+                speculative: r.speculative,
+            })
+            .collect();
+    }
+
+    /// A stage is executable in pipeline `pl` if every access the packet
+    /// makes at that stage lives in `pl`.
+    fn stage_executable(&self, pl: usize, body_stage: usize, fl: &Flight) -> bool {
+        let phys = (body_stage + self.prologue) as u16;
+        fl.pkt
+            .tags
+            .iter()
+            .filter(|t| t.stage == StageId(phys))
+            .all(|t| t.pipeline.index() == pl)
+    }
+
+    /// Pipeline egress: complete, or loop back towards the pipeline of
+    /// the next pending stage's state.
+    fn egress(&mut self, _pl: usize, fl: Flight) {
+        if fl.exec_ptr >= self.body_stages {
+            self.max_passes = self.max_passes.max(fl.passes);
+            self.report
+                .result
+                .outputs
+                .insert(fl.pkt.id, fl.pkt.fields[..self.prog.declared_fields].to_vec());
+            self.report.completions.push((fl.pkt.id, self.cycle));
+            self.report.completed += 1;
+            return;
+        }
+        // Target: the pipeline of the first pending access at the next
+        // unexecuted stage (stateless pending stages execute anywhere,
+        // so scan forward for the first stateful constraint).
+        let mut target = None;
+        for b in fl.exec_ptr..self.body_stages {
+            let phys = (b + self.prologue) as u16;
+            if let Some(t) = fl.pkt.tags.iter().find(|t| t.stage == StageId(phys)) {
+                target = Some(t.pipeline.index());
+                break;
+            }
+        }
+        // No stateful constraint remains: any pipeline can finish it.
+        let target = target.unwrap_or(0);
+        let mut fl = fl;
+        fl.passes += 1;
+        self.total_recircs += 1;
+        self.looping
+            .push((self.cycle + self.cfg.recirc_latency, target, fl));
+    }
+
+    fn finish(mut self) -> RecircReport {
+        let mut final_regs = Vec::with_capacity(self.prog.regs.len());
+        for (ri, meta) in self.prog.regs.iter().enumerate() {
+            let mut arr = Vec::with_capacity(meta.size as usize);
+            for idx in 0..meta.size as usize {
+                let pl = self.access_pipeline(mp5_types::RegId::from(ri), idx as u32);
+                arr.push(self.regs[pl][ri][idx]);
+            }
+            final_regs.push(arr);
+        }
+        self.report.result.final_regs = final_regs;
+        self.report.result.processed = self.report.completed;
+        self.report.cycles = self.cycle;
+        RecircReport {
+            report: self.report,
+            total_recircs: self.total_recircs,
+            max_passes: self.max_passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_banzai::BanzaiSwitch;
+    use mp5_compiler::{compile, Target};
+    use mp5_core::{Mp5Switch, SwitchConfig};
+    use mp5_traffic::TraceBuilder;
+
+    const TWO_STATE: &str = "struct Packet { int a; int b; int o; };
+        int r1[16] = {0};
+        int r2[64] = {0};
+        void func(struct Packet p) {
+            r1[p.a % 16] = r1[p.a % 16] + 1;
+            r2[p.b % 64] = r2[p.b % 64] + 1;
+            p.o = r2[p.b % 64];
+        }";
+
+    fn trace(src: &str, n: usize, seed: u64) -> (CompiledProgram, Vec<Packet>) {
+        let prog = compile(src, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let t = TraceBuilder::new(n, seed).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1000);
+            f[1] = r.gen_range(0..1000);
+        });
+        (prog, t)
+    }
+
+    #[test]
+    fn recirc_processes_everything_eventually() {
+        let (prog, t) = trace(TWO_STATE, 2000, 1);
+        let rep = RecircSwitch::new(prog, RecircConfig::new(4)).run(t);
+        assert_eq!(rep.report.completed, 2000);
+        assert!(rep.total_recircs > 0, "remote state must force recircs");
+        assert!(rep.max_passes >= 2);
+    }
+
+    #[test]
+    fn recirc_violates_c1_under_contention() {
+        let (prog, t) = trace(TWO_STATE, 3000, 2);
+        let reference = BanzaiSwitch::new(prog.clone()).run(t.clone());
+        let rep = RecircSwitch::new(prog, RecircConfig::new(4)).run(t);
+        assert_ne!(
+            rep.report.result.access_log, reference.access_log,
+            "re-circulation delay must break the arrival-order access"
+        );
+    }
+
+    #[test]
+    fn recirc_throughput_below_mp5() {
+        let (prog, t) = trace(TWO_STATE, 3000, 3);
+        let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(t.clone());
+        let rec = RecircSwitch::new(prog, RecircConfig::new(4)).run(t);
+        assert!(
+            rec.report.normalized_throughput() < mp5.normalized_throughput(),
+            "recirc {} must be slower than MP5 {}",
+            rec.report.normalized_throughput(),
+            mp5.normalized_throughput()
+        );
+    }
+
+    #[test]
+    fn stateless_program_needs_no_recircs() {
+        let (prog, t) = trace(
+            "struct Packet { int a; int b; int o; };
+             void func(struct Packet p) { p.o = p.a + p.b; }",
+            8000,
+            4,
+        );
+        let reference = BanzaiSwitch::new(prog.clone()).run(t.clone());
+        let rep = RecircSwitch::new(prog, RecircConfig::new(4)).run(t);
+        assert_eq!(rep.total_recircs, 0);
+        assert!(rep.report.result.equivalent_to(&reference));
+        assert!(
+            rep.report.normalized_throughput() > 0.95,
+            "got {}",
+            rep.report.normalized_throughput()
+        );
+    }
+
+    #[test]
+    fn single_pipeline_recirc_is_equivalent() {
+        // With k=1 everything is local: no recircs, serial order holds.
+        let (prog, t) = trace(TWO_STATE, 1500, 5);
+        let reference = BanzaiSwitch::new(prog.clone()).run(t.clone());
+        let rep = RecircSwitch::new(prog, RecircConfig::new(1)).run(t);
+        assert_eq!(rep.total_recircs, 0);
+        assert!(rep.report.result.equivalent_to(&reference));
+    }
+
+    #[test]
+    fn port_map_is_contiguous_blocks() {
+        let (prog, _) = trace(TWO_STATE, 1, 6);
+        let sw = RecircSwitch::new(prog, RecircConfig::new(4));
+        assert_eq!(sw.port_pipeline(0), 0);
+        assert_eq!(sw.port_pipeline(15), 0);
+        assert_eq!(sw.port_pipeline(16), 1);
+        assert_eq!(sw.port_pipeline(63), 3);
+    }
+}

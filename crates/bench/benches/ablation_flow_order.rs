@@ -1,0 +1,34 @@
+//! Ablation: 3.4 flow-order enforcement (dummy final-stage state) —
+//! what it costs and what it buys on a NAT-like half-stateless program.
+
+use mp5_sim::experiments::ablation_flow_order;
+use mp5_sim::table::{pct, render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Ablation: flow-order enforcement",
+        "paper 3.4 'Handling starvation and packet re-ordering'",
+    );
+    let rows = ablation_flow_order();
+    mp5_bench::maybe_dump_json("ablation_flow_order", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pipelines.to_string(),
+                tp(r.plain_throughput),
+                pct(r.plain_reordered),
+                tp(r.ordered_throughput),
+                pct(r.ordered_reordered),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["pipelines", "plain tput", "plain reordered flows", "enforced tput", "enforced reordered"],
+            &cells
+        )
+    );
+    assert!(rows.iter().all(|r| r.ordered_reordered == 0.0));
+}

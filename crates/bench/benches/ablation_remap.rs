@@ -1,0 +1,29 @@
+//! Ablation: dynamic-sharding remap period under skewed traffic —
+//! the paper triggers the heuristic "every few 100s of clock cycles"
+//! and evaluates with 100.
+
+use mp5_sim::experiments::ablation_remap;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Ablation: remap period",
+        "paper 3.4 (heuristic every ~100 cycles) / 4.3.1 (t = 100)",
+    );
+    let rows = ablation_remap();
+    mp5_bench::maybe_dump_json("ablation_remap", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.period > 1_000_000 { "never".into() } else { r.period.to_string() },
+                tp(r.throughput),
+                r.moves.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["remap period (cycles)", "throughput (skewed)", "migrations"], &cells)
+    );
+}

@@ -1,0 +1,34 @@
+//! Extension experiment for 3.5.3: splitting the pipelines over two
+//! chiplets (each an independent MP5) vs one monolithic MP5.
+
+use mp5_sim::experiments::ext_chiplet;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Extension: multi-chiplet MP5",
+        "paper 3.5.3 (inter-chiplet processing left as future work)",
+    );
+    let rows = ext_chiplet();
+    mp5_bench::maybe_dump_json("ext_chiplet", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.mode.clone(),
+                tp(r.throughput),
+                r.globally_equivalent.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["app", "mode", "throughput", "globally equivalent"], &cells)
+    );
+    println!(
+        "Monolithic MP5 keeps functional equivalence; independent chiplets\n\
+         cannot once state is shared across the port split - the gap the\n\
+         paper's future work would need to close."
+    );
+}

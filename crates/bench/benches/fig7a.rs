@@ -1,0 +1,38 @@
+//! Figure 7a: packet-processing throughput vs number of pipelines.
+
+use mp5_sim::experiments::fig7a;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Figure 7a: throughput vs pipelines (1..16)",
+        "paper 4.3.3 (~25% reduction from 1 to 16 pipelines; MP5 close to ideal)",
+    );
+    let rows = fig7a();
+    mp5_bench::maybe_dump_json("fig7a", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.x as usize),
+                tp(r.mp5_uniform),
+                tp(r.ideal_uniform),
+                tp(r.mp5_skewed),
+                tp(r.ideal_skewed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["pipelines", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &cells
+        )
+    );
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    println!(
+        "uniform reduction 1 -> 16 pipelines: {:.1}% (paper: ~25%)",
+        (1.0 - last.mp5_uniform / first.mp5_uniform) * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 7b: throughput vs number of stateful stages.
+
+use mp5_sim::experiments::fig7b;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Figure 7b: throughput vs stateful stages (0..10)",
+        "paper 4.3.3 (~20% reduction from 0 to 10 stateful stages)",
+    );
+    let rows = fig7b();
+    mp5_bench::maybe_dump_json("fig7b", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.x as usize),
+                tp(r.mp5_uniform),
+                tp(r.ideal_uniform),
+                tp(r.mp5_skewed),
+                tp(r.ideal_skewed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["stateful stages", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &cells
+        )
+    );
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    println!(
+        "uniform reduction 0 -> 10 stateful stages: {:.1}% (paper: ~20%)",
+        (1.0 - last.mp5_uniform / first.mp5_uniform) * 100.0
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 7c: throughput vs register array size.
+
+use mp5_sim::experiments::fig7c;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Figure 7c: throughput vs register size (1..4096)",
+        "paper 4.3.3 (throughput increases steadily with register size)",
+    );
+    let rows = fig7c();
+    mp5_bench::maybe_dump_json("fig7c", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.x as usize),
+                tp(r.mp5_uniform),
+                tp(r.ideal_uniform),
+                tp(r.mp5_skewed),
+                tp(r.ideal_skewed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["register size", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &cells
+        )
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 7d: throughput vs packet size.
+
+use mp5_sim::experiments::fig7d;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Figure 7d: throughput vs packet size (64..1500 B)",
+        "paper 4.3.3 (line rate with packets as small as 128 B)",
+    );
+    let rows = fig7d();
+    mp5_bench::maybe_dump_json("fig7d", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} B", r.x as usize),
+                tp(r.mp5_uniform),
+                tp(r.ideal_uniform),
+                tp(r.mp5_skewed),
+                tp(r.ideal_skewed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["packet size", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &cells
+        )
+    );
+    if let Some(r128) = rows.iter().find(|r| r.x == 128.0) {
+        println!(
+            "line rate at 128 B: uniform {} / skewed {} (paper: line rate from 128 B)",
+            tp(r128.mp5_uniform),
+            tp(r128.mp5_skewed)
+        );
+    }
+}

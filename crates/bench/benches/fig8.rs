@@ -1,0 +1,43 @@
+//! Figure 8: real applications (flowlet, CONGA, WFQ, sequencer) at
+//! realistic packet/flow distributions, swept over pipeline count.
+
+use mp5_sim::experiments::fig8;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "Figure 8: real applications",
+        "paper 4.4 (line rate for all apps at every pipeline count; max queue 11/8/7/7)",
+    );
+    let rows = fig8(&mp5_apps::PAPER_APPS);
+    mp5_bench::maybe_dump_json("fig8", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.pipelines.to_string(),
+                tp(r.throughput),
+                r.max_queue_depth.to_string(),
+                if r.fpga_range { "sim+fpga" } else { "sim" }.to_string(),
+                r.equivalent.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["app", "pipelines", "throughput", "max queue", "range", "equivalent"],
+            &cells
+        )
+    );
+    for app in mp5_apps::PAPER_APPS {
+        let max_q = rows
+            .iter()
+            .filter(|r| r.app == app.name)
+            .map(|r| r.max_queue_depth)
+            .max()
+            .unwrap_or(0);
+        println!("{:<10} worst-case queue depth: {max_q}", app.name);
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the hot paths: the logical FIFO
+//! operations (which hardware performs every cycle), the phantom
+//! channel, program compilation, and whole-switch simulation rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mp5_compiler::{compile, Target};
+use mp5_core::{Mp5Switch, SwitchConfig};
+use mp5_fabric::{LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
+use mp5_sim::synth::{synthetic_compiled, synthetic_trace, SynthConfig};
+use mp5_types::{PacketId, PipelineId, RegId, StageId};
+
+fn bench_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fifo");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_data", |b| {
+        let mut f: LogicalFifo<u64> = LogicalFifo::new(4, None);
+        let mut i = 0u64;
+        b.iter(|| {
+            f.push_data(i, OrderKey(i, 0), PipelineId((i % 4) as u16)).unwrap();
+            i += 1;
+            match f.pop() {
+                PopOutcome::Data(v) => v,
+                _ => unreachable!(),
+            }
+        });
+    });
+    g.bench_function("phantom_insert_pop", |b| {
+        let mut f: LogicalFifo<u64> = LogicalFifo::new(4, None);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = PhantomKey { pkt: PacketId(i), reg: RegId(0), index: (i % 64) as u32 };
+            f.push_phantom(key, OrderKey(i, 0), PipelineId((i % 4) as u16)).unwrap();
+            f.insert_data(key, i).unwrap();
+            i += 1;
+            match f.pop() {
+                PopOutcome::Data(v) => v,
+                _ => unreachable!(),
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("phantom_channel_inject_advance", |b| {
+        let mut ch: PhantomChannel<u64> = PhantomChannel::new(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            ch.inject(i, StageId(0), StageId(8));
+            i += 1;
+            ch.advance().len()
+        });
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let flowlet = mp5_apps::FLOWLET.source;
+    c.bench_function("compile_flowlet", |b| {
+        b.iter(|| compile(flowlet, &Target::default()).unwrap());
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_sim");
+    g.sample_size(10);
+    for k in [2usize, 4, 8] {
+        let cfg = SynthConfig {
+            pipelines: k,
+            packets: 5_000,
+            ..Default::default()
+        };
+        let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+        g.throughput(Throughput::Elements(cfg.packets as u64));
+        g.bench_with_input(BenchmarkId::new("mp5_packets", k), &k, |b, &k| {
+            b.iter(|| {
+                let trace = synthetic_trace(&prog, &cfg);
+                Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k)).run(trace).completed
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fifo, bench_channel, bench_compile, bench_switch);
+criterion_main!(benches);

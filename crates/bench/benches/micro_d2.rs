@@ -1,0 +1,32 @@
+//! 4.3.2 D2 microbenchmark: dynamic vs static state sharding.
+
+use mp5_bench::min_max;
+use mp5_sim::experiments::micro_d2;
+use mp5_sim::table::render;
+
+fn main() {
+    mp5_bench::banner(
+        "D2: dynamically sharded shared memory",
+        "paper 4.3.2 (dynamic/static throughput ratio: 1.1-3.3x skewed, 1-1.5x uniform)",
+    );
+    let rows = micro_d2();
+    mp5_bench::maybe_dump_json("micro_d2", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                format!("{:.2}x", r.ratio_uniform),
+                format!("{:.2}x", r.ratio_skewed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["stream", "dynamic/static (uniform)", "dynamic/static (skewed)"], &cells)
+    );
+    let (ulo, uhi) = min_max(rows.iter().map(|r| r.ratio_uniform));
+    let (slo, shi) = min_max(rows.iter().map(|r| r.ratio_skewed));
+    println!("uniform ratio range: {ulo:.2}-{uhi:.2}x (paper: 1-1.5x)");
+    println!("skewed  ratio range: {slo:.2}-{shi:.2}x (paper: 1.1-3.3x)");
+}

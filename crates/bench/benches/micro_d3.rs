@@ -1,0 +1,36 @@
+//! 4.3.2 D3 microbenchmark: inter-pipeline steering vs re-circulation.
+
+use mp5_bench::min_max;
+use mp5_sim::experiments::micro_d3;
+use mp5_sim::table::{render, tp};
+
+fn main() {
+    mp5_bench::banner(
+        "D3: inter-pipeline packet steering vs re-circulation",
+        "paper 4.3.2 (recirc loses 31-77% vs MP5; worse than naive when recircs/pkt > k)",
+    );
+    let rows = micro_d3();
+    mp5_bench::maybe_dump_json("micro_d3", &rows);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                tp(r.mp5),
+                tp(r.recirc),
+                tp(r.naive),
+                format!("{:.2}", r.recircs_per_packet),
+                format!("{:.1}%", (1.0 - r.recirc / r.mp5) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["stream", "MP5", "recirc", "naive", "recircs/pkt", "recirc loss vs MP5"],
+            &cells
+        )
+    );
+    let (lo, hi) = min_max(rows.iter().map(|r| (1.0 - r.recirc / r.mp5) * 100.0));
+    println!("recirculation throughput loss range: {lo:.1}%-{hi:.1}% (paper: 31-77%)");
+}

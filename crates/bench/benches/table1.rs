@@ -1,0 +1,55 @@
+//! Regenerates paper Table 1 (chip area and clock speed vs pipelines
+//! and stages) and the §4.2 SRAM-overhead paragraph, side by side with
+//! the paper's published numbers.
+
+use mp5_asic::{AsicModel, PAPER_TABLE1};
+use mp5_sim::table::render;
+
+fn main() {
+    mp5_bench::banner("Table 1: chip area and clock speed", "paper §4.2, Table 1");
+    let m = AsicModel::default();
+
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8] {
+        for s in [4usize, 8, 12, 16] {
+            let ours = m.area_mm2(k, s);
+            let paper = PAPER_TABLE1
+                .iter()
+                .find(|&&(pk, ps, _)| pk == k && ps == s)
+                .map(|&(_, _, a)| a)
+                .expect("cell present");
+            rows.push(vec![
+                k.to_string(),
+                s.to_string(),
+                format!("{ours:.2}"),
+                format!("{paper:.2}"),
+                format!("{:+.1}%", (ours - paper) / paper * 100.0),
+                format!("{:.2} GHz", m.clock_ghz(k)),
+                if m.meets_1ghz(k) { ">= 1 GHz ok" } else { "below!" }.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render(
+            &["k", "s", "model mm^2", "paper mm^2", "delta", "clock", "target"],
+            &rows
+        )
+    );
+
+    println!("SRAM overhead for dynamic sharding (30 bits/register index):");
+    println!(
+        "  10 stateful stages x 1000 entries: {:.1} KB per pipeline (paper: ~35 KB)",
+        m.sram_overhead_kb(10, 1000)
+    );
+    let (lo, hi) = m.area_overhead_percent(4, 16);
+    println!(
+        "  4 pipelines x 16 stages on a 300-700 mm^2 die: {lo:.2}%-{hi:.2}% (paper: 0.5-1%)"
+    );
+    let (lo8, hi8) = m.area_overhead_percent(8, 16);
+    println!("  8 pipelines x 16 stages: {lo8:.2}%-{hi8:.2}% (paper: 2-4%)");
+    println!(
+        "  crossbar scaling limit: 1 GHz holds up to k={} (paper §3.5.3)",
+        m.max_pipelines_at_1ghz()
+    );
+}

@@ -1,0 +1,768 @@
+//! Code generation: PVSM → physical pipeline configuration.
+//!
+//! Checks the transformed PVSM against the [`Target`] machine limits and
+//! assembles the final [`CompiledProgram`]. When the serialized PVSM
+//! needs more stages than the machine has, code generation applies the
+//! paper's conservative fallback (§3.3): co-locate register arrays by
+//! merging body stages from the tail of the pipeline, pin every array in
+//! a shared stage (`shardable = false`), and replace their access plans
+//! with a single stage-level plan that serializes all packets through
+//! the stage in arrival order.
+
+use std::collections::HashMap;
+
+use mp5_lang::tac::TacProgram;
+use mp5_lang::LangError;
+use mp5_types::{RegId, StageId};
+
+use crate::program::{
+    AccessPlan, AtomClass, CompiledProgram, IdxPlan, PredPlan, RegMeta, StageCode,
+    INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL,
+};
+use crate::schedule::{pipeline_with, ScheduleError};
+use crate::target::Target;
+use crate::transform::transform;
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Frontend (lex/parse/semantic) error.
+    Lang(LangError),
+    /// Pipelining error (e.g. cross-register atoms).
+    Schedule(ScheduleError),
+    /// The program needs more stages than the machine has, even after
+    /// the shared-stage fallback (the resolution prologue alone
+    /// overflows the pipeline).
+    TooManyStages {
+        /// Stages required (prologue + at least one body stage).
+        needed: usize,
+        /// Stages available.
+        available: usize,
+    },
+    /// A stage exceeds the per-stage operation budget.
+    TooManyOpsInStage {
+        /// The overflowing physical stage.
+        stage: usize,
+        /// Operations required.
+        needed: usize,
+        /// Operations available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "{e}"),
+            CompileError::Schedule(e) => write!(f, "{e}"),
+            CompileError::TooManyStages { needed, available } => {
+                write!(f, "program needs {needed} stages, machine has {available}")
+            }
+            CompileError::TooManyOpsInStage {
+                stage,
+                needed,
+                available,
+            } => write!(
+                f,
+                "stage {stage} needs {needed} operations, machine allows {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> Self {
+        CompileError::Lang(e)
+    }
+}
+
+impl From<ScheduleError> for CompileError {
+    fn from(e: ScheduleError) -> Self {
+        CompileError::Schedule(e)
+    }
+}
+
+/// Compiles DSL source text for the given target machine.
+pub fn compile(source: &str, target: &Target) -> Result<CompiledProgram, CompileError> {
+    let tac = mp5_lang::frontend(source)?;
+    compile_tac(tac, target)
+}
+
+/// Name of the synthetic register added by
+/// [`CompileOptions::enforce_flow_order`].
+pub const FLOW_ORDER_REG: &str = "__flow_order";
+
+/// How to build the flow-order key (§3.4's "dummy register state would
+/// be indexed based on packet flow ids (e.g., hash of 5-tuple)").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowOrderSpec {
+    /// Packet fields hashed into the flow key; all must be declared.
+    pub key_fields: Vec<String>,
+    /// Buckets in the dummy register array.
+    pub buckets: u32,
+}
+
+impl Default for FlowOrderSpec {
+    fn default() -> Self {
+        FlowOrderSpec {
+            key_fields: mp5_types::FlowKey::FIELD_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            buckets: 1024,
+        }
+    }
+}
+
+/// Optional compilation features.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// §3.4 "Handling starvation and packet re-ordering": append a dummy
+    /// stateful operation, **in the final pipeline stage**, indexed by
+    /// the flow hash. Its phantoms force every flow's packets back into
+    /// arrival order right before they leave the pipeline, eliminating
+    /// the reordering that stateless-over-stateful prioritization can
+    /// otherwise cause (e.g. for NATs and stateful firewalls).
+    pub enforce_flow_order: Option<FlowOrderSpec>,
+}
+
+/// Compiles with optional features.
+pub fn compile_with_options(
+    source: &str,
+    target: &Target,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let mut tac = mp5_lang::frontend(source)?;
+    if let Some(spec) = &opts.enforce_flow_order {
+        append_flow_order(&mut tac, spec)?;
+    }
+    let mut prog = compile_tac(tac, target)?;
+    if opts.enforce_flow_order.is_some() {
+        relocate_flow_order(&mut prog, target)?;
+    }
+    debug_assert_eq!(prog.validate(), Ok(()));
+    Ok(prog)
+}
+
+/// Appends `__flow_order[hash(key fields) % buckets] = 0` to the TAC.
+fn append_flow_order(
+    tac: &mut TacProgram,
+    spec: &FlowOrderSpec,
+) -> Result<(), CompileError> {
+    use mp5_lang::tac::{RegInfo, TacInstr};
+    use mp5_lang::{Operand, TacExpr};
+
+    let mut key_ops = Vec::new();
+    for name in &spec.key_fields {
+        let id = tac.field(name).ok_or_else(|| {
+            CompileError::Lang(mp5_lang::LangError::Semantic {
+                span: Default::default(),
+                message: format!(
+                    "flow-order enforcement requires packet field '{name}'"
+                ),
+            })
+        })?;
+        key_ops.push(Operand::Field(id));
+    }
+    let fresh = |tac: &mut TacProgram, tag: usize| {
+        let id = mp5_types::FieldId::from(tac.field_names.len());
+        tac.field_names.push(format!("$fo{tag}"));
+        id
+    };
+    // Fold the key fields into one hash operand.
+    let mut acc = *key_ops.first().unwrap_or(&Operand::Const(0));
+    for (i, op) in key_ops.iter().copied().enumerate().skip(1) {
+        let dst = fresh(tac, i);
+        tac.instrs.push(TacInstr::Assign {
+            dst,
+            expr: TacExpr::Hash2(acc, op),
+        });
+        acc = Operand::Field(dst);
+    }
+    let reg = mp5_types::RegId::from(tac.regs.len());
+    tac.regs.push(RegInfo {
+        name: FLOW_ORDER_REG.to_string(),
+        size: spec.buckets,
+        init: vec![0; spec.buckets as usize],
+    });
+    tac.instrs.push(TacInstr::RegWrite {
+        reg,
+        idx: acc,
+        val: Operand::Const(0),
+        pred: None,
+    });
+    Ok(())
+}
+
+/// Moves the flow-order register into a dedicated *final* body stage —
+/// ordering is only effective if nothing stateful happens after it.
+fn relocate_flow_order(
+    prog: &mut CompiledProgram,
+    target: &Target,
+) -> Result<(), CompileError> {
+    let reg = prog.reg(FLOW_ORDER_REG).expect("just appended");
+    let cur_body = prog.regs[reg.index()].stage.index() - prog.resolution.stages;
+    let already_last =
+        cur_body + 1 == prog.stages.len() && prog.stages[cur_body].regs.len() == 1;
+    if !already_last {
+        if prog.num_stages() + 1 > target.max_stages {
+            return Err(CompileError::TooManyStages {
+                needed: prog.num_stages() + 1,
+                available: target.max_stages,
+            });
+        }
+        // Extract the dummy write (its hash inputs are plain Assigns
+        // computed earlier; only the stateful op moves).
+        let mut moved = Vec::new();
+        prog.stages[cur_body].instrs.retain(|ins| {
+            if matches!(ins, mp5_lang::TacInstr::RegWrite { reg: r, .. } if *r == reg) {
+                moved.push(ins.clone());
+                false
+            } else {
+                true
+            }
+        });
+        prog.stages[cur_body].regs.retain(|r| *r != reg);
+        prog.stages.push(StageCode {
+            instrs: moved,
+            regs: vec![reg],
+        });
+    }
+    let last = StageId((prog.resolution.stages + prog.stages.len() - 1) as u16);
+    prog.regs[reg.index()].stage = last;
+    for p in &mut prog.resolution.plans {
+        if p.reg == reg {
+            p.stage = last;
+        }
+    }
+    prog.resolution.plans.sort_by_key(|p| p.stage);
+    Ok(())
+}
+
+/// Compiles an already-lowered three-address program.
+pub fn compile_tac(tac: TacProgram, target: &Target) -> Result<CompiledProgram, CompileError> {
+    let sched = pipeline_with(&tac, target.max_chain_depth, target.allow_pairs)?;
+    let xf = transform(&tac, &sched, target.max_chain_depth);
+
+    // ---- assemble body stages from the schedule ----
+    let mut body: Vec<StageCode> = (0..sched.num_stages.max(1))
+        .map(|_| StageCode {
+            instrs: Vec::new(),
+            regs: Vec::new(),
+        })
+        .collect();
+    for (j, ins) in tac.instrs.iter().enumerate() {
+        body[sched.stage_of[j]].instrs.push(ins.clone());
+    }
+    for c in &sched.clusters {
+        body[c.stage].regs.extend(c.regs.iter().copied());
+    }
+
+    let mut shardable = xf.shardable.clone();
+    let mut plans = xf.resolution.plans.clone();
+    let mut prologue_stages = xf.resolution.stages;
+
+    // ---- stage-budget fallback: merge body stages from the tail ----
+    let mut merged_any = false;
+    while prologue_stages + body.len() > target.max_stages && body.len() > 1 {
+        // Merge the last two body stages.
+        let tail = body.pop().expect("len > 1");
+        let last = body.last_mut().expect("len > 1");
+        last.instrs.extend(tail.instrs);
+        last.regs.extend(tail.regs);
+        merged_any = true;
+    }
+    if prologue_stages + body.len() > target.max_stages {
+        return Err(CompileError::TooManyStages {
+            needed: prologue_stages + body.len(),
+            available: target.max_stages,
+        });
+    }
+    if merged_any {
+        // Pin every register in a multi-register stage and replace its
+        // plans with one stage-level plan.
+        let shared: Vec<usize> = body
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.regs.len() > 1)
+            .map(|(i, _)| i)
+            .collect();
+        for &si in &shared {
+            for r in &body[si].regs {
+                shardable[r.index()] = false;
+            }
+        }
+        // Rebuild plans: keep plans for untouched stages (stage ids may
+        // have shifted, so recompute from the register's new body stage);
+        // stage-level plans for shared stages.
+        let mut reg_body_stage: HashMap<RegId, usize> = HashMap::new();
+        for (si, s) in body.iter().enumerate() {
+            for r in &s.regs {
+                reg_body_stage.insert(*r, si);
+            }
+        }
+        let mut new_plans: Vec<AccessPlan> = Vec::new();
+        let mut shared_done: Vec<usize> = Vec::new();
+        for p in &plans {
+            let body_stage = if p.reg == REG_STAGE_SENTINEL {
+                // Pre-existing stage-level plan (pairs atom): locate the
+                // stage by its original physical id.
+                (p.stage.index() - prologue_stages)
+                    .min(body.len() - 1)
+            } else {
+                reg_body_stage[&p.reg]
+            };
+            if body[body_stage].regs.len() > 1 {
+                if !shared_done.contains(&body_stage) {
+                    shared_done.push(body_stage);
+                    new_plans.push(AccessPlan {
+                        stage: StageId((prologue_stages + body_stage) as u16),
+                        reg: REG_STAGE_SENTINEL,
+                        idx: IdxPlan::ArrayLevel,
+                        pred: PredPlan::Always,
+                    });
+                }
+            } else {
+                new_plans.push(AccessPlan {
+                    stage: StageId((prologue_stages + body_stage) as u16),
+                    ..p.clone()
+                });
+            }
+        }
+        new_plans.sort_by_key(|p| p.stage);
+        plans = new_plans;
+    }
+
+    if plans.is_empty() {
+        prologue_stages = 0;
+    }
+
+    // ---- per-stage op budget ----
+    for (si, s) in body.iter().enumerate() {
+        if s.instrs.len() > target.max_ops_per_stage {
+            return Err(CompileError::TooManyOpsInStage {
+                stage: prologue_stages + si,
+                needed: s.instrs.len(),
+                available: target.max_ops_per_stage,
+            });
+        }
+    }
+
+    // ---- register metadata ----
+    let classes = classify_atoms(&tac, &sched);
+    let regs: Vec<RegMeta> = tac
+        .regs
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| {
+            let body_stage = body
+                .iter()
+                .position(|s| s.regs.contains(&RegId::from(ri)))
+                .unwrap_or(0);
+            RegMeta {
+                name: r.name.clone(),
+                size: r.size,
+                init: r.init.clone(),
+                stage: StageId((prologue_stages + body_stage) as u16),
+                shardable: shardable[ri],
+                atom_class: classes[ri],
+            }
+        })
+        .collect();
+
+    let mut field_names = tac.field_names.clone();
+    field_names.extend(xf.extra_fields.iter().cloned());
+
+    let prog = CompiledProgram {
+        field_names,
+        declared_fields: tac.declared_fields,
+        regs,
+        resolution: crate::program::ResolutionCode {
+            instrs: xf.resolution.instrs,
+            plans,
+            stages: prologue_stages,
+        },
+        stages: body,
+        tac,
+    };
+    debug_assert_eq!(prog.validate(), Ok(()));
+    Ok(prog)
+}
+
+/// Convenience for tests: does this resolved access denote array-level
+/// serialization?
+pub fn is_array_level(index: u32) -> bool {
+    index == INDEX_ARRAY_LEVEL
+}
+
+/// Classifies every register's stateful atom into the Banzai atom
+/// hierarchy (diagnostics: which action-unit template the machine must
+/// provide for this program).
+fn classify_atoms(tac: &TacProgram, sched: &crate::schedule::Schedule) -> Vec<AtomClass> {
+    use mp5_lang::TacInstr;
+    let mut classes = vec![AtomClass::Stateless; tac.regs.len()];
+    for cluster in &sched.clusters {
+        let class = if cluster.regs.len() > 1 {
+            AtomClass::Pairs
+        } else {
+            let mut reads = 0usize;
+            let mut writes = 0usize;
+            let mut preds: Vec<Option<mp5_lang::Operand>> = Vec::new();
+            let mut alu_ops = 0usize;
+            for &m in &cluster.members {
+                match &tac.instrs[m] {
+                    TacInstr::RegRead { pred, .. } => {
+                        reads += 1;
+                        if !preds.contains(pred) {
+                            preds.push(*pred);
+                        }
+                    }
+                    TacInstr::RegWrite { pred, .. } => {
+                        writes += 1;
+                        if !preds.contains(pred) {
+                            preds.push(*pred);
+                        }
+                    }
+                    TacInstr::Assign { .. } => alu_ops += 1,
+                }
+            }
+            let distinct_preds = preds.iter().filter(|p| p.is_some()).count();
+            match (reads, writes) {
+                (_, 0) => AtomClass::Read,
+                (0, _) => AtomClass::Write,
+                _ if distinct_preds == 0 && alu_ops <= 2 => AtomClass::ReadModifyWrite,
+                _ if distinct_preds == 0 => AtomClass::NestedIfs,
+                _ if distinct_preds == 1 => AtomClass::PredicatedRmw,
+                _ if distinct_preds == 2 => AtomClass::IfElseRmw,
+                _ => AtomClass::NestedIfs,
+            }
+        };
+        for &r in &cluster.regs {
+            classes[r.index()] = class;
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ResolvedAccess;
+    use mp5_types::Value;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        compile(src, &Target::default()).unwrap()
+    }
+
+    const FIG3: &str = r#"
+        struct Packet { int h1; int h2; int h3; int val; int mux; };
+        int reg1[4] = {2, 4, 8, 16};
+        int reg2[4] = {1, 3, 5, 7};
+        int reg3[4] = {0};
+        void func(struct Packet p) {
+            p.val = (p.mux == 1) ? reg1[p.h1 % 4] : reg2[p.h2 % 4];
+            reg3[p.h3 % 4] = (p.mux == 1)
+                ? reg3[p.h3 % 4] * p.val
+                : reg3[p.h3 % 4] + p.val;
+        }
+    "#;
+
+    #[test]
+    fn fig3_compiles_and_validates() {
+        let p = compiled(FIG3);
+        p.validate().unwrap();
+        assert_eq!(p.regs.len(), 3);
+        assert!(p.regs.iter().all(|r| r.shardable));
+        assert!(p.num_stages() <= 16);
+    }
+
+    #[test]
+    fn fig3_serial_execution_matches_tac() {
+        let p = compiled(FIG3);
+        let mut regs_c = p.initial_regs();
+        let mut regs_t = p.tac.initial_regs();
+        let inputs: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![i, i * 3 + 1, i * 7 + 2, 0, i % 2])
+            .collect();
+        for inp in &inputs {
+            let mut fc = vec![0; p.num_fields()];
+            fc[..inp.len()].copy_from_slice(inp);
+            p.execute_serial(&mut fc, &mut regs_c);
+            let mut ft = vec![0; p.tac.field_names.len()];
+            ft[..inp.len()].copy_from_slice(inp);
+            p.tac.execute(&mut ft, &mut regs_t);
+            assert_eq!(
+                &fc[..p.declared_fields],
+                &ft[..p.declared_fields],
+                "packet state must match TAC semantics"
+            );
+        }
+        assert_eq!(regs_c, regs_t, "register state must match TAC semantics");
+    }
+
+    #[test]
+    fn fig3_resolution_predicts_accesses() {
+        let p = compiled(FIG3);
+        // mux=1: accesses reg1[h1%4] and reg3[h3%4], not reg2.
+        let mut f = vec![0; p.num_fields()];
+        f[0] = 1; // h1
+        f[2] = 2; // h3
+        f[4] = 1; // mux
+        let acc = p.resolve(&mut f);
+        let regs: Vec<(usize, u32)> = acc.iter().map(|a| (a.reg.index(), a.index)).collect();
+        assert!(regs.contains(&(0, 1)), "reg1[1] expected: {regs:?}");
+        assert!(regs.contains(&(2, 2)), "reg3[2] expected: {regs:?}");
+        assert!(!regs.iter().any(|&(r, _)| r == 1), "reg2 not accessed");
+        // Accesses must come out in ascending stage order.
+        assert!(acc.windows(2).all(|w| w[0].stage <= w[1].stage));
+    }
+
+    #[test]
+    fn resolution_matches_actual_execution_accesses() {
+        // The set of (reg, index) the resolver predicts must equal what
+        // serial execution actually touches, for non-speculative plans.
+        let p = compiled(FIG3);
+        let mut regs = p.initial_regs();
+        for i in 0..100i64 {
+            let inp = [i * 13 % 10, i * 29 % 10, i * 7 % 10, 0, i % 2];
+            let mut f = vec![0; p.num_fields()];
+            f[..5].copy_from_slice(&inp);
+            let predicted: Vec<(RegId, u32)> = p
+                .resolve(&mut f.clone())
+                .into_iter()
+                .filter(|a| !a.speculative)
+                .map(|a| (a.reg, a.index))
+                .collect();
+            let actual = p.execute_serial(&mut f, &mut regs);
+            let actual: Vec<(RegId, u32)> =
+                actual.into_iter().map(|a| (a.reg, a.index)).collect();
+            let mut ps = predicted.clone();
+            let mut as_ = actual.clone();
+            ps.sort();
+            as_.sort();
+            assert_eq!(ps, as_, "resolution must predict exactly the real accesses");
+        }
+    }
+
+    #[test]
+    fn tiny_target_triggers_shared_stage_fallback() {
+        // Three registers in a chain need >= 3 body stages + prologue;
+        // a 4-stage machine forces merging, which pins registers.
+        let src = "struct Packet { int h; };
+             int a[4];
+             int b[4];
+             int c[4];
+             void func(struct Packet p) {
+                 a[p.h % 4] = a[p.h % 4] + 1;
+                 b[p.h % 4] = b[p.h % 4] + 1;
+                 c[p.h % 4] = c[p.h % 4] + 1;
+             }";
+        let full = compile(src, &Target::default()).unwrap();
+        assert!(full.regs.iter().all(|r| r.shardable));
+        let needed = full.num_stages();
+        let squeezed = compile(
+            src,
+            &Target {
+                max_stages: needed - 1,
+                ..Target::default()
+            },
+        )
+        .unwrap();
+        squeezed.validate().unwrap();
+        assert!(squeezed.num_stages() <= needed - 1);
+        assert!(
+            squeezed.regs.iter().any(|r| !r.shardable),
+            "merged stages must pin their registers"
+        );
+        // Stage-level plan exists.
+        assert!(squeezed
+            .resolution
+            .plans
+            .iter()
+            .any(|p| p.reg == REG_STAGE_SENTINEL));
+        // Semantics are preserved.
+        let mut r1 = full.initial_regs();
+        let mut r2 = squeezed.initial_regs();
+        for i in 0..20i64 {
+            let mut f1 = vec![0; full.num_fields()];
+            f1[0] = i;
+            full.execute_serial(&mut f1, &mut r1);
+            let mut f2 = vec![0; squeezed.num_fields()];
+            f2[0] = i;
+            squeezed.execute_serial(&mut f2, &mut r2);
+        }
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let err = compile(
+            "struct Packet { int h; };
+             int a[4];
+             void func(struct Packet p) { a[p.h % 4] = a[p.h % 4] + hash2(p.h, 3); }",
+            &Target::tiny(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::TooManyStages { .. }), "{err}");
+    }
+
+    #[test]
+    fn ops_budget_enforced() {
+        // 20 independent ops in one stage with an 8-op budget.
+        let mut body = String::new();
+        for i in 0..20 {
+            body.push_str(&format!("p.f{i} = p.f{i} + 1;\n"));
+        }
+        let mut fields = String::new();
+        for i in 0..20 {
+            fields.push_str(&format!("int f{i};\n"));
+        }
+        let src = format!(
+            "struct Packet {{ {fields} }};
+             void func(struct Packet p) {{ {body} }}"
+        );
+        let err = compile(&src, &Target::tiny(16)).unwrap_err();
+        assert!(matches!(err, CompileError::TooManyOpsInStage { .. }), "{err}");
+    }
+
+    #[test]
+    fn lang_errors_propagate() {
+        assert!(matches!(
+            compile("not a program", &Target::default()),
+            Err(CompileError::Lang(_))
+        ));
+    }
+
+    #[test]
+    fn global_counter_resolution_is_const_index() {
+        let p = compiled(
+            "struct Packet { int seq; };
+             int count = 0;
+             void func(struct Packet p) { count = count + 1; p.seq = count; }",
+        );
+        let mut f = vec![0; p.num_fields()];
+        let acc = p.resolve(&mut f);
+        assert_eq!(
+            acc,
+            vec![ResolvedAccess {
+                stage: p.regs[0].stage,
+                reg: RegId(0),
+                index: 0,
+                speculative: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn speculative_flag_set_for_stateful_predicate() {
+        let p = compiled(
+            "struct Packet { int h; };
+             int gate = 1;
+             int r[8];
+             void func(struct Packet p) {
+                 if (gate > 0) { r[p.h % 8] = 1; }
+             }",
+        );
+        let mut f = vec![0; p.num_fields()];
+        let acc = p.resolve(&mut f);
+        let racc = acc.iter().find(|a| a.reg.index() == 1).unwrap();
+        assert!(racc.speculative);
+    }
+}
+
+#[cfg(test)]
+mod atom_tests {
+    use super::*;
+    use crate::program::AtomClass;
+
+    fn class_of(src: &str, reg: &str) -> AtomClass {
+        let p = compile(src, &Target::default()).unwrap();
+        let r = p.reg(reg).unwrap();
+        p.regs[r.index()].atom_class
+    }
+
+    #[test]
+    fn counter_is_rmw() {
+        assert_eq!(
+            class_of(
+                "struct Packet { int s; };
+                 int c = 0;
+                 void func(struct Packet p) { c = c + 1; p.s = c; }",
+                "c"
+            ),
+            AtomClass::ReadModifyWrite
+        );
+    }
+
+    #[test]
+    fn read_only_and_write_only() {
+        let src = "struct Packet { int h; int o; };
+             int lut[8] = {1,2,3,4,5,6,7,8};
+             int log[8] = {0};
+             void func(struct Packet p) {
+                 p.o = lut[p.h % 8];
+                 log[p.h % 8] = p.h;
+             }";
+        assert_eq!(class_of(src, "lut"), AtomClass::Read);
+        assert_eq!(class_of(src, "log"), AtomClass::Write);
+    }
+
+    #[test]
+    fn predicated_update_is_pred_rmw() {
+        assert_eq!(
+            class_of(
+                "struct Packet { int h; int o; };
+                 int r[8] = {0};
+                 void func(struct Packet p) {
+                     if (p.h > 4) { r[p.h % 8] = r[p.h % 8] + 1; }
+                     p.o = 1;
+                 }",
+                "r"
+            ),
+            AtomClass::PredicatedRmw
+        );
+    }
+
+    #[test]
+    fn two_branch_update_is_ifelse_rmw() {
+        // Figure 3's reg3: reads under c and !c plus an unconditional
+        // write — two distinct predicates.
+        assert_eq!(
+            class_of(
+                "struct Packet { int h; int v; int m; };
+                 int r[4] = {0};
+                 void func(struct Packet p) {
+                     r[p.h % 4] = (p.m == 1) ? r[p.h % 4] * p.v : r[p.h % 4] + p.v;
+                 }",
+                "r"
+            ),
+            AtomClass::IfElseRmw
+        );
+    }
+
+    #[test]
+    fn entangled_registers_are_pairs() {
+        let src = "struct Packet { int h; int o; };
+             int a[4] = {0};
+             int b[4] = {0};
+             void func(struct Packet p) {
+                 int t = a[p.h % 4] + b[p.h % 4];
+                 a[p.h % 4] = t;
+                 b[p.h % 4] = t;
+                 p.o = t;
+             }";
+        assert_eq!(class_of(src, "a"), AtomClass::Pairs);
+        assert_eq!(class_of(src, "b"), AtomClass::Pairs);
+    }
+
+    #[test]
+    fn class_ordering_reflects_complexity() {
+        assert!(AtomClass::Read < AtomClass::ReadModifyWrite);
+        assert!(AtomClass::ReadModifyWrite < AtomClass::PredicatedRmw);
+        assert!(AtomClass::PredicatedRmw < AtomClass::IfElseRmw);
+        assert!(AtomClass::IfElseRmw < AtomClass::Pairs);
+        assert_eq!(AtomClass::Pairs.to_string(), "pairs");
+    }
+}

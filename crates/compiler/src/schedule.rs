@@ -1,0 +1,620 @@
+//! The *Pipelining* phase: dependency-driven stage assignment.
+//!
+//! Produces the PVSM (Pipelined Virtual Switch Machine) schedule — a
+//! pipeline with unbounded stages/width, but honouring the Banzai
+//! execution model:
+//!
+//! * **Atomic state operations**: every access to one register array,
+//!   plus all computation on any read→write path through it, is fused
+//!   into a single-stage *cluster* (a Banzai stateful atom).
+//! * **No state sharing across stages**: each register array lives in
+//!   exactly one stage; two arrays never share a PVSM stage (the
+//!   transformer's serialization rule in §3.3). Code generation may
+//!   later re-merge stages under resource pressure (pinned fallback).
+//! * **Feed-forward data flow**: a value computed at stage `s` is usable
+//!   at stage `s` only within the same atom's combinational chain depth;
+//!   otherwise at stage `> s`.
+//!
+//! Scheduling is a monotone fixed-point ASAP pass over `(stage, depth)`
+//! labels; cluster members share one stage label.
+
+use std::collections::HashMap;
+
+use mp5_lang::tac::{TacInstr, TacProgram};
+use mp5_lang::Operand;
+use mp5_types::{FieldId, RegId};
+
+use crate::slice::Slicer;
+
+/// A fused stateful atom: all operations on one register array — or,
+/// for Banzai "pairs"-class atoms, on the small set of register arrays
+/// entangled by a common read→write dataflow (they must share a stage
+/// and update atomically).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The register array(s) of this atom. One for ordinary atoms;
+    /// several only for pairs-class atoms.
+    pub regs: Vec<RegId>,
+    /// Member instruction positions, ascending.
+    pub members: Vec<usize>,
+    /// Assigned PVSM stage.
+    pub stage: usize,
+}
+
+/// The pipelining result.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// PVSM stage per instruction.
+    pub stage_of: Vec<usize>,
+    /// Cluster index per instruction (stateful atoms only).
+    pub cluster_of: Vec<Option<usize>>,
+    /// Stateful atoms, one per accessed register array.
+    pub clusters: Vec<Cluster>,
+    /// Total PVSM stages.
+    pub num_stages: usize,
+}
+
+/// Errors detected during pipelining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A computation chains reads of one register into writes of another
+    /// and back, requiring a multi-register ("pairs") atom, and the
+    /// target machine does not provide pairs-class atoms.
+    CrossRegisterAtom {
+        /// Names of the entangled registers.
+        regs: Vec<String>,
+    },
+    /// Internal fixed-point failed to converge (defensive bound).
+    NoConvergence,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::CrossRegisterAtom { regs } => write!(
+                f,
+                "program requires an atomic operation spanning registers {}; \
+                 Banzai atoms operate on a single register array",
+                regs.join(", ")
+            ),
+            ScheduleError::NoConvergence => write!(f, "stage assignment did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Runs pipelining on a three-address program. `allow_pairs` controls
+/// whether multi-register (Banzai "pairs") atoms are accepted.
+pub fn pipeline(tac: &TacProgram, max_chain_depth: usize) -> Result<Schedule, ScheduleError> {
+    pipeline_with(tac, max_chain_depth, true)
+}
+
+/// [`pipeline`] with explicit pairs-atom support control.
+pub fn pipeline_with(
+    tac: &TacProgram,
+    max_chain_depth: usize,
+    allow_pairs: bool,
+) -> Result<Schedule, ScheduleError> {
+    let maxd = max_chain_depth.max(1);
+    let n = tac.instrs.len();
+    let slicer = Slicer::new(tac);
+
+    // ---- def-use producers and field read/write positions ----
+    let uses: Vec<Vec<FieldId>> = tac.instrs.iter().map(instr_uses).collect();
+    let producers: Vec<Vec<usize>> = (0..n)
+        .map(|j| {
+            uses[j]
+                .iter()
+                .filter_map(|&f| slicer.last_def(f, j))
+                .collect()
+        })
+        .collect();
+
+    // WAR/WAW: a definition of field f at j must not be scheduled before
+    // any earlier instruction that read or wrote f.
+    let mut readers_of: HashMap<FieldId, Vec<usize>> = HashMap::new();
+    let mut writer_of: HashMap<FieldId, usize> = HashMap::new();
+    let mut order_constraints: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        if let Some(dst) = instr_def(&tac.instrs[j]) {
+            if let Some(rs) = readers_of.get(&dst) {
+                order_constraints[j].extend(rs.iter().copied());
+            }
+            if let Some(&w) = writer_of.get(&dst) {
+                order_constraints[j].push(w);
+            }
+            writer_of.insert(dst, j);
+        }
+        for &f in &uses[j] {
+            readers_of.entry(f).or_default().push(j);
+        }
+    }
+
+    // ---- clusters ----
+    let (clusters, cluster_of) =
+        build_clusters(tac, &producers, &order_constraints, allow_pairs)?;
+
+    // ---- fixed-point (stage, depth) assignment ----
+    let mut stage = vec![0usize; n];
+    let mut depth = vec![0usize; n];
+    let mut cl_stage = vec![0usize; clusters.len()];
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > 10_000 {
+            return Err(ScheduleError::NoConvergence);
+        }
+        let mut changed = false;
+        for j in 0..n {
+            // Availability-based lower bound from data producers. Every
+            // instruction occupies at least depth 1 of its stage's
+            // combinational budget.
+            let mut lb_s = 0usize;
+            let mut lb_d = 1usize;
+            for &p in &producers[j] {
+                if cluster_of[p].is_some() && cluster_of[p] == cluster_of[j] {
+                    continue; // intra-atom chain: combinational
+                }
+                let (ps, pd) = match cluster_of[p] {
+                    Some(c) => (cl_stage[c], maxd),
+                    None => (stage[p], depth[p]),
+                };
+                let (cs, cd) = if pd + 1 <= maxd {
+                    (ps, pd + 1)
+                } else {
+                    (ps + 1, 1)
+                };
+                if cs > lb_s {
+                    lb_s = cs;
+                    lb_d = cd;
+                } else if cs == lb_s {
+                    lb_d = lb_d.max(cd);
+                }
+            }
+            // Order-only (WAR/WAW) lower bounds: same stage permitted.
+            for &p in &order_constraints[j] {
+                let ps = match cluster_of[p] {
+                    Some(c) => cl_stage[c],
+                    None => stage[p],
+                };
+                if ps > lb_s {
+                    lb_s = ps;
+                    lb_d = 1;
+                }
+            }
+            match cluster_of[j] {
+                Some(c) => {
+                    if lb_s > cl_stage[c] {
+                        cl_stage[c] = lb_s;
+                        changed = true;
+                    }
+                }
+                None => {
+                    if lb_s > stage[j] || (lb_s == stage[j] && lb_d > depth[j]) {
+                        stage[j] = lb_s.max(stage[j]);
+                        depth[j] = if lb_s >= stage[j] { lb_d } else { depth[j] };
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            continue;
+        }
+        // One register array per stage: bump colliding clusters.
+        let mut by_stage: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (ci, _) in clusters.iter().enumerate() {
+            by_stage.entry(cl_stage[ci]).or_default().push(ci);
+        }
+        let mut bumped = false;
+        for (_, mut cs) in by_stage {
+            if cs.len() > 1 {
+                // Keep the cluster whose first member appears earliest;
+                // bump the rest (deterministically).
+                cs.sort_by_key(|&c| clusters[c].members[0]);
+                for &c in &cs[1..] {
+                    cl_stage[c] += 1;
+                    bumped = true;
+                }
+            }
+        }
+        if !bumped {
+            break;
+        }
+    }
+
+    // Materialise per-instruction stages.
+    for j in 0..n {
+        if let Some(c) = cluster_of[j] {
+            stage[j] = cl_stage[c];
+        }
+    }
+    let num_stages = stage.iter().copied().max().map_or(0, |m| m + 1);
+    let clusters = clusters
+        .into_iter()
+        .enumerate()
+        .map(|(ci, c)| Cluster {
+            stage: cl_stage[ci],
+            ..c
+        })
+        .collect();
+    Ok(Schedule {
+        stage_of: stage,
+        cluster_of,
+        clusters,
+        num_stages,
+    })
+}
+
+/// Fields read by an instruction.
+fn instr_uses(ins: &TacInstr) -> Vec<FieldId> {
+    let mut out = Vec::new();
+    let mut push = |o: &Operand| {
+        if let Operand::Field(f) = o {
+            out.push(*f);
+        }
+    };
+    match ins {
+        TacInstr::Assign { expr, .. } => {
+            for o in expr.operands() {
+                push(&o);
+            }
+        }
+        TacInstr::RegRead { idx, pred, .. } => {
+            push(idx);
+            if let Some(p) = pred {
+                push(p);
+            }
+        }
+        TacInstr::RegWrite { idx, val, pred, .. } => {
+            push(idx);
+            push(val);
+            if let Some(p) = pred {
+                push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Field defined by an instruction, if any.
+fn instr_def(ins: &TacInstr) -> Option<FieldId> {
+    match ins {
+        TacInstr::Assign { dst, .. } | TacInstr::RegRead { dst, .. } => Some(*dst),
+        TacInstr::RegWrite { .. } => None,
+    }
+}
+
+/// Builds stateful atoms.
+///
+/// A register's atom contains its reads/writes plus every instruction on
+/// a dataflow path from one of its reads to one of its writes (Banzai
+/// atomicity). When such a path passes through *another* register's
+/// operations — or two registers' paths share an instruction — the
+/// registers are entangled and must update atomically in one stage: a
+/// Banzai "pairs"-class atom. Entanglement is computed to a fixed point,
+/// since merging two registers can lengthen the read→write paths and
+/// pull in further instructions or registers.
+fn build_clusters(
+    tac: &TacProgram,
+    producers: &[Vec<usize>],
+    order_preds: &[Vec<usize>],
+    allow_pairs: bool,
+) -> Result<(Vec<Cluster>, Vec<Option<usize>>), ScheduleError> {
+    let n = tac.instrs.len();
+    // consumers[p] = instructions with a data edge from p.
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, ps) in producers.iter().enumerate() {
+        for &p in ps {
+            consumers[p].push(j);
+        }
+    }
+    // Scheduling successors: dataflow consumers plus WAR/WAW order
+    // successors (used for entanglement detection below).
+    let mut successors: Vec<Vec<usize>> = consumers.clone();
+    for (j, ps) in order_preds.iter().enumerate() {
+        for &p in ps {
+            successors[p].push(j);
+        }
+    }
+
+    // Per-register op positions.
+    let nregs = tac.regs.len();
+    let mut reads: Vec<Vec<usize>> = vec![Vec::new(); nregs];
+    let mut writes: Vec<Vec<usize>> = vec![Vec::new(); nregs];
+    for (j, ins) in tac.instrs.iter().enumerate() {
+        match ins {
+            TacInstr::RegRead { reg, .. } => reads[reg.index()].push(j),
+            TacInstr::RegWrite { reg, .. } => writes[reg.index()].push(j),
+            TacInstr::Assign { .. } => {}
+        }
+    }
+
+    // The full member set of a group of registers: their ops plus every
+    // instruction on a read->write path through the group.
+    let members_of = |group: &[usize]| -> Vec<usize> {
+        let mut fwd = vec![false; n];
+        let mut stack: Vec<usize> = group.iter().flat_map(|&r| reads[r].iter().copied()).collect();
+        while let Some(p) = stack.pop() {
+            for &c in &consumers[p] {
+                if !fwd[c] {
+                    fwd[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        let mut bwd = vec![false; n];
+        let mut stack: Vec<usize> = group.iter().flat_map(|&r| writes[r].iter().copied()).collect();
+        while let Some(j) = stack.pop() {
+            for &p in &producers[j] {
+                if !bwd[p] {
+                    bwd[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let mut m: Vec<usize> = group
+            .iter()
+            .flat_map(|&r| reads[r].iter().chain(writes[r].iter()).copied())
+            .collect();
+        for j in 0..n {
+            if fwd[j] && bwd[j] {
+                m.push(j);
+            }
+        }
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+
+    // Forward closure over scheduling successors from a seed set.
+    let reach_of = |seed: &[usize]| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = seed.to_vec();
+        while let Some(p) = stack.pop() {
+            for &c in &successors[p] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    };
+
+    // Start with one group per accessed register. Merge to a fixed point
+    // on two conditions:
+    // (1) member-set overlap (an instruction belongs to two atoms), and
+    // (2) mutual reachability: each atom is a single stage, so if A's
+    //     results (transitively) feed B and B's feed A, no stage order
+    //     satisfies both — the registers must share one pairs atom.
+    let mut groups: Vec<Vec<usize>> = (0..nregs)
+        .filter(|&r| !reads[r].is_empty() || !writes[r].is_empty())
+        .map(|r| vec![r])
+        .collect();
+    let mut members: Vec<Vec<usize>> = groups.iter().map(|g| members_of(g)).collect();
+    'merge: loop {
+        let reaches: Vec<Vec<bool>> = members.iter().map(|m| reach_of(m)).collect();
+        for a in 0..groups.len() {
+            for b in a + 1..groups.len() {
+                let overlap = members[a].iter().any(|m| members[b].binary_search(m).is_ok());
+                let mutual = members[b].iter().any(|&m| reaches[a][m])
+                    && members[a].iter().any(|&m| reaches[b][m]);
+                if overlap || mutual {
+                    if !allow_pairs {
+                        let mut regs: Vec<String> = groups[a]
+                            .iter()
+                            .chain(groups[b].iter())
+                            .map(|&r| tac.regs[r].name.clone())
+                            .collect();
+                        regs.sort();
+                        return Err(ScheduleError::CrossRegisterAtom { regs });
+                    }
+                    let gb = groups.remove(b);
+                    members.remove(b);
+                    groups[a].extend(gb);
+                    groups[a].sort_unstable();
+                    members[a] = members_of(&groups[a]);
+                    continue 'merge;
+                }
+            }
+        }
+        break;
+    }
+
+    let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for (g, m) in groups.into_iter().zip(members) {
+        let ci = clusters.len();
+        for &j in &m {
+            debug_assert!(cluster_of[j].is_none(), "groups are disjoint");
+            cluster_of[j] = Some(ci);
+        }
+        clusters.push(Cluster {
+            regs: g.into_iter().map(RegId::from).collect(),
+            members: m,
+            stage: 0,
+        });
+    }
+    Ok((clusters, cluster_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_lang::frontend;
+
+    fn sched(src: &str) -> Schedule {
+        pipeline(&frontend(src).unwrap(), 4).unwrap()
+    }
+
+    #[test]
+    fn stateless_program_single_short_pipeline() {
+        let s = sched(
+            "struct Packet { int a; int b; };
+             void func(struct Packet p) { p.b = p.a + 1; }",
+        );
+        assert_eq!(s.num_stages, 1);
+        assert!(s.clusters.is_empty());
+    }
+
+    #[test]
+    fn rmw_forms_single_cluster() {
+        let s = sched(
+            "struct Packet { int h; };
+             int r[4];
+             void func(struct Packet p) { r[p.h % 4] = r[p.h % 4] + 1; }",
+        );
+        assert_eq!(s.clusters.len(), 1);
+        // Read, the +1, and the write all share one stage.
+        let c = &s.clusters[0];
+        assert!(c.members.len() >= 3);
+        for &m in &c.members {
+            assert_eq!(s.stage_of[m], c.stage);
+        }
+    }
+
+    #[test]
+    fn two_registers_two_distinct_stages() {
+        let s = sched(
+            "struct Packet { int h; };
+             int a[4];
+             int b[4];
+             void func(struct Packet p) {
+                 a[p.h % 4] = a[p.h % 4] + 1;
+                 b[p.h % 4] = b[p.h % 4] + 1;
+             }",
+        );
+        assert_eq!(s.clusters.len(), 2);
+        assert_ne!(
+            s.clusters[0].stage, s.clusters[1].stage,
+            "each stateful stage holds exactly one register array"
+        );
+    }
+
+    #[test]
+    fn dependent_registers_are_ordered() {
+        // b's index depends on a's read value: b's stage must be later.
+        let s = sched(
+            "struct Packet { int h; };
+             int a[4];
+             int b[4];
+             void func(struct Packet p) {
+                 int v = a[p.h % 4];
+                 b[v % 4] = 1;
+             }",
+        );
+        let a = s.clusters.iter().find(|c| c.regs == [RegId(0)]).unwrap();
+        let b = s.clusters.iter().find(|c| c.regs == [RegId(1)]).unwrap();
+        assert!(b.stage > a.stage);
+    }
+
+    #[test]
+    fn cross_register_atom_needs_pairs_support() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int a[4];
+             int b[4];
+             void func(struct Packet p) {
+                 int t = a[0] + b[0];
+                 a[0] = t;
+                 b[0] = t;
+             }",
+        )
+        .unwrap();
+        // Without pairs atoms: rejected.
+        assert!(matches!(
+            pipeline_with(&tac, 4, false),
+            Err(ScheduleError::CrossRegisterAtom { .. })
+        ));
+        // With pairs atoms: one merged two-register cluster.
+        let s = pipeline_with(&tac, 4, true).unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.clusters[0].regs, vec![RegId(0), RegId(1)]);
+    }
+
+    #[test]
+    fn three_way_entanglement_merges_into_one_pairs_atom() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int a[2];
+             int b[2];
+             int c[2];
+             void func(struct Packet p) {
+                 int t = a[0] + b[0] + c[0];
+                 a[0] = t;
+                 b[0] = t;
+                 c[0] = t;
+             }",
+        )
+        .unwrap();
+        let s = pipeline_with(&tac, 4, true).unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.clusters[0].regs.len(), 3);
+    }
+
+    #[test]
+    fn chain_depth_limits_packing() {
+        // A 5-op dependency chain with depth 1 needs 5 stages; with
+        // depth 8 it fits in one.
+        let src = "struct Packet { int a; int o; };
+             void func(struct Packet p) {
+                 int t1 = p.a + 1;
+                 int t2 = t1 + 1;
+                 int t3 = t2 + 1;
+                 int t4 = t3 + 1;
+                 p.o = t4;
+             }";
+        let tight = pipeline(&frontend(src).unwrap(), 1).unwrap();
+        let loose = pipeline(&frontend(src).unwrap(), 16).unwrap();
+        assert!(tight.num_stages > loose.num_stages);
+        assert_eq!(loose.num_stages, 1);
+        // Each local produces an expression temp plus a copy, so the
+        // unit-depth pipeline is at least the 5-op source chain deep.
+        assert!(tight.num_stages >= 5, "got {}", tight.num_stages);
+    }
+
+    #[test]
+    fn war_prevents_early_overwrite() {
+        // p.a is read by the first statement and overwritten by the
+        // second; the overwrite must not be scheduled before the read.
+        let s = sched(
+            "struct Packet { int a; int o; };
+             void func(struct Packet p) {
+                 p.o = p.a * 10;
+                 p.a = 0;
+             }",
+        );
+        let read_stage = s.stage_of[0];
+        let write_stage = s.stage_of[1];
+        assert!(write_stage >= read_stage);
+    }
+
+    #[test]
+    fn fig3_schedules_like_paper() {
+        // Figure 3's program pipelines into: stage with reg1/reg2 reads
+        // feeding p.val, then reg3's RMW — reg3 strictly after reg1/reg2.
+        let s = sched(mp5_lang_fig3());
+        let r1 = s.clusters.iter().find(|c| c.regs == [RegId(0)]).unwrap().stage;
+        let r2 = s.clusters.iter().find(|c| c.regs == [RegId(1)]).unwrap().stage;
+        let r3 = s.clusters.iter().find(|c| c.regs == [RegId(2)]).unwrap().stage;
+        assert!(r3 > r1 && r3 > r2);
+        assert_ne!(r1, r2, "serialized: one array per stage");
+    }
+
+    fn mp5_lang_fig3() -> &'static str {
+        r#"
+        struct Packet { int h1; int h2; int h3; int val; int mux; };
+        int reg1[4] = {2, 4, 8, 16};
+        int reg2[4] = {1, 3, 5, 7};
+        int reg3[4] = {0};
+        void func(struct Packet p) {
+            p.val = (p.mux == 1) ? reg1[p.h1 % 4] : reg2[p.h2 % 4];
+            reg3[p.h3 % 4] = (p.mux == 1)
+                ? reg3[p.h3 % 4] * p.val
+                : reg3[p.h3 % 4] + p.val;
+        }
+        "#
+    }
+}

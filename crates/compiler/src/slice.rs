@@ -1,0 +1,207 @@
+//! Backward program slicing and statefulness taint analysis.
+//!
+//! The PVSM-to-PVSM transformer must decide, for every register access,
+//! whether the index and predicate "can be resolved at the packet
+//! arrival itself" (§3.3) — i.e. whether their computation is a pure
+//! function of packet header fields. We answer that with a backward
+//! slice: starting from the operand at its use site, walk to defining
+//! instructions; if the walk ever reaches a [`TacInstr::RegRead`], the
+//! value is *stateful-tainted* and cannot be resolved preemptively.
+
+use std::collections::BTreeSet;
+
+use mp5_lang::tac::{TacInstr, TacProgram};
+use mp5_lang::Operand;
+use mp5_types::FieldId;
+
+/// Backward slicer over a three-address program.
+pub struct Slicer<'a> {
+    tac: &'a TacProgram,
+    /// For each field, the sorted positions of instructions that define
+    /// it.
+    defs: Vec<Vec<usize>>,
+}
+
+impl<'a> Slicer<'a> {
+    /// Builds the def index for a program.
+    pub fn new(tac: &'a TacProgram) -> Self {
+        let mut defs = vec![Vec::new(); tac.field_names.len()];
+        for (i, ins) in tac.instrs.iter().enumerate() {
+            match ins {
+                TacInstr::Assign { dst, .. } | TacInstr::RegRead { dst, .. } => {
+                    defs[dst.index()].push(i);
+                }
+                TacInstr::RegWrite { .. } => {}
+            }
+        }
+        Slicer { tac, defs }
+    }
+
+    /// The last instruction before `pos` that defines `field`, if any.
+    /// `None` means the field still holds its packet-input value.
+    pub fn last_def(&self, field: FieldId, pos: usize) -> Option<usize> {
+        let ds = &self.defs[field.index()];
+        match ds.binary_search(&pos) {
+            Ok(0) | Err(0) => None,
+            Ok(i) | Err(i) => Some(ds[i - 1]),
+        }
+    }
+
+    /// Computes the backward *stateless* slice of `op` as used at
+    /// program point `pos`: the set of instruction positions whose
+    /// execution (in order) reproduces the operand's value from packet
+    /// input fields alone.
+    ///
+    /// Returns `false` (leaving `out` in a partial state the caller must
+    /// discard) if the value is stateful-tainted.
+    pub fn slice_operand(&self, op: Operand, pos: usize, out: &mut BTreeSet<usize>) -> bool {
+        let f = match op {
+            Operand::Const(_) => return true,
+            Operand::Field(f) => f,
+        };
+        let Some(def) = self.last_def(f, pos) else {
+            return true; // packet input field: pure by definition
+        };
+        if out.contains(&def) {
+            return true;
+        }
+        match &self.tac.instrs[def] {
+            TacInstr::RegRead { .. } => false,
+            TacInstr::Assign { expr, .. } => {
+                out.insert(def);
+                expr.operands()
+                    .into_iter()
+                    .all(|o| self.slice_operand(o, def, out))
+            }
+            TacInstr::RegWrite { .. } => unreachable!("writes do not define fields"),
+        }
+    }
+
+    /// Convenience: slice an operand, returning the slice positions or
+    /// `None` if tainted.
+    pub fn try_slice(&self, op: Operand, pos: usize) -> Option<BTreeSet<usize>> {
+        let mut out = BTreeSet::new();
+        if self.slice_operand(op, pos, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_lang::frontend;
+
+    fn find_write_pos(tac: &TacProgram, reg_name: &str) -> (usize, Operand) {
+        let rid = tac.reg(reg_name).unwrap();
+        for (i, ins) in tac.instrs.iter().enumerate() {
+            if let TacInstr::RegWrite { reg, idx, .. } = ins {
+                if *reg == rid {
+                    return (i, *idx);
+                }
+            }
+        }
+        panic!("no write to {reg_name}");
+    }
+
+    #[test]
+    fn pure_index_is_sliceable() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int r[8];
+             void func(struct Packet p) { r[p.h % 8] = 1; }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let (pos, idx) = find_write_pos(&tac, "r");
+        let slice = s.try_slice(idx, pos).expect("pure index must slice");
+        assert_eq!(slice.len(), 1, "one instruction computes p.h % 8");
+    }
+
+    #[test]
+    fn stateful_index_is_tainted() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int ptr = 0;
+             int r[8];
+             void func(struct Packet p) { r[ptr % 8] = 1; }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let (pos, idx) = find_write_pos(&tac, "r");
+        assert!(s.try_slice(idx, pos).is_none(), "index via register read must taint");
+    }
+
+    #[test]
+    fn transitively_stateful_is_tainted() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int seed = 0;
+             int r[8];
+             void func(struct Packet p) {
+                 int a = seed + 1;
+                 int b = a * 2;
+                 r[b % 8] = 1;
+             }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let (pos, idx) = find_write_pos(&tac, "r");
+        assert!(s.try_slice(idx, pos).is_none());
+    }
+
+    #[test]
+    fn slice_respects_field_versions() {
+        // The index uses p.h *after* it was overwritten; the slice must
+        // include the overwrite.
+        let tac = frontend(
+            "struct Packet { int h; };
+             int r[8];
+             void func(struct Packet p) {
+                 p.h = p.h + 3;
+                 r[p.h % 8] = 1;
+             }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let (pos, idx) = find_write_pos(&tac, "r");
+        // Slice: the `p.h + 3` temp, the store into p.h, and the `%`.
+        let slice = s.try_slice(idx, pos).unwrap();
+        assert_eq!(slice.len(), 3, "must include the p.h overwrite chain and the %");
+    }
+
+    #[test]
+    fn const_and_raw_field_slices_empty() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int r[8];
+             void func(struct Packet p) { r[p.h] = 1; }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let (pos, idx) = find_write_pos(&tac, "r");
+        let slice = s.try_slice(idx, pos).unwrap();
+        assert!(slice.is_empty(), "raw header field needs no computation");
+        assert!(s.try_slice(Operand::Const(5), pos).unwrap().is_empty());
+    }
+
+    #[test]
+    fn last_def_finds_nearest_preceding() {
+        let tac = frontend(
+            "struct Packet { int h; int o; };
+             void func(struct Packet p) {
+                 p.o = 1;
+                 p.o = 2;
+                 p.h = p.o;
+             }",
+        )
+        .unwrap();
+        let s = Slicer::new(&tac);
+        let o = tac.field("o").unwrap();
+        assert_eq!(s.last_def(o, 0), None);
+        assert_eq!(s.last_def(o, 1), Some(0));
+        assert_eq!(s.last_def(o, 2), Some(1));
+    }
+}

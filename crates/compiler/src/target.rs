@@ -1,0 +1,61 @@
+//! Physical machine description (the Banzai-style code-generation
+//! limits).
+
+/// Resource limits of the physical pipeline that code generation must
+/// respect.
+///
+/// Defaults follow the paper's evaluation configuration (§4.3.1): a
+/// 16-stage switch, which fits "most practical stateful packet processing
+/// algorithms" (4–10 stages per the Banzai paper) plus MP5's address
+/// resolution prologue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// Maximum physical pipeline stages (including the address
+    /// resolution prologue added by the transformer).
+    pub max_stages: usize,
+    /// Maximum operations (atoms) per stage.
+    pub max_ops_per_stage: usize,
+    /// Maximum combinational ALU chain depth within one stage — how many
+    /// dependent operations a single Banzai atom circuit may contain.
+    pub max_chain_depth: usize,
+    /// Whether the machine provides Banzai "pairs"-class atoms that
+    /// update two (or more) entangled register arrays in one stage.
+    /// Pairs atoms are pinned to one pipeline and serialized at stage
+    /// granularity.
+    pub allow_pairs: bool,
+}
+
+impl Default for Target {
+    fn default() -> Self {
+        Target {
+            max_stages: 16,
+            max_ops_per_stage: 64,
+            max_chain_depth: 4,
+            allow_pairs: true,
+        }
+    }
+}
+
+impl Target {
+    /// A tiny target for exercising resource-exhaustion paths in tests.
+    pub fn tiny(max_stages: usize) -> Self {
+        Target {
+            max_stages,
+            max_ops_per_stage: 8,
+            max_chain_depth: 1,
+            allow_pairs: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_config() {
+        let t = Target::default();
+        assert_eq!(t.max_stages, 16);
+        assert!(t.max_chain_depth >= 1);
+    }
+}

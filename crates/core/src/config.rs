@@ -1,0 +1,162 @@
+//! Switch configuration.
+
+/// How register state is distributed across pipelines (design principle
+/// D2 and its ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardingMode {
+    /// Paper behaviour: indexes start round-robin across pipelines and
+    /// the Figure 6 heuristic re-balances them every
+    /// [`SwitchConfig::remap_period`] cycles.
+    Dynamic,
+    /// D2 ablation: indexes are sharded randomly at "compile time"
+    /// (seeded) and never moved.
+    Static,
+    /// All state pinned to pipeline 0 (the naive design of §3.1 /
+    /// challenge #1, and the destination for unshardable arrays).
+    Pinned,
+    /// Ideal upper bound (§4.3.3): re-sharding by longest-processing-
+    /// time assignment over the measured counters every period.
+    IdealPeriodic,
+}
+
+/// How arriving packets are assigned to pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprayMode {
+    /// Uniformly spray arrivals round-robin over all pipelines (D1).
+    RoundRobin,
+    /// Send every packet to one pipeline (the naive design: throughput
+    /// capped at `1/k` of line rate).
+    SinglePipeline(usize),
+}
+
+/// Full configuration of an [`crate::Mp5Switch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchConfig {
+    /// Number of parallel pipelines `k` (paper default 4).
+    pub pipelines: usize,
+    /// Per-lane FIFO capacity; `None` = unbounded (the paper's
+    /// "dynamically adapt FIFO sizes" mode used for sensitivity
+    /// experiments). Paper hardware default: 8.
+    pub fifo_capacity: Option<usize>,
+    /// Cycles between runs of the sharding heuristic (paper: 100).
+    pub remap_period: u64,
+    /// State distribution policy.
+    pub sharding: ShardingMode,
+    /// Enable phantom packets (design principle D4). Disabling yields
+    /// the no-D4 ablation, which violates C1.
+    pub phantoms: bool,
+    /// Ideal-MP5 option: one queue per register index (no head-of-line
+    /// blocking, §3.5.2 limitation 2 removed).
+    pub per_index_fifos: bool,
+    /// Packet-to-pipeline assignment at ingress.
+    pub spray: SprayMode,
+    /// If set, a queued stateful packet older than this many cycles
+    /// causes incoming stateless (tag-free) packets to be dropped in its
+    /// favor (§3.4 "Handling starvation").
+    pub starvation_threshold: Option<u64>,
+    /// If set, mark a data packet's ECN bit when it joins a stateful
+    /// stage FIFO whose occupancy exceeds this threshold (§3.4's
+    /// backpressure suggestion). Marking never changes processing.
+    pub ecn_threshold: Option<usize>,
+    /// Seed for the Static sharding shuffle.
+    pub seed: u64,
+    /// Hard cap on simulated cycles (defense against livelock bugs);
+    /// `None` = derived from the trace length.
+    pub max_cycles: Option<u64>,
+    /// Physical pipeline count governing the clock period (`64·k_phys`
+    /// byte-times per cycle). Defaults to `pipelines`. Set by
+    /// [`crate::partition`] when this switch is a *logical* MP5 using
+    /// only a subset of the chip's pipelines (paper §3.1, footnote 1):
+    /// the pipelines still run at the physical chip's rate `N·B/k_phys`.
+    pub physical_pipelines: Option<usize>,
+}
+
+impl SwitchConfig {
+    /// The paper's default MP5 configuration with `k` pipelines and
+    /// adaptive (unbounded) FIFOs.
+    pub fn mp5(pipelines: usize) -> Self {
+        SwitchConfig {
+            pipelines,
+            fifo_capacity: None,
+            remap_period: 100,
+            sharding: ShardingMode::Dynamic,
+            phantoms: true,
+            per_index_fifos: false,
+            spray: SprayMode::RoundRobin,
+            starvation_threshold: None,
+            ecn_threshold: None,
+            seed: 0,
+            max_cycles: None,
+            physical_pipelines: None,
+        }
+    }
+
+    /// The ideal-MP5 upper bound (§4.3.3's baseline): no head-of-line
+    /// blocking, LPT re-sharding.
+    pub fn ideal(pipelines: usize) -> Self {
+        SwitchConfig {
+            sharding: ShardingMode::IdealPeriodic,
+            per_index_fifos: true,
+            ..Self::mp5(pipelines)
+        }
+    }
+
+    /// The no-D4 ablation (§4.3.2): steering and sharding but no
+    /// order enforcement.
+    pub fn no_d4(pipelines: usize) -> Self {
+        SwitchConfig {
+            phantoms: false,
+            ..Self::mp5(pipelines)
+        }
+    }
+
+    /// The static-sharding ablation (§4.3.2).
+    pub fn static_shard(pipelines: usize, seed: u64) -> Self {
+        SwitchConfig {
+            sharding: ShardingMode::Static,
+            seed,
+            ..Self::mp5(pipelines)
+        }
+    }
+
+    /// The naive design: all state and all packets on pipeline 0.
+    pub fn naive(pipelines: usize) -> Self {
+        SwitchConfig {
+            sharding: ShardingMode::Pinned,
+            spray: SprayMode::SinglePipeline(0),
+            ..Self::mp5(pipelines)
+        }
+    }
+
+    /// Hardware-faithful FIFO bound (8 per lane, §4.2).
+    pub fn with_hardware_fifos(mut self) -> Self {
+        self.fifo_capacity = Some(8);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_right_knobs() {
+        let mp5 = SwitchConfig::mp5(4);
+        assert!(mp5.phantoms);
+        assert_eq!(mp5.sharding, ShardingMode::Dynamic);
+        assert_eq!(mp5.remap_period, 100);
+
+        let ideal = SwitchConfig::ideal(4);
+        assert!(ideal.per_index_fifos);
+        assert_eq!(ideal.sharding, ShardingMode::IdealPeriodic);
+
+        assert!(!SwitchConfig::no_d4(4).phantoms);
+        assert_eq!(SwitchConfig::static_shard(4, 7).sharding, ShardingMode::Static);
+
+        let naive = SwitchConfig::naive(4);
+        assert_eq!(naive.spray, SprayMode::SinglePipeline(0));
+        assert_eq!(naive.sharding, ShardingMode::Pinned);
+
+        assert_eq!(mp5.with_hardware_fifos().fifo_capacity, Some(8));
+    }
+}

@@ -1,0 +1,251 @@
+//! Multiple independent logical MP5 switches on one chip (paper §3.1,
+//! footnote 1).
+//!
+//! "More generally, MP5 programs a subset *m* of *k* pipelines with the
+//! same program ... This allows the programmers to program the
+//! remaining pipelines with some other packet processing programs, thus
+//! creating multiple independent logical MP5, each with varying number
+//! of parallel pipelines."
+//!
+//! A [`PartitionedSwitch`] carves the chip's `k` physical pipelines into
+//! disjoint logical switches, each running its own compiled program over
+//! its own slice of input ports. The pipelines of every partition still
+//! clock at the *physical* chip's rate (`N·B/k`), so a logical MP5 with
+//! `m` pipelines offers `m/k` of the chip's aggregate capacity — exactly
+//! the trade the footnote describes.
+
+use mp5_compiler::CompiledProgram;
+use mp5_types::{Packet, PortId};
+
+use crate::config::SwitchConfig;
+use crate::report::RunReport;
+use crate::switch::Mp5Switch;
+
+/// One logical MP5: a program, the pipelines it owns, and the ports it
+/// serves.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Human-readable label (reports).
+    pub name: String,
+    /// Compiled program for this logical switch.
+    pub program: CompiledProgram,
+    /// Number of physical pipelines assigned.
+    pub pipelines: usize,
+    /// Ports (inclusive range) routed to this logical switch.
+    pub ports: std::ops::Range<u16>,
+}
+
+/// A chip partitioned into independent logical MP5 switches.
+#[derive(Debug)]
+pub struct PartitionedSwitch {
+    physical_pipelines: usize,
+    partitions: Vec<Partition>,
+}
+
+/// The per-partition outcome of a partitioned run.
+#[derive(Debug)]
+pub struct PartitionReport {
+    /// Partition label.
+    pub name: String,
+    /// The logical switch's full run report.
+    pub report: RunReport,
+}
+
+impl PartitionedSwitch {
+    /// Creates a partitioned chip. Pipeline assignments must not exceed
+    /// the physical count, and port ranges must be disjoint.
+    pub fn new(physical_pipelines: usize, partitions: Vec<Partition>) -> Self {
+        let used: usize = partitions.iter().map(|p| p.pipelines).sum();
+        assert!(
+            used <= physical_pipelines,
+            "partitions use {used} pipelines, chip has {physical_pipelines}"
+        );
+        for (i, a) in partitions.iter().enumerate() {
+            assert!(a.pipelines >= 1, "partition {} has no pipelines", a.name);
+            for b in &partitions[i + 1..] {
+                assert!(
+                    a.ports.end <= b.ports.start || b.ports.end <= a.ports.start,
+                    "port ranges of '{}' and '{}' overlap",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+        PartitionedSwitch {
+            physical_pipelines,
+            partitions,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True if no partitions were configured.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Routes each packet to the logical switch owning its port and runs
+    /// every partition to completion (concurrently — the partitions are
+    /// physically independent). Packets on ports owned by no partition
+    /// are dropped at ingress (counted nowhere, like a disabled port).
+    pub fn run(self, packets: Vec<Packet>) -> Vec<PartitionReport> {
+        let mut per: Vec<Vec<Packet>> = vec![Vec::new(); self.partitions.len()];
+        for pkt in packets {
+            if let Some(i) = self
+                .partitions
+                .iter()
+                .position(|p| p.ports.contains(&pkt.port.0))
+            {
+                per[i].push(remap_port(pkt, self.partitions[i].ports.start));
+            }
+        }
+        let phys = self.physical_pipelines;
+        let mut handles = Vec::new();
+        for (part, trace) in self.partitions.into_iter().zip(per) {
+            handles.push(std::thread::spawn(move || {
+                let cfg = SwitchConfig {
+                    physical_pipelines: Some(phys),
+                    ..SwitchConfig::mp5(part.pipelines)
+                };
+                let report = Mp5Switch::new(part.program, cfg).run(trace);
+                PartitionReport {
+                    name: part.name,
+                    report,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition thread panicked"))
+            .collect()
+    }
+}
+
+/// Rebases a packet's port into the partition's local port space (so
+/// entry-order tie-breaking stays well-defined inside the partition).
+fn remap_port(mut pkt: Packet, base: u16) -> Packet {
+    pkt.port = PortId(pkt.port.0 - base);
+    pkt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_banzai::BanzaiSwitch;
+    use mp5_compiler::{compile, Target};
+    use mp5_traffic::TraceBuilder;
+
+    fn counter_table(size: u32) -> CompiledProgram {
+        compile(
+            &format!(
+                "struct Packet {{ int h; int out; }};
+                 int t[{size}] = {{0}};
+                 void func(struct Packet p) {{
+                     t[p.h % {size}] = t[p.h % {size}] + 1;
+                     p.out = t[p.h % {size}];
+                 }}"
+            ),
+            &Target::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitions_are_independent_and_equivalent() {
+        let prog_a = counter_table(64);
+        let prog_b = counter_table(16);
+        let nf = prog_a.num_fields();
+        // 64 ports: first 32 -> partition A (2 pipelines), last 32 -> B.
+        let trace = TraceBuilder::new(6000, 5).build(nf, |rng, _, f| {
+            f[0] = rand::Rng::gen_range(rng, 0..500);
+        });
+        let (ta, tb): (Vec<_>, Vec<_>) = trace.iter().cloned().partition(|p| p.port.0 < 32);
+
+        let sw = PartitionedSwitch::new(
+            4,
+            vec![
+                Partition {
+                    name: "A".into(),
+                    program: prog_a.clone(),
+                    pipelines: 2,
+                    ports: 0..32,
+                },
+                Partition {
+                    name: "B".into(),
+                    program: prog_b.clone(),
+                    pipelines: 2,
+                    ports: 32..64,
+                },
+            ],
+        );
+        let reports = sw.run(trace);
+        assert_eq!(reports.len(), 2);
+
+        // Each logical switch matches its own single-pipeline reference
+        // over its own packets.
+        let ref_a = BanzaiSwitch::new(prog_a).run(
+            ta.into_iter().map(|p| super::remap_port(p, 0)).collect(),
+        );
+        let ref_b = BanzaiSwitch::new(prog_b).run(
+            tb.into_iter().map(|p| super::remap_port(p, 32)).collect(),
+        );
+        assert!(reports[0].report.result.equivalent_to(&ref_a), "partition A");
+        assert!(reports[1].report.result.equivalent_to(&ref_b), "partition B");
+    }
+
+    #[test]
+    fn logical_switch_clocks_at_physical_rate() {
+        // A 2-pipeline partition of a 4-pipeline chip uses the chip's
+        // 64·4 byte-time cycle, not 64·2.
+        let prog = counter_table(64);
+        let cfg = SwitchConfig {
+            physical_pipelines: Some(4),
+            ..SwitchConfig::mp5(2)
+        };
+        let nf = prog.num_fields();
+        let rep = Mp5Switch::new(prog, cfg)
+            .run(TraceBuilder::new(100, 1).build(nf, |_, _, _| {}));
+        assert_eq!(rep.cycle_len, 64 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ports_rejected() {
+        let prog = counter_table(4);
+        PartitionedSwitch::new(
+            4,
+            vec![
+                Partition {
+                    name: "A".into(),
+                    program: prog.clone(),
+                    pipelines: 2,
+                    ports: 0..40,
+                },
+                Partition {
+                    name: "B".into(),
+                    program: prog,
+                    pipelines: 2,
+                    ports: 32..64,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelines")]
+    fn oversubscribed_pipelines_rejected() {
+        let prog = counter_table(4);
+        PartitionedSwitch::new(
+            2,
+            vec![Partition {
+                name: "A".into(),
+                program: prog,
+                pipelines: 3,
+                ports: 0..64,
+            }],
+        );
+    }
+}

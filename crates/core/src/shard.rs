@@ -1,0 +1,247 @@
+//! Dynamic state sharding (design principle D2, paper Figure 6).
+//!
+//! The index-to-pipeline map assigns each register index an *active*
+//! pipeline. Every `remap_period` cycles the runtime re-balances:
+//!
+//! * [`remap_heuristic`] — the paper's hardware-friendly heuristic:
+//!   find the most- and least-loaded pipelines `H`/`L`, compute
+//!   `C = (c_max − c_min)/2`, and move the single index on `H` with the
+//!   largest counter `< C` (if its in-flight counter is zero).
+//! * [`remap_lpt`] — the ideal baseline's near-optimal assignment:
+//!   longest-processing-time greedy bin packing of all movable indexes
+//!   (optimal re-mapping reduces to bin packing, NP-hard, §3.4 — LPT is
+//!   the standard 4/3-approximation).
+
+/// One planned state movement: move `index` to pipeline `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// Register index to migrate.
+    pub index: usize,
+    /// Destination pipeline.
+    pub to: usize,
+}
+
+/// The paper's Figure 6 heuristic for one register array.
+///
+/// `map[i]` is the current pipeline of index `i`, `counters[i]` the
+/// access count since the last reset, `inflight[i]` the in-flight packet
+/// count. Returns at most one move.
+pub fn remap_heuristic(
+    map: &[u16],
+    counters: &[u64],
+    inflight: &[u32],
+    pipelines: usize,
+) -> Option<Move> {
+    debug_assert_eq!(map.len(), counters.len());
+    if pipelines < 2 || map.is_empty() {
+        return None;
+    }
+    // Aggregate per-pipeline load under the current mapping.
+    let mut load = vec![0u64; pipelines];
+    for (i, &p) in map.iter().enumerate() {
+        load[p as usize] += counters[i];
+    }
+    let (h, &cmax) = load
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .expect("pipelines > 0");
+    let (l, &cmin) = load
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &c)| (c, i))
+        .expect("pipelines > 0");
+    if h == l || cmax == cmin {
+        return None;
+    }
+    let c = (cmax - cmin) / 2;
+    // Largest-counter index on H strictly below C, not in flight.
+    let mut best: Option<(u64, usize)> = None;
+    for (i, &p) in map.iter().enumerate() {
+        if p as usize == h && counters[i] < c && inflight[i] == 0 {
+            let cand = (counters[i], i);
+            if best.map_or(true, |b| cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1)) {
+                best = Some(cand);
+            }
+        }
+    }
+    best.map(|(_, i)| Move { index: i, to: l })
+}
+
+/// Runs the Figure 6 heuristic to a fixed point (the *ideal* baseline's
+/// re-sharding).
+///
+/// The optimal re-mapping is a bin-packing variant (NP-hard, §3.4); the
+/// ideal baseline approximates it by iterating the paper's single-move
+/// heuristic until no further move reduces the max/min load gap. Unlike
+/// wholesale re-packing (e.g. LPT over the observed counters), every
+/// move strictly reduces imbalance, so balanced loads are left
+/// untouched — we found experimentally that re-packing hundreds of
+/// indexes per period onto momentarily-backlogged pipelines *costs*
+/// throughput even when the resulting count balance is perfect.
+pub fn remap_to_fixpoint(
+    map: &[u16],
+    counters: &[u64],
+    inflight: &[u32],
+    pipelines: usize,
+    max_moves: usize,
+) -> Vec<Move> {
+    let mut work: Vec<u16> = map.to_vec();
+    let mut moves = Vec::new();
+    for _ in 0..max_moves {
+        match remap_heuristic(&work, counters, inflight, pipelines) {
+            Some(mv) => {
+                work[mv.index] = mv.to as u16;
+                moves.push(mv);
+            }
+            None => break,
+        }
+    }
+    moves
+}
+
+/// Longest-processing-time greedy re-assignment.
+///
+/// Indexes with non-zero in-flight counters keep their pipeline (their
+/// load pre-fills the bins); everything else is re-assigned greedily,
+/// heaviest first, to the least-loaded pipeline. Returns the moves that
+/// change an index's pipeline.
+///
+/// Kept for comparison and unit-tested, but **not** used by the ideal
+/// baseline: see [`remap_to_fixpoint`] for why.
+pub fn remap_lpt(
+    map: &[u16],
+    counters: &[u64],
+    inflight: &[u32],
+    pipelines: usize,
+) -> Vec<Move> {
+    if pipelines < 2 || map.is_empty() {
+        return Vec::new();
+    }
+    let mut load = vec![0u64; pipelines];
+    let mut movable: Vec<usize> = Vec::new();
+    for (i, &p) in map.iter().enumerate() {
+        // Only re-balance indexes with observed load: moving cold
+        // indexes would pile them all onto one pipeline (their measured
+        // weight is zero) and wreck the spread for the *next* period.
+        if inflight[i] == 0 && counters[i] > 0 {
+            movable.push(i);
+        } else {
+            load[p as usize] += counters[i];
+        }
+    }
+    // Heaviest first; ties by index for determinism.
+    movable.sort_by_key(|&i| (std::cmp::Reverse(counters[i]), i));
+    let mut moves = Vec::new();
+    for i in movable {
+        let target = (0..pipelines)
+            .min_by_key(|&p| (load[p], p))
+            .expect("pipelines > 0");
+        load[target] += counters[i];
+        if map[i] as usize != target {
+            moves.push(Move { index: i, to: target });
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_moves_from_hot_to_cold() {
+        // Pipeline 0 holds indexes 0,1 (loads 10, 3); pipeline 1 holds
+        // index 2 (load 1). cmax=13, cmin=1, C=6: index 1 (3 < 6) moves.
+        let map = [0u16, 0, 1];
+        let counters = [10u64, 3, 1];
+        let inflight = [0u32, 0, 0];
+        let mv = remap_heuristic(&map, &counters, &inflight, 2).unwrap();
+        assert_eq!(mv, Move { index: 1, to: 1 });
+    }
+
+    #[test]
+    fn heuristic_respects_inflight_guard() {
+        let map = [0u16, 0, 1];
+        let counters = [10u64, 3, 1];
+        // Index 1 has packets in flight: no move possible (index 0 is
+        // too heavy: 10 >= C=6).
+        let inflight = [0u32, 2, 0];
+        assert_eq!(remap_heuristic(&map, &counters, &inflight, 2), None);
+    }
+
+    #[test]
+    fn heuristic_noop_when_balanced() {
+        let map = [0u16, 1];
+        let counters = [5u64, 5];
+        let inflight = [0u32, 0];
+        assert_eq!(remap_heuristic(&map, &counters, &inflight, 2), None);
+    }
+
+    #[test]
+    fn heuristic_noop_single_pipeline() {
+        assert_eq!(remap_heuristic(&[0, 0], &[9, 1], &[0, 0], 1), None);
+    }
+
+    #[test]
+    fn heuristic_never_moves_index_above_half_gap() {
+        // The hottest index must stay (moving it would just swap H/L).
+        let map = [0u16, 1];
+        let counters = [100u64, 0];
+        let inflight = [0u32, 0];
+        // C = 50; index 0 has 100 >= 50: no eligible index on H.
+        assert_eq!(remap_heuristic(&map, &counters, &inflight, 2), None);
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        let map = [0u16, 0, 0, 0];
+        let counters = [8u64, 7, 6, 5];
+        let inflight = [0u32; 4];
+        let moves = remap_lpt(&map, &counters, &inflight, 2);
+        // LPT: 8->p0, 7->p1, 6->p1, 5->p0 => loads 13 vs 13.
+        let mut map2: Vec<u16> = map.to_vec();
+        for m in &moves {
+            map2[m.index] = m.to as u16;
+        }
+        let mut load = [0u64; 2];
+        for (i, &p) in map2.iter().enumerate() {
+            load[p as usize] += counters[i];
+        }
+        assert_eq!(load[0], load[1], "LPT must balance this instance exactly");
+    }
+
+    #[test]
+    fn lpt_keeps_inflight_indexes() {
+        let map = [1u16, 0, 0];
+        let counters = [100u64, 1, 1];
+        let inflight = [5u32, 0, 0];
+        let moves = remap_lpt(&map, &counters, &inflight, 2);
+        assert!(moves.iter().all(|m| m.index != 0), "in-flight index pinned");
+    }
+
+    #[test]
+    fn repeated_heuristic_converges_toward_balance() {
+        // Drive the heuristic to a fixed point and check imbalance
+        // shrinks.
+        let mut map = vec![0u16; 16];
+        let counters: Vec<u64> = (0..16).map(|i| (i as u64 + 1) * 3).collect();
+        let inflight = vec![0u32; 16];
+        let imbalance = |map: &[u16]| {
+            let mut load = [0u64; 4];
+            for (i, &p) in map.iter().enumerate() {
+                load[p as usize] += counters[i];
+            }
+            *load.iter().max().unwrap() - *load.iter().min().unwrap()
+        };
+        let before = imbalance(&map);
+        for _ in 0..64 {
+            match remap_heuristic(&map, &counters, &inflight, 4) {
+                Some(m) => map[m.index] = m.to as u16,
+                None => break,
+            }
+        }
+        let after = imbalance(&map);
+        assert!(after < before / 4, "imbalance {before} -> {after}");
+    }
+}

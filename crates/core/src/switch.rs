@@ -1,0 +1,1061 @@
+//! The MP5 switch simulator (architecture §3.2 + runtime §3.4).
+
+use std::collections::{HashSet, VecDeque};
+
+use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
+use mp5_compiler::CompiledProgram;
+use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
+use mp5_types::time::cycle_len;
+use mp5_types::{AccessTag, Packet, PipelineId, RegId, StageId, Value};
+
+use crate::config::{ShardingMode, SprayMode, SwitchConfig};
+use crate::report::RunReport;
+use crate::shard;
+
+/// A packet in flight through the switch, with its entry-order key and
+/// ingress pipeline (the lane its phantoms use).
+#[derive(Debug, Clone)]
+struct Flight {
+    pkt: Packet,
+    order: OrderKey,
+    ingress: PipelineId,
+}
+
+impl Flight {
+    /// The phantom key for one of this packet's access tags.
+    fn key(&self, tag: &AccessTag) -> PhantomKey {
+        PhantomKey {
+            pkt: self.pkt.id,
+            reg: tag.reg,
+            index: tag.index,
+        }
+    }
+}
+
+/// A phantom packet payload on the dedicated channel: 48 bits in
+/// hardware — `(packet id, state, index, pipeline, stage)` (Figure 5).
+#[derive(Debug, Clone)]
+struct PhantomMsg {
+    key: PhantomKey,
+    ts: OrderKey,
+    dest: PipelineId,
+    lane: PipelineId,
+}
+
+/// Per-(pipeline, stage) input queue: the bank of `k` FIFOs, or one
+/// FIFO per register index in the ideal configuration.
+#[derive(Debug)]
+enum StageQueue {
+    Logical(LogicalFifo<Flight>),
+    PerIndex {
+        subs: std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
+        max_total: usize,
+    },
+}
+
+/// What a stage's scheduler did with its FIFO this cycle.
+enum Serve {
+    Idle,
+    Served(Flight),
+    Wasted,
+}
+
+impl StageQueue {
+    fn new(cfg: &SwitchConfig) -> Self {
+        if cfg.per_index_fifos {
+            StageQueue::PerIndex {
+                subs: Default::default(),
+                max_total: 0,
+            }
+        } else {
+            StageQueue::Logical(LogicalFifo::new(cfg.pipelines, cfg.fifo_capacity))
+        }
+    }
+
+    fn sub<'a>(
+        subs: &'a mut std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
+        index: u32,
+    ) -> &'a mut LogicalFifo<Flight> {
+        subs.entry(index)
+            .or_insert_with(|| LogicalFifo::new(1, None))
+    }
+
+    fn push_phantom(&mut self, key: PhantomKey, ts: OrderKey, lane: PipelineId) -> bool {
+        match self {
+            StageQueue::Logical(f) => f.push_phantom(key, ts, lane).is_ok(),
+            StageQueue::PerIndex { subs, max_total } => {
+                let ok = Self::sub(subs, key.index)
+                    .push_phantom(key, ts, PipelineId(0))
+                    .is_ok();
+                *max_total =
+                    (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
+                ok
+            }
+        }
+    }
+
+    fn push_data(&mut self, fl: Flight, ts: OrderKey, lane: PipelineId) -> Result<(), Flight> {
+        match self {
+            StageQueue::Logical(f) => f.push_data(fl, ts, lane).map(|_| ()),
+            StageQueue::PerIndex { subs, max_total } => {
+                let r = Self::sub(subs, INDEX_ARRAY_LEVEL)
+                    .push_data(fl, ts, PipelineId(0))
+                    .map(|_| ());
+                *max_total =
+                    (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
+                r
+            }
+        }
+    }
+
+    fn insert_data(&mut self, key: PhantomKey, fl: Flight) -> Result<(), Flight> {
+        match self {
+            StageQueue::Logical(f) => f.insert_data(key, fl).map(|_| ()),
+            StageQueue::PerIndex { subs, .. } => {
+                Self::sub(subs, key.index).insert_data(key, fl).map(|_| ())
+            }
+        }
+    }
+
+    fn cancel(&mut self, key: PhantomKey, free: bool) -> bool {
+        match self {
+            StageQueue::Logical(f) => f.cancel(key, free),
+            StageQueue::PerIndex { subs, .. } => Self::sub(subs, key.index).cancel(key, free),
+        }
+    }
+
+    fn serve(&mut self, st: usize) -> Serve {
+        match self {
+            StageQueue::Logical(f) => match f.pop() {
+                PopOutcome::Data(fl) => Serve::Served(fl),
+                PopOutcome::ConsumedStale => Serve::Wasted,
+                PopOutcome::Empty | PopOutcome::BlockedOnPhantom(_) => Serve::Idle,
+            },
+            StageQueue::PerIndex { subs, .. } => {
+                // No head-of-line blocking: serve the oldest *servable*
+                // head across all per-index queues. A data head with
+                // sibling placeholders in other sub-queues is eligible
+                // only when every sibling is also at its queue's head —
+                // otherwise an earlier-arrived packet for that sibling
+                // index would be overtaken when this packet executes all
+                // of its accesses at once.
+                #[derive(Debug)]
+                enum Head {
+                    Phantom(PhantomKey),
+                    Data(Vec<PhantomKey>),
+                    Stale,
+                }
+                let mut heads: std::collections::BTreeMap<u32, (OrderKey, Head)> =
+                    Default::default();
+                for (&idx, f) in subs.iter_mut() {
+                    let Some(entry) = f.peek_oldest() else { continue };
+                    let ts = entry.ts();
+                    let head = match entry {
+                        mp5_fabric::Entry::Phantom { key, .. } => Head::Phantom(*key),
+                        mp5_fabric::Entry::Stale { free, .. } => {
+                            debug_assert!(!free, "free stales are drained by peek");
+                            Head::Stale
+                        }
+                        mp5_fabric::Entry::Data { item, .. } => Head::Data(
+                            item.pkt
+                                .tags
+                                .iter()
+                                .filter(|t| t.stage.index() == st)
+                                .map(|t| item.key(t))
+                                .collect(),
+                        ),
+                    };
+                    heads.insert(idx, (ts, head));
+                }
+                let mut cands: Vec<(OrderKey, u32)> = heads
+                    .iter()
+                    .filter(|(_, (_, h))| !matches!(h, Head::Phantom(_)))
+                    .map(|(&idx, (ts, _))| (*ts, idx))
+                    .collect();
+                cands.sort_unstable();
+                for (_, idx) in cands {
+                    if let (_, Head::Data(keys)) = &heads[&idx] {
+                        // A sibling key gates service only while its
+                        // phantom is still queued (in no-phantom modes,
+                        // or after drops, there is nothing to wait for).
+                        let eligible = keys.iter().all(|k| {
+                            k.index == idx
+                                || subs
+                                    .get(&k.index)
+                                    .map_or(true, |sub| !sub.has_phantom(*k))
+                                || matches!(
+                                    heads.get(&k.index),
+                                    Some((_, Head::Phantom(hk))) if hk == k
+                                )
+                        });
+                        if !eligible {
+                            continue;
+                        }
+                    }
+                    let sub = subs.get_mut(&idx).expect("exists");
+                    let out = match sub.pop() {
+                        PopOutcome::Data(fl) => Serve::Served(fl),
+                        PopOutcome::ConsumedStale => Serve::Wasted,
+                        _ => unreachable!("candidate head is servable"),
+                    };
+                    // Drop drained sub-queues so the scheduler scan
+                    // stays proportional to *occupied* indexes.
+                    if sub.is_empty() {
+                        subs.remove(&idx);
+                    }
+                    return out;
+                }
+                Serve::Idle
+            }
+        }
+    }
+
+    fn oldest_ts(&mut self) -> Option<OrderKey> {
+        match self {
+            StageQueue::Logical(f) => f.oldest_ts(),
+            StageQueue::PerIndex { subs, .. } => {
+                subs.values_mut().filter_map(|f| f.oldest_ts()).min()
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StageQueue::Logical(f) => f.len(),
+            StageQueue::PerIndex { subs, .. } => subs.values().map(|f| f.len()).sum(),
+        }
+    }
+
+    fn max_occupancy(&self) -> usize {
+        match self {
+            StageQueue::Logical(f) => f.max_occupancy(),
+            StageQueue::PerIndex { max_total, .. } => *max_total,
+        }
+    }
+}
+
+/// The MP5 multi-pipeline switch.
+#[derive(Debug)]
+pub struct Mp5Switch {
+    cfg: SwitchConfig,
+    prog: CompiledProgram,
+    k: usize,
+    /// Pipelines of the physical chip (clock period = 64·timing_k).
+    timing_k: usize,
+    stages: usize,
+    prologue: usize,
+    /// Register state replicated per pipeline; only the index-map-active
+    /// copy of each index is meaningful (D2, Figure 3).
+    regs: Vec<Vec<Vec<Value>>>,
+    /// index-to-pipeline map, replicated in hardware, one logical copy
+    /// here.
+    index_map: Vec<Vec<u16>>,
+    /// Packet access counters per register index (dynamic sharding).
+    access_ctr: Vec<Vec<u64>>,
+    /// In-flight packet counters per register index (remap guard).
+    inflight: Vec<Vec<u32>>,
+    /// Input queues per (pipeline, stage).
+    queues: Vec<Vec<StageQueue>>,
+    /// Stage occupancy per (pipeline, stage).
+    lanes: Vec<Vec<Option<Flight>>>,
+    channel: PhantomChannel<PhantomMsg>,
+    crossbars: Vec<Crossbar>,
+    /// Phantoms cancelled while still on the channel.
+    cancelled: HashSet<PhantomKey>,
+    /// Arrived packets waiting for an ingress slot.
+    ingress_q: VecDeque<Flight>,
+    /// Future arrivals, ascending entry order.
+    arrivals: VecDeque<Packet>,
+    rr: usize,
+    cycle: u64,
+    report: RunReport,
+}
+
+impl Mp5Switch {
+    /// Builds a switch running `prog` under `cfg`. Every pipeline is
+    /// programmed identically (D1); each register array is allocated in
+    /// full in every pipeline, with the index-to-pipeline map deciding
+    /// the active copy (D2).
+    pub fn new(prog: CompiledProgram, cfg: SwitchConfig) -> Self {
+        assert!(cfg.pipelines >= 1, "need at least one pipeline");
+        let k = cfg.pipelines;
+        let timing_k = cfg.physical_pipelines.unwrap_or(k).max(k);
+        let stages = prog.num_stages();
+        let prologue = prog.resolution.stages;
+        let regs: Vec<Vec<Vec<Value>>> = (0..k).map(|_| prog.initial_regs()).collect();
+        let index_map: Vec<Vec<u16>> = prog
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| init_map(ri, r, &cfg, k))
+            .collect();
+        let access_ctr = prog
+            .regs
+            .iter()
+            .map(|r| vec![0u64; r.size as usize])
+            .collect();
+        let inflight = prog
+            .regs
+            .iter()
+            .map(|r| vec![0u32; r.size as usize])
+            .collect();
+        let queues = (0..k)
+            .map(|_| (0..stages).map(|_| StageQueue::new(&cfg)).collect())
+            .collect();
+        let lanes = (0..k).map(|_| vec![None; stages]).collect();
+        let mut report = RunReport::new();
+        report.set_cycle_len(cycle_len(timing_k));
+        Mp5Switch {
+            channel: PhantomChannel::new(stages),
+            crossbars: (0..stages).map(|_| Crossbar::new(k)).collect(),
+            cfg,
+            prog,
+            k,
+            timing_k,
+            stages,
+            prologue,
+            regs,
+            index_map,
+            access_ctr,
+            inflight,
+            queues,
+            lanes,
+            cancelled: HashSet::new(),
+            ingress_q: VecDeque::new(),
+            arrivals: VecDeque::new(),
+            rr: 0,
+            cycle: 0,
+            report,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    /// Current index-to-pipeline map of a register.
+    pub fn index_map(&self, reg: RegId) -> &[u16] {
+        &self.index_map[reg.index()]
+    }
+
+    /// Runs a full trace to completion and returns the report.
+    pub fn run(mut self, mut packets: Vec<Packet>) -> RunReport {
+        packets.sort_by_key(|p| p.entry_order_key());
+        self.report.offered = packets.len() as u64;
+        self.report.input_duration = packets
+            .last()
+            .map(|p| p.arrival + mp5_types::BYTES_PER_SLOT)
+            .unwrap_or(0);
+        self.arrivals = packets.into();
+        let clen = cycle_len(self.timing_k);
+        let input_cycles = self.report.input_duration / clen + 1;
+        let cap = self.cfg.max_cycles.unwrap_or_else(|| {
+            input_cycles * (self.k as u64 + 2) * 4 + (self.stages as u64) * 16 + 100_000
+        });
+        while !self.drained() {
+            if self.cycle >= cap {
+                panic!(
+                    "simulation exceeded {cap} cycles: ingress={}, in-lanes={}, queued={}, channel={}",
+                    self.ingress_q.len(),
+                    self.lanes.iter().flatten().filter(|l| l.is_some()).count(),
+                    self.queues.iter().flatten().map(|q| q.len()).sum::<usize>(),
+                    self.channel.in_flight(),
+                );
+            }
+            self.step();
+        }
+        self.finish()
+    }
+
+    fn drained(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.ingress_q.is_empty()
+            && self.channel.in_flight() == 0
+            && self.lanes.iter().flatten().all(|l| l.is_none())
+            && self.queues.iter().flatten().all(|q| q.len() == 0)
+    }
+
+    /// Simulates one pipeline cycle.
+    fn step(&mut self) {
+        // 1. Background dynamic sharding.
+        if self.cycle > 0 && self.cycle % self.cfg.remap_period == 0 {
+            self.remap();
+        }
+
+        // 2. Phantom channel advances one hop; deliveries enter FIFOs.
+        for (msg, stage) in self.channel.advance() {
+            if self.cancelled.remove(&msg.key) {
+                continue;
+            }
+            let ok = self.queues[msg.dest.index()][stage.index()]
+                .push_phantom(msg.key, msg.ts, msg.lane);
+            if !ok {
+                self.report.drops.phantom_fifo_full += 1;
+            }
+        }
+
+        // 3. Move phase: all stage occupants advance simultaneously.
+        let mut incoming: Vec<Vec<Option<Flight>>> =
+            (0..self.k).map(|_| vec![None; self.stages]).collect();
+        for pl in 0..self.k {
+            for st in (0..self.stages).rev() {
+                let Some(fl) = self.lanes[pl][st].take() else {
+                    continue;
+                };
+                if st + 1 == self.stages {
+                    self.complete(fl);
+                    continue;
+                }
+                let next = st + 1;
+                let has_tag_here = fl
+                    .pkt
+                    .tags
+                    .first()
+                    .map_or(false, |t| t.stage.index() == next);
+                if has_tag_here {
+                    let dest = fl.pkt.tags[0].pipeline;
+                    self.crossbars[next].route(PipelineId(pl as u16), dest);
+                    if dest.index() != pl {
+                        self.report.steered += 1;
+                    }
+                    self.enqueue_stateful(dest, next, fl);
+                } else {
+                    incoming[pl][next] = Some(fl);
+                }
+            }
+            self.crossbars.iter_mut().for_each(|x| x.end_cycle());
+        }
+
+        // 3b. Ingress: spray eligible arrivals over pipelines.
+        let now_end = (self.cycle + 1) * cycle_len(self.timing_k);
+        while self
+            .arrivals
+            .front()
+            .map_or(false, |p| p.arrival < now_end)
+        {
+            let pkt = self.arrivals.pop_front().expect("front checked");
+            let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
+            self.ingress_q.push_back(Flight {
+                pkt,
+                order,
+                ingress: PipelineId(0), // assigned at admission
+            });
+        }
+        let admit_limit = match self.cfg.spray {
+            SprayMode::RoundRobin => self.k,
+            SprayMode::SinglePipeline(_) => 1,
+        };
+        for _ in 0..admit_limit {
+            if self.ingress_q.is_empty() {
+                break;
+            }
+            let pl = match self.cfg.spray {
+                SprayMode::RoundRobin => {
+                    let pl = self.rr;
+                    self.rr = (self.rr + 1) % self.k;
+                    pl
+                }
+                SprayMode::SinglePipeline(p) => p,
+            };
+            if incoming[pl][0].is_some() {
+                continue;
+            }
+            let mut fl = self.ingress_q.pop_front().expect("non-empty");
+            fl.ingress = PipelineId(pl as u16);
+            incoming[pl][0] = Some(fl);
+        }
+
+        // 4. Admit/work phase: each (pipeline, stage) processes at most
+        // one packet; incoming pass-through has priority (Invariant 2).
+        for pl in 0..self.k {
+            for st in 0..self.stages {
+                if let Some(fl) = incoming[pl][st].take() {
+                    // Starvation handling (§3.4): drop an incoming
+                    // packet that is stateless-from-here-on in favor of
+                    // a long-starved queued stateful packet.
+                    if let Some(thr) = self.cfg.starvation_threshold {
+                        let starved = fl.pkt.tags.is_empty()
+                            && self.queues[pl][st].oldest_ts().map_or(false, |ts| {
+                                let now = self.cycle * cycle_len(self.timing_k);
+                                now.saturating_sub(ts.0) > thr * cycle_len(self.timing_k)
+                            });
+                        if starved {
+                            self.report.drops.starvation += 1;
+                            self.serve_queue(pl, st);
+                            continue;
+                        }
+                    }
+                    let fl = self.process(pl, st, fl);
+                    self.lanes[pl][st] = Some(fl);
+                } else {
+                    self.serve_queue(pl, st);
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Serves one packet from the stage's FIFO, if the scheduler finds a
+    /// servable head.
+    fn serve_queue(&mut self, pl: usize, st: usize) {
+        match self.queues[pl][st].serve(st) {
+            Serve::Served(fl) => {
+                let fl = self.process(pl, st, fl);
+                self.lanes[pl][st] = Some(fl);
+            }
+            Serve::Wasted => {
+                self.report.wasted_cycles += 1;
+            }
+            Serve::Idle => {}
+        }
+    }
+
+    /// A data packet arrives at the stateful stage it is tagged for:
+    /// replace its phantom (or queue directly when phantoms are off).
+    fn enqueue_stateful(&mut self, dest: PipelineId, st: usize, mut fl: Flight) {
+        // ECN-inspired backpressure (§3.4): mark the packet if the queue
+        // it joins has built past the threshold.
+        if let Some(thr) = self.cfg.ecn_threshold {
+            if self.queues[dest.index()][st].len() > thr {
+                fl.pkt.ecn = true;
+            }
+        }
+        // All tags for this stage (possibly several: speculative
+        // branches or overlapping exact plans).
+        let keys: Vec<PhantomKey> = fl
+            .pkt
+            .tags
+            .iter()
+            .take_while(|t| t.stage.index() == st)
+            .map(|t| fl.key(t))
+            .collect();
+        debug_assert!(!keys.is_empty());
+        if !self.cfg.phantoms {
+            // no-D4 ablation: queue in arrival-at-stage order.
+            let ts = OrderKey(self.cycle, fl.ingress.0 as u64);
+            let lane = fl.ingress;
+            if let Err(fl) = self.queues[dest.index()][st].push_data(fl, ts, lane) {
+                self.report.drops.data_fifo_full += 1;
+                self.drop_remaining(fl, st);
+            }
+            return;
+        }
+        match self.queues[dest.index()][st].insert_data(keys[0], fl) {
+            Ok(()) => {
+                // Sibling phantoms (speculative branches / overlapping
+                // plans) stay in place: they keep blocking their index
+                // until this packet is actually served and performs the
+                // accesses, and are reclaimed then (see `process`).
+                // Cancelling them here would let a later packet overtake
+                // the not-yet-executed access in per-index scheduling.
+            }
+            Err(fl) => {
+                // Phantom was dropped upstream: the drop cascades.
+                self.report.drops.data_no_phantom += 1;
+                for &k in &keys[1..] {
+                    self.queues[dest.index()][st].cancel(k, true);
+                }
+                self.drop_remaining(fl, st);
+            }
+        }
+    }
+
+    /// Cleans up after dropping a data packet at stage `st`: cancel all
+    /// of its not-yet-consumed phantoms (in FIFOs or still on the
+    /// channel) and release its in-flight counters.
+    fn drop_remaining(&mut self, fl: Flight, st: usize) {
+        for tag in &fl.pkt.tags {
+            self.dec_inflight(tag);
+            if tag.stage.index() <= st {
+                continue; // this stage's keys were handled by the caller
+            }
+            let key = fl.key(tag);
+            if !self.queues[tag.pipeline.index()][tag.stage.index()].cancel(key, true) {
+                // Still on the channel: discard at delivery.
+                self.cancelled.insert(key);
+            }
+        }
+    }
+
+    /// Executes the stage's work on a packet: address resolution at the
+    /// pipeline head, phantom generation at the end of the prologue,
+    /// and the body stage program elsewhere.
+    fn process(&mut self, pl: usize, st: usize, mut fl: Flight) -> Flight {
+        if st == 0 && self.prologue > 0 {
+            self.resolve(pl, &mut fl);
+        }
+        if self.prologue > 0 && st == self.prologue - 1 && self.cfg.phantoms {
+            // Phantom generation stage: one phantom per resolved access,
+            // in tag order, onto the dedicated channel.
+            for tag in &fl.pkt.tags {
+                self.channel.inject(
+                    PhantomMsg {
+                        key: fl.key(tag),
+                        ts: fl.order,
+                        dest: tag.pipeline,
+                        lane: fl.ingress,
+                    },
+                    StageId(st as u16),
+                    tag.stage,
+                );
+                self.report.phantoms_generated += 1;
+            }
+        }
+        if st >= self.prologue {
+            let body = st - self.prologue;
+            let accesses =
+                self.prog
+                    .execute_stage(body, &mut fl.pkt.fields, &mut self.regs[pl]);
+            for a in &accesses {
+                self.report
+                    .result
+                    .access_log
+                    .entry((a.reg, a.index))
+                    .or_default()
+                    .push(fl.pkt.id);
+            }
+            // Retire this stage's tags. A retired *speculative* tag
+            // whose predicate turned out false produced no access: the
+            // queue slot it consumed is §3.3's one wasted cycle.
+            // Sibling placeholders beyond the first (the slot the data
+            // packet occupied) are released now that the accesses have
+            // executed; each still costs one pop cycle when reclaimed
+            // (§3.3's speculative-false penalty).
+            let mut retired_speculative = false;
+            let mut first = true;
+            while fl
+                .pkt
+                .tags
+                .first()
+                .map_or(false, |t| t.stage.index() == st)
+            {
+                let tag = fl.pkt.tags.remove(0);
+                retired_speculative |= tag.speculative;
+                if !first && self.cfg.phantoms {
+                    let key = fl.key(&tag);
+                    self.queues[pl][st].cancel(key, false);
+                }
+                first = false;
+                self.dec_inflight(&tag);
+            }
+            if retired_speculative && accesses.is_empty() {
+                self.report.wasted_cycles += 1;
+            }
+        }
+        fl
+    }
+
+    /// Runs preemptive address resolution (§3.3) on an arriving packet:
+    /// computes every index it will access, consults the index-to-
+    /// pipeline map, tags the packet, and bumps the runtime counters.
+    fn resolve(&mut self, _pl: usize, fl: &mut Flight) {
+        let resolved = self.prog.resolve(&mut fl.pkt.fields);
+        let mut tags = Vec::with_capacity(resolved.len());
+        for r in resolved {
+            let dest = if r.reg == REG_STAGE_SENTINEL
+                || r.index == INDEX_ARRAY_LEVEL
+                || !self.prog.regs[r.reg.index()].shardable
+            {
+                // Pinned arrays and stage-level serialization live on
+                // pipeline 0 (§3.3's conservative fallbacks).
+                PipelineId(0)
+            } else {
+                PipelineId(self.index_map[r.reg.index()][r.index as usize])
+            };
+            if r.reg != REG_STAGE_SENTINEL && r.index != INDEX_ARRAY_LEVEL {
+                self.access_ctr[r.reg.index()][r.index as usize] += 1;
+                self.inflight[r.reg.index()][r.index as usize] += 1;
+            }
+            tags.push(AccessTag {
+                reg: r.reg,
+                index: r.index,
+                pipeline: dest,
+                stage: r.stage,
+                speculative: r.speculative,
+            });
+        }
+        debug_assert!(tags.windows(2).all(|w| w[0].stage <= w[1].stage));
+        fl.pkt.tags = tags;
+    }
+
+    fn dec_inflight(&mut self, tag: &AccessTag) {
+        if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+            let c = &mut self.inflight[tag.reg.index()][tag.index as usize];
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// A packet exits the final stage.
+    fn complete(&mut self, fl: Flight) {
+        debug_assert!(
+            fl.pkt.tags.is_empty(),
+            "packet exited with unvisited tags: {:?}",
+            fl.pkt.tags
+        );
+        self.report
+            .result
+            .outputs
+            .insert(fl.pkt.id, fl.pkt.fields[..self.prog.declared_fields].to_vec());
+        self.report.completions.push((fl.pkt.id, self.cycle));
+        self.report.completed += 1;
+        if fl.pkt.ecn {
+            self.report.ecn_marked += 1;
+        }
+    }
+
+    /// Background dynamic sharding (Figure 6 / LPT), with the in-flight
+    /// guard and atomic state movement.
+    fn remap(&mut self) {
+        for ri in 0..self.prog.regs.len() {
+            if !self.prog.regs[ri].shardable {
+                continue;
+            }
+            match self.cfg.sharding {
+                ShardingMode::Dynamic => {
+                    if let Some(mv) = shard::remap_heuristic(
+                        &self.index_map[ri],
+                        &self.access_ctr[ri],
+                        &self.inflight[ri],
+                        self.k,
+                    ) {
+                        self.apply_move(ri, mv);
+                    }
+                    // Counters reset each iteration (§3.4).
+                    self.access_ctr[ri].iter_mut().for_each(|c| *c = 0);
+                }
+                ShardingMode::IdealPeriodic => {
+                    // Ideal re-sharding: the Figure 6 balancer iterated
+                    // to a fixed point over *cumulative* counters (no
+                    // per-window reset). Per-window samples are noise at
+                    // this granularity, and chasing them costs more
+                    // throughput than it recovers; cumulative loads make
+                    // the fixed point stable, so a balanced map is left
+                    // untouched.
+                    for mv in shard::remap_to_fixpoint(
+                        &self.index_map[ri],
+                        &self.access_ctr[ri],
+                        &self.inflight[ri],
+                        self.k,
+                        64,
+                    ) {
+                        self.apply_move(ri, mv);
+                    }
+                }
+                ShardingMode::Static | ShardingMode::Pinned => {}
+            }
+        }
+    }
+
+    fn apply_move(&mut self, reg: usize, mv: shard::Move) {
+        let from = self.index_map[reg][mv.index] as usize;
+        let value = self.regs[from][reg][mv.index];
+        self.regs[mv.to][reg][mv.index] = value;
+        self.index_map[reg][mv.index] = mv.to as u16;
+        self.report.remap_moves += 1;
+    }
+
+    /// Finalizes the report: aggregate the active register copies into
+    /// the logical final state, collect queue statistics.
+    fn finish(mut self) -> RunReport {
+        let mut final_regs = Vec::with_capacity(self.prog.regs.len());
+        for (ri, meta) in self.prog.regs.iter().enumerate() {
+            let mut arr = Vec::with_capacity(meta.size as usize);
+            for idx in 0..meta.size as usize {
+                let pl = if meta.shardable {
+                    self.index_map[ri][idx] as usize
+                } else {
+                    0
+                };
+                arr.push(self.regs[pl][ri][idx]);
+            }
+            final_regs.push(arr);
+        }
+        self.report.result.final_regs = final_regs;
+        self.report.result.processed = self.report.completed;
+        self.report.cycles = self.cycle;
+        self.report.max_queue_depth = self
+            .queues
+            .iter()
+            .flatten()
+            .map(|q| q.max_occupancy())
+            .max()
+            .unwrap_or(0);
+        self.report
+    }
+}
+
+/// Initial index-to-pipeline map per the sharding mode.
+fn init_map(
+    reg_index: usize,
+    meta: &mp5_compiler::program::RegMeta,
+    cfg: &SwitchConfig,
+    k: usize,
+) -> Vec<u16> {
+    let n = meta.size as usize;
+    if !meta.shardable {
+        return vec![0; n];
+    }
+    match cfg.sharding {
+        ShardingMode::Pinned => vec![0; n],
+        ShardingMode::Dynamic | ShardingMode::IdealPeriodic => {
+            (0..n).map(|i| (i % k) as u16).collect()
+        }
+        ShardingMode::Static => {
+            // "sharded randomly across pipelines at compile time and
+            // never updated" — a seeded hash spreads the indexes.
+            (0..n)
+                .map(|i| {
+                    (mp5_types::hash2(cfg.seed as i64 ^ (reg_index as i64) << 32, i as i64)
+                        % k as i64) as u16
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_banzai::BanzaiSwitch;
+    use mp5_compiler::{compile, Target};
+    use mp5_traffic::TraceBuilder;
+
+    const COUNTER: &str = "struct Packet { int seq; };
+        int count = 0;
+        void func(struct Packet p) { count = count + 1; p.seq = count; }";
+
+    const SHARDED: &str = "struct Packet { int h; int out; };
+        int tbl[64] = {0};
+        void func(struct Packet p) {
+            tbl[p.h % 64] = tbl[p.h % 64] + 1;
+            p.out = tbl[p.h % 64];
+        }";
+
+    const STATELESS: &str = "struct Packet { int a; int b; };
+        void func(struct Packet p) { p.b = p.a * 2 + 1; }";
+
+    fn run_both(src: &str, cfg: SwitchConfig, n: usize, seed: u64) -> (mp5_banzai::RunResult, RunReport) {
+        let prog = compile(src, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(n, seed).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+        let report = Mp5Switch::new(prog, cfg).run(trace);
+        (reference, report)
+    }
+
+    #[test]
+    fn stateless_program_runs_at_line_rate() {
+        let (reference, report) = run_both(STATELESS, SwitchConfig::mp5(4), 2000, 1);
+        assert_eq!(report.completed, 2000);
+        assert!(report.result.equivalent_to(&reference));
+        assert!(
+            report.normalized_throughput() > 0.95,
+            "stateless must hit line rate, got {}",
+            report.normalized_throughput()
+        );
+        assert_eq!(report.phantoms_generated, 0);
+    }
+
+    #[test]
+    fn global_counter_is_functionally_equivalent() {
+        let (reference, report) = run_both(COUNTER, SwitchConfig::mp5(4), 1000, 2);
+        assert_eq!(report.completed, 1000);
+        assert!(
+            report.result.equivalent_to(&reference),
+            "MP5 must match the single pipeline exactly"
+        );
+    }
+
+    #[test]
+    fn global_counter_throughput_is_one_over_k() {
+        for k in [2usize, 4, 8] {
+            let (_, report) = run_both(COUNTER, SwitchConfig::mp5(k), 2000, 3);
+            let t = report.normalized_throughput();
+            let ideal = 1.0 / k as f64;
+            assert!(
+                (t - ideal).abs() / ideal < 0.25,
+                "k={k}: got {t}, expected ~{ideal} (fundamental limit, §3.5.2)"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_table_is_equivalent_and_fast() {
+        let (reference, report) = run_both(SHARDED, SwitchConfig::mp5(4), 4000, 4);
+        assert!(report.result.equivalent_to(&reference));
+        assert!(
+            report.normalized_throughput() > 0.5,
+            "64-entry table over 4 pipelines should parallelize, got {}",
+            report.normalized_throughput()
+        );
+        assert!(report.steered > 0, "sharding must steer packets");
+    }
+
+    #[test]
+    fn no_d4_violates_c1_but_mp5_does_not() {
+        // Two stateful stages, Figure-3 style: half the packets
+        // serialize on a hot state in the first stateful stage, the
+        // rest fly past and (without D4) overtake them at the second —
+        // exactly the failure Table II illustrates.
+        let src = "struct Packet { int a; int b; int o; };
+            int r1[2] = {0};
+            int r2[64] = {0};
+            void func(struct Packet p) {
+                if (p.a == 0) { r1[0] = r1[0] + 1; }
+                r2[p.b % 64] = r2[p.b % 64] + 1;
+                p.o = r2[p.b % 64];
+            }";
+        let prog = compile(src, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(4000, 5).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..2);
+            f[1] = r.gen_range(0..64);
+        });
+        let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+
+        let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        assert_eq!(
+            mp5.result.access_log, reference.access_log,
+            "with D4, per-state access order must be the arrival order"
+        );
+        assert!(mp5.result.equivalent_to(&reference));
+
+        let nod4 = Mp5Switch::new(prog, SwitchConfig::no_d4(4)).run(trace);
+        assert_ne!(
+            nod4.result.access_log, reference.access_log,
+            "without D4 the access order must diverge under contention"
+        );
+        assert!(
+            !nod4.result.state_equivalent_to(&reference),
+            "the reordering must be functionally visible in packet outputs"
+        );
+    }
+
+    #[test]
+    fn naive_design_caps_at_one_over_k() {
+        let (reference, report) = run_both(SHARDED, SwitchConfig::naive(4), 2000, 6);
+        assert!(report.result.equivalent_to(&reference), "naive is still correct");
+        let t = report.normalized_throughput();
+        assert!(
+            t < 0.30 && t > 0.15,
+            "naive with k=4 should sit near 0.25, got {t}"
+        );
+    }
+
+    #[test]
+    fn ideal_at_least_as_fast_as_mp5() {
+        let (_, mp5) = run_both(SHARDED, SwitchConfig::mp5(4), 3000, 7);
+        let (reference, ideal) = run_both(SHARDED, SwitchConfig::ideal(4), 3000, 7);
+        assert!(ideal.result.equivalent_to(&reference));
+        assert!(
+            ideal.normalized_throughput() >= mp5.normalized_throughput() - 0.05,
+            "ideal {} vs mp5 {}",
+            ideal.normalized_throughput(),
+            mp5.normalized_throughput()
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skew() {
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let pat = mp5_traffic::AccessPattern::paper_skewed();
+        let trace = TraceBuilder::new(6000, 8).build(nf, |r, _, f| {
+            f[0] = pat.draw(64, r) as i64;
+        });
+        let dynamic = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        let static_ = Mp5Switch::new(prog, SwitchConfig::static_shard(4, 99)).run(trace);
+        assert!(
+            dynamic.normalized_throughput() >= static_.normalized_throughput() * 0.99,
+            "dynamic {} should be >= static {}",
+            dynamic.normalized_throughput(),
+            static_.normalized_throughput()
+        );
+        assert!(dynamic.remap_moves > 0, "the heuristic must act on skew");
+    }
+
+    #[test]
+    fn bounded_fifos_drop_under_overload_and_cascade() {
+        let (_, report) = run_both(
+            COUNTER,
+            SwitchConfig::mp5(4).with_hardware_fifos(),
+            3000,
+            9,
+        );
+        // The global counter admits 1/k of line rate; bounded FIFOs must
+        // shed the excess as phantom + data drops, never deadlock.
+        assert!(report.drops.phantom_fifo_full > 0);
+        assert!(report.drops.data_no_phantom > 0);
+        assert_eq!(
+            report.completed + report.drops.total_data(),
+            report.offered
+        );
+    }
+
+    #[test]
+    fn speculative_predicate_program_is_equivalent() {
+        let src = "struct Packet { int h; int o; };
+            int gate = 0;
+            int r[32] = {0};
+            void func(struct Packet p) {
+                gate = 1 - gate;
+                if (gate == 1) { r[p.h % 32] = r[p.h % 32] + 1; }
+                p.o = gate;
+            }";
+        let (reference, report) = run_both(src, SwitchConfig::mp5(4), 1500, 10);
+        assert!(report.result.equivalent_to(&reference));
+        assert!(report.wasted_cycles > 0, "false branches must waste cycles");
+    }
+
+    #[test]
+    fn pinned_stateful_index_program_is_equivalent() {
+        let src = "struct Packet { int h; int o; };
+            int ptr = 0;
+            int r[16] = {0};
+            void func(struct Packet p) {
+                ptr = (ptr + 1) % 16;
+                r[ptr % 16] = r[ptr % 16] + p.h;
+                p.o = ptr;
+            }";
+        let (reference, report) = run_both(src, SwitchConfig::mp5(4), 1000, 11);
+        assert!(report.result.equivalent_to(&reference));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, a) = run_both(SHARDED, SwitchConfig::mp5(4), 1000, 12);
+        let (_, b) = run_both(SHARDED, SwitchConfig::mp5(4), 1000, 12);
+        assert_eq!(a.result.final_regs, b.result.final_regs);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn larger_packets_reach_line_rate_on_counter() {
+        // With 1400 B packets the inter-arrival budget is ~22 slots, so
+        // even the serialized counter keeps up at k=4 (Figure 7d's
+        // effect).
+        let prog = compile(COUNTER, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(1500, 13)
+            .size(mp5_traffic::SizeDist::Fixed(1400))
+            .build(nf, |_, _, _| {});
+        let report = Mp5Switch::new(prog, SwitchConfig::mp5(4)).run(trace);
+        assert!(
+            report.normalized_throughput() > 0.95,
+            "got {}",
+            report.normalized_throughput()
+        );
+    }
+}

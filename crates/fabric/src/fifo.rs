@@ -1,0 +1,497 @@
+//! The per-stage logical FIFO (paper §3.2).
+//!
+//! Each MP5 stage has `k` physical FIFOs (one per pipeline) at its input,
+//! which "logically operate as a single FIFO" supporting three
+//! operations:
+//!
+//! 1. `push(pkt, fifo_id)` — append a data or phantom packet to the tail
+//!    of FIFO `fifo_id`, timestamping it; drop if full. Phantom locations
+//!    are recorded in a directory indexed by the packet's id.
+//! 2. `insert(pkt, addr, fifo_id)` — replace a queued phantom with its
+//!    data packet at the address found in the directory; drop the data
+//!    packet if the directory has no entry (its phantom was dropped).
+//! 3. `pop()` — among the `k` FIFO heads, pick the entry with the
+//!    smallest timestamp. A data head is dequeued and processed; a
+//!    phantom head *blocks* every later packet until its data packet
+//!    arrives — this is how D4 freezes the serial processing order.
+//!
+//! Two extensions beyond the paper's literal text, both needed to run the
+//! paper's own scenarios:
+//!
+//! * **Stale entries.** When a predicate cannot be resolved preemptively,
+//!   MP5 emits *speculative* phantoms for both branches and later ignores
+//!   the false branch "resulting in a nominal performance penalty of one
+//!   wasted clock cycle" (§3.3). We model this by converting the phantom
+//!   to a [`Entry::Stale`] with `free = false`: when it reaches the head
+//!   it consumes one pop cycle and vanishes. Separately, when a data
+//!   packet is *dropped* upstream, its remaining phantoms are cancelled
+//!   with `free = true` (removed without consuming service) so a lost
+//!   packet cannot deadlock a queue forever.
+//! * **Timestamps are caller-supplied [`OrderKey`]s** rather than wall
+//!   clocks, so the same structure serves MP5 (keys = original arrival
+//!   order, enforcing C1) and the no-D4 ablation (keys = queue entry
+//!   time, which is what permits C1 violations).
+
+use std::collections::HashMap;
+
+use mp5_types::{PacketId, PipelineId, RegId};
+
+use crate::ring::RingBuffer;
+
+/// Identifies the phantom (and hence queue placeholder) for one state
+/// access by one packet.
+///
+/// The paper's directory is "indexed by packet's id"; we additionally key
+/// by `(reg, index)` because a packet whose predicate could not be
+/// resolved preemptively may own *two* speculative phantoms in the same
+/// stage, one per branch (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhantomKey {
+    /// The data packet this phantom stands in for.
+    pub pkt: PacketId,
+    /// The register array of the access.
+    pub reg: RegId,
+    /// The resolved register index of the access.
+    pub index: u32,
+}
+
+/// The total order enforced by `pop()`.
+///
+/// For MP5 this is the packet's switch entry order `(arrival byte-time,
+/// ingress port)` — unique per packet because a port delivers at most one
+/// packet per byte-time. For the no-D4 ablation it is `(queue entry
+/// cycle, source lane)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderKey(pub u64, pub u64);
+
+/// Stable address of a queued entry: `(lane, sequence number)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoAddr {
+    /// Which of the `k` physical FIFOs.
+    pub lane: PipelineId,
+    /// Sequence number within that lane's ring buffer.
+    pub seq: u64,
+}
+
+/// One queued element.
+#[derive(Debug, Clone)]
+pub enum Entry<T> {
+    /// A placeholder for a data packet that has not yet arrived.
+    Phantom {
+        /// Directory key.
+        key: PhantomKey,
+        /// Ordering timestamp.
+        ts: OrderKey,
+    },
+    /// An actual data packet, ready for stateful processing.
+    Data {
+        /// The queued payload.
+        item: T,
+        /// Ordering timestamp (inherited from the phantom when inserted).
+        ts: OrderKey,
+    },
+    /// A cancelled placeholder. `free` entries are reclaimed without
+    /// consuming service; non-free entries (speculative false branches)
+    /// cost one pop cycle, per §3.3.
+    Stale {
+        /// Ordering timestamp.
+        ts: OrderKey,
+        /// Whether reclamation is free (true) or costs a cycle (false).
+        free: bool,
+    },
+}
+
+impl<T> Entry<T> {
+    /// The ordering timestamp of this entry.
+    pub fn ts(&self) -> OrderKey {
+        match self {
+            Entry::Phantom { ts, .. } | Entry::Data { ts, .. } | Entry::Stale { ts, .. } => *ts,
+        }
+    }
+}
+
+/// Error returned by `push` when the target lane is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError;
+
+/// Result of a [`LogicalFifo::pop`] attempt.
+#[derive(Debug)]
+pub enum PopOutcome<T> {
+    /// All lanes empty: nothing to do this cycle.
+    Empty,
+    /// A data packet was dequeued for processing.
+    Data(T),
+    /// The globally-oldest entry is a phantom: every later packet is
+    /// blocked until the corresponding data packet arrives.
+    BlockedOnPhantom(PhantomKey),
+    /// A speculative-false phantom was reclaimed, wasting this cycle
+    /// (paper §3.3's "one wasted clock cycle").
+    ConsumedStale,
+}
+
+/// Statistics counters for one logical FIFO.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoStats {
+    /// Phantoms dropped because a lane was full at push time.
+    pub phantom_drops: u64,
+    /// Data packets dropped because their phantom was missing.
+    pub data_drops_no_phantom: u64,
+    /// Data packets dropped because a lane was full at push time
+    /// (no-phantom operating modes only).
+    pub data_drops_full: u64,
+    /// Pop cycles wasted on speculative-false phantoms.
+    pub stale_cycles: u64,
+    /// Pop cycles spent blocked behind a phantom.
+    pub blocked_cycles: u64,
+}
+
+/// The bank of `k` per-pipeline ring buffers operating as one FIFO.
+#[derive(Debug, Clone)]
+pub struct LogicalFifo<T> {
+    lanes: Vec<RingBuffer<Entry<T>>>,
+    directory: HashMap<PhantomKey, FifoAddr>,
+    stats: FifoStats,
+}
+
+impl<T> LogicalFifo<T> {
+    /// Creates a logical FIFO with `k` lanes of the given per-lane
+    /// capacity (`None` = unbounded, the paper's adaptive mode).
+    pub fn new(lanes: usize, capacity: Option<usize>) -> Self {
+        assert!(lanes > 0, "a logical FIFO needs at least one lane");
+        LogicalFifo {
+            lanes: (0..lanes).map(|_| RingBuffer::new(capacity)).collect(),
+            directory: HashMap::new(),
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Number of lanes (`k`).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total queued entries across lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    /// True if every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.is_empty())
+    }
+
+    /// High-water mark of total occupancy, approximated as the sum of
+    /// per-lane high-water marks (exact when lanes fill together).
+    pub fn max_occupancy(&self) -> usize {
+        self.lanes.iter().map(|l| l.max_occupancy()).sum()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// `push(pkt, fifo_id)`: appends a phantom placeholder to lane
+    /// `lane`, recording its address in the directory. On a full lane the
+    /// phantom is dropped (recorded in [`FifoStats::phantom_drops`]) and
+    /// the eventual data packet will be dropped at `insert` time, exactly
+    /// the drop cascade described in §3.4.
+    pub fn push_phantom(
+        &mut self,
+        key: PhantomKey,
+        ts: OrderKey,
+        lane: PipelineId,
+    ) -> Result<FifoAddr, PushError> {
+        let l = &mut self.lanes[lane.index()];
+        match l.push_back(Entry::Phantom { key, ts }) {
+            Ok(seq) => {
+                let addr = FifoAddr { lane, seq };
+                self.directory.insert(key, addr);
+                Ok(addr)
+            }
+            Err(_) => {
+                self.stats.phantom_drops += 1;
+                Err(PushError)
+            }
+        }
+    }
+
+    /// `push(pkt, fifo_id)` for data packets. Used by operating modes
+    /// without phantoms (the no-D4 ablation and the recirculation
+    /// baseline), where data packets queue directly in arrival-at-stage
+    /// order.
+    pub fn push_data(&mut self, item: T, ts: OrderKey, lane: PipelineId) -> Result<FifoAddr, T> {
+        let l = &mut self.lanes[lane.index()];
+        match l.push_back(Entry::Data { item, ts }) {
+            Ok(seq) => Ok(FifoAddr { lane, seq }),
+            Err(Entry::Data { item, .. }) => {
+                self.stats.data_drops_full += 1;
+                Err(item)
+            }
+            Err(_) => unreachable!("pushed entry kind cannot change"),
+        }
+    }
+
+    /// `insert(pkt, addr, fifo_id)`: replaces the queued phantom for
+    /// `key` with the data packet, which inherits the phantom's
+    /// timestamp (and hence its place in the global order). Returns
+    /// `Err(item)` if the directory has no entry — the phantom was
+    /// dropped, so the data packet must be dropped too.
+    pub fn insert_data(&mut self, key: PhantomKey, item: T) -> Result<FifoAddr, T> {
+        let Some(addr) = self.directory.remove(&key) else {
+            self.stats.data_drops_no_phantom += 1;
+            return Err(item);
+        };
+        let slot = self.lanes[addr.lane.index()]
+            .get_mut(addr.seq)
+            .expect("directory address must point at a live slot");
+        debug_assert!(
+            matches!(slot, Entry::Phantom { key: k, .. } if *k == key),
+            "directory address must point at this key's phantom"
+        );
+        let ts = slot.ts();
+        *slot = Entry::Data { item, ts };
+        Ok(addr)
+    }
+
+    /// Whether a live phantom exists for `key`.
+    pub fn has_phantom(&self, key: PhantomKey) -> bool {
+        self.directory.contains_key(&key)
+    }
+
+    /// Cancels the phantom for `key`, if present. `free` cancellations
+    /// (upstream packet drop) are reclaimed without consuming service;
+    /// non-free ones (speculative false branch, §3.3) cost one pop cycle
+    /// when they reach the head.
+    pub fn cancel(&mut self, key: PhantomKey, free: bool) -> bool {
+        let Some(addr) = self.directory.remove(&key) else {
+            return false;
+        };
+        let slot = self.lanes[addr.lane.index()]
+            .get_mut(addr.seq)
+            .expect("directory address must point at a live slot");
+        let ts = slot.ts();
+        *slot = Entry::Stale { ts, free };
+        true
+    }
+
+    /// Reclaims any `free` stale entries sitting at lane heads. Called
+    /// internally by `pop`, but also useful standalone at end-of-run.
+    fn drain_free_stale(&mut self) {
+        for lane in &mut self.lanes {
+            while matches!(lane.front(), Some(Entry::Stale { free: true, .. })) {
+                lane.pop_front();
+            }
+        }
+    }
+
+    /// Peeks the globally-oldest entry without consuming anything:
+    /// returns the lane whose head has the smallest timestamp.
+    fn oldest_lane(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.front().map(|e| (i, e.ts())))
+            .min_by_key(|&(_, ts)| ts)
+            .map(|(i, _)| i)
+    }
+
+    /// `pop()`: examines the `k` lane heads and picks the entry with the
+    /// smallest timestamp.
+    ///
+    /// * Data head → dequeued and returned for processing.
+    /// * Phantom head → nothing is dequeued; the whole logical FIFO is
+    ///   blocked this cycle ([`PopOutcome::BlockedOnPhantom`]).
+    /// * Non-free stale head → reclaimed, consuming the cycle.
+    pub fn pop(&mut self) -> PopOutcome<T> {
+        self.drain_free_stale();
+        let Some(lane) = self.oldest_lane() else {
+            return PopOutcome::Empty;
+        };
+        match self.lanes[lane].front().expect("lane non-empty") {
+            Entry::Data { .. } => match self.lanes[lane].pop_front() {
+                Some(Entry::Data { item, .. }) => PopOutcome::Data(item),
+                _ => unreachable!("head was data"),
+            },
+            Entry::Phantom { key, .. } => {
+                let key = *key;
+                self.stats.blocked_cycles += 1;
+                PopOutcome::BlockedOnPhantom(key)
+            }
+            Entry::Stale { free: false, .. } => {
+                self.lanes[lane].pop_front();
+                self.stats.stale_cycles += 1;
+                PopOutcome::ConsumedStale
+            }
+            Entry::Stale { free: true, .. } => {
+                unreachable!("free stale entries were drained")
+            }
+        }
+    }
+
+    /// Timestamp of the globally-oldest *data* or *phantom* entry, if
+    /// any — used by schedulers to decide starvation.
+    pub fn oldest_ts(&mut self) -> Option<OrderKey> {
+        self.drain_free_stale();
+        self.oldest_lane()
+            .map(|l| self.lanes[l].front().expect("non-empty").ts())
+    }
+
+    /// Peeks the globally-oldest entry (after reclaiming free stales)
+    /// without consuming anything. Used by per-index schedulers (the
+    /// ideal-MP5 baseline) to compare heads across many queues.
+    pub fn peek_oldest(&mut self) -> Option<&Entry<T>> {
+        self.drain_free_stale();
+        let lane = self.oldest_lane()?;
+        self.lanes[lane].front()
+    }
+
+    /// True if the next `pop()` would make progress (serve data or
+    /// reclaim a costly stale) rather than block or find nothing.
+    pub fn pop_would_progress(&mut self) -> bool {
+        matches!(
+            self.peek_oldest(),
+            Some(Entry::Data { .. }) | Some(Entry::Stale { free: false, .. })
+        )
+    }
+
+    /// Iterates over all queued entries (diagnostics / end-of-run
+    /// accounting).
+    pub fn iter_entries(&self) -> impl Iterator<Item = &Entry<T>> {
+        self.lanes.iter().flat_map(|l| l.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64) -> PhantomKey {
+        PhantomKey {
+            pkt: PacketId(p),
+            reg: RegId(0),
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn pop_on_empty() {
+        let mut f: LogicalFifo<u32> = LogicalFifo::new(2, Some(4));
+        assert!(matches!(f.pop(), PopOutcome::Empty));
+    }
+
+    #[test]
+    fn phantom_blocks_later_data() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(4));
+        // Phantom for packet 0 (older) into lane 0; data for packet 1
+        // (younger) into lane 1.
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_data("pkt1", OrderKey(1, 0), PipelineId(1)).unwrap();
+        // pkt1 must be blocked behind pkt0's phantom.
+        assert!(matches!(f.pop(), PopOutcome::BlockedOnPhantom(k) if k == key(0)));
+        // Once pkt0's data arrives it is served first, in arrival order.
+        f.insert_data(key(0), "pkt0").unwrap();
+        assert!(matches!(f.pop(), PopOutcome::Data("pkt0")));
+        assert!(matches!(f.pop(), PopOutcome::Data("pkt1")));
+        assert!(matches!(f.pop(), PopOutcome::Empty));
+        assert_eq!(f.stats().blocked_cycles, 1);
+    }
+
+    #[test]
+    fn younger_phantom_does_not_block_older_data() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(4));
+        f.push_data("old", OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(key(9), OrderKey(5, 0), PipelineId(1)).unwrap();
+        assert!(matches!(f.pop(), PopOutcome::Data("old")));
+    }
+
+    #[test]
+    fn insert_inherits_phantom_timestamp() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(8));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_data("mid", OrderKey(1, 0), PipelineId(1)).unwrap();
+        // Data for packet 0 arrives late but replaces its phantom, so it
+        // is still served before "mid".
+        f.insert_data(key(0), "pkt0").unwrap();
+        assert!(matches!(f.pop(), PopOutcome::Data("pkt0")));
+        assert!(matches!(f.pop(), PopOutcome::Data("mid")));
+    }
+
+    #[test]
+    fn insert_without_phantom_drops() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(2));
+        assert_eq!(f.insert_data(key(3), "orphan"), Err("orphan"));
+        assert_eq!(f.stats().data_drops_no_phantom, 1);
+    }
+
+    #[test]
+    fn full_lane_drops_phantom_then_cascades() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(1));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        assert!(f.push_phantom(key(1), OrderKey(1, 0), PipelineId(0)).is_err());
+        assert_eq!(f.stats().phantom_drops, 1);
+        // The data packet for the dropped phantom is dropped too.
+        assert!(f.insert_data(key(1), "late").is_err());
+        assert_eq!(f.stats().data_drops_no_phantom, 1);
+    }
+
+    #[test]
+    fn speculative_false_costs_one_cycle() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_data("next", OrderKey(1, 0), PipelineId(0)).unwrap();
+        assert!(f.cancel(key(0), false));
+        // First pop wastes a cycle reclaiming the speculative phantom...
+        assert!(matches!(f.pop(), PopOutcome::ConsumedStale));
+        // ...then the next packet is served.
+        assert!(matches!(f.pop(), PopOutcome::Data("next")));
+        assert_eq!(f.stats().stale_cycles, 1);
+    }
+
+    #[test]
+    fn free_cancel_costs_nothing() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_data("next", OrderKey(1, 0), PipelineId(0)).unwrap();
+        assert!(f.cancel(key(0), true));
+        assert!(matches!(f.pop(), PopOutcome::Data("next")));
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
+        assert!(!f.cancel(key(42), true));
+    }
+
+    #[test]
+    fn pop_respects_global_order_across_lanes() {
+        let mut f: LogicalFifo<u64> = LogicalFifo::new(4, Some(8));
+        // Interleave pushes across lanes with shuffled timestamps.
+        let order = [(3u64, 2usize), (0, 0), (2, 1), (1, 3), (5, 0), (4, 2)];
+        for &(ts, lane) in &order {
+            f.push_data(ts, OrderKey(ts, 0), PipelineId::from(lane)).unwrap();
+        }
+        let mut out = Vec::new();
+        while let PopOutcome::Data(v) = f.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn two_speculative_phantoms_same_packet_same_stage() {
+        // A packet with an unresolvable predicate owns one phantom per
+        // branch; both must be addressable independently.
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
+        let k_then = PhantomKey { pkt: PacketId(0), reg: RegId(0), index: 1 };
+        let k_else = PhantomKey { pkt: PacketId(0), reg: RegId(0), index: 2 };
+        f.push_phantom(k_then, OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(k_else, OrderKey(0, 1), PipelineId(0)).unwrap();
+        assert!(f.has_phantom(k_then) && f.has_phantom(k_else));
+        // Predicate resolves to the then-branch: else phantom cancelled.
+        f.cancel(k_else, false);
+        f.insert_data(k_then, "data").unwrap();
+        assert!(matches!(f.pop(), PopOutcome::Data("data")));
+        assert!(matches!(f.pop(), PopOutcome::ConsumedStale));
+    }
+}

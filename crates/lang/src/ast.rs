@@ -1,0 +1,292 @@
+//! Abstract syntax tree for the Domino-like DSL.
+
+use crate::error::Span;
+use mp5_types::Value;
+
+/// Binary operators, C semantics over [`Value`] with wrapping arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `/` (C truncating; division by zero yields 0, like a hardware ALU
+    /// with a defined don't-care).
+    Div,
+    /// `%` (sign of dividend; modulo by zero yields 0).
+    Rem,
+    /// `==` → 0/1.
+    Eq,
+    /// `!=` → 0/1.
+    Ne,
+    /// `<` → 0/1.
+    Lt,
+    /// `<=` → 0/1.
+    Le,
+    /// `>` → 0/1.
+    Gt,
+    /// `>=` → 0/1.
+    Ge,
+    /// `&&` → 0/1 (both sides evaluated; the DSL has no side-effecting
+    /// expressions, so short-circuit is unobservable).
+    And,
+    /// `||` → 0/1.
+    Or,
+    /// `min(a,b)` builtin.
+    Min,
+    /// `max(a,b)` builtin.
+    Max,
+    /// `&` bitwise and.
+    BitAnd,
+    /// `|` bitwise or.
+    BitOr,
+    /// `^` bitwise xor.
+    BitXor,
+    /// `<<` shift left (shift amount masked to 0..63, like hardware).
+    Shl,
+    /// `>>` arithmetic shift right (shift amount masked to 0..63).
+    Shr,
+}
+
+impl BinOp {
+    /// Evaluates the operator.
+    pub fn eval(self, a: Value, b: Value) -> Value {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::Eq => (a == b) as Value,
+            BinOp::Ne => (a != b) as Value,
+            BinOp::Lt => (a < b) as Value,
+            BinOp::Le => (a <= b) as Value,
+            BinOp::Gt => (a > b) as Value,
+            BinOp::Ge => (a >= b) as Value,
+            BinOp::And => (a != 0 && b != 0) as Value,
+            BinOp::Or => (a != 0 || b != 0) as Value,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::BitAnd => a & b,
+            BinOp::BitOr => a | b,
+            BinOp::BitXor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-a` (wrapping).
+    Neg,
+    /// `!a` → 0/1.
+    Not,
+}
+
+impl UnOp {
+    /// Evaluates the operator.
+    pub fn eval(self, a: Value) -> Value {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => (a == 0) as Value,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(Value),
+    /// `p.<field>` — a packet header field.
+    Field(String),
+    /// A local variable.
+    Local(String),
+    /// `reg[index]` — register array element read.
+    RegElem(String, Box<Expr>),
+    /// A scalar register read (`count`).
+    RegScalar(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `hash2(a, b)`.
+    Hash2(Box<Expr>, Box<Expr>),
+    /// `hash3(a, b, c)`.
+    Hash3(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `p.<field> = ...`.
+    Field(String),
+    /// Local variable.
+    Local(String),
+    /// `reg[index] = ...`.
+    RegElem(String, Expr),
+    /// Scalar register.
+    RegScalar(String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;` or `int x;` (local declaration; default 0).
+    DeclLocal {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `lhs = e;`.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if (c) t else f`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_branch: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// A register array declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegDecl {
+    /// Name.
+    pub name: String,
+    /// Number of elements (1 for scalars).
+    pub size: u32,
+    /// Initial values. Shorter initializer lists are zero-extended, like
+    /// C aggregate initialization (`int reg3[4] = {0}` in Figure 3).
+    pub init: Vec<Value>,
+    /// Location.
+    pub span: Span,
+}
+
+impl RegDecl {
+    /// The full initial contents, zero-extended to `size`.
+    pub fn initial_contents(&self) -> Vec<Value> {
+        let mut v = self.init.clone();
+        v.resize(self.size as usize, 0);
+        v
+    }
+}
+
+/// A whole program: packet field declarations, register declarations, and
+/// one `void func(struct Packet p)` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Declared packet header fields, in declaration order.
+    pub fields: Vec<String>,
+    /// Register arrays.
+    pub regs: Vec<RegDecl>,
+    /// The parameter name binding the packet (conventionally `p`).
+    pub pkt_param: String,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_arithmetic() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(4, 4), 16);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 4), 3);
+    }
+
+    #[test]
+    fn binop_division_by_zero_is_defined() {
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+    }
+
+    #[test]
+    fn binop_eval_comparisons() {
+        assert_eq!(BinOp::Eq.eval(1, 1), 1);
+        assert_eq!(BinOp::Ne.eval(1, 1), 0);
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+    }
+
+    #[test]
+    fn binop_eval_logic_and_minmax() {
+        assert_eq!(BinOp::And.eval(2, 0), 0);
+        assert_eq!(BinOp::Or.eval(0, -1), 1);
+        assert_eq!(BinOp::Min.eval(3, -7), -7);
+        assert_eq!(BinOp::Max.eval(3, -7), 3);
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(3), 0);
+    }
+
+    #[test]
+    fn bitwise_and_shift_eval() {
+        assert_eq!(BinOp::BitAnd.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::BitOr.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::BitXor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.eval(1, 10), 1024);
+        assert_eq!(BinOp::Shr.eval(1024, 10), 1);
+        assert_eq!(BinOp::Shr.eval(-8, 1), -4, "arithmetic shift");
+        // Shift amounts mask to 0..63 like hardware, never panic.
+        assert_eq!(BinOp::Shl.eval(1, 64), 1);
+        assert_eq!(BinOp::Shl.eval(1, -1), i64::MIN);
+    }
+
+    #[test]
+    fn wrapping_no_panic() {
+        assert_eq!(BinOp::Add.eval(Value::MAX, 1), Value::MIN);
+        assert_eq!(UnOp::Neg.eval(Value::MIN), Value::MIN);
+    }
+
+    #[test]
+    fn reg_initial_contents_zero_extend() {
+        let r = RegDecl {
+            name: "r".into(),
+            size: 4,
+            init: vec![9],
+            span: Span::default(),
+        };
+        assert_eq!(r.initial_contents(), vec![9, 0, 0, 0]);
+    }
+}

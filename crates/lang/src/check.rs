@@ -1,0 +1,289 @@
+//! Semantic checking.
+//!
+//! Verifies name resolution rules before lowering:
+//! * packet fields referenced via `p.<f>` must be declared in
+//!   `struct Packet`;
+//! * registers must be declared at top level; scalar registers must not
+//!   be indexed and arrays must be indexed;
+//! * locals must be declared before use and not shadow registers;
+//! * duplicate declarations are rejected.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, LValue, Program, Stmt};
+use crate::error::{LangError, Span};
+
+/// Checks a parsed [`Program`], returning the first error found.
+pub fn check(prog: &Program) -> Result<(), LangError> {
+    let mut fields = HashSet::new();
+    for f in &prog.fields {
+        if !fields.insert(f.as_str()) {
+            return Err(sem(Span::default(), format!("duplicate packet field '{f}'")));
+        }
+    }
+
+    let mut regs: HashMap<&str, u32> = HashMap::new();
+    for r in &prog.regs {
+        if regs.insert(r.name.as_str(), r.size).is_some() {
+            return Err(sem(r.span, format!("duplicate register '{}'", r.name)));
+        }
+        if fields.contains(r.name.as_str()) {
+            return Err(sem(
+                r.span,
+                format!("register '{}' collides with a packet field", r.name),
+            ));
+        }
+        if r.name == prog.pkt_param {
+            return Err(sem(
+                r.span,
+                format!("register '{}' collides with the packet parameter", r.name),
+            ));
+        }
+    }
+
+    let mut ck = Checker {
+        fields: &fields,
+        regs: &regs,
+        locals: HashSet::new(),
+    };
+    ck.block(&prog.body)
+}
+
+fn sem(span: Span, message: String) -> LangError {
+    LangError::Semantic { span, message }
+}
+
+struct Checker<'a> {
+    fields: &'a HashSet<&'a str>,
+    regs: &'a HashMap<&'a str, u32>,
+    locals: HashSet<String>,
+}
+
+impl<'a> Checker<'a> {
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::DeclLocal { name, init, span } => {
+                if let Some(e) = init {
+                    self.expr(e, *span)?;
+                }
+                if self.regs.contains_key(name.as_str()) {
+                    return Err(sem(*span, format!("local '{name}' shadows a register")));
+                }
+                if self.locals.contains(name) {
+                    return Err(sem(*span, format!("duplicate local '{name}'")));
+                }
+                self.locals.insert(name.clone());
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                self.expr(rhs, *span)?;
+                match lhs {
+                    LValue::Field(f) => {
+                        if !self.fields.contains(f.as_str()) {
+                            return Err(sem(*span, format!("unknown packet field '{f}'")));
+                        }
+                    }
+                    LValue::Local(name) => {
+                        if !self.locals.contains(name) {
+                            return Err(sem(
+                                *span,
+                                format!("assignment to undeclared local '{name}'"),
+                            ));
+                        }
+                    }
+                    LValue::RegElem(name, idx) => {
+                        self.reg_array(name, *span)?;
+                        self.expr(idx, *span)?;
+                    }
+                    LValue::RegScalar(name) => {
+                        self.reg_scalar(name, *span)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                self.expr(cond, *span)?;
+                self.block(then_branch)?;
+                self.block(else_branch)
+            }
+        }
+    }
+
+    fn reg_array(&self, name: &str, span: Span) -> Result<(), LangError> {
+        match self.regs.get(name) {
+            None => Err(sem(span, format!("unknown register '{name}'"))),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn reg_scalar(&self, name: &str, span: Span) -> Result<(), LangError> {
+        match self.regs.get(name) {
+            None => Err(sem(span, format!("unknown register '{name}'"))),
+            Some(&size) if size != 1 => Err(sem(
+                span,
+                format!("register array '{name}' used without an index"),
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn expr(&self, e: &Expr, span: Span) -> Result<(), LangError> {
+        match e {
+            Expr::Const(_) => Ok(()),
+            Expr::Field(f) => {
+                if self.fields.contains(f.as_str()) {
+                    Ok(())
+                } else {
+                    Err(sem(span, format!("unknown packet field '{f}'")))
+                }
+            }
+            Expr::Local(name) => {
+                if self.locals.contains(name) {
+                    Ok(())
+                } else {
+                    Err(sem(span, format!("use of undeclared identifier '{name}'")))
+                }
+            }
+            Expr::RegElem(name, idx) => {
+                self.reg_array(name, span)?;
+                self.expr(idx, span)
+            }
+            Expr::RegScalar(name) => self.reg_scalar(name, span),
+            Expr::Binary(_, a, b) | Expr::Hash2(a, b) => {
+                self.expr(a, span)?;
+                self.expr(b, span)
+            }
+            Expr::Unary(_, a) => self.expr(a, span),
+            Expr::Ternary(c, t, f) | Expr::Hash3(c, t, f) => {
+                self.expr(c, span)?;
+                self.expr(t, span)?;
+                self.expr(f, span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn err(src: &str) -> String {
+        crate::parse(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        parse(
+            "struct Packet { int a; };
+             int r[4];
+             void func(struct Packet p) { int t = p.a; r[t % 4] = t; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        assert!(err(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.b = 1; }"
+        )
+        .contains("unknown packet field 'b'"));
+    }
+
+    #[test]
+    fn rejects_unknown_register() {
+        assert!(err(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.a = zoo[0]; }"
+        )
+        .contains("unknown register 'zoo'"));
+    }
+
+    #[test]
+    fn rejects_undeclared_local() {
+        assert!(err(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.a = t; }"
+        )
+        .contains("undeclared identifier 't'"));
+    }
+
+    #[test]
+    fn rejects_local_use_before_decl() {
+        assert!(err(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.a = t; int t = 1; }"
+        )
+        .contains("undeclared identifier 't'"));
+    }
+
+    #[test]
+    fn rejects_array_used_as_scalar() {
+        assert!(err(
+            "struct Packet { int a; };
+             int r[4];
+             void func(struct Packet p) { r = 1; }"
+        )
+        .contains("without an index"));
+    }
+
+    #[test]
+    fn rejects_duplicate_register() {
+        assert!(err(
+            "struct Packet { int a; };
+             int r; int r;
+             void func(struct Packet p) { p.a = 0; }"
+        )
+        .contains("duplicate register"));
+    }
+
+    #[test]
+    fn rejects_duplicate_field() {
+        assert!(err(
+            "struct Packet { int a; int a; };
+             void func(struct Packet p) { p.a = 0; }"
+        )
+        .contains("duplicate packet field"));
+    }
+
+    #[test]
+    fn rejects_local_shadowing_register() {
+        assert!(err(
+            "struct Packet { int a; };
+             int r;
+             void func(struct Packet p) { int r = 1; }"
+        )
+        .contains("shadows a register"));
+    }
+
+    #[test]
+    fn rejects_duplicate_local() {
+        assert!(err(
+            "struct Packet { int a; };
+             void func(struct Packet p) { int t = 1; int t = 2; }"
+        )
+        .contains("duplicate local"));
+    }
+
+    #[test]
+    fn scalar_register_ok_without_index() {
+        parse(
+            "struct Packet { int a; };
+             int c = 0;
+             void func(struct Packet p) { c = c + 1; p.a = c; }",
+        )
+        .unwrap();
+    }
+}

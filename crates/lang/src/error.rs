@@ -1,0 +1,85 @@
+//! Frontend error reporting.
+
+use std::fmt;
+
+/// A half-open byte range in the source text, with 1-based line/column of
+/// its start for human-readable messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced by the language frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error: unexpected character.
+    Lex {
+        /// Where.
+        span: Span,
+        /// What was seen.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where.
+        span: Span,
+        /// What was expected / seen.
+        message: String,
+    },
+    /// Semantic error (unknown name, duplicate declaration, arity, ...).
+    Semantic {
+        /// Where.
+        span: Span,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl LangError {
+    /// The source location of the error.
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Semantic { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            LangError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            LangError::Semantic { span, message } => {
+                write!(f, "semantic error at {span}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LangError::Parse {
+            span: Span { line: 3, col: 7 },
+            message: "expected ';'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+        assert_eq!(e.span(), Span { line: 3, col: 7 });
+    }
+}

@@ -1,0 +1,332 @@
+//! Hand-written lexer for the Domino-like DSL.
+
+use crate::error::{LangError, Span};
+use mp5_types::Value;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (variable, register, field, function name).
+    Ident(String),
+    /// Integer literal.
+    Int(Value),
+    /// `struct` keyword.
+    KwStruct,
+    /// `int` keyword.
+    KwInt,
+    /// `void` keyword.
+    KwVoid,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `=`.
+    Assign,
+    /// `?`.
+    Question,
+    /// `:`.
+    Colon,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Not,
+    /// `&` (bitwise and).
+    Amp,
+    /// `|` (bitwise or).
+    Pipe,
+    /// `^` (bitwise xor).
+    Caret,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Location of the first character.
+    pub span: Span,
+}
+
+/// Lexes a source string into tokens (ending with [`Tok::Eof`]).
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let span = Span { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                bump!();
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LangError::Lex {
+                            span,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let v: Value = text.parse().map_err(|_| LangError::Lex {
+                    span,
+                    message: format!("integer literal out of range: {text}"),
+                })?;
+                out.push(Token { tok: Tok::Int(v), span });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let tok = match text {
+                    "struct" => Tok::KwStruct,
+                    "int" => Tok::KwInt,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                out.push(Token { tok, span });
+            }
+            _ => {
+                // Two-character operators, compared at the byte level so
+                // multi-byte UTF-8 input cannot cause a boundary panic.
+                let two = if i + 1 < bytes.len() {
+                    [bytes[i], bytes[i + 1]]
+                } else {
+                    [bytes[i], 0]
+                };
+                let (tok, len) = match &two {
+                    b"==" => (Tok::Eq, 2),
+                    b"!=" => (Tok::Ne, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"&&" => (Tok::AndAnd, 2),
+                    b"||" => (Tok::OrOr, 2),
+                    b"<<" => (Tok::Shl, 2),
+                    b">>" => (Tok::Shr, 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'.' => Tok::Dot,
+                            b'=' => Tok::Assign,
+                            b'?' => Tok::Question,
+                            b':' => Tok::Colon,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'!' => Tok::Not,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            other => {
+                                return Err(LangError::Lex {
+                                    span,
+                                    message: format!(
+                                        "unexpected character '{}'",
+                                        other as char
+                                    ),
+                                })
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                out.push(Token { tok, span });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("struct int void if else foo"),
+            vec![
+                Tok::KwStruct,
+                Tok::KwInt,
+                Tok::KwVoid,
+                Tok::KwIf,
+                Tok::KwElse,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || < > ! ="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Not,
+                Tok::Assign,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("0 42 1000000"), vec![
+            Tok::Int(0),
+            Tok::Int(42),
+            Tok::Int(1_000_000),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(lex("a @ b"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(matches!(lex("/* oops"), Err(LangError::Lex { .. })));
+    }
+}

@@ -1,0 +1,113 @@
+//! A Domino-like packet-processing language frontend.
+//!
+//! MP5 is programmed in Domino (Sivaraman et al., SIGCOMM 2016), a C-like
+//! DSL for writing stateful packet-processing programs against a single
+//! logical pipeline. This crate implements a faithful Domino subset:
+//!
+//! ```c
+//! struct Packet {
+//!     int h1;
+//!     int h2;
+//!     int val;
+//!     int mux;
+//! };
+//!
+//! int reg1[4] = {2, 4, 8, 16};   // register arrays: persistent state
+//! int count = 0;                 // scalar register (size-1 array)
+//!
+//! void func(struct Packet p) {
+//!     int t = p.h1 % 4;                       // local variable
+//!     p.val = (p.mux == 1) ? reg1[t] : 0;     // ternary, register read
+//!     reg1[t] = reg1[t] + 1;                  // register update
+//!     if (p.h2 > 5) { count = count + 1; }    // predicated update
+//! }
+//! ```
+//!
+//! Supported: `int` packet fields, register arrays with initializers,
+//! locals, full C expression grammar (`+ - * / %`, comparisons, `&& || !`,
+//! unary minus, ternary), `if`/`else`, and the builtins `hash2(a,b)`,
+//! `hash3(a,b,c)`, `min(a,b)`, `max(a,b)`.
+//!
+//! The pipeline of this crate mirrors the *Preprocessing* phase of the
+//! Domino compiler (paper Figure 5): parse → semantic check → **branch
+//! removal** (if-conversion to predicated statements) → **flattening** to
+//! three-address code ([`tac::TacProgram`]). The `mp5-compiler` crate
+//! then performs Pipelining, the PVSM-to-PVSM transformation, and code
+//! generation.
+//!
+//! Register semantics follow Banzai: register indices are wrapped into
+//! `[0, size)` (Euclidean modulo) at access time, and all accesses a
+//! packet makes to one register array must resolve to a single index so
+//! that the access is an atomic read-modify-write within one stage.
+//! (That constraint is *checked* in `mp5-compiler`, not here.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod tac;
+
+pub use ast::Program;
+pub use error::{LangError, Span};
+pub use tac::{lower, Operand, TacExpr, TacInstr, TacProgram};
+
+/// Parses and checks a Domino-like source program.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lexer::lex(source)?;
+    let prog = parser::parse_tokens(&tokens)?;
+    check::check(&prog)?;
+    Ok(prog)
+}
+
+/// Convenience: parse, check, and lower to three-address code in one
+/// step.
+pub fn frontend(source: &str) -> Result<TacProgram, LangError> {
+    let prog = parse(source)?;
+    Ok(lower(&prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example program from Figure 3 of the paper, verbatim in
+    /// spirit.
+    pub const FIG3: &str = r#"
+        struct Packet {
+            int h1;
+            int h2;
+            int h3;
+            int val;
+            int mux;
+        };
+
+        int reg1[4] = {2, 4, 8, 16};
+        int reg2[4] = {1, 3, 5, 7};
+        int reg3[4] = {0};
+
+        void func(struct Packet p) {
+            p.val = (p.mux == 1) ? reg1[p.h1 % 4] : reg2[p.h2 % 4];
+            reg3[p.h3 % 4] = (p.mux == 1)
+                ? reg3[p.h3 % 4] * p.val
+                : reg3[p.h3 % 4] + p.val;
+        }
+    "#;
+
+    #[test]
+    fn fig3_program_parses() {
+        let p = parse(FIG3).expect("figure 3 program must parse");
+        assert_eq!(p.fields.len(), 5);
+        assert_eq!(p.regs.len(), 3);
+    }
+
+    #[test]
+    fn fig3_lowers_to_tac() {
+        let t = frontend(FIG3).expect("figure 3 program must lower");
+        assert!(t.instrs.iter().any(|i| matches!(i, TacInstr::RegRead { .. })));
+        assert!(t.instrs.iter().any(|i| matches!(i, TacInstr::RegWrite { .. })));
+    }
+}

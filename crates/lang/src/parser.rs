@@ -1,0 +1,715 @@
+//! Recursive-descent parser for the Domino-like DSL.
+
+use std::collections::HashSet;
+
+use crate::ast::{BinOp, Expr, LValue, Program, RegDecl, Stmt, UnOp};
+use crate::error::{LangError, Span};
+use crate::lexer::{Tok, Token};
+use mp5_types::Value;
+
+/// Parses a token stream (from [`crate::lexer::lex`]) into a [`Program`].
+pub fn parse_tokens(tokens: &[Token]) -> Result<Program, LangError> {
+    Parser {
+        toks: tokens,
+        pos: 0,
+        regs: HashSet::new(),
+        locals: HashSet::new(),
+        pkt_param: String::new(),
+    }
+    .program()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    regs: HashSet<String>,
+    locals: HashSet<String>,
+    pkt_param: String,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.toks[self.pos].tok;
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok, what: &str) -> Result<(), LangError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> LangError {
+        LangError::Parse {
+            span: self.span(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<Value, LangError> {
+        // Allow a leading unary minus in initializers.
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(if neg { v.wrapping_neg() } else { v })
+            }
+            ref other => Err(self.err(format!("expected integer literal, found {other:?}"))),
+        }
+    }
+
+    // ---------------- top level ----------------
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut fields = Vec::new();
+        let mut regs = Vec::new();
+        let mut body = None;
+
+        while *self.peek() != Tok::Eof {
+            match self.peek() {
+                Tok::KwStruct => {
+                    if !fields.is_empty() {
+                        return Err(self.err("duplicate struct Packet declaration".into()));
+                    }
+                    fields = self.struct_decl()?;
+                }
+                Tok::KwInt => {
+                    regs.push(self.reg_decl()?);
+                }
+                Tok::KwVoid => {
+                    if body.is_some() {
+                        return Err(self.err("duplicate function definition".into()));
+                    }
+                    // Register names must be known before the body parses.
+                    self.regs = regs.iter().map(|r| r.name.clone()).collect();
+                    body = Some(self.func_decl()?);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected struct/register/function declaration, found {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let body = body.ok_or_else(|| self.err("missing void func(struct Packet p)".into()))?;
+        Ok(Program {
+            fields,
+            regs,
+            pkt_param: std::mem::take(&mut self.pkt_param),
+            body,
+        })
+    }
+
+    fn struct_decl(&mut self) -> Result<Vec<String>, LangError> {
+        self.eat(&Tok::KwStruct, "'struct'")?;
+        let name = self.ident("struct name")?;
+        if name != "Packet" {
+            return Err(self.err(format!("only 'struct Packet' is supported, found '{name}'")));
+        }
+        self.eat(&Tok::LBrace, "'{'")?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            self.eat(&Tok::KwInt, "'int'")?;
+            fields.push(self.ident("field name")?);
+            self.eat(&Tok::Semi, "';'")?;
+        }
+        self.eat(&Tok::RBrace, "'}'")?;
+        // Optional trailing semicolon, C-style.
+        if *self.peek() == Tok::Semi {
+            self.bump();
+        }
+        Ok(fields)
+    }
+
+    fn reg_decl(&mut self) -> Result<RegDecl, LangError> {
+        let span = self.span();
+        self.eat(&Tok::KwInt, "'int'")?;
+        let name = self.ident("register name")?;
+        let size = if *self.peek() == Tok::LBracket {
+            self.bump();
+            let n = self.int_lit()?;
+            self.eat(&Tok::RBracket, "']'")?;
+            if n <= 0 {
+                return Err(self.err(format!("register '{name}' must have positive size")));
+            }
+            n as u32
+        } else {
+            1
+        };
+        let mut init = Vec::new();
+        if *self.peek() == Tok::Assign {
+            self.bump();
+            if *self.peek() == Tok::LBrace {
+                self.bump();
+                loop {
+                    init.push(self.int_lit()?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(&Tok::RBrace, "'}'")?;
+            } else {
+                init.push(self.int_lit()?);
+            }
+        }
+        if init.len() > size as usize {
+            return Err(self.err(format!(
+                "register '{name}' has {} initializers but size {size}",
+                init.len()
+            )));
+        }
+        self.eat(&Tok::Semi, "';'")?;
+        Ok(RegDecl {
+            name,
+            size,
+            init,
+            span,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.eat(&Tok::KwVoid, "'void'")?;
+        let _fname = self.ident("function name")?;
+        self.eat(&Tok::LParen, "'('")?;
+        self.eat(&Tok::KwStruct, "'struct'")?;
+        let sname = self.ident("struct name")?;
+        if sname != "Packet" {
+            return Err(self.err("parameter must have type 'struct Packet'".into()));
+        }
+        self.pkt_param = self.ident("parameter name")?;
+        self.eat(&Tok::RParen, "')'")?;
+        self.block()
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.eat(&Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Tok::RBrace, "'}'")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                let name = self.ident("local variable name")?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat(&Tok::Semi, "';'")?;
+                self.locals.insert(name.clone());
+                Ok(Stmt::DeclLocal { name, init, span })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.eat(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen, "')'")?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
+            }
+            _ => {
+                let lhs = self.lvalue()?;
+                self.eat(&Tok::Assign, "'='")?;
+                let rhs = self.expr()?;
+                self.eat(&Tok::Semi, "';'")?;
+                Ok(Stmt::Assign { lhs, rhs, span })
+            }
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, LangError> {
+        let name = self.ident("assignment target")?;
+        if name == self.pkt_param {
+            self.eat(&Tok::Dot, "'.'")?;
+            let f = self.ident("field name")?;
+            return Ok(LValue::Field(f));
+        }
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let idx = self.expr()?;
+            self.eat(&Tok::RBracket, "']'")?;
+            return Ok(LValue::RegElem(name, idx));
+        }
+        if self.regs.contains(&name) {
+            Ok(LValue::RegScalar(name))
+        } else {
+            Ok(LValue::Local(name))
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, LangError> {
+        let c = self.logic_or()?;
+        if *self.peek() == Tok::Question {
+            self.bump();
+            let t = self.expr()?;
+            self.eat(&Tok::Colon, "':'")?;
+            let f = self.expr()?;
+            Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(f)))
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.logic_and()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let r = self.logic_and()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bit_or()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let r = self.bit_or()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bit_xor()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let r = self.bit_xor()?;
+            e = Expr::Binary(BinOp::BitOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bit_and()?;
+        while *self.peek() == Tok::Caret {
+            self.bump();
+            let r = self.bit_and()?;
+            e = Expr::Binary(BinOp::BitXor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.comparison()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let r = self.comparison()?;
+            e = Expr::Binary(BinOp::BitAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // Builtin calls.
+                if *self.peek() == Tok::LParen {
+                    return self.builtin_call(&name);
+                }
+                // p.field
+                if name == self.pkt_param {
+                    self.eat(&Tok::Dot, "'.'")?;
+                    let f = self.ident("field name")?;
+                    return Ok(Expr::Field(f));
+                }
+                // reg[idx]
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat(&Tok::RBracket, "']'")?;
+                    return Ok(Expr::RegElem(name, Box::new(idx)));
+                }
+                if self.regs.contains(&name) {
+                    Ok(Expr::RegScalar(name))
+                } else {
+                    Ok(Expr::Local(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn builtin_call(&mut self, name: &str) -> Result<Expr, LangError> {
+        self.eat(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen, "')'")?;
+        let argc = args.len();
+        let mut it = args.into_iter();
+        match (name, argc) {
+            ("hash2", 2) => Ok(Expr::Hash2(
+                Box::new(it.next().unwrap()),
+                Box::new(it.next().unwrap()),
+            )),
+            ("hash3", 3) => Ok(Expr::Hash3(
+                Box::new(it.next().unwrap()),
+                Box::new(it.next().unwrap()),
+                Box::new(it.next().unwrap()),
+            )),
+            ("min", 2) => Ok(Expr::Binary(
+                BinOp::Min,
+                Box::new(it.next().unwrap()),
+                Box::new(it.next().unwrap()),
+            )),
+            ("max", 2) => Ok(Expr::Binary(
+                BinOp::Max,
+                Box::new(it.next().unwrap()),
+                Box::new(it.next().unwrap()),
+            )),
+            ("hash2" | "hash3" | "min" | "max", n) => {
+                Err(self.err(format!("builtin '{name}' called with {n} arguments")))
+            }
+            _ => Err(self.err(format!("unknown function '{name}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<Program, LangError> {
+        parse_tokens(&lex(src).unwrap())
+    }
+
+    const MINI: &str = r#"
+        struct Packet { int h; int out; };
+        int count[8] = {0};
+        void func(struct Packet p) {
+            count[p.h % 8] = count[p.h % 8] + 1;
+            p.out = count[p.h % 8];
+        }
+    "#;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse(MINI).unwrap();
+        assert_eq!(p.fields, vec!["h", "out"]);
+        assert_eq!(p.regs.len(), 1);
+        assert_eq!(p.regs[0].size, 8);
+        assert_eq!(p.pkt_param, "p");
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_scalar_register() {
+        let p = parse(
+            "struct Packet { int x; };
+             int total = 5;
+             void func(struct Packet p) { total = total + p.x; }",
+        )
+        .unwrap();
+        assert_eq!(p.regs[0].size, 1);
+        assert_eq!(p.regs[0].init, vec![5]);
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Assign { lhs: LValue::RegScalar(n), .. } if n == "total"
+        ));
+    }
+
+    #[test]
+    fn parses_if_else_and_locals() {
+        let p = parse(
+            "struct Packet { int a; };
+             int r[2];
+             void func(struct Packet p) {
+                 int t = p.a * 2;
+                 if (t > 10) { r[0] = t; } else r[1] = t;
+             }",
+        )
+        .unwrap();
+        assert!(matches!(&p.body[1], Stmt::If { else_branch, .. } if else_branch.len() == 1));
+    }
+
+    #[test]
+    fn parses_ternary_and_precedence() {
+        let p = parse(
+            "struct Packet { int a; int b; };
+             void func(struct Packet p) {
+                 p.b = p.a == 1 ? 2 + 3 * 4 : 0;
+             }",
+        )
+        .unwrap();
+        // 2 + 3*4 must parse as 2 + (3*4).
+        match &p.body[0] {
+            Stmt::Assign { rhs: Expr::Ternary(_, t, _), .. } => match t.as_ref() {
+                Expr::Binary(BinOp::Add, _, r) => {
+                    assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected then-branch: {other:?}"),
+            },
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let p = parse(
+            "struct Packet { int a; int b; int o; };
+             void func(struct Packet p) {
+                 p.o = hash2(p.a, p.b) + min(p.a, p.b) + max(p.a, 1);
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_builtin_arity() {
+        assert!(parse(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.a = hash2(p.a); }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(parse(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.a = frobnicate(p.a); }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_missing_function() {
+        assert!(matches!(
+            parse("struct Packet { int a; };"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_initializer() {
+        assert!(parse(
+            "struct Packet { int a; };
+             int r[2] = {1,2,3};
+             void func(struct Packet p) { p.a = 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_size_register() {
+        assert!(parse(
+            "struct Packet { int a; };
+             int r[0];
+             void func(struct Packet p) { p.a = 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_bitwise_and_shift_with_c_precedence() {
+        // `a & b == c` parses as `a & (b == c)` in C; `a << 1 + 2` as
+        // `a << (1 + 2)`; `a | b ^ c & d` as `a | (b ^ (c & d))`.
+        let p = parse(
+            "struct Packet { int a; int b; int c; int d; int o; };
+             void func(struct Packet p) {
+                 p.o = p.a & p.b == p.c;
+                 p.o = p.a << 1 + 2;
+                 p.o = p.a | p.b ^ p.c & p.d;
+                 p.o = (p.a >> 3) & 7;
+             }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::Assign { rhs: Expr::Binary(BinOp::BitAnd, _, r), .. } => {
+                assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &p.body[1] {
+            Stmt::Assign { rhs: Expr::Binary(BinOp::Shl, _, r), .. } => {
+                assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &p.body[2] {
+            Stmt::Assign { rhs: Expr::Binary(BinOp::BitOr, _, r), .. } => {
+                assert!(matches!(r.as_ref(), Expr::Binary(BinOp::BitXor, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_initializers_allowed() {
+        let p = parse(
+            "struct Packet { int a; };
+             int r[2] = {-5, 3};
+             void func(struct Packet p) { p.a = r[0]; }",
+        )
+        .unwrap();
+        assert_eq!(p.regs[0].init, vec![-5, 3]);
+    }
+}

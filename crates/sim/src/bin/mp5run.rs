@@ -1,0 +1,171 @@
+//! `mp5run` — run a Domino-like program file on the MP5 simulator from
+//! the command line and check functional equivalence against the
+//! single-pipeline reference.
+//!
+//! ```sh
+//! cargo run --release -p mp5-sim --bin mp5run -- program.dsl \
+//!     [--pipelines 4] [--packets 20000] [--pattern uniform|skewed] \
+//!     [--design mp5|ideal|no-d4|static|naive|recirc] [--seed 1] \
+//!     [--keys 1024] [--packet-size 64]
+//! ```
+//!
+//! The program's declared packet fields are filled with keys drawn from
+//! the chosen access pattern (every field gets an independent draw),
+//! which drives the register indexes for typical hash-indexed programs.
+
+use mp5_baselines::{RecircConfig, RecircSwitch};
+use mp5_banzai::BanzaiSwitch;
+use mp5_compiler::{compile, Target};
+use mp5_core::{Mp5Switch, SwitchConfig};
+use mp5_sim::c1_violation_fraction;
+use mp5_traffic::{AccessPattern, SizeDist, TraceBuilder};
+
+struct Args {
+    program: String,
+    pipelines: usize,
+    packets: usize,
+    pattern: AccessPattern,
+    design: String,
+    seed: u64,
+    keys: u64,
+    packet_size: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mp5run <program.dsl> [--pipelines N] [--packets N] \
+         [--pattern uniform|skewed] [--design mp5|ideal|no-d4|static|naive|recirc] \
+         [--seed N] [--keys N] [--packet-size BYTES]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        program: String::new(),
+        pipelines: 4,
+        packets: 20_000,
+        pattern: AccessPattern::Uniform,
+        design: "mp5".into(),
+        seed: 1,
+        keys: 1024,
+        packet_size: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--pipelines" => args.pipelines = val("--pipelines").parse().unwrap_or_else(|_| usage()),
+            "--packets" => args.packets = val("--packets").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--keys" => args.keys = val("--keys").parse().unwrap_or_else(|_| usage()),
+            "--packet-size" => {
+                args.packet_size = val("--packet-size").parse().unwrap_or_else(|_| usage())
+            }
+            "--pattern" => {
+                args.pattern = match val("--pattern").as_str() {
+                    "uniform" => AccessPattern::Uniform,
+                    "skewed" => AccessPattern::paper_skewed(),
+                    other => {
+                        eprintln!("unknown pattern '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--design" => args.design = val("--design"),
+            "--help" | "-h" => usage(),
+            other if args.program.is_empty() && !other.starts_with('-') => {
+                args.program = other.to_string()
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.program.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let source = std::fs::read_to_string(&args.program).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.program);
+        std::process::exit(1)
+    });
+    let prog = compile(&source, &Target::default()).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "compiled '{}': {} stages ({} prologue + {} body), {} register array(s), {} shardable",
+        args.program,
+        prog.num_stages(),
+        prog.resolution.stages,
+        prog.stages.len(),
+        prog.regs.len(),
+        prog.regs.iter().filter(|r| r.shardable).count(),
+    );
+
+    let declared = prog.declared_fields;
+    let pattern = args.pattern;
+    let keys = args.keys;
+    let trace = TraceBuilder::new(args.packets, args.seed)
+        .size(SizeDist::Fixed(args.packet_size))
+        .build(prog.num_fields(), move |rng, _, f| {
+            for v in f.iter_mut().take(declared) {
+                *v = pattern.draw(keys, rng) as i64;
+            }
+        });
+
+    let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+    let k = args.pipelines;
+    let (report, extra) = match args.design.as_str() {
+        "mp5" => (Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace), String::new()),
+        "ideal" => (Mp5Switch::new(prog, SwitchConfig::ideal(k)).run(trace), String::new()),
+        "no-d4" => (Mp5Switch::new(prog, SwitchConfig::no_d4(k)).run(trace), String::new()),
+        "static" => (
+            Mp5Switch::new(prog, SwitchConfig::static_shard(k, args.seed)).run(trace),
+            String::new(),
+        ),
+        "naive" => (Mp5Switch::new(prog, SwitchConfig::naive(k)).run(trace), String::new()),
+        "recirc" => {
+            let rep = RecircSwitch::new(prog, RecircConfig::new(k)).run(trace);
+            let extra = format!(
+                ", recircs/pkt {:.2}, max passes {}",
+                rep.recircs_per_packet(),
+                rep.max_passes
+            );
+            (rep.report, extra)
+        }
+        other => {
+            eprintln!("unknown design '{other}'");
+            usage()
+        }
+    };
+
+    let c1 = c1_violation_fraction(&reference.access_log, &report.result.access_log);
+    println!(
+        "design {:<7} k={k}: throughput {:.3} of line rate, completed {}/{}, \
+         steered {}, remap moves {}, max queue {}{extra}",
+        args.design,
+        report.normalized_throughput(),
+        report.completed,
+        report.offered,
+        report.steered,
+        report.remap_moves,
+        report.max_queue_depth,
+    );
+    println!(
+        "functional equivalence: {}   C1 violations: {:.2}%",
+        report.result.equivalent_to(&reference),
+        c1 * 100.0
+    );
+}

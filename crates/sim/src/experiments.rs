@@ -1,0 +1,767 @@
+//! One runner per paper table/figure.
+//!
+//! Every runner returns structured rows; the `mp5-bench` targets print
+//! them in the paper's shape and EXPERIMENTS.md records the comparison.
+//! Row structs are `serde`-serializable so runs can be archived as
+//! JSON/CSV.
+//!
+//! Knobs (environment variables, read once per call):
+//! * `MP5_EXP_PACKETS` — packets per run (default 20 000),
+//! * `MP5_EXP_SEEDS` — independent input streams per data point
+//!   (default 5; the paper uses 10).
+
+use serde::Serialize;
+
+use mp5_baselines::{RecircConfig, RecircSwitch};
+use mp5_banzai::BanzaiSwitch;
+use mp5_core::{Mp5Switch, SwitchConfig};
+use mp5_traffic::{AccessPattern, FlowTraceBuilder};
+use mp5_types::Packet;
+
+use crate::metrics::c1_violation_fraction;
+use crate::parallel_map;
+use crate::synth::{synthetic_compiled, synthetic_trace, SynthConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Packets per run (env `MP5_EXP_PACKETS`).
+pub fn packets_per_run() -> usize {
+    env_usize("MP5_EXP_PACKETS", 20_000)
+}
+
+/// Independent input streams per data point (env `MP5_EXP_SEEDS`).
+pub fn seeds_per_point() -> usize {
+    env_usize("MP5_EXP_SEEDS", 5)
+}
+
+/// Throughput of one synthetic run under a switch configuration.
+fn run_synth_once(cfg: SynthConfig, sw: SwitchConfig) -> f64 {
+    let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size)
+        .expect("synthetic program compiles");
+    let trace = synthetic_trace(&prog, &cfg);
+    Mp5Switch::new(prog, sw).run(trace).normalized_throughput()
+}
+
+/// Mean throughput across seeds, runs in parallel.
+fn run_synth_mean(cfg: SynthConfig, sw: SwitchConfig, seeds: usize) -> f64 {
+    let jobs: Vec<_> = (0..seeds)
+        .map(|s| {
+            let mut c = cfg;
+            c.seed = 1000 + s as u64;
+            let sw = sw.clone();
+            move || run_synth_once(c, sw)
+        })
+        .collect();
+    let v = parallel_map(jobs);
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// One sensitivity data point: MP5 and ideal under both access patterns
+/// (the four series of each Figure 7 panel).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// The swept parameter value.
+    pub x: f64,
+    /// MP5, uniform access pattern.
+    pub mp5_uniform: f64,
+    /// Ideal MP5, uniform.
+    pub ideal_uniform: f64,
+    /// MP5, skewed (95 %→30 %).
+    pub mp5_skewed: f64,
+    /// Ideal MP5, skewed.
+    pub ideal_skewed: f64,
+}
+
+fn fig7_point(x: f64, base: SynthConfig, seeds: usize) -> Fig7Row {
+    let uni = SynthConfig {
+        pattern: AccessPattern::Uniform,
+        ..base
+    };
+    let skew = SynthConfig {
+        pattern: AccessPattern::paper_skewed(),
+        ..base
+    };
+    Fig7Row {
+        x,
+        mp5_uniform: run_synth_mean(uni, SwitchConfig::mp5(base.pipelines), seeds),
+        ideal_uniform: run_synth_mean(uni, SwitchConfig::ideal(base.pipelines), seeds),
+        mp5_skewed: run_synth_mean(skew, SwitchConfig::mp5(base.pipelines), seeds),
+        ideal_skewed: run_synth_mean(skew, SwitchConfig::ideal(base.pipelines), seeds),
+    }
+}
+
+/// Figure 7a: throughput vs number of pipelines (1…16).
+pub fn fig7a() -> Vec<Fig7Row> {
+    let seeds = seeds_per_point();
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&k| {
+            let base = SynthConfig {
+                pipelines: k,
+                packets: packets_per_run(),
+                ..Default::default()
+            };
+            fig7_point(k as f64, base, seeds)
+        })
+        .collect()
+}
+
+/// Figure 7b: throughput vs number of stateful stages (0…10).
+pub fn fig7b() -> Vec<Fig7Row> {
+    let seeds = seeds_per_point();
+    [0usize, 2, 4, 6, 8, 10]
+        .iter()
+        .map(|&m| {
+            let base = SynthConfig {
+                stateful_stages: m,
+                packets: packets_per_run(),
+                ..Default::default()
+            };
+            fig7_point(m as f64, base, seeds)
+        })
+        .collect()
+}
+
+/// Figure 7c: throughput vs register array size (1…4096).
+pub fn fig7c() -> Vec<Fig7Row> {
+    let seeds = seeds_per_point();
+    [1u32, 4, 16, 64, 256, 512, 1024, 4096]
+        .iter()
+        .map(|&r| {
+            let base = SynthConfig {
+                reg_size: r,
+                packets: packets_per_run(),
+                ..Default::default()
+            };
+            fig7_point(r as f64, base, seeds)
+        })
+        .collect()
+}
+
+/// Figure 7d: throughput vs packet size (64…1500 B).
+pub fn fig7d() -> Vec<Fig7Row> {
+    let seeds = seeds_per_point();
+    [64u32, 128, 256, 512, 1024, 1500]
+        .iter()
+        .map(|&p| {
+            let base = SynthConfig {
+                packet_size: p,
+                packets: packets_per_run(),
+                ..Default::default()
+            };
+            fig7_point(p as f64, base, seeds)
+        })
+        .collect()
+}
+
+/// One D2-microbenchmark stream: dynamic- vs static-sharding throughput
+/// ratio (§4.3.2 reports 1.1–3.3× skewed, 1–1.5× uniform).
+#[derive(Debug, Clone, Serialize)]
+pub struct D2Row {
+    /// Stream seed.
+    pub seed: u64,
+    /// dynamic/static throughput ratio, uniform pattern.
+    pub ratio_uniform: f64,
+    /// dynamic/static throughput ratio, skewed pattern.
+    pub ratio_skewed: f64,
+}
+
+/// §4.3.2 D2 microbenchmark.
+pub fn micro_d2() -> Vec<D2Row> {
+    let seeds = seeds_per_point().max(5);
+    let packets = packets_per_run();
+    let jobs: Vec<_> = (0..seeds)
+        .map(|s| {
+            move || {
+                let seed = 2000 + s as u64;
+                let ratio = |pattern: AccessPattern| {
+                    let cfg = SynthConfig {
+                        pattern,
+                        packets,
+                        seed,
+                        ..Default::default()
+                    };
+                    let dynamic = run_synth_once(cfg, SwitchConfig::mp5(4));
+                    let stat = run_synth_once(cfg, SwitchConfig::static_shard(4, seed ^ 0xABCD));
+                    dynamic / stat.max(1e-9)
+                };
+                D2Row {
+                    seed,
+                    ratio_uniform: ratio(AccessPattern::Uniform),
+                    ratio_skewed: ratio(AccessPattern::paper_skewed()),
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One D4-microbenchmark stream: C1 violation fractions (§4.3.2
+/// reports 0 for MP5, 14–26 % without D4, 18–31 % with recirculation).
+#[derive(Debug, Clone, Serialize)]
+pub struct D4Row {
+    /// Stream seed.
+    pub seed: u64,
+    /// MP5 (with D4) violation fraction — must be 0.
+    pub mp5: f64,
+    /// Without D4.
+    pub no_d4: f64,
+    /// Current-generation recirculation switch.
+    pub recirc: f64,
+}
+
+/// §4.3.2 D4 microbenchmark.
+pub fn micro_d4() -> Vec<D4Row> {
+    let seeds = seeds_per_point().max(5);
+    let packets = packets_per_run();
+    let jobs: Vec<_> = (0..seeds)
+        .map(|s| {
+            move || {
+                let seed = 3000 + s as u64;
+                let cfg = SynthConfig {
+                    pattern: AccessPattern::paper_skewed(),
+                    packets,
+                    seed,
+                    ..Default::default()
+                };
+                let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+                let trace = synthetic_trace(&prog, &cfg);
+                let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
+                    .run(trace.clone());
+                let nod4 = Mp5Switch::new(prog.clone(), SwitchConfig::no_d4(4))
+                    .run(trace.clone());
+                let rec = RecircSwitch::new(prog, RecircConfig::new(4)).run(trace);
+                D4Row {
+                    seed,
+                    mp5: c1_violation_fraction(&reference.access_log, &mp5.result.access_log),
+                    no_d4: c1_violation_fraction(
+                        &reference.access_log,
+                        &nod4.result.access_log,
+                    ),
+                    recirc: c1_violation_fraction(
+                        &reference.access_log,
+                        &rec.report.result.access_log,
+                    ),
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One D3-microbenchmark stream: throughput of MP5, the recirculation
+/// switch, and the naive design (§4.3.2: recirculation loses 31–77 %
+/// vs MP5, and can be worse than naive when recircs/packet exceed `k`).
+#[derive(Debug, Clone, Serialize)]
+pub struct D3Row {
+    /// Stream seed.
+    pub seed: u64,
+    /// MP5 throughput.
+    pub mp5: f64,
+    /// Recirculation throughput.
+    pub recirc: f64,
+    /// Naive (single active pipeline) throughput.
+    pub naive: f64,
+    /// Average recirculations per packet.
+    pub recircs_per_packet: f64,
+}
+
+/// §4.3.2 D3 microbenchmark.
+pub fn micro_d3() -> Vec<D3Row> {
+    let seeds = seeds_per_point().max(5);
+    let packets = packets_per_run();
+    let jobs: Vec<_> = (0..seeds)
+        .map(|s| {
+            move || {
+                let seed = 4000 + s as u64;
+                let cfg = SynthConfig {
+                    pattern: AccessPattern::paper_skewed(),
+                    packets,
+                    seed,
+                    ..Default::default()
+                };
+                let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+                let trace = synthetic_trace(&prog, &cfg);
+                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
+                    .run(trace.clone());
+                let naive = Mp5Switch::new(prog.clone(), SwitchConfig::naive(4))
+                    .run(trace.clone());
+                let rec = RecircSwitch::new(prog, RecircConfig::new(4)).run(trace);
+                D3Row {
+                    seed,
+                    mp5: mp5.normalized_throughput(),
+                    recirc: rec.report.normalized_throughput(),
+                    naive: naive.normalized_throughput(),
+                    recircs_per_packet: rec.recircs_per_packet(),
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One Figure 8 data point: a real application at `k` pipelines.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Application name.
+    pub app: String,
+    /// Pipelines.
+    pub pipelines: usize,
+    /// Normalized throughput (paper: line rate ⇒ 1.0 for all apps).
+    pub throughput: f64,
+    /// Maximum packets queued in any pipeline stage (paper: 11/8/7/7).
+    pub max_queue_depth: usize,
+    /// Whether this point is within the FPGA prototype's range (≤ 4
+    /// pipelines / 4 ports in the paper).
+    pub fpga_range: bool,
+    /// Functional equivalence against the Banzai reference held.
+    pub equivalent: bool,
+}
+
+/// Builds the realistic §4.4 trace for an application: Web-search
+/// flows, bimodal packet sizes, line-rate input.
+pub fn app_trace(app: &mp5_apps::AppSpec, packets: usize, seed: u64) -> (mp5_compiler::CompiledProgram, Vec<Packet>) {
+    let prog = app.compile().expect("bundled app compiles");
+    let nf = prog.num_fields();
+    let fill = app.fill;
+    let (mut trace, _flows) = FlowTraceBuilder::new(packets, seed).build(nf, |rng, key, fields| {
+        fill(&prog, key, rng, fields);
+    });
+    // Apps that consume an arrival timestamp get the real one.
+    if let Some(id) = prog.field("arr_ts") {
+        for p in &mut trace {
+            p.fields[id.index()] = p.arrival as i64;
+        }
+    }
+    (prog, trace)
+}
+
+/// Figure 8: real-application throughput against pipeline count.
+pub fn fig8(apps: &[mp5_apps::AppSpec]) -> Vec<Fig8Row> {
+    let packets = packets_per_run();
+    let seeds = seeds_per_point();
+    let ks = [1usize, 2, 4, 8, 16];
+    let mut jobs: Vec<Box<dyn FnOnce() -> Fig8Row + Send>> = Vec::new();
+    for app in apps {
+        let app = *app;
+        for &k in &ks {
+            jobs.push(Box::new(move || {
+                let mut tp = 0.0;
+                let mut max_q = 0usize;
+                let mut equivalent = true;
+                for s in 0..seeds {
+                    let (prog, trace) = app_trace(&app, packets, 5000 + s as u64);
+                    let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+                    let rep = Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace);
+                    tp += rep.normalized_throughput();
+                    max_q = max_q.max(rep.max_queue_depth);
+                    equivalent &= rep.result.equivalent_to(&reference);
+                }
+                Fig8Row {
+                    app: app.name.to_string(),
+                    pipelines: k,
+                    throughput: tp / seeds.max(1) as f64,
+                    max_queue_depth: max_q,
+                    fpga_range: k <= 4,
+                    equivalent,
+                }
+            }));
+        }
+    }
+    parallel_map(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_env() -> (usize, usize) {
+        // Tests run with few packets/seeds for speed.
+        std::env::set_var("MP5_EXP_PACKETS", "4000");
+        std::env::set_var("MP5_EXP_SEEDS", "2");
+        (packets_per_run(), seeds_per_point())
+    }
+
+    #[test]
+    fn fig7a_throughput_decreases_with_pipelines() {
+        small_env();
+        let rows = fig7a();
+        assert_eq!(rows.len(), 5);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(
+            first.mp5_uniform > last.mp5_uniform,
+            "more pipelines → more contention → lower normalized throughput: {} vs {}",
+            first.mp5_uniform,
+            last.mp5_uniform
+        );
+        // MP5 close to ideal everywhere (§4.3.3).
+        for r in &rows {
+            assert!(r.ideal_uniform >= r.mp5_uniform - 0.08, "{r:?}");
+            assert!(r.ideal_skewed >= r.mp5_skewed - 0.08, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig7c_throughput_increases_with_register_size() {
+        small_env();
+        let rows = fig7c();
+        let tiny = &rows[0]; // size 1: every packet hits one state
+        let big = rows.last().unwrap(); // 4096
+        assert!(
+            big.mp5_uniform > tiny.mp5_uniform * 1.5,
+            "large arrays shard better: {} vs {}",
+            big.mp5_uniform,
+            tiny.mp5_uniform
+        );
+    }
+
+    #[test]
+    fn fig7d_line_rate_from_128_bytes() {
+        small_env();
+        let rows = fig7d();
+        let at_128 = rows.iter().find(|r| r.x == 128.0).unwrap();
+        assert!(
+            at_128.mp5_uniform > 0.9,
+            "paper: line rate with packets as small as 128 B, got {}",
+            at_128.mp5_uniform
+        );
+        let at_64 = rows.iter().find(|r| r.x == 64.0).unwrap();
+        assert!(at_64.mp5_uniform < at_128.mp5_uniform);
+    }
+
+    #[test]
+    fn micro_d4_mp5_is_exactly_zero() {
+        small_env();
+        for row in micro_d4() {
+            assert_eq!(row.mp5, 0.0, "MP5 must never violate C1: {row:?}");
+            assert!(row.no_d4 > 0.0, "no-D4 must violate: {row:?}");
+            assert!(row.recirc > 0.0, "recirculation must violate: {row:?}");
+        }
+    }
+
+    #[test]
+    fn micro_d3_recirc_slower_than_mp5() {
+        small_env();
+        for row in micro_d3() {
+            assert!(
+                row.recirc < row.mp5,
+                "recirculation must cost throughput: {row:?}"
+            );
+            assert!(row.recircs_per_packet > 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations of MP5's design choices (beyond the paper's figures)
+// ---------------------------------------------------------------------
+
+/// One FIFO-capacity ablation point: how deep must the per-lane FIFOs
+/// be before line-rate workloads stop dropping? (§4.2 sets 8 entries
+/// per FIFO, "sufficient to avoid tail drops based on observations in
+/// §4.4".)
+#[derive(Debug, Clone, Serialize)]
+pub struct FifoAblationRow {
+    /// Per-lane FIFO capacity.
+    pub capacity: usize,
+    /// Fraction of offered packets delivered (real app, §4.4 traffic).
+    pub delivered_app: f64,
+    /// Fraction delivered on the worst-case 64 B synthetic workload.
+    pub delivered_synth: f64,
+}
+
+/// FIFO capacity sweep.
+pub fn ablation_fifo() -> Vec<FifoAblationRow> {
+    let packets = packets_per_run();
+    let jobs: Vec<_> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|cap| {
+            move || {
+                let mut sw = SwitchConfig::mp5(4);
+                sw.fifo_capacity = Some(cap);
+                // Real application with realistic traffic.
+                let (prog, trace) = app_trace(&mp5_apps::FLOWLET, packets, 42);
+                let app = Mp5Switch::new(prog, sw.clone()).run(trace);
+                // Worst-case synthetic at line rate.
+                let cfg = SynthConfig {
+                    packets,
+                    seed: 42,
+                    ..Default::default()
+                };
+                let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+                let trace = synthetic_trace(&prog, &cfg);
+                let synth = Mp5Switch::new(prog, sw).run(trace);
+                FifoAblationRow {
+                    capacity: cap,
+                    delivered_app: app.delivered_fraction(),
+                    delivered_synth: synth.delivered_fraction(),
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One remap-period ablation point (§3.4 triggers the heuristic "every
+/// few 100s of clock cycles"; the evaluation uses 100).
+#[derive(Debug, Clone, Serialize)]
+pub struct RemapAblationRow {
+    /// Cycles between remap runs.
+    pub period: u64,
+    /// Throughput on skewed traffic.
+    pub throughput: f64,
+    /// State migrations performed.
+    pub moves: u64,
+}
+
+/// Remap period sweep under skewed traffic.
+pub fn ablation_remap() -> Vec<RemapAblationRow> {
+    let packets = packets_per_run();
+    let jobs: Vec<_> = [25u64, 50, 100, 200, 400, 800, 100_000_000]
+        .into_iter()
+        .map(|period| {
+            move || {
+                let cfg = SynthConfig {
+                    pattern: mp5_traffic::AccessPattern::paper_skewed(),
+                    packets,
+                    seed: 9,
+                    ..Default::default()
+                };
+                let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+                let trace = synthetic_trace(&prog, &cfg);
+                let mut sw = SwitchConfig::mp5(4);
+                sw.remap_period = period;
+                let rep = Mp5Switch::new(prog, sw).run(trace);
+                RemapAblationRow {
+                    period,
+                    throughput: rep.normalized_throughput(),
+                    moves: rep.remap_moves,
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One flow-order-enforcement ablation point: the §3.4 dummy-state
+/// mechanism trades throughput for zero intra-flow reordering.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowOrderRow {
+    /// Pipelines.
+    pub pipelines: usize,
+    /// Without enforcement: throughput.
+    pub plain_throughput: f64,
+    /// Without enforcement: fraction of multi-packet flows reordered.
+    pub plain_reordered: f64,
+    /// With enforcement: throughput.
+    pub ordered_throughput: f64,
+    /// With enforcement: fraction reordered (must be 0).
+    pub ordered_reordered: f64,
+}
+
+/// Flow-order enforcement cost/benefit on a NAT-like program where half
+/// the packets are stateless.
+pub fn ablation_flow_order() -> Vec<FlowOrderRow> {
+    use mp5_compiler::{compile_with_options, CompileOptions, FlowOrderSpec};
+
+    const NATISH: &str = "
+        struct Packet {
+            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+            int is_syn;
+            int nat_port;
+        };
+        int bindings[8] = {0};
+        void func(struct Packet p) {
+            int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                            hash2(p.src_port, p.dst_port), p.proto) % 8;
+            if (p.is_syn == 1) {
+                bindings[idx] = p.src_port + 10000;
+                p.nat_port = bindings[idx];
+            } else {
+                p.nat_port = 0;
+            }
+        }";
+
+    let packets = packets_per_run();
+    let jobs: Vec<_> = [2usize, 4, 8]
+        .into_iter()
+        .map(|k| {
+            move || {
+                let plain =
+                    mp5_compiler::compile(NATISH, &mp5_compiler::Target::default()).unwrap();
+                let ordered = compile_with_options(
+                    NATISH,
+                    &mp5_compiler::Target::default(),
+                    &CompileOptions {
+                        enforce_flow_order: Some(FlowOrderSpec::default()),
+                    },
+                )
+                .unwrap();
+                let run = |prog: mp5_compiler::CompiledProgram| {
+                    let trace = mp5_traffic::TraceBuilder::new(packets, 77).build(
+                        prog.num_fields(),
+                        |rng, _, f| {
+                            let flow = rand::Rng::gen_range(rng, 0..32i64);
+                            f[0] = flow;
+                            f[1] = 99;
+                            f[2] = 1000 + flow;
+                            f[3] = 80;
+                            f[4] = 6;
+                            f[5] = i64::from(rand::Rng::gen_bool(rng, 0.5));
+                        },
+                    );
+                    let flows: std::collections::HashMap<_, _> =
+                        trace.iter().map(|p| (p.id, p.fields[0])).collect();
+                    let arrival: Vec<_> = trace.iter().map(|p| p.id).collect();
+                    let rep = Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace);
+                    let completion: Vec<_> =
+                        rep.completions.iter().map(|&(p, _)| p).collect();
+                    (
+                        rep.normalized_throughput(),
+                        crate::metrics::reordered_flow_fraction(&flows, &arrival, &completion),
+                    )
+                };
+                let (pt, pr) = run(plain);
+                let (ot, or) = run(ordered);
+                FlowOrderRow {
+                    pipelines: k,
+                    plain_throughput: pt,
+                    plain_reordered: pr,
+                    ordered_throughput: ot,
+                    ordered_reordered: or,
+                }
+            }
+        })
+        .collect();
+    parallel_map(jobs)
+}
+
+/// One chiplet-extension data point (§3.5.3, the paper's future work):
+/// a monolithic 8-pipeline MP5 vs. two 4-pipeline chiplets with no
+/// inter-chiplet state access (ports and state split per chiplet).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChipletRow {
+    /// Application.
+    pub app: String,
+    /// "monolithic-8" or "chiplet-2x4".
+    pub mode: String,
+    /// Normalized throughput (offered-weighted across chiplets).
+    pub throughput: f64,
+    /// Per-packet outputs identical to the logical single pipeline over
+    /// the *whole* switch. Monolithic MP5 guarantees this; chiplets
+    /// cannot when state is global or hash-shared across chiplets —
+    /// exactly why the paper leaves inter-chiplet MP5 as future work.
+    pub globally_equivalent: bool,
+}
+
+/// §3.5.3 chiplet exploration: what splitting the pipelines across two
+/// chiplets (each a self-contained MP5) does to correctness and
+/// throughput.
+pub fn ext_chiplet() -> Vec<ChipletRow> {
+    use mp5_core::{Partition, PartitionedSwitch};
+
+    let packets = packets_per_run();
+    let mut rows = Vec::new();
+    for app in [&mp5_apps::SEQUENCER, &mp5_apps::FLOWLET, &mp5_apps::DDOS_COUNTER] {
+        let (prog, trace) = app_trace(app, packets, 31);
+        let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+
+        // Monolithic 8-pipeline MP5.
+        let mono = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(8)).run(trace.clone());
+        rows.push(ChipletRow {
+            app: app.name.to_string(),
+            mode: "monolithic-8".into(),
+            throughput: mono.normalized_throughput(),
+            globally_equivalent: mono.result.equivalent_to(&reference),
+        });
+
+        // Two 4-pipeline chiplets: ports 0-31 and 32-63.
+        let chip = PartitionedSwitch::new(
+            8,
+            vec![
+                Partition {
+                    name: "chiplet0".into(),
+                    program: prog.clone(),
+                    pipelines: 4,
+                    ports: 0..32,
+                },
+                Partition {
+                    name: "chiplet1".into(),
+                    program: prog.clone(),
+                    pipelines: 4,
+                    ports: 32..64,
+                },
+            ],
+        );
+        let reports = chip.run(trace);
+        let offered: u64 = reports.iter().map(|r| r.report.offered).sum();
+        let tput = reports
+            .iter()
+            .map(|r| r.report.normalized_throughput() * r.report.offered as f64)
+            .sum::<f64>()
+            / offered.max(1) as f64;
+        // Global packet-state equivalence: every packet's outputs match
+        // the whole-switch single-pipeline run.
+        let globally_equivalent = reports.iter().all(|r| {
+            r.report
+                .result
+                .outputs
+                .iter()
+                .all(|(id, out)| reference.outputs.get(id) == Some(out))
+        });
+        rows.push(ChipletRow {
+            app: app.name.to_string(),
+            mode: "chiplet-2x4".into(),
+            throughput: tput,
+            globally_equivalent,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn ablations_produce_sane_shapes() {
+        std::env::set_var("MP5_EXP_PACKETS", "4000");
+        std::env::set_var("MP5_EXP_SEEDS", "2");
+
+        let fifo = ablation_fifo();
+        assert_eq!(fifo.len(), 6);
+        // Delivered fraction is monotone (within noise) in capacity for
+        // the worst-case workload, and the real app never drops.
+        assert!(fifo.windows(2).all(|w| w[1].delivered_synth >= w[0].delivered_synth - 0.02));
+        assert!(fifo.iter().all(|r| r.delivered_app > 0.999));
+
+        let remap = ablation_remap();
+        let never = remap.iter().find(|r| r.period > 1_000_000).unwrap();
+        assert_eq!(never.moves, 0);
+        let fast = remap.iter().find(|r| r.period == 50).unwrap();
+        assert!(fast.moves > 0);
+        assert!(fast.throughput >= never.throughput - 0.02);
+
+        let chip = ext_chiplet();
+        let seq_mono = chip
+            .iter()
+            .find(|r| r.app == "sequencer" && r.mode == "monolithic-8")
+            .unwrap();
+        let seq_chip = chip
+            .iter()
+            .find(|r| r.app == "sequencer" && r.mode == "chiplet-2x4")
+            .unwrap();
+        assert!(seq_mono.globally_equivalent);
+        assert!(
+            !seq_chip.globally_equivalent,
+            "a global sequencer cannot survive independent chiplets"
+        );
+    }
+}

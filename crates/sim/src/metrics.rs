@@ -1,0 +1,210 @@
+//! Correctness metrics: condition C1 and packet reordering.
+
+use std::collections::{HashMap, HashSet};
+
+use mp5_banzai::AccessLog;
+use mp5_types::{PacketId, Value};
+
+/// Fraction of packets that violate condition C1 — *state access order
+/// equivalence* (§3): "for each register state, the same set of input
+/// packets must access the state and in the same order in both single
+/// and multi-pipelined switch."
+///
+/// A packet violates C1 if, for any state it accesses, it was served
+/// before some packet that precedes it in the reference (single
+/// pipeline) order — i.e. it jumped the queue — or if its access set
+/// differs from the reference. The fraction is over packets that access
+/// at least one state in the reference run (§4.3.2 reports 14–26 % for
+/// no-D4 and 18–31 % for recirculation).
+pub fn c1_violation_fraction(reference: &AccessLog, actual: &AccessLog) -> f64 {
+    let mut accessors: HashSet<PacketId> = HashSet::new();
+    let mut violators: HashSet<PacketId> = HashSet::new();
+
+    for (state, ref_seq) in reference {
+        let rank: HashMap<PacketId, usize> = ref_seq
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        accessors.extend(ref_seq.iter().copied());
+        let Some(act_seq) = actual.get(state) else {
+            // Nobody reached this state: every reference accessor has a
+            // divergent access set.
+            violators.extend(ref_seq.iter().copied());
+            continue;
+        };
+        // Packets appearing in actual but not reference accessed a state
+        // they should not have.
+        for p in act_seq {
+            if !rank.contains_key(p) {
+                violators.insert(*p);
+            }
+        }
+        // Packets missing from actual diverged too (e.g. dropped).
+        let present: HashSet<PacketId> = act_seq.iter().copied().collect();
+        for p in ref_seq {
+            if !present.contains(p) {
+                violators.insert(*p);
+            }
+        }
+        // Inversions: a packet served before a reference-earlier packet.
+        // Scan right-to-left tracking the minimum reference rank seen:
+        // if a later-served packet has a smaller rank, this packet
+        // overtook it.
+        let mut min_rank_right = usize::MAX;
+        for p in act_seq.iter().rev() {
+            let Some(&r) = rank.get(p) else { continue };
+            if r > min_rank_right {
+                // Someone served after p should have been served first.
+                // But the *violator* is the overtaker, i.e. packets with
+                // larger rank served earlier; mark p only when p is the
+                // overtaker: p has larger rank than a later-served one.
+                violators.insert(*p);
+            }
+            min_rank_right = min_rank_right.min(r);
+        }
+    }
+    if accessors.is_empty() {
+        0.0
+    } else {
+        violators.len() as f64 / accessors.len() as f64
+    }
+}
+
+/// Fraction of multi-packet flows whose packets exited the switch in a
+/// different relative order than they arrived (§3.4 "Handling
+/// starvation and packet re-ordering").
+///
+/// `flows` maps each packet to its flow key (any hashable value);
+/// `arrival_order` and `completion_order` list packet ids in entry and
+/// exit order respectively.
+pub fn reordered_flow_fraction(
+    flows: &HashMap<PacketId, Value>,
+    arrival_order: &[PacketId],
+    completion_order: &[PacketId],
+) -> f64 {
+    let mut arr: HashMap<Value, Vec<PacketId>> = HashMap::new();
+    for p in arrival_order {
+        if let Some(f) = flows.get(p) {
+            arr.entry(*f).or_default().push(*p);
+        }
+    }
+    let mut done: HashMap<Value, Vec<PacketId>> = HashMap::new();
+    for p in completion_order {
+        if let Some(f) = flows.get(p) {
+            done.entry(*f).or_default().push(*p);
+        }
+    }
+    let mut multi = 0usize;
+    let mut reordered = 0usize;
+    for (f, a) in &arr {
+        if a.len() < 2 {
+            continue;
+        }
+        multi += 1;
+        // Compare the completion order restricted to delivered packets
+        // against the arrival order restricted to the same set.
+        let d = done.get(f).cloned().unwrap_or_default();
+        let delivered: HashSet<PacketId> = d.iter().copied().collect();
+        let expect: Vec<PacketId> = a
+            .iter()
+            .copied()
+            .filter(|p| delivered.contains(p))
+            .collect();
+        if d != expect {
+            reordered += 1;
+        }
+    }
+    if multi == 0 {
+        0.0
+    } else {
+        reordered as f64 / multi as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_types::RegId;
+
+    fn log(entries: &[(u16, u32, &[u64])]) -> AccessLog {
+        entries
+            .iter()
+            .map(|&(r, i, pkts)| {
+                (
+                    (RegId(r), i),
+                    pkts.iter().map(|&p| PacketId(p)).collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_logs_have_zero_violations() {
+        let a = log(&[(0, 0, &[1, 2, 3]), (0, 1, &[4, 5])]);
+        assert_eq!(c1_violation_fraction(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn single_swap_marks_the_overtaker() {
+        let reference = log(&[(0, 0, &[1, 2, 3, 4])]);
+        let actual = log(&[(0, 0, &[1, 3, 2, 4])]);
+        // Packet 3 overtook packet 2: exactly one violator out of four.
+        assert!((c1_violation_fraction(&reference, &actual) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completely_reversed_order_blames_overtakers() {
+        let reference = log(&[(0, 0, &[1, 2, 3, 4])]);
+        let actual = log(&[(0, 0, &[4, 3, 2, 1])]);
+        // Packets 2, 3, 4 each jumped ahead of packet 1 (and others).
+        assert!((c1_violation_fraction(&reference, &actual) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_accesses_count_as_violations() {
+        let reference = log(&[(0, 0, &[1, 2, 3])]);
+        let actual = log(&[(0, 0, &[1, 3])]);
+        // Packet 2 vanished from the state's access set.
+        assert!(c1_violation_fraction(&reference, &actual) > 0.3);
+    }
+
+    #[test]
+    fn extra_accesses_count_as_violations() {
+        let reference = log(&[(0, 0, &[1, 2])]);
+        let actual = log(&[(0, 0, &[1, 2, 9])]);
+        assert!(c1_violation_fraction(&reference, &actual) > 0.0);
+    }
+
+    #[test]
+    fn violations_across_states_union_packets() {
+        let reference = log(&[(0, 0, &[1, 2]), (0, 1, &[2, 3])]);
+        let actual = log(&[(0, 0, &[2, 1]), (0, 1, &[3, 2])]);
+        // Packet 2 violated at state 0; packet 3 at state 1.
+        let f = c1_violation_fraction(&reference, &actual);
+        assert!((f - 2.0 / 3.0).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn reordering_detects_swapped_flow_packets() {
+        let flows: HashMap<PacketId, Value> =
+            [(PacketId(1), 7), (PacketId(2), 7), (PacketId(3), 8)]
+                .into_iter()
+                .collect();
+        let arrival = [PacketId(1), PacketId(2), PacketId(3)];
+        let inorder = [PacketId(1), PacketId(3), PacketId(2)];
+        // Flow 7 delivered 1 then 2: in order (3 belongs to flow 8).
+        assert_eq!(reordered_flow_fraction(&flows, &arrival, &inorder), 0.0);
+        let swapped = [PacketId(2), PacketId(3), PacketId(1)];
+        assert_eq!(reordered_flow_fraction(&flows, &arrival, &swapped), 1.0);
+    }
+
+    #[test]
+    fn reordering_ignores_single_packet_flows() {
+        let flows: HashMap<PacketId, Value> =
+            [(PacketId(1), 7), (PacketId(2), 8)].into_iter().collect();
+        let arrival = [PacketId(1), PacketId(2)];
+        let completion = [PacketId(2), PacketId(1)];
+        assert_eq!(reordered_flow_fraction(&flows, &arrival, &completion), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! State access patterns (§4.3.1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How packets distribute their accesses over a key space of `n` states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// "each state is accessed by roughly the same number of input
+    /// packets".
+    Uniform,
+    /// "most packets (95% in our case) access only a small fraction of
+    /// states (30% in our case)" — derived from heavy-tailed datacenter
+    /// traffic.
+    Skewed {
+        /// Fraction of the key space that is hot (paper: 0.30).
+        hot_frac: f64,
+        /// Probability a packet targets the hot set (paper: 0.95).
+        hot_prob: f64,
+    },
+}
+
+impl AccessPattern {
+    /// The paper's skewed pattern: 95 % of packets over 30 % of states.
+    pub fn paper_skewed() -> Self {
+        AccessPattern::Skewed {
+            hot_frac: 0.30,
+            hot_prob: 0.95,
+        }
+    }
+
+    /// Draws a key in `[0, n)` according to the pattern.
+    pub fn draw(&self, n: u64, rng: &mut SmallRng) -> u64 {
+        debug_assert!(n > 0);
+        match *self {
+            AccessPattern::Uniform => rng.gen_range(0..n),
+            AccessPattern::Skewed { hot_frac, hot_prob } => {
+                let hot = ((n as f64 * hot_frac).ceil() as u64).clamp(1, n);
+                if rng.gen_bool(hot_prob) && hot < n {
+                    rng.gen_range(0..hot)
+                } else if hot < n {
+                    rng.gen_range(hot..n)
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_key_space() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut hist = vec![0u32; 16];
+        for _ in 0..16_000 {
+            hist[AccessPattern::Uniform.draw(16, &mut rng) as usize] += 1;
+        }
+        for (i, &c) in hist.iter().enumerate() {
+            assert!(c > 700 && c < 1300, "key {i} count {c} not ~1000");
+        }
+    }
+
+    #[test]
+    fn skewed_concentrates_on_hot_set() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pat = AccessPattern::paper_skewed();
+        let n = 100u64;
+        let hot = 30u64;
+        let mut in_hot = 0u32;
+        for _ in 0..10_000 {
+            if pat.draw(n, &mut rng) < hot {
+                in_hot += 1;
+            }
+        }
+        let frac = in_hot as f64 / 10_000.0;
+        assert!((frac - 0.95).abs() < 0.02, "hot fraction {frac} != ~0.95");
+    }
+
+    #[test]
+    fn skewed_degenerates_gracefully_for_tiny_spaces() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pat = AccessPattern::paper_skewed();
+        for _ in 0..100 {
+            assert_eq!(pat.draw(1, &mut rng), 0);
+            assert!(pat.draw(2, &mut rng) < 2);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Trace persistence: save and reload generated packet traces so an
+//! experiment's exact input can be archived alongside its results.
+
+use mp5_types::Packet;
+
+/// Serializes a trace to pretty JSON.
+pub fn to_json(trace: &[Packet]) -> String {
+    serde_json::to_string_pretty(trace).expect("packets serialize")
+}
+
+/// Parses a trace from JSON.
+pub fn from_json(json: &str) -> Result<Vec<Packet>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Writes a trace to a file.
+pub fn save(trace: &[Packet], path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(trace))
+}
+
+/// Reads a trace from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<Vec<Packet>> {
+    let text = std::fs::read_to_string(path)?;
+    from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    #[test]
+    fn json_roundtrip_preserves_trace() {
+        let trace = TraceBuilder::new(200, 9).build(3, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(-50..50);
+        });
+        let back = from_json(&to_json(&trace)).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mp5_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let trace = TraceBuilder::new(50, 1).build(2, |_, i, f| f[0] = i as i64);
+        save(&trace, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("[{]").is_err());
+        assert!(from_json("42").is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! The simulation time model.
+//!
+//! See the crate-level documentation for the rationale. In short:
+//!
+//! * [`Time`] is measured in **byte-times**: the time for the aggregate
+//!   switch to receive one byte at line rate (`N·B`).
+//! * A 64 B packet occupies [`BYTES_PER_SLOT`] byte-times of aggregate
+//!   capacity, so at line rate with minimum-size packets one packet
+//!   arrives every 64 byte-times.
+//! * A `k`-pipeline switch clocks each pipeline once every
+//!   `BYTES_PER_SLOT · k` byte-times (each pipeline runs at `N·B/k`);
+//!   the corresponding logical single pipeline clocks every
+//!   `BYTES_PER_SLOT` byte-times.
+
+/// Absolute simulation time in byte-times.
+pub type Time = u64;
+
+/// A pipeline clock cycle index (0-based).
+pub type Cycle = u64;
+
+/// Bytes of aggregate line-rate capacity consumed by one minimum-size
+/// (64 B) Ethernet packet — i.e. byte-times per single-pipeline slot.
+pub const BYTES_PER_SLOT: u64 = 64;
+
+/// Duration of one pipeline cycle, in byte-times, for a switch with `k`
+/// parallel pipelines.
+///
+/// Each pipeline processes packets at `N·B/k`, i.e. one (64 B-equivalent)
+/// packet every `64·k` byte-times.
+#[inline]
+pub fn cycle_len(pipelines: usize) -> Time {
+    BYTES_PER_SLOT * pipelines as u64
+}
+
+/// Converts an absolute time to the index of the pipeline cycle containing
+/// it, for a switch with `k` pipelines.
+#[inline]
+pub fn cycle_of(time: Time, pipelines: usize) -> Cycle {
+    time / cycle_len(pipelines)
+}
+
+/// The absolute start time of a given pipeline cycle.
+#[inline]
+pub fn cycle_start(cycle: Cycle, pipelines: usize) -> Time {
+    cycle * cycle_len(pipelines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_len_scales_with_pipelines() {
+        assert_eq!(cycle_len(1), 64);
+        assert_eq!(cycle_len(4), 256);
+    }
+
+    #[test]
+    fn cycle_of_is_inverse_of_cycle_start() {
+        for k in [1usize, 2, 4, 8, 16] {
+            for c in [0u64, 1, 7, 1000] {
+                assert_eq!(cycle_of(cycle_start(c, k), k), c);
+                // Any time strictly inside the cycle maps back to it.
+                assert_eq!(cycle_of(cycle_start(c, k) + cycle_len(k) - 1, k), c);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Heavy-hitter detection under skewed (DDoS-like) traffic: shows
+//! dynamic state sharding (design principle D2) re-balancing hot
+//! counters across pipelines at runtime, versus a static shard.
+//!
+//! ```sh
+//! cargo run --release --example heavy_hitter_ddos
+//! ```
+
+use mp5::banzai::BanzaiSwitch;
+use mp5::core::{Mp5Switch, SwitchConfig};
+use mp5::traffic::pattern::AccessPattern;
+use mp5::traffic::TraceBuilder;
+use mp5::types::Value;
+
+fn main() {
+    let app = &mp5::apps::DDOS_COUNTER;
+    println!("{}: {}", app.name, app.description);
+    let program = app.compile().expect("app compiles");
+
+    // Skewed traffic: 95% of packets come from 30% of sources — a few
+    // attackers dominating, the paper's heavy-tail pattern.
+    let pattern = AccessPattern::paper_skewed();
+    let trace = TraceBuilder::new(30_000, 11).build(program.num_fields(), |rng, _, f| {
+        let src = pattern.draw(5_000, rng);
+        f[0] = src as Value; // src_ip
+    });
+
+    let reference = BanzaiSwitch::new(program.clone()).run(trace.clone());
+
+    let dynamic = Mp5Switch::new(program.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+    let static_ = Mp5Switch::new(program.clone(), SwitchConfig::static_shard(4, 99)).run(trace.clone());
+
+    println!(
+        "dynamic sharding: throughput={:.3}, {} state migrations, equivalent={}",
+        dynamic.normalized_throughput(),
+        dynamic.remap_moves,
+        dynamic.result.equivalent_to(&reference)
+    );
+    println!(
+        "static sharding : throughput={:.3}, {} state migrations, equivalent={}",
+        static_.normalized_throughput(),
+        static_.remap_moves,
+        static_.result.equivalent_to(&reference)
+    );
+    println!(
+        "dynamic/static speedup: {:.2}x (paper §4.3.2: 1.1–3.3x on skewed traffic)",
+        dynamic.normalized_throughput() / static_.normalized_throughput()
+    );
+
+    // Top sources are counted exactly, despite four parallel pipelines.
+    let counters = &dynamic.result.final_regs[0];
+    let mut top: Vec<(usize, Value)> = counters.iter().copied().enumerate().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nhottest counter buckets (bucket, packets):");
+    for (idx, count) in top.iter().take(5) {
+        println!("  bucket {idx:>5}: {count}");
+    }
+    assert_eq!(
+        dynamic.result.final_regs, reference.final_regs,
+        "per-source counts must be exact"
+    );
+}

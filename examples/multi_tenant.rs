@@ -1,0 +1,97 @@
+//! Multiple independent logical MP5 switches on one chip (paper §3.1,
+//! footnote 1): a latency-critical network sequencer gets 1 of the 4
+//! physical pipelines to itself, while heavy-hitter telemetry runs on
+//! the other 3 — each logical switch independently functionally
+//! equivalent to its own single-pipeline reference.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use mp5::banzai::BanzaiSwitch;
+use mp5::core::{Partition, PartitionedSwitch};
+use mp5::traffic::FlowTraceBuilder;
+use mp5::types::PortId;
+
+fn main() {
+    let seq = mp5::apps::SEQUENCER.compile().expect("sequencer compiles");
+    let hh = mp5::apps::HEAVY_HITTER.compile().expect("heavy hitter compiles");
+
+    // One realistic trace over all 64 ports; the partitioning routes
+    // ports 0-15 to the sequencer and 16-63 to telemetry.
+    let nf = seq.num_fields().max(hh.num_fields());
+    let (trace, _) = FlowTraceBuilder::new(30_000, 3).build(nf, |rng, key, fields| {
+        // Fill both apps' fields; each program reads only its own.
+        (mp5::apps::SEQUENCER.fill)(&seq, key, rng, fields);
+        (mp5::apps::HEAVY_HITTER.fill)(&hh, key, rng, fields);
+    });
+
+    // References for each partition's own traffic slice.
+    let seq_ref = BanzaiSwitch::new(seq.clone()).run(
+        trace
+            .iter()
+            .filter(|p| p.port.0 < 16)
+            .cloned()
+            .map(|mut p| {
+                p.fields.truncate(seq.num_fields());
+                p
+            })
+            .collect(),
+    );
+    let hh_ref = BanzaiSwitch::new(hh.clone()).run(
+        trace
+            .iter()
+            .filter(|p| p.port.0 >= 16)
+            .cloned()
+            .map(|mut p| {
+                p.port = PortId(p.port.0 - 16);
+                p.fields.truncate(hh.num_fields());
+                p
+            })
+            .collect(),
+    );
+
+    let chip = PartitionedSwitch::new(
+        4,
+        vec![
+            Partition {
+                name: "sequencer".into(),
+                program: seq.clone(),
+                pipelines: 1,
+                ports: 0..16,
+            },
+            Partition {
+                name: "heavy-hitter".into(),
+                program: hh.clone(),
+                pipelines: 3,
+                ports: 16..64,
+            },
+        ],
+    );
+    // Trim per-partition field widths to each program's layout.
+    let trace: Vec<_> = trace
+        .into_iter()
+        .map(|mut p| {
+            let want = if p.port.0 < 16 { seq.num_fields() } else { hh.num_fields() };
+            p.fields.truncate(want);
+            p
+        })
+        .collect();
+
+    println!("partition      pipelines  throughput  offered  equivalent");
+    for rep in chip.run(trace) {
+        let reference = if rep.name == "sequencer" { &seq_ref } else { &hh_ref };
+        println!(
+            "{:<13}  {:>9}  {:>10.3}  {:>7}  {}",
+            rep.name,
+            if rep.name == "sequencer" { 1 } else { 3 },
+            rep.report.normalized_throughput(),
+            rep.report.offered,
+            rep.report.result.equivalent_to(reference),
+        );
+    }
+    println!(
+        "\nEach logical MP5 runs its own program on its own pipelines at the \
+         chip's physical clock — footnote 1 of the paper, working."
+    );
+}

@@ -1,0 +1,268 @@
+//! Tests for the §3.4 runtime-extension mechanisms: flow-order
+//! enforcement via a dummy final-stage state, ECN-style backpressure
+//! marking, and stateless-drop starvation handling.
+
+use std::collections::HashMap;
+
+use mp5::banzai::BanzaiSwitch;
+use mp5::compiler::{
+    compile, compile_with_options, CompileOptions, FlowOrderSpec, Target, FLOW_ORDER_REG,
+};
+use mp5::core::{Mp5Switch, SwitchConfig};
+use mp5::sim::reordered_flow_fraction;
+use mp5::traffic::TraceBuilder;
+use mp5::types::{PacketId, Value};
+
+/// A NAT-like program: SYN packets touch per-flow connection state, the
+/// rest of the flow is stateless — exactly the §3.4 scenario where
+/// stateless-priority can reorder packets within a flow.
+const NATISH: &str = "
+    struct Packet {
+        int src_ip; int dst_ip; int src_port; int dst_port; int proto;
+        int is_syn;
+        int nat_port;
+    };
+    int bindings[4] = {0};
+    void func(struct Packet p) {
+        int idx = hash3(hash2(p.src_ip, p.dst_ip),
+                        hash2(p.src_port, p.dst_port), p.proto) % 4;
+        if (p.is_syn == 1) {
+            bindings[idx] = p.src_port + 10000;
+            p.nat_port = bindings[idx];
+        } else {
+            p.nat_port = 0;
+        }
+    }";
+
+fn nat_trace(prog: &mp5::compiler::CompiledProgram, n: usize, seed: u64) -> Vec<mp5::types::Packet> {
+    // A handful of flows, each sending many packets; ~half are "SYN"
+    // (stateful) to maximize the mixed stateful/stateless interleaving.
+    TraceBuilder::new(n, seed).build(prog.num_fields(), |rng, _, f| {
+        let flow = rand::Rng::gen_range(rng, 0..16i64);
+        f[0] = flow; // src_ip
+        f[1] = 99; // dst_ip
+        f[2] = 1000 + flow; // src_port
+        f[3] = 80; // dst_port
+        f[4] = 6; // proto
+        f[5] = i64::from(rand::Rng::gen_bool(rng, 0.5)); // is_syn
+    })
+}
+
+fn flow_map(trace: &[mp5::types::Packet]) -> HashMap<PacketId, Value> {
+    trace.iter().map(|p| (p.id, p.fields[0])).collect()
+}
+
+#[test]
+fn flow_order_register_lands_in_final_stage() {
+    let opts = CompileOptions {
+        enforce_flow_order: Some(FlowOrderSpec::default()),
+    };
+    let prog = compile_with_options(NATISH, &Target::default(), &opts).unwrap();
+    prog.validate().unwrap();
+    let fo = prog.reg(FLOW_ORDER_REG).expect("dummy register present");
+    assert_eq!(
+        prog.regs[fo.index()].stage.index(),
+        prog.num_stages() - 1,
+        "flow-order state must occupy the final stage"
+    );
+    assert!(prog.regs[fo.index()].shardable, "flow-hash index is stateless");
+    // Every packet now generates a phantom for the final stage.
+    let mut fields = vec![0; prog.num_fields()];
+    let accesses = prog.resolve(&mut fields);
+    assert!(accesses.iter().any(|a| a.reg == fo));
+}
+
+#[test]
+fn flow_order_enforcement_eliminates_reordering() {
+    let plain = compile(NATISH, &Target::default()).unwrap();
+    let ordered = compile_with_options(
+        NATISH,
+        &Target::default(),
+        &CompileOptions {
+            enforce_flow_order: Some(FlowOrderSpec::default()),
+        },
+    )
+    .unwrap();
+
+    let mut saw_reordering = false;
+    for seed in 0..6 {
+        let trace = nat_trace(&plain, 6000, seed);
+        let flows = flow_map(&trace);
+        let arrival: Vec<PacketId> = trace.iter().map(|p| p.id).collect();
+
+        // Plain program: stateless packets overtake queued SYNs.
+        let rep = Mp5Switch::new(plain.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        let completion: Vec<PacketId> = rep.completions.iter().map(|&(p, _)| p).collect();
+        let frac_plain = reordered_flow_fraction(&flows, &arrival, &completion);
+        saw_reordering |= frac_plain > 0.0;
+
+        // With the dummy final-stage state every flow exits in order.
+        let trace2 = nat_trace(&ordered, 6000, seed);
+        let flows2 = flow_map(&trace2);
+        let arrival2: Vec<PacketId> = trace2.iter().map(|p| p.id).collect();
+        let rep2 = Mp5Switch::new(ordered.clone(), SwitchConfig::mp5(4)).run(trace2);
+        let completion2: Vec<PacketId> = rep2.completions.iter().map(|&(p, _)| p).collect();
+        let frac_ordered = reordered_flow_fraction(&flows2, &arrival2, &completion2);
+        assert_eq!(
+            frac_ordered, 0.0,
+            "seed {seed}: flow-order enforcement must eliminate reordering"
+        );
+    }
+    assert!(
+        saw_reordering,
+        "the plain NAT program should reorder at least one flow somewhere \
+         (otherwise this test is vacuous)"
+    );
+}
+
+#[test]
+fn flow_order_preserves_functional_equivalence() {
+    let ordered = compile_with_options(
+        NATISH,
+        &Target::default(),
+        &CompileOptions {
+            enforce_flow_order: Some(FlowOrderSpec::default()),
+        },
+    )
+    .unwrap();
+    let trace = nat_trace(&ordered, 3000, 42);
+    let reference = BanzaiSwitch::new(ordered.clone()).run(trace.clone());
+    let rep = Mp5Switch::new(ordered, SwitchConfig::mp5(4)).run(trace);
+    assert!(rep.result.equivalent_to(&reference));
+}
+
+#[test]
+fn flow_order_requires_key_fields() {
+    let err = compile_with_options(
+        "struct Packet { int x; };
+         void func(struct Packet p) { p.x = 1; }",
+        &Target::default(),
+        &CompileOptions {
+            enforce_flow_order: Some(FlowOrderSpec::default()),
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("src_ip"), "{err}");
+}
+
+#[test]
+fn ecn_marks_under_congestion_only() {
+    // A global counter saturates one pipeline: queues build, packets
+    // get marked.
+    let prog = compile(
+        "struct Packet { int seq; };
+         int count = 0;
+         void func(struct Packet p) { count = count + 1; p.seq = count; }",
+        &Target::default(),
+    )
+    .unwrap();
+    let congested = Mp5Switch::new(
+        prog.clone(),
+        SwitchConfig {
+            ecn_threshold: Some(8),
+            ..SwitchConfig::mp5(4)
+        },
+    )
+    .run(TraceBuilder::new(4000, 1).build(prog.num_fields(), |_, _, _| {}));
+    assert!(
+        congested.ecn_marked > congested.offered / 2,
+        "a saturating program should mark most packets, got {} of {}",
+        congested.ecn_marked,
+        congested.offered
+    );
+
+    // The same program under light load (big packets) marks nothing.
+    let light = Mp5Switch::new(
+        prog.clone(),
+        SwitchConfig {
+            ecn_threshold: Some(8),
+            ..SwitchConfig::mp5(4)
+        },
+    )
+    .run(
+        TraceBuilder::new(2000, 2)
+            .size(mp5::traffic::SizeDist::Fixed(1500))
+            .build(prog.num_fields(), |_, _, _| {}),
+    );
+    assert_eq!(light.ecn_marked, 0, "no congestion, no marks");
+
+    // Marking must not alter processing results.
+    let unmarked = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
+        .run(TraceBuilder::new(4000, 1).build(prog.num_fields(), |_, _, _| {}));
+    assert_eq!(congested.result.final_regs, unmarked.result.final_regs);
+    assert_eq!(congested.result.outputs, unmarked.result.outputs);
+}
+
+#[test]
+fn starvation_threshold_sheds_stateless_packets() {
+    // Half the packets hammer one state (queueing on pipeline 0), the
+    // other half are stateless and — with priority — starve the queue.
+    let src = "struct Packet { int kind; int o; };
+        int hot = 0;
+        void func(struct Packet p) {
+            if (p.kind == 1) { hot = hot + 1; }
+            p.o = p.kind;
+        }";
+    let prog = compile(src, &Target::default()).unwrap();
+    let mk_trace = |seed| {
+        TraceBuilder::new(6000, seed).build(prog.num_fields(), |rng, _, f| {
+            f[0] = i64::from(rand::Rng::gen_bool(rng, 0.5));
+        })
+    };
+    let without = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(mk_trace(3));
+    assert_eq!(without.drops.starvation, 0);
+
+    let with = Mp5Switch::new(
+        prog.clone(),
+        SwitchConfig {
+            starvation_threshold: Some(16),
+            ..SwitchConfig::mp5(4)
+        },
+    )
+    .run(mk_trace(3));
+    assert!(
+        with.drops.starvation > 0,
+        "aged stateful packets must trigger stateless drops"
+    );
+    // Everything offered is either completed or an accounted drop.
+    assert_eq!(
+        with.completed + with.drops.total_data(),
+        with.offered
+    );
+}
+
+#[test]
+fn pairs_atom_program_is_equivalent_on_mp5() {
+    // Two registers entangled by shared dataflow need a Banzai
+    // "pairs"-class atom: both arrays co-reside in one stage, pinned to
+    // one pipeline, with stage-level serialization.
+    let src = "struct Packet { int h; int o; };
+        int ema[8] = {0};
+        int peak[8] = {0};
+        void func(struct Packet p) {
+            int i = p.h % 8;
+            int avg = (ema[i] * 7 + p.h * 16) / 8;
+            int top = max(peak[i], avg);
+            ema[i] = avg + peak[i] / 128;
+            peak[i] = top;
+            p.o = top;
+        }";
+    let prog = compile(src, &Target::default()).unwrap();
+    assert!(
+        prog.regs.iter().all(|r| !r.shardable),
+        "entangled registers must be pinned"
+    );
+    // Both registers share one stage.
+    assert_eq!(prog.regs[0].stage, prog.regs[1].stage);
+    let trace = TraceBuilder::new(3000, 21).build(prog.num_fields(), |rng, _, f| {
+        f[0] = rand::Rng::gen_range(rng, 0..200);
+    });
+    let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+    let report = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace);
+    assert!(report.result.equivalent_to(&reference));
+
+    // A pairs-less target rejects the same program.
+    let mut no_pairs = Target::default();
+    no_pairs.allow_pairs = false;
+    assert!(compile(src, &no_pairs).is_err());
+}
