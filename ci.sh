@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI entry point: build, test, lint, and check formatting for the whole
+# workspace. Run from the repository root. Any failure fails the run.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> mp5lint over the program corpus"
+./target/release/mp5lint -q crates/apps/programs \
+    crates/analysis/fixtures/broken crates/analysis/fixtures/clean
+
+echo "CI OK"

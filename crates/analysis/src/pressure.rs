@@ -1,0 +1,260 @@
+//! Resource-pressure estimation against a [`Target`], before codegen.
+//!
+//! Predicts exactly what `mp5_compiler::codegen::compile_tac` will do —
+//! including the §3.3 conservative fallback that merges body stages from
+//! the tail of the pipeline when the stage budget is exceeded — so an
+//! oversize program fails *here*, with a precise explanation of which
+//! budget broke and by how much, instead of deep inside codegen.
+//!
+//! The SRAM model follows §4.2: each register slot costs the 64-bit
+//! value word plus `mp5-asic`'s 30 bits of per-index sharding metadata.
+
+use mp5_compiler::schedule::Schedule;
+use mp5_compiler::{PressureEstimate, Target};
+use mp5_lang::tac::TacProgram;
+use mp5_lang::{Code, Diagnostic};
+
+/// Bits of SRAM one register slot occupies: the 64-bit data word plus
+/// the per-index sharding metadata from the paper's ASIC model (§4.2).
+pub const SRAM_BITS_PER_SLOT: u64 = 64 + 30;
+
+/// Outcome of the pressure simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pressure {
+    /// The numeric estimate (also attached to the analysis report).
+    pub estimate: PressureEstimate,
+    /// Budget findings (errors when a budget is exceeded).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Registers that codegen's tail-merge fallback will newly pin
+    /// (co-resident in a merged stage).
+    pub merged_pinned: Vec<mp5_types::RegId>,
+}
+
+/// Simulates codegen's stage assembly and tail-merge fallback, then
+/// checks every budget of `target`.
+pub fn estimate(
+    tac: &TacProgram,
+    sched: &Schedule,
+    prologue_stages: usize,
+    target: &Target,
+) -> Pressure {
+    // Body stages as codegen builds them: instruction counts and
+    // resident registers per stage.
+    let num_body = sched.num_stages.max(1);
+    let mut ops: Vec<usize> = vec![0; num_body];
+    for &s in &sched.stage_of {
+        ops[s] += 1;
+    }
+    let mut regs: Vec<Vec<mp5_types::RegId>> = vec![Vec::new(); num_body];
+    for c in &sched.clusters {
+        regs[c.stage].extend(c.regs.iter().copied());
+    }
+
+    // Tail-merge fallback, exactly as codegen performs it.
+    let mut merges = 0usize;
+    while prologue_stages + ops.len() > target.max_stages && ops.len() > 1 {
+        let tail_ops = ops.pop().expect("len > 1");
+        let tail_regs = regs.pop().expect("len > 1");
+        *ops.last_mut().expect("len > 1") += tail_ops;
+        regs.last_mut().expect("len > 1").extend(tail_regs);
+        merges += 1;
+    }
+
+    let mut diagnostics = Vec::new();
+    let total_stages = prologue_stages + ops.len();
+    if total_stages > target.max_stages {
+        diagnostics.push(
+            Diagnostic::error(
+                Code::TOO_MANY_STAGES,
+                Default::default(),
+                format!(
+                    "program needs {total_stages} stages ({prologue_stages} \
+                     prologue + {} body) even after merging every body stage; \
+                     the target has {}",
+                    ops.len(),
+                    target.max_stages
+                ),
+            )
+            .with_note(
+                "the address-resolution prologue cannot be merged: shrink the \
+                 program's dependent state chain or raise Target::max_stages",
+            ),
+        );
+    }
+
+    let peak_stage_ops = ops.iter().copied().max().unwrap_or(0);
+    for (si, &n) in ops.iter().enumerate() {
+        if n > target.max_ops_per_stage {
+            diagnostics.push(Diagnostic::error(
+                Code::TOO_MANY_OPS,
+                Default::default(),
+                format!(
+                    "stage {} holds {n} operations, the target allows {} per stage",
+                    prologue_stages + si,
+                    target.max_ops_per_stage
+                ),
+            ));
+        }
+    }
+
+    // SRAM per merged stage.
+    let sram_bits: Vec<u64> = tac
+        .regs
+        .iter()
+        .map(|r| r.size as u64 * SRAM_BITS_PER_SLOT)
+        .collect();
+    for (si, stage_regs) in regs.iter().enumerate() {
+        let bits: u64 = stage_regs.iter().map(|r| sram_bits[r.index()]).sum();
+        if bits > target.max_sram_bits_per_stage {
+            let names: Vec<&str> = stage_regs
+                .iter()
+                .map(|r| tac.regs[r.index()].name.as_str())
+                .collect();
+            diagnostics.push(Diagnostic::error(
+                Code::SRAM_OVERFLOW,
+                Default::default(),
+                format!(
+                    "stage {} needs {bits} SRAM bits for register(s) '{}' \
+                     ({} bits/slot incl. sharding metadata); the target \
+                     provides {} bits per stage",
+                    prologue_stages + si,
+                    names.join("', '"),
+                    SRAM_BITS_PER_SLOT,
+                    target.max_sram_bits_per_stage
+                ),
+            ));
+        }
+    }
+
+    // Registers newly pinned by merging: codegen pins every register in
+    // a multi-register stage once any merge happened.
+    let mut merged_pinned = Vec::new();
+    if merges > 0 {
+        for stage_regs in &regs {
+            if stage_regs.len() > 1 {
+                merged_pinned.extend(stage_regs.iter().copied());
+            }
+        }
+    }
+
+    let fits = diagnostics.is_empty();
+    Pressure {
+        estimate: PressureEstimate {
+            prologue_stages,
+            body_stages: ops.len(),
+            total_stages,
+            max_stages: target.max_stages,
+            peak_stage_ops,
+            max_ops_per_stage: target.max_ops_per_stage,
+            predicted_merges: merges,
+            sram_bits,
+            max_sram_bits_per_stage: target.max_sram_bits_per_stage,
+            fits,
+        },
+        diagnostics,
+        merged_pinned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_compiler::schedule::pipeline_with;
+    use mp5_compiler::transform::transform;
+    use mp5_lang::frontend;
+
+    fn pressure_of(src: &str, target: &Target) -> Pressure {
+        let tac = frontend(src).unwrap();
+        let sched = pipeline_with(&tac, target.max_chain_depth, target.allow_pairs).unwrap();
+        let xf = transform(&tac, &sched, target.max_chain_depth);
+        estimate(&tac, &sched, xf.resolution.stages, target)
+    }
+
+    const CHAIN3: &str = "struct Packet { int h; };
+         int a[4];
+         int b[4];
+         int c[4];
+         void func(struct Packet p) {
+             a[p.h % 4] = a[p.h % 4] + 1;
+             b[p.h % 4] = b[p.h % 4] + 1;
+             c[p.h % 4] = c[p.h % 4] + 1;
+         }";
+
+    #[test]
+    fn small_program_fits_default_target() {
+        let p = pressure_of(CHAIN3, &Target::default());
+        assert!(p.estimate.fits, "{:?}", p.diagnostics);
+        assert_eq!(p.estimate.predicted_merges, 0);
+        assert!(p.merged_pinned.is_empty());
+        assert_eq!(p.estimate.sram_bits, vec![4 * 94; 3]);
+    }
+
+    #[test]
+    fn merge_prediction_matches_codegen() {
+        // Squeeze by one stage: codegen merges the two tail stages and
+        // pins their registers; the estimate must predict the same.
+        let full = mp5_compiler::compile(CHAIN3, &Target::default()).unwrap();
+        let squeezed_target = Target {
+            max_stages: full.num_stages() - 1,
+            ..Target::default()
+        };
+        let p = pressure_of(CHAIN3, &squeezed_target);
+        assert!(p.estimate.fits, "{:?}", p.diagnostics);
+        assert!(p.estimate.predicted_merges >= 1);
+        assert!(!p.merged_pinned.is_empty());
+        let squeezed = mp5_compiler::compile(CHAIN3, &squeezed_target).unwrap();
+        assert_eq!(p.estimate.total_stages, squeezed.num_stages());
+        // Exactly the registers codegen pinned are predicted.
+        let predicted: Vec<usize> = p.merged_pinned.iter().map(|r| r.index()).collect();
+        for (ri, meta) in squeezed.regs.iter().enumerate() {
+            assert_eq!(
+                !meta.shardable,
+                predicted.contains(&ri),
+                "reg {ri} pin prediction mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_stage_budget_is_an_error() {
+        let p = pressure_of(
+            "struct Packet { int h; };
+             int a[4];
+             void func(struct Packet p) { a[p.h % 4] = a[p.h % 4] + hash2(p.h, 3); }",
+            &Target::tiny(1),
+        );
+        assert!(!p.estimate.fits);
+        assert!(p
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::TOO_MANY_STAGES));
+    }
+
+    #[test]
+    fn ops_budget_is_checked() {
+        let mut body = String::new();
+        let mut fields = String::new();
+        for i in 0..20 {
+            body.push_str(&format!("p.f{i} = p.f{i} + 1;\n"));
+            fields.push_str(&format!("int f{i};\n"));
+        }
+        let src = format!(
+            "struct Packet {{ {fields} }};
+             void func(struct Packet p) {{ {body} }}"
+        );
+        let p = pressure_of(&src, &Target::tiny(16));
+        assert!(p.diagnostics.iter().any(|d| d.code == Code::TOO_MANY_OPS));
+    }
+
+    #[test]
+    fn sram_budget_is_checked() {
+        let p = pressure_of(
+            "struct Packet { int h; };
+             int big[100000];
+             void func(struct Packet p) { big[p.h % 100000] = 1; }",
+            &Target::default(),
+        );
+        assert!(p.diagnostics.iter().any(|d| d.code == Code::SRAM_OVERFLOW));
+        assert_eq!(p.estimate.sram_bits, vec![100000 * 94]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Golden-file tests: every stable `MP5xxx` diagnostic code fires on
+//! its fixture with the expected severity and span, rustc-style
+//! rendering stays stable, and the `mp5lint` binary agrees (including
+//! `--format=json` round-trips).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mp5_analysis::{analyze_source, json::Json};
+use mp5_compiler::Target;
+use mp5_lang::{Code, Severity};
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+fn apps_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/programs")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// (fixture, expected `(code, severity, line)` findings, in order).
+/// Line 0 means the diagnostic carries no span.
+#[allow(clippy::type_complexity)]
+fn broken_expectations() -> Vec<(&'static str, Vec<(Code, Severity, u32)>)> {
+    use Severity::{Error, Warning};
+    vec![
+        (
+            "semantic_errors.mp5",
+            vec![
+                (Code::DUPLICATE_FIELD, Error, 0),
+                (Code::DUPLICATE_REGISTER, Error, 9),
+                (Code::UNKNOWN_FIELD, Error, 12),
+                (Code::UNKNOWN_REGISTER, Error, 13),
+                (Code::ARRAY_WITHOUT_INDEX, Error, 14),
+                (Code::UNDECLARED_IDENTIFIER, Error, 15),
+            ],
+        ),
+        ("syntax_error.mp5", vec![(Code::PARSE_ERROR, Error, 5)]),
+        ("lex_error.mp5", vec![(Code::LEX_ERROR, Error, 5)]),
+        (
+            "stateful_index.mp5",
+            vec![
+                (Code::PINNED_STATEFUL_INDEX, Warning, 10),
+                (Code::ARRAY_LEVEL_SERIALIZATION, Warning, 10),
+            ],
+        ),
+        (
+            "multi_index.mp5",
+            vec![(Code::PINNED_MULTI_INDEX, Warning, 9)],
+        ),
+        (
+            "stateful_predicate.mp5",
+            vec![
+                (Code::PINNED_STATEFUL_PREDICATE, Warning, 10),
+                (Code::ARRAY_LEVEL_SERIALIZATION, Warning, 10),
+            ],
+        ),
+        (
+            "co_resident.mp5",
+            vec![
+                (Code::PINNED_CO_RESIDENT, Warning, 10),
+                (Code::PINNED_CO_RESIDENT, Warning, 10),
+                (Code::ARRAY_LEVEL_SERIALIZATION, Warning, 10),
+            ],
+        ),
+        ("sram_overflow.mp5", vec![(Code::SRAM_OVERFLOW, Error, 0)]),
+    ]
+}
+
+#[test]
+fn every_broken_fixture_fires_its_codes_with_expected_spans() {
+    for (file, expected) in broken_expectations() {
+        let path = fixture_dir("broken").join(file);
+        let analysis = analyze_source(&read(&path), &Target::default());
+        let got: Vec<(Code, Severity, u32)> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.severity, d.span.line))
+            .collect();
+        assert_eq!(got, expected, "{file}: diagnostic mismatch");
+    }
+}
+
+#[test]
+fn clean_fixtures_have_no_findings() {
+    for file in ["counter.mp5", "two_tables.mp5"] {
+        let path = fixture_dir("clean").join(file);
+        let analysis = analyze_source(&read(&path), &Target::default());
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{file}: {:?}",
+            analysis.diagnostics
+        );
+        let report = analysis.report.expect("clean program yields a report");
+        assert_eq!(report.shardable_count(), report.regs.len());
+        assert!(report.pressure.as_ref().unwrap().fits);
+    }
+}
+
+#[test]
+fn targeted_fixtures_fire_under_constrained_targets() {
+    let no_pairs = Target {
+        allow_pairs: false,
+        ..Target::default()
+    };
+    let a = analyze_source(
+        &read(&fixture_dir("targeted").join("pairs_unsupported.mp5")),
+        &no_pairs,
+    );
+    assert!(a
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::PAIRS_UNSUPPORTED && d.severity == Severity::Error));
+
+    let squeezed = Target {
+        max_stages: 2,
+        ..Target::default()
+    };
+    let a = analyze_source(
+        &read(&fixture_dir("targeted").join("too_many_stages.mp5")),
+        &squeezed,
+    );
+    assert!(a
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::TOO_MANY_STAGES && d.severity == Severity::Error));
+}
+
+#[test]
+fn too_many_ops_fires_under_tiny_ops_budget() {
+    let src = read(&fixture_dir("clean").join("two_tables.mp5"));
+    let tiny_ops = Target {
+        max_ops_per_stage: 1,
+        ..Target::default()
+    };
+    let a = analyze_source(&src, &tiny_ops);
+    assert!(a
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::TOO_MANY_OPS && d.severity == Severity::Error));
+}
+
+#[test]
+fn rendering_of_stateful_index_fixture_is_stable() {
+    let path = fixture_dir("broken").join("stateful_index.mp5");
+    let source = read(&path);
+    let analysis = analyze_source(&source, &Target::default());
+    let rendered = mp5_lang::diag::render_all(&analysis.diagnostics, &source, "stateful_index.mp5");
+    assert!(
+        rendered.contains("warning[MP5201]: register 'ring' is indexed by stateful data"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("--> stateful_index.mp5:10:5"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("10 |     ring[cursor] = p.h;"),
+        "{rendered}"
+    );
+    // Caret sits under column 5.
+    assert!(rendered.contains("   |     ^"), "{rendered}");
+    assert!(rendered.contains("warning[MP5301]"), "{rendered}");
+    assert!(
+        rendered.contains("stateful_index.mp5: 2 warning(s)"),
+        "{rendered}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// mp5lint binary
+// ---------------------------------------------------------------------
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mp5lint"))
+        .args(args)
+        .output()
+        .expect("mp5lint runs")
+}
+
+#[test]
+fn lint_accepts_annotated_fixtures_and_clean_corpus() {
+    let broken = fixture_dir("broken");
+    let clean = fixture_dir("clean");
+    let out = lint(&["-q", broken.to_str().unwrap(), clean.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "annotated fixtures must lint clean:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_accepts_the_apps_corpus() {
+    let out = lint(&["-q", apps_dir().to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "bundled apps must lint clean:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_flags_cover_targeted_fixtures() {
+    let dir = fixture_dir("targeted");
+    let pairs = dir.join("pairs_unsupported.mp5");
+    let stages = dir.join("too_many_stages.mp5");
+    // With the right flags the annotations match and the lint passes.
+    assert!(lint(&["-q", "--no-pairs", pairs.to_str().unwrap()])
+        .status
+        .success());
+    assert!(lint(&["-q", "--max-stages=2", stages.to_str().unwrap()])
+        .status
+        .success());
+    // Under the default target the annotations do not fire, which is
+    // itself an MP5999 finding.
+    let out = lint(&[pairs.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MP5999"), "{text}");
+    assert!(
+        text.contains("expected diagnostic MP5404 did not fire"),
+        "{text}"
+    );
+}
+
+#[test]
+fn lint_fails_on_unannotated_findings_and_deny_warnings_promotes() {
+    let dir = std::env::temp_dir().join("mp5lint-golden-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("warn_only.mp5");
+    std::fs::write(
+        &file,
+        "struct Packet { int h; };\n\
+         int cursor = 0;\n\
+         int ring[8];\n\
+         void func(struct Packet p) { cursor = (cursor + 1) % 8; ring[cursor] = p.h; }\n",
+    )
+    .unwrap();
+    // Warnings alone do not fail the default lint...
+    let out = lint(&[file.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "warnings are not errors by default"
+    );
+    // ...but --deny-warnings promotes them.
+    let out = lint(&["--deny-warnings", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MP5201"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_usage_errors_exit_2() {
+    assert_eq!(lint(&[]).status.code(), Some(2));
+    assert_eq!(lint(&["--format=yaml", "x.mp5"]).status.code(), Some(2));
+    assert_eq!(lint(&["/nonexistent/path.mp5"]).status.code(), Some(2));
+}
+
+#[test]
+fn lint_json_output_round_trips() {
+    let broken = fixture_dir("broken");
+    let clean = fixture_dir("clean");
+    let out = lint(&[
+        "--format=json",
+        broken.to_str().unwrap(),
+        clean.to_str().unwrap(),
+    ]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc = Json::parse(text.trim()).expect("mp5lint emits valid JSON");
+
+    // Emission is deterministic: parse → emit → parse is a fixed point.
+    let reemitted = doc.emit();
+    assert_eq!(Json::parse(&reemitted).unwrap(), doc);
+
+    let Json::Arr(files) = &doc else {
+        panic!("top level must be an array")
+    };
+    assert_eq!(files.len(), 10, "8 broken + 2 clean fixtures");
+    for f in files {
+        let name = match f.get("file") {
+            Some(Json::Str(s)) => s.clone(),
+            other => panic!("file field: {other:?}"),
+        };
+        assert!(matches!(f.get("clean"), Some(Json::Bool(true))), "{name}");
+        let Some(Json::Arr(diags)) = f.get("diagnostics") else {
+            panic!("{name}: diagnostics array")
+        };
+        // Every fixture's expected findings were consumed by its
+        // annotations, so the JSON shows none unexpected.
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+        if name.contains("clean") {
+            let report = f.get("report").expect("report field");
+            assert!(
+                matches!(report.get("regs"), Some(Json::Arr(r)) if !r.is_empty()),
+                "{name}: populated report"
+            );
+            assert!(
+                matches!(
+                    report.get("pressure").and_then(|p| p.get("fits")),
+                    Some(Json::Bool(true))
+                ),
+                "{name}: pressure fits"
+            );
+        }
+    }
+}

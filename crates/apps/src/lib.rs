@@ -66,28 +66,7 @@ fn fill_five_tuple(prog: &CompiledProgram, key: &FlowKey, fields: &mut [Value]) 
 pub const FLOWLET: AppSpec = AppSpec {
     name: "flowlet",
     description: "flowlet switching: new next-hop when the inter-packet gap exceeds delta",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int arr_ts;     // arrival timestamp (metadata from ingress)
-            int new_hop;    // candidate next hop from the load balancer
-            int hop;        // chosen next hop (output)
-        };
-
-        int last_time[1024] = {0};
-        int saved_hop[1024] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash3(hash2(p.src_ip, p.dst_ip),
-                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
-            // New flowlet: the gap since the last packet exceeds delta.
-            if (p.arr_ts - last_time[idx] > 50) {
-                saved_hop[idx] = p.new_hop;
-            }
-            p.hop = saved_hop[idx];
-            last_time[idx] = p.arr_ts;
-        }
-    "#,
+    source: include_str!("../programs/flowlet.mp5"),
     fill: |prog, key, rng, fields| {
         fill_five_tuple(prog, key, fields);
         if let Some(id) = prog.field("arr_ts") {
@@ -106,35 +85,7 @@ pub const FLOWLET: AppSpec = AppSpec {
 pub const CONGA: AppSpec = AppSpec {
     name: "conga",
     description: "CONGA: per-destination-leaf best-path selection by path utilization",
-    source: r#"
-        struct Packet {
-            int dst_leaf;
-            int path_id;    // path this packet's feedback describes
-            int path_util;  // utilization feedback carried by the packet
-            int best;       // chosen best path (output)
-        };
-
-        int best_util[256] = {0};
-        int best_path[256] = {0};
-        int init[256] = {0};
-
-        void func(struct Packet p) {
-            int leaf = p.dst_leaf % 256;
-            // First packet for a leaf initializes; afterwards keep the
-            // minimum-utilization path.
-            if (init[leaf] == 0) {
-                init[leaf] = 1;
-                best_util[leaf] = p.path_util;
-                best_path[leaf] = p.path_id;
-            } else {
-                if (p.path_util < best_util[leaf]) {
-                    best_util[leaf] = p.path_util;
-                    best_path[leaf] = p.path_id;
-                }
-            }
-            p.best = best_path[leaf];
-        }
-    "#,
+    source: include_str!("../programs/conga.mp5"),
     fill: |prog, key, rng, fields| {
         if let Some(id) = prog.field("dst_leaf") {
             fields[id.index()] = (key.dst_ip % 64) as Value;
@@ -153,25 +104,7 @@ pub const CONGA: AppSpec = AppSpec {
 pub const WFQ: AppSpec = AppSpec {
     name: "wfq",
     description: "weighted fair queuing: per-flow virtual finish-time computation",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int size;    // bytes
-            int weight;  // flow weight (>= 1)
-            int vt;      // scheduler virtual time (metadata)
-            int prio;    // computed priority / finish round (output)
-        };
-
-        int last_finish[1024] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash3(hash2(p.src_ip, p.dst_ip),
-                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
-            int start = max(last_finish[idx], p.vt);
-            p.prio = start + p.size * 16 / p.weight;
-            last_finish[idx] = p.prio;
-        }
-    "#,
+    source: include_str!("../programs/wfq.mp5"),
     fill: |prog, key, rng, fields| {
         fill_five_tuple(prog, key, fields);
         if let Some(id) = prog.field("size") {
@@ -191,23 +124,7 @@ pub const WFQ: AppSpec = AppSpec {
 pub const SEQUENCER: AppSpec = AppSpec {
     name: "sequencer",
     description: "network sequencer: per-group sequence numbers stamped into packets",
-    source: r#"
-        struct Packet {
-            int group;   // consensus group id
-            int is_oum;  // 1 = ordered unreliable multicast packet
-            int seq;     // assigned sequence number (output)
-        };
-
-        int seqnum[16] = {0};
-
-        void func(struct Packet p) {
-            int g = p.group % 16;
-            if (p.is_oum == 1) {
-                seqnum[g] = seqnum[g] + 1;
-                p.seq = seqnum[g];
-            }
-        }
-    "#,
+    source: include_str!("../programs/sequencer.mp5"),
     fill: |prog, key, rng, fields| {
         if let Some(id) = prog.field("group") {
             fields[id.index()] = (key.hash() % 16) as Value;
@@ -227,31 +144,7 @@ pub const SEQUENCER: AppSpec = AppSpec {
 pub const HEAVY_HITTER: AppSpec = AppSpec {
     name: "heavy_hitter",
     description: "count-min sketch heavy-hitter detection (3 hash rows)",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int size;
-            int est;     // min-count estimate (output)
-            int heavy;   // 1 if estimated bytes exceed threshold (output)
-        };
-
-        int row0[512] = {0};
-        int row1[512] = {0};
-        int row2[512] = {0};
-
-        void func(struct Packet p) {
-            int fk = hash3(hash2(p.src_ip, p.dst_ip),
-                           hash2(p.src_port, p.dst_port), p.proto);
-            int i0 = hash2(fk, 101) % 512;
-            int i1 = hash2(fk, 202) % 512;
-            int i2 = hash2(fk, 303) % 512;
-            row0[i0] = row0[i0] + p.size;
-            row1[i1] = row1[i1] + p.size;
-            row2[i2] = row2[i2] + p.size;
-            p.est = min(row0[i0], min(row1[i1], row2[i2]));
-            p.heavy = p.est > 100000;
-        }
-    "#,
+    source: include_str!("../programs/heavy_hitter.mp5"),
     fill: |prog, key, rng, fields| {
         fill_five_tuple(prog, key, fields);
         if let Some(id) = prog.field("size") {
@@ -265,20 +158,7 @@ pub const HEAVY_HITTER: AppSpec = AppSpec {
 pub const DDOS_COUNTER: AppSpec = AppSpec {
     name: "ddos_counter",
     description: "per-source-IP packet counter with threshold flag",
-    source: r#"
-        struct Packet {
-            int src_ip;
-            int flagged;  // output
-        };
-
-        int counts[2048] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash2(p.src_ip, 7) % 2048;
-            counts[idx] = counts[idx] + 1;
-            p.flagged = counts[idx] > 1000;
-        }
-    "#,
+    source: include_str!("../programs/ddos_counter.mp5"),
     fill: |prog, key, _rng, fields| {
         if let Some(id) = prog.field("src_ip") {
             fields[id.index()] = key.src_ip as Value;
@@ -291,34 +171,7 @@ pub const DDOS_COUNTER: AppSpec = AppSpec {
 pub const RATE_LIMITER: AppSpec = AppSpec {
     name: "rate_limiter",
     description: "per-flow token bucket: drop flag when tokens exhausted",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int arr_ts;
-            int size;
-            int drop;   // 1 = out of profile (output)
-        };
-
-        int tokens[512] = {0};
-        int last_ts[512] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash3(hash2(p.src_ip, p.dst_ip),
-                            hash2(p.src_port, p.dst_port), p.proto) % 512;
-            // Refill: one token per 8 time units since the last packet,
-            // capped at 1500.
-            int refill = (p.arr_ts - last_ts[idx]) / 8;
-            int filled = min(tokens[idx] + refill, 1500);
-            last_ts[idx] = p.arr_ts;
-            if (filled >= p.size) {
-                tokens[idx] = filled - p.size;
-                p.drop = 0;
-            } else {
-                tokens[idx] = filled;
-                p.drop = 1;
-            }
-        }
-    "#,
+    source: include_str!("../programs/rate_limiter.mp5"),
     fill: |prog, key, rng, fields| {
         fill_five_tuple(prog, key, fields);
         if let Some(id) = prog.field("arr_ts") {
@@ -334,22 +187,7 @@ pub const RATE_LIMITER: AppSpec = AppSpec {
 pub const SYN_FLOOD: AppSpec = AppSpec {
     name: "syn_flood",
     description: "per-destination SYN/ACK imbalance detector",
-    source: r#"
-        struct Packet {
-            int dst_ip;
-            int is_syn;
-            int is_ack;
-            int alarm;  // output
-        };
-
-        int balance[1024] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash2(p.dst_ip, 13) % 1024;
-            balance[idx] = balance[idx] + p.is_syn - p.is_ack;
-            p.alarm = balance[idx] > 100;
-        }
-    "#,
+    source: include_str!("../programs/syn_flood.mp5"),
     fill: |prog, key, rng, fields| {
         if let Some(id) = prog.field("dst_ip") {
             fields[id.index()] = key.dst_ip as Value;
@@ -370,34 +208,7 @@ pub const SYN_FLOOD: AppSpec = AppSpec {
 pub const BLOOM_FIREWALL: AppSpec = AppSpec {
     name: "bloom_firewall",
     description: "bit-packed Bloom filter: flow-membership insert + query",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int known;   // 1 if the flow was already present (output)
-        };
-
-        int bloom0[64] = {0};
-        int bloom1[64] = {0};
-        int bloom2[64] = {0};
-
-        void func(struct Packet p) {
-            int fk = hash3(hash2(p.src_ip, p.dst_ip),
-                           hash2(p.src_port, p.dst_port), p.proto);
-            int b0 = hash2(fk, 11) % 4096;
-            int b1 = hash2(fk, 22) % 4096;
-            int b2 = hash2(fk, 33) % 4096;
-            int w0 = bloom0[b0 >> 6];
-            int w1 = bloom1[b1 >> 6];
-            int w2 = bloom2[b2 >> 6];
-            int m0 = 1 << (b0 & 63);
-            int m1 = 1 << (b1 & 63);
-            int m2 = 1 << (b2 & 63);
-            p.known = ((w0 & m0) != 0) && ((w1 & m1) != 0) && ((w2 & m2) != 0);
-            bloom0[b0 >> 6] = w0 | m0;
-            bloom1[b1 >> 6] = w1 | m1;
-            bloom2[b2 >> 6] = w2 | m2;
-        }
-    "#,
+    source: include_str!("../programs/bloom_firewall.mp5"),
     fill: |prog, key, _rng, fields| {
         fill_five_tuple(prog, key, fields);
     },
@@ -409,29 +220,7 @@ pub const BLOOM_FIREWALL: AppSpec = AppSpec {
 pub const SAMPLED_NETFLOW: AppSpec = AppSpec {
     name: "sampled_netflow",
     description: "1-in-64 sampled per-flow packet/byte accounting",
-    source: r#"
-        struct Packet {
-            int src_ip; int dst_ip; int src_port; int dst_port; int proto;
-            int seq;     // per-flow packet sequence number
-            int size;
-            int sampled; // 1 if this packet updated the record (output)
-        };
-
-        int pkts[1024] = {0};
-        int bytes[1024] = {0};
-
-        void func(struct Packet p) {
-            int idx = hash3(hash2(p.src_ip, p.dst_ip),
-                            hash2(p.src_port, p.dst_port), p.proto) % 1024;
-            if ((p.seq & 63) == 0) {
-                pkts[idx] = pkts[idx] + 64;
-                bytes[idx] = bytes[idx] + p.size * 64;
-                p.sampled = 1;
-            } else {
-                p.sampled = 0;
-            }
-        }
-    "#,
+    source: include_str!("../programs/sampled_netflow.mp5"),
     fill: |prog, key, rng, fields| {
         fill_five_tuple(prog, key, fields);
         if let Some(id) = prog.field("seq") {

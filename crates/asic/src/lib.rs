@@ -89,8 +89,7 @@ impl AsicModel {
         let s_f = s as f64;
         let xbar_width = (self.data_header_bits + self.phantom_bits) as f64;
         let xbar = k2 * s_f * xbar_width * self.xbar_mm2_per_bit_port2;
-        let fifo_bits =
-            k2 * s_f * (self.fifo_entries as f64) * (self.data_header_bits as f64);
+        let fifo_bits = k2 * s_f * (self.fifo_entries as f64) * (self.data_header_bits as f64);
         let fifo = fifo_bits * self.sram_mm2_per_bit;
         let logic = (k as f64) * s_f * self.logic_mm2_per_instance;
         xbar + fifo + logic
@@ -130,8 +129,7 @@ impl AsicModel {
     /// with `stateful_stages` stages of `entries_per_stage` register
     /// entries each (paper example: 10 × 1000 → ≈ 35 KB).
     pub fn sram_overhead_kb(&self, stateful_stages: usize, entries_per_stage: usize) -> f64 {
-        let bits =
-            (stateful_stages * entries_per_stage) as f64 * self.sram_bits_per_index() as f64;
+        let bits = (stateful_stages * entries_per_stage) as f64 * self.sram_bits_per_index() as f64;
         bits / 8.0 / 1024.0
     }
 

@@ -258,7 +258,10 @@ mod tests {
             pkt(1, 0, 64, &[1], nf),
             pkt(2, 0, 128, &[0], nf),
         ]);
-        assert_eq!(res.access_log[&(RegId(0), 0)], vec![PacketId(0), PacketId(2)]);
+        assert_eq!(
+            res.access_log[&(RegId(0), 0)],
+            vec![PacketId(0), PacketId(2)]
+        );
         assert_eq!(res.access_log[&(RegId(0), 1)], vec![PacketId(1)]);
         assert_eq!(res.final_regs[0], vec![2, 1, 0, 0]);
     }

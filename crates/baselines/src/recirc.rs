@@ -134,8 +134,8 @@ impl RecircSwitch {
                 if r.shardable {
                     (0..r.size as usize)
                         .map(|i| {
-                            (hash2(cfg.seed as i64 ^ ((ri as i64) << 32), i as i64)
-                                % k as i64) as u16
+                            (hash2(cfg.seed as i64 ^ ((ri as i64) << 32), i as i64) % k as i64)
+                                as u16
                         })
                         .collect()
                 } else {
@@ -172,9 +172,10 @@ impl RecircSwitch {
 
     /// The pipeline holding the state for a resolved access.
     fn access_pipeline(&self, reg: mp5_types::RegId, index: u32) -> usize {
-        if reg == REG_STAGE_SENTINEL || index == INDEX_ARRAY_LEVEL {
-            0
-        } else if !self.prog.regs[reg.index()].shardable {
+        if reg == REG_STAGE_SENTINEL
+            || index == INDEX_ARRAY_LEVEL
+            || !self.prog.regs[reg.index()].shardable
+        {
             0
         } else {
             self.shard[reg.index()][index as usize] as usize
@@ -219,7 +220,7 @@ impl RecircSwitch {
         // 1. Move phase: advance all occupants; handle egress.
         let mut incoming: Vec<Vec<Option<Flight>>> =
             (0..self.k).map(|_| vec![None; self.body_stages]).collect();
-        for pl in 0..self.k {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
             for st in (0..self.body_stages).rev() {
                 let Some(fl) = self.lanes[pl][st].take() else {
                     continue;
@@ -227,7 +228,7 @@ impl RecircSwitch {
                 if st + 1 == self.body_stages {
                     self.egress(pl, fl);
                 } else {
-                    incoming[pl][st + 1] = Some(fl);
+                    inc_row[st + 1] = Some(fl);
                 }
             }
         }
@@ -245,11 +246,7 @@ impl RecircSwitch {
 
         // 3. Fresh arrivals route to their port's pipeline.
         let now_end = (self.cycle + 1) * cycle_len(self.k);
-        while self
-            .arrivals
-            .front()
-            .map_or(false, |p| p.arrival < now_end)
-        {
+        while self.arrivals.front().is_some_and(|p| p.arrival < now_end) {
             let mut pkt = self.arrivals.pop_front().expect("front checked");
             let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
             // Resolve the itinerary once at first ingress.
@@ -265,27 +262,25 @@ impl RecircSwitch {
 
         // 4. Ingress: one admission per pipeline per cycle; recirculated
         // packets have priority (they already consumed switch capacity).
-        for pl in 0..self.k {
-            if incoming[pl][0].is_some() {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
+            if inc_row[0].is_some() {
                 continue;
             }
             if let Some(fl) = self.recirc_q[pl].pop_front() {
-                incoming[pl][0] = Some(fl);
+                inc_row[0] = Some(fl);
             } else if let Some(fl) = self.fresh[pl].pop_front() {
-                incoming[pl][0] = Some(fl);
+                inc_row[0] = Some(fl);
             }
         }
 
         // 5. Work phase: execute eligible stages in program order.
-        for pl in 0..self.k {
-            for st in 0..self.body_stages {
-                if let Some(mut fl) = incoming[pl][st].take() {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
+            for (st, slot) in inc_row.iter_mut().enumerate() {
+                if let Some(mut fl) = slot.take() {
                     if fl.exec_ptr == st && self.stage_executable(pl, st, &fl) {
-                        let accesses = self.prog.execute_stage(
-                            st,
-                            &mut fl.pkt.fields,
-                            &mut self.regs[pl],
-                        );
+                        let accesses =
+                            self.prog
+                                .execute_stage(st, &mut fl.pkt.fields, &mut self.regs[pl]);
                         for a in &accesses {
                             self.report
                                 .result
@@ -337,10 +332,10 @@ impl RecircSwitch {
     fn egress(&mut self, _pl: usize, fl: Flight) {
         if fl.exec_ptr >= self.body_stages {
             self.max_passes = self.max_passes.max(fl.passes);
-            self.report
-                .result
-                .outputs
-                .insert(fl.pkt.id, fl.pkt.fields[..self.prog.declared_fields].to_vec());
+            self.report.result.outputs.insert(
+                fl.pkt.id,
+                fl.pkt.fields[..self.prog.declared_fields].to_vec(),
+            );
             self.report.completions.push((fl.pkt.id, self.cycle));
             self.report.completed += 1;
             return;

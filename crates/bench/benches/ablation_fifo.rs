@@ -25,7 +25,11 @@ fn main() {
     println!(
         "{}",
         render(
-            &["FIFO capacity", "delivered (flowlet, 4.4 traffic)", "delivered (worst-case 64B)"],
+            &[
+                "FIFO capacity",
+                "delivered (flowlet, 4.4 traffic)",
+                "delivered (worst-case 64B)"
+            ],
             &cells
         )
     );

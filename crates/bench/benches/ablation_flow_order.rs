@@ -26,7 +26,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["pipelines", "plain tput", "plain reordered flows", "enforced tput", "enforced reordered"],
+            &[
+                "pipelines",
+                "plain tput",
+                "plain reordered flows",
+                "enforced tput",
+                "enforced reordered"
+            ],
             &cells
         )
     );

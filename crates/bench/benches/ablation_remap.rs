@@ -16,7 +16,11 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                if r.period > 1_000_000 { "never".into() } else { r.period.to_string() },
+                if r.period > 1_000_000 {
+                    "never".into()
+                } else {
+                    r.period.to_string()
+                },
                 tp(r.throughput),
                 r.moves.to_string(),
             ]
@@ -24,6 +28,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["remap period (cycles)", "throughput (skewed)", "migrations"], &cells)
+        render(
+            &["remap period (cycles)", "throughput (skewed)", "migrations"],
+            &cells
+        )
     );
 }

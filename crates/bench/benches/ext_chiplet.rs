@@ -24,7 +24,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["app", "mode", "throughput", "globally equivalent"], &cells)
+        render(
+            &["app", "mode", "throughput", "globally equivalent"],
+            &cells
+        )
     );
     println!(
         "Monolithic MP5 keeps functional equivalence; independent chiplets\n\

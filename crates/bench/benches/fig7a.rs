@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["pipelines", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &[
+                "pipelines",
+                "MP5/uniform",
+                "ideal/uniform",
+                "MP5/skewed",
+                "ideal/skewed"
+            ],
             &cells
         )
     );

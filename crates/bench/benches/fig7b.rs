@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["stateful stages", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &[
+                "stateful stages",
+                "MP5/uniform",
+                "ideal/uniform",
+                "MP5/skewed",
+                "ideal/skewed"
+            ],
             &cells
         )
     );

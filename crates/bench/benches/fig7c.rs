@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["register size", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &[
+                "register size",
+                "MP5/uniform",
+                "ideal/uniform",
+                "MP5/skewed",
+                "ideal/skewed"
+            ],
             &cells
         )
     );

@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["packet size", "MP5/uniform", "ideal/uniform", "MP5/skewed", "ideal/skewed"],
+            &[
+                "packet size",
+                "MP5/uniform",
+                "ideal/uniform",
+                "MP5/skewed",
+                "ideal/skewed"
+            ],
             &cells
         )
     );

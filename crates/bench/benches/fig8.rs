@@ -27,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["app", "pipelines", "throughput", "max queue", "range", "equivalent"],
+            &[
+                "app",
+                "pipelines",
+                "throughput",
+                "max queue",
+                "range",
+                "equivalent"
+            ],
             &cells
         )
     );

@@ -17,7 +17,8 @@ fn bench_fifo(c: &mut Criterion) {
         let mut f: LogicalFifo<u64> = LogicalFifo::new(4, None);
         let mut i = 0u64;
         b.iter(|| {
-            f.push_data(i, OrderKey(i, 0), PipelineId((i % 4) as u16)).unwrap();
+            f.push_data(i, OrderKey(i, 0), PipelineId((i % 4) as u16))
+                .unwrap();
             i += 1;
             match f.pop() {
                 PopOutcome::Data(v) => v,
@@ -29,8 +30,13 @@ fn bench_fifo(c: &mut Criterion) {
         let mut f: LogicalFifo<u64> = LogicalFifo::new(4, None);
         let mut i = 0u64;
         b.iter(|| {
-            let key = PhantomKey { pkt: PacketId(i), reg: RegId(0), index: (i % 64) as u32 };
-            f.push_phantom(key, OrderKey(i, 0), PipelineId((i % 4) as u16)).unwrap();
+            let key = PhantomKey {
+                pkt: PacketId(i),
+                reg: RegId(0),
+                index: (i % 64) as u32,
+            };
+            f.push_phantom(key, OrderKey(i, 0), PipelineId((i % 4) as u16))
+                .unwrap();
             f.insert_data(key, i).unwrap();
             i += 1;
             match f.pop() {
@@ -75,12 +81,20 @@ fn bench_switch(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("mp5_packets", k), &k, |b, &k| {
             b.iter(|| {
                 let trace = synthetic_trace(&prog, &cfg);
-                Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k)).run(trace).completed
+                Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k))
+                    .run(trace)
+                    .completed
             });
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_fifo, bench_channel, bench_compile, bench_switch);
+criterion_group!(
+    benches,
+    bench_fifo,
+    bench_channel,
+    bench_compile,
+    bench_switch
+);
 criterion_main!(benches);

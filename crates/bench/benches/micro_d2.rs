@@ -23,7 +23,14 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["stream", "dynamic/static (uniform)", "dynamic/static (skewed)"], &cells)
+        render(
+            &[
+                "stream",
+                "dynamic/static (uniform)",
+                "dynamic/static (skewed)"
+            ],
+            &cells
+        )
     );
     let (ulo, uhi) = min_max(rows.iter().map(|r| r.ratio_uniform));
     let (slo, shi) = min_max(rows.iter().map(|r| r.ratio_skewed));

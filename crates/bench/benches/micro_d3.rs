@@ -27,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["stream", "MP5", "recirc", "naive", "recircs/pkt", "recirc loss vs MP5"],
+            &[
+                "stream",
+                "MP5",
+                "recirc",
+                "naive",
+                "recircs/pkt",
+                "recirc loss vs MP5"
+            ],
             &cells
         )
     );

@@ -17,9 +17,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["stream", "MP5 (D4)", "without D4", "recirculation"], &cells)
+        render(
+            &["stream", "MP5 (D4)", "without D4", "recirculation"],
+            &cells
+        )
     );
-    assert!(rows.iter().all(|r| r.mp5 == 0.0), "MP5 must be exactly zero");
+    assert!(
+        rows.iter().all(|r| r.mp5 == 0.0),
+        "MP5 must be exactly zero"
+    );
     let (nlo, nhi) = min_max(rows.iter().map(|r| r.no_d4 * 100.0));
     let (rlo, rhi) = min_max(rows.iter().map(|r| r.recirc * 100.0));
     println!("no-D4 violation range: {nlo:.1}%-{nhi:.1}% (paper: 14-26%)");

@@ -25,14 +25,27 @@ fn main() {
                 format!("{paper:.2}"),
                 format!("{:+.1}%", (ours - paper) / paper * 100.0),
                 format!("{:.2} GHz", m.clock_ghz(k)),
-                if m.meets_1ghz(k) { ">= 1 GHz ok" } else { "below!" }.to_string(),
+                if m.meets_1ghz(k) {
+                    ">= 1 GHz ok"
+                } else {
+                    "below!"
+                }
+                .to_string(),
             ]);
         }
     }
     println!(
         "{}",
         render(
-            &["k", "s", "model mm^2", "paper mm^2", "delta", "clock", "target"],
+            &[
+                "k",
+                "s",
+                "model mm^2",
+                "paper mm^2",
+                "delta",
+                "clock",
+                "target"
+            ],
             &rows
         )
     );
@@ -43,9 +56,7 @@ fn main() {
         m.sram_overhead_kb(10, 1000)
     );
     let (lo, hi) = m.area_overhead_percent(4, 16);
-    println!(
-        "  4 pipelines x 16 stages on a 300-700 mm^2 die: {lo:.2}%-{hi:.2}% (paper: 0.5-1%)"
-    );
+    println!("  4 pipelines x 16 stages on a 300-700 mm^2 die: {lo:.2}%-{hi:.2}% (paper: 0.5-1%)");
     let (lo8, hi8) = m.area_overhead_percent(8, 16);
     println!("  8 pipelines x 16 stages: {lo8:.2}%-{hi8:.2}% (paper: 2-4%)");
     println!(

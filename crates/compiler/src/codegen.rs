@@ -48,6 +48,12 @@ pub enum CompileError {
         /// Operations available.
         available: usize,
     },
+    /// The pre-codegen analyzer ([`CompileOptions::analyzer`]) found
+    /// error-level problems; compilation was not attempted.
+    AnalysisRejected {
+        /// Every diagnostic the analyzer produced (errors and below).
+        diagnostics: Vec<mp5_lang::Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -66,6 +72,25 @@ impl std::fmt::Display for CompileError {
                 f,
                 "stage {stage} needs {needed} operations, machine allows {available}"
             ),
+            CompileError::AnalysisRejected { diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity >= mp5_lang::Severity::Error)
+                    .count();
+                match diagnostics
+                    .iter()
+                    .find(|d| d.severity >= mp5_lang::Severity::Error)
+                {
+                    Some(first) => write!(
+                        f,
+                        "analysis rejected the program ({errors} error{}): [{}] {}",
+                        if errors == 1 { "" } else { "s" },
+                        first.code,
+                        first.message
+                    ),
+                    None => write!(f, "analysis rejected the program"),
+                }
+            }
         }
     }
 }
@@ -117,7 +142,7 @@ impl Default for FlowOrderSpec {
 }
 
 /// Optional compilation features.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct CompileOptions {
     /// §3.4 "Handling starvation and packet re-ordering": append a dummy
     /// stateful operation, **in the final pipeline stage**, indexed by
@@ -126,7 +151,27 @@ pub struct CompileOptions {
     /// the reordering that stateless-over-stateful prioritization can
     /// otherwise cause (e.g. for NATs and stateful firewalls).
     pub enforce_flow_order: Option<FlowOrderSpec>,
+    /// Optional pre-codegen analyzer (the `mp5-analysis` crate's
+    /// `analyze_tac`, or any custom [`crate::report::AnalyzerFn`]). When
+    /// set, it runs on the lowered TAC *before* code generation: if the
+    /// report contains error-level findings, compilation stops with
+    /// [`CompileError::AnalysisRejected`]; otherwise the report is
+    /// attached to [`CompiledProgram::analysis`].
+    pub analyzer: Option<crate::report::AnalyzerFn>,
 }
+
+impl PartialEq for CompileOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let analyzers_eq = match (self.analyzer, other.analyzer) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::ptr::fn_addr_eq(a, b),
+            _ => false,
+        };
+        self.enforce_flow_order == other.enforce_flow_order && analyzers_eq
+    }
+}
+
+impl Eq for CompileOptions {}
 
 /// Compiles with optional features.
 pub fn compile_with_options(
@@ -138,7 +183,16 @@ pub fn compile_with_options(
     if let Some(spec) = &opts.enforce_flow_order {
         append_flow_order(&mut tac, spec)?;
     }
+    let report = opts.analyzer.map(|analyze| analyze(&tac, target));
+    if let Some(r) = &report {
+        if r.has_errors() {
+            return Err(CompileError::AnalysisRejected {
+                diagnostics: r.diagnostics.clone(),
+            });
+        }
+    }
     let mut prog = compile_tac(tac, target)?;
+    prog.analysis = report;
     if opts.enforce_flow_order.is_some() {
         relocate_flow_order(&mut prog, target)?;
     }
@@ -147,10 +201,7 @@ pub fn compile_with_options(
 }
 
 /// Appends `__flow_order[hash(key fields) % buckets] = 0` to the TAC.
-fn append_flow_order(
-    tac: &mut TacProgram,
-    spec: &FlowOrderSpec,
-) -> Result<(), CompileError> {
+fn append_flow_order(tac: &mut TacProgram, spec: &FlowOrderSpec) -> Result<(), CompileError> {
     use mp5_lang::tac::{RegInfo, TacInstr};
     use mp5_lang::{Operand, TacExpr};
 
@@ -159,9 +210,7 @@ fn append_flow_order(
         let id = tac.field(name).ok_or_else(|| {
             CompileError::Lang(mp5_lang::LangError::Semantic {
                 span: Default::default(),
-                message: format!(
-                    "flow-order enforcement requires packet field '{name}'"
-                ),
+                message: format!("flow-order enforcement requires packet field '{name}'"),
             })
         })?;
         key_ops.push(Operand::Field(id));
@@ -179,6 +228,7 @@ fn append_flow_order(
             dst,
             expr: TacExpr::Hash2(acc, op),
         });
+        tac.spans.push(Default::default());
         acc = Operand::Field(dst);
     }
     let reg = mp5_types::RegId::from(tac.regs.len());
@@ -193,19 +243,16 @@ fn append_flow_order(
         val: Operand::Const(0),
         pred: None,
     });
+    tac.spans.push(Default::default());
     Ok(())
 }
 
 /// Moves the flow-order register into a dedicated *final* body stage —
 /// ordering is only effective if nothing stateful happens after it.
-fn relocate_flow_order(
-    prog: &mut CompiledProgram,
-    target: &Target,
-) -> Result<(), CompileError> {
+fn relocate_flow_order(prog: &mut CompiledProgram, target: &Target) -> Result<(), CompileError> {
     let reg = prog.reg(FLOW_ORDER_REG).expect("just appended");
     let cur_body = prog.regs[reg.index()].stage.index() - prog.resolution.stages;
-    let already_last =
-        cur_body + 1 == prog.stages.len() && prog.stages[cur_body].regs.len() == 1;
+    let already_last = cur_body + 1 == prog.stages.len() && prog.stages[cur_body].regs.len() == 1;
     if !already_last {
         if prog.num_stages() + 1 > target.max_stages {
             return Err(CompileError::TooManyStages {
@@ -309,8 +356,7 @@ pub fn compile_tac(tac: TacProgram, target: &Target) -> Result<CompiledProgram, 
             let body_stage = if p.reg == REG_STAGE_SENTINEL {
                 // Pre-existing stage-level plan (pairs atom): locate the
                 // stage by its original physical id.
-                (p.stage.index() - prologue_stages)
-                    .min(body.len() - 1)
+                (p.stage.index() - prologue_stages).min(body.len() - 1)
             } else {
                 reg_body_stage[&p.reg]
             };
@@ -386,6 +432,7 @@ pub fn compile_tac(tac: TacProgram, target: &Target) -> Result<CompiledProgram, 
         },
         stages: body,
         tac,
+        analysis: None,
     };
     debug_assert_eq!(prog.validate(), Ok(()));
     Ok(prog)
@@ -536,8 +583,7 @@ mod tests {
                 .map(|a| (a.reg, a.index))
                 .collect();
             let actual = p.execute_serial(&mut f, &mut regs);
-            let actual: Vec<(RegId, u32)> =
-                actual.into_iter().map(|a| (a.reg, a.index)).collect();
+            let actual: Vec<(RegId, u32)> = actual.into_iter().map(|a| (a.reg, a.index)).collect();
             let mut ps = predicted.clone();
             let mut as_ = actual.clone();
             ps.sort();
@@ -571,7 +617,7 @@ mod tests {
         )
         .unwrap();
         squeezed.validate().unwrap();
-        assert!(squeezed.num_stages() <= needed - 1);
+        assert!(squeezed.num_stages() < needed);
         assert!(
             squeezed.regs.iter().any(|r| !r.shardable),
             "merged stages must pin their registers"
@@ -624,7 +670,10 @@ mod tests {
              void func(struct Packet p) {{ {body} }}"
         );
         let err = compile(&src, &Target::tiny(16)).unwrap_err();
-        assert!(matches!(err, CompileError::TooManyOpsInStage { .. }), "{err}");
+        assert!(
+            matches!(err, CompileError::TooManyOpsInStage { .. }),
+            "{err}"
+        );
     }
 
     #[test]

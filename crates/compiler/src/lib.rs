@@ -33,15 +33,20 @@
 
 pub mod codegen;
 pub mod program;
+pub mod report;
 pub mod schedule;
 pub mod slice;
 pub mod target;
 pub mod transform;
 
-pub use codegen::{compile, compile_tac, compile_with_options, CompileError, CompileOptions, FlowOrderSpec, FLOW_ORDER_REG};
+pub use codegen::{
+    compile, compile_tac, compile_with_options, CompileError, CompileOptions, FlowOrderSpec,
+    FLOW_ORDER_REG,
+};
 pub use program::{
     AccessPlan, CompiledProgram, IdxPlan, PredPlan, ResolutionCode, ResolvedAccess, StageCode,
 };
+pub use report::{AnalysisReport, AnalyzerFn, PressureEstimate, RegAnalysis, ShardClass};
 pub use target::Target;
 
 #[cfg(test)]

@@ -129,6 +129,9 @@ pub struct CompiledProgram {
     /// The three-address program this was compiled from (kept for
     /// diagnostics and cross-validation).
     pub tac: TacProgram,
+    /// Pre-codegen analysis report, when compilation ran with
+    /// [`crate::CompileOptions::analyzer`] set (otherwise `None`).
+    pub analysis: Option<crate::report::AnalysisReport>,
 }
 
 impl CompiledProgram {
@@ -207,12 +210,9 @@ impl CompiledProgram {
             // one queue slot per state, and duplicate phantom keys would
             // collide in the FIFO directory — merge them. A merged access
             // is speculative only if every constituent was.
-            if let Some(prev) = out
-                .iter_mut()
-                .find(|a: &&mut ResolvedAccess| {
-                    a.stage == plan.stage && a.reg == plan.reg && a.index == index
-                })
-            {
+            if let Some(prev) = out.iter_mut().find(|a: &&mut ResolvedAccess| {
+                a.stage == plan.stage && a.reg == plan.reg && a.index == index
+            }) {
                 prev.speculative &= speculative;
                 continue;
             }
@@ -295,9 +295,7 @@ impl CompiledProgram {
             if p.reg != REG_STAGE_SENTINEL && p.reg.index() >= self.regs.len() {
                 return Err("plan references unknown reg".into());
             }
-            if p.stage.index() < self.resolution.stages
-                || p.stage.index() >= self.num_stages()
-            {
+            if p.stage.index() < self.resolution.stages || p.stage.index() >= self.num_stages() {
                 return Err("plan stage out of range".into());
             }
         }
@@ -328,24 +326,40 @@ fn exec_instr(
     };
     match ins {
         TacInstr::Assign { dst, expr } => fields[dst.index()] = expr.eval(fields),
-        TacInstr::RegRead { dst, reg, idx, pred } => {
-            let taken = pred.as_ref().map_or(true, |p| opval(p, fields) != 0);
+        TacInstr::RegRead {
+            dst,
+            reg,
+            idx,
+            pred,
+        } => {
+            let taken = pred.as_ref().is_none_or(|p| opval(p, fields) != 0);
             if taken {
                 let size = meta[reg.index()].size;
                 let i = TacProgram::wrap_index(size, opval(idx, fields));
                 fields[dst.index()] = regs[reg.index()][i as usize];
-                accesses.push(StateAccess { reg: *reg, index: i });
+                accesses.push(StateAccess {
+                    reg: *reg,
+                    index: i,
+                });
             } else {
                 fields[dst.index()] = 0;
             }
         }
-        TacInstr::RegWrite { reg, idx, val, pred } => {
-            let taken = pred.as_ref().map_or(true, |p| opval(p, fields) != 0);
+        TacInstr::RegWrite {
+            reg,
+            idx,
+            val,
+            pred,
+        } => {
+            let taken = pred.as_ref().is_none_or(|p| opval(p, fields) != 0);
             if taken {
                 let size = meta[reg.index()].size;
                 let i = TacProgram::wrap_index(size, opval(idx, fields));
                 regs[reg.index()][i as usize] = opval(val, fields);
-                accesses.push(StateAccess { reg: *reg, index: i });
+                accesses.push(StateAccess {
+                    reg: *reg,
+                    index: i,
+                });
             }
         }
     }

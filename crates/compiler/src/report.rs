@@ -1,0 +1,197 @@
+//! Structured pre-codegen program analysis report (data model).
+//!
+//! The *analyzer* that fills this in lives in the `mp5-analysis` crate
+//! (it runs between TAC and code generation); only the data model lives
+//! here, so that [`crate::compile_with_options`] can attach a report to
+//! [`crate::CompiledProgram`] without a dependency cycle between the
+//! compiler and the analyzer.
+//!
+//! The report answers, *before* code generation, the three questions the
+//! paper's compilability story hinges on:
+//!
+//! 1. **Shardability** (§3.3): can each register array be dynamically
+//!    sharded across pipelines (design principle D2), or must it be
+//!    pinned to one pipeline — and *which TAC instructions* force the
+//!    pinning?
+//! 2. **Hazards / D4 preconditions**: is every stateful access's address
+//!    resolvable in the prologue, and does the phantom-packet plan cover
+//!    every stateful stage so serial order can be frozen pre-emptively?
+//! 3. **Resource pressure**: how many stages / operations / SRAM bits
+//!    will the program need versus what the [`crate::Target`] provides,
+//!    with the codegen fallback (tail-stage merging) simulated so the
+//!    prediction matches what `compile` will actually do.
+
+use mp5_lang::Diagnostic;
+use mp5_types::RegId;
+
+/// Signature of a pre-codegen analyzer pluggable into
+/// [`crate::CompileOptions::analyzer`].
+///
+/// A plain function pointer (not a trait object) so `CompileOptions`
+/// keeps its `Clone + PartialEq + Eq` derives.
+pub type AnalyzerFn = fn(&mp5_lang::TacProgram, &crate::Target) -> AnalysisReport;
+
+/// Why (or whether) a register array can be dynamically sharded across
+/// pipelines (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShardClass {
+    /// The array's slots can be distributed across per-pipeline shards:
+    /// every access resolves to one exact, header-derived index in the
+    /// prologue.
+    Shardable,
+    /// A stateful *index* computation (the address depends on register
+    /// state) makes the address unresolvable in the prologue; the array
+    /// is pinned to one pipeline and serialized at array granularity.
+    PinnedStatefulIndex,
+    /// The array shares a stage with other arrays (a Banzai pairs-class
+    /// atom, or codegen's shared-stage fallback, or multiple distinct
+    /// resolvable indexes) and the co-resident group is pinned together.
+    PinnedCoResident,
+    /// A stateful *predicate* combined with multiple access sites keeps
+    /// the taken set unresolvable; the array is pinned rather than
+    /// speculatively phantomed.
+    PinnedStatefulPredicate,
+}
+
+impl ShardClass {
+    /// `true` only for [`ShardClass::Shardable`].
+    pub fn is_shardable(self) -> bool {
+        matches!(self, ShardClass::Shardable)
+    }
+
+    /// Stable machine-readable name (used by JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardClass::Shardable => "shardable",
+            ShardClass::PinnedStatefulIndex => "pinned-stateful-index",
+            ShardClass::PinnedCoResident => "pinned-co-resident",
+            ShardClass::PinnedStatefulPredicate => "pinned-stateful-predicate",
+        }
+    }
+}
+
+impl std::fmt::Display for ShardClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Analysis result for one register array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegAnalysis {
+    /// Which register array.
+    pub reg: RegId,
+    /// Its source name.
+    pub name: String,
+    /// Element count.
+    pub size: u32,
+    /// Shardability classification.
+    pub class: ShardClass,
+    /// TAC instruction positions (indexes into `TacProgram::instrs`)
+    /// responsible for a pinned classification. Empty for `Shardable`.
+    pub culprits: Vec<usize>,
+    /// Whether the access uses a *speculative* phantom plan (stateful
+    /// predicate resolved by phantoming both branches — shardable, but
+    /// worth surfacing as a performance note).
+    pub speculative: bool,
+    /// Whether the D4 phantom plan covers this array's stateful stage
+    /// (an uncovered stage means serial order cannot be frozen).
+    pub covered: bool,
+}
+
+/// Predicted resource consumption versus a [`crate::Target`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PressureEstimate {
+    /// Address-resolution prologue stages the transform will emit.
+    pub prologue_stages: usize,
+    /// Body stages *after* simulating codegen's tail-merge fallback.
+    pub body_stages: usize,
+    /// Total physical stages (`prologue + body`).
+    pub total_stages: usize,
+    /// Stage budget of the target.
+    pub max_stages: usize,
+    /// Largest per-stage operation count after merging.
+    pub peak_stage_ops: usize,
+    /// Per-stage operation budget of the target.
+    pub max_ops_per_stage: usize,
+    /// Body-stage merges the codegen fallback will perform (each merge
+    /// pins the co-resident arrays of the merged stage).
+    pub predicted_merges: usize,
+    /// SRAM bits per register array (data + per-index metadata).
+    pub sram_bits: Vec<u64>,
+    /// Per-stage SRAM budget of the target.
+    pub max_sram_bits_per_stage: u64,
+    /// Whether the program fits the target on every axis.
+    pub fits: bool,
+}
+
+/// The full pre-codegen analysis report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisReport {
+    /// Per-register shardability and coverage results, indexed by
+    /// [`RegId`].
+    pub regs: Vec<RegAnalysis>,
+    /// Resource-pressure estimate; `None` when the program could not be
+    /// scheduled at all (the diagnostics then explain why).
+    pub pressure: Option<PressureEstimate>,
+    /// All findings, in program order (by source span, then code).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Does any finding have error severity?
+    pub fn has_errors(&self) -> bool {
+        mp5_lang::diag::has_errors(&self.diagnostics)
+    }
+
+    /// Number of findings at warning severity or above.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity >= mp5_lang::Severity::Warning)
+            .count()
+    }
+
+    /// Looks up the analysis entry for a register by name.
+    pub fn reg_by_name(&self, name: &str) -> Option<&RegAnalysis> {
+        self.regs.iter().find(|r| r.name == name)
+    }
+
+    /// How many arrays the analyzer classified as shardable.
+    pub fn shardable_count(&self) -> usize {
+        self.regs.iter().filter(|r| r.class.is_shardable()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_class_names_are_stable() {
+        assert_eq!(ShardClass::Shardable.to_string(), "shardable");
+        assert_eq!(
+            ShardClass::PinnedStatefulIndex.to_string(),
+            "pinned-stateful-index"
+        );
+        assert_eq!(
+            ShardClass::PinnedCoResident.to_string(),
+            "pinned-co-resident"
+        );
+        assert_eq!(
+            ShardClass::PinnedStatefulPredicate.to_string(),
+            "pinned-stateful-predicate"
+        );
+        assert!(ShardClass::Shardable.is_shardable());
+        assert!(!ShardClass::PinnedCoResident.is_shardable());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = AnalysisReport::default();
+        assert!(!r.has_errors());
+        assert_eq!(r.warning_count(), 0);
+        assert_eq!(r.shardable_count(), 0);
+        assert!(r.reg_by_name("x").is_none());
+    }
+}

@@ -132,8 +132,7 @@ pub fn pipeline_with(
     }
 
     // ---- clusters ----
-    let (clusters, cluster_of) =
-        build_clusters(tac, &producers, &order_constraints, allow_pairs)?;
+    let (clusters, cluster_of) = build_clusters(tac, &producers, &order_constraints, allow_pairs)?;
 
     // ---- fixed-point (stage, depth) assignment ----
     let mut stage = vec![0usize; n];
@@ -160,11 +159,7 @@ pub fn pipeline_with(
                     Some(c) => (cl_stage[c], maxd),
                     None => (stage[p], depth[p]),
                 };
-                let (cs, cd) = if pd + 1 <= maxd {
-                    (ps, pd + 1)
-                } else {
-                    (ps + 1, 1)
-                };
+                let (cs, cd) = if pd < maxd { (ps, pd + 1) } else { (ps + 1, 1) };
                 if cs > lb_s {
                     lb_s = cs;
                     lb_d = cd;
@@ -335,7 +330,10 @@ fn build_clusters(
     // instruction on a read->write path through the group.
     let members_of = |group: &[usize]| -> Vec<usize> {
         let mut fwd = vec![false; n];
-        let mut stack: Vec<usize> = group.iter().flat_map(|&r| reads[r].iter().copied()).collect();
+        let mut stack: Vec<usize> = group
+            .iter()
+            .flat_map(|&r| reads[r].iter().copied())
+            .collect();
         while let Some(p) = stack.pop() {
             for &c in &consumers[p] {
                 if !fwd[c] {
@@ -345,7 +343,10 @@ fn build_clusters(
             }
         }
         let mut bwd = vec![false; n];
-        let mut stack: Vec<usize> = group.iter().flat_map(|&r| writes[r].iter().copied()).collect();
+        let mut stack: Vec<usize> = group
+            .iter()
+            .flat_map(|&r| writes[r].iter().copied())
+            .collect();
         while let Some(j) = stack.pop() {
             for &p in &producers[j] {
                 if !bwd[p] {
@@ -398,7 +399,9 @@ fn build_clusters(
         let reaches: Vec<Vec<bool>> = members.iter().map(|m| reach_of(m)).collect();
         for a in 0..groups.len() {
             for b in a + 1..groups.len() {
-                let overlap = members[a].iter().any(|m| members[b].binary_search(m).is_ok());
+                let overlap = members[a]
+                    .iter()
+                    .any(|m| members[b].binary_search(m).is_ok());
                 let mutual = members[b].iter().any(|&m| reaches[a][m])
                     && members[a].iter().any(|&m| reaches[b][m]);
                 if overlap || mutual {
@@ -596,9 +599,24 @@ mod tests {
         // Figure 3's program pipelines into: stage with reg1/reg2 reads
         // feeding p.val, then reg3's RMW — reg3 strictly after reg1/reg2.
         let s = sched(mp5_lang_fig3());
-        let r1 = s.clusters.iter().find(|c| c.regs == [RegId(0)]).unwrap().stage;
-        let r2 = s.clusters.iter().find(|c| c.regs == [RegId(1)]).unwrap().stage;
-        let r3 = s.clusters.iter().find(|c| c.regs == [RegId(2)]).unwrap().stage;
+        let r1 = s
+            .clusters
+            .iter()
+            .find(|c| c.regs == [RegId(0)])
+            .unwrap()
+            .stage;
+        let r2 = s
+            .clusters
+            .iter()
+            .find(|c| c.regs == [RegId(1)])
+            .unwrap()
+            .stage;
+        let r3 = s
+            .clusters
+            .iter()
+            .find(|c| c.regs == [RegId(2)])
+            .unwrap()
+            .stage;
         assert!(r3 > r1 && r3 > r2);
         assert_ne!(r1, r2, "serialized: one array per stage");
     }

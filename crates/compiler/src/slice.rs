@@ -9,10 +9,52 @@
 //! value is *stateful-tainted* and cannot be resolved preemptively.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use mp5_lang::tac::{TacInstr, TacProgram};
 use mp5_lang::Operand;
 use mp5_types::FieldId;
+
+/// A failed lookup in the slicing helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// The named register does not exist in the program.
+    UnknownRegister(String),
+    /// The register exists but the program never writes it.
+    NoWrite(String),
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::UnknownRegister(name) => {
+                write!(f, "no register named '{name}' in the program")
+            }
+            SliceError::NoWrite(name) => {
+                write!(f, "register '{name}' is never written")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// Finds the first `RegWrite` to the named register, returning its
+/// instruction position and index operand — the natural starting point
+/// for a backward slice of the write's address.
+pub fn find_write(tac: &TacProgram, reg_name: &str) -> Result<(usize, Operand), SliceError> {
+    let rid = tac
+        .reg(reg_name)
+        .ok_or_else(|| SliceError::UnknownRegister(reg_name.to_string()))?;
+    for (i, ins) in tac.instrs.iter().enumerate() {
+        if let TacInstr::RegWrite { reg, idx, .. } = ins {
+            if *reg == rid {
+                return Ok((i, *idx));
+            }
+        }
+    }
+    Err(SliceError::NoWrite(reg_name.to_string()))
+}
 
 /// Backward slicer over a three-address program.
 pub struct Slicer<'a> {
@@ -95,15 +137,26 @@ mod tests {
     use mp5_lang::frontend;
 
     fn find_write_pos(tac: &TacProgram, reg_name: &str) -> (usize, Operand) {
-        let rid = tac.reg(reg_name).unwrap();
-        for (i, ins) in tac.instrs.iter().enumerate() {
-            if let TacInstr::RegWrite { reg, idx, .. } = ins {
-                if *reg == rid {
-                    return (i, *idx);
-                }
-            }
-        }
-        panic!("no write to {reg_name}");
+        find_write(tac, reg_name).expect("test programs write their registers")
+    }
+
+    #[test]
+    fn find_write_reports_typed_errors() {
+        let tac = frontend(
+            "struct Packet { int h; };
+             int r[8];
+             void func(struct Packet p) { p.h = r[0]; }",
+        )
+        .unwrap();
+        assert_eq!(
+            find_write(&tac, "nope"),
+            Err(SliceError::UnknownRegister("nope".into()))
+        );
+        assert_eq!(find_write(&tac, "r"), Err(SliceError::NoWrite("r".into())));
+        assert!(find_write(&tac, "r")
+            .unwrap_err()
+            .to_string()
+            .contains("never written"));
     }
 
     #[test]
@@ -131,7 +184,10 @@ mod tests {
         .unwrap();
         let s = Slicer::new(&tac);
         let (pos, idx) = find_write_pos(&tac, "r");
-        assert!(s.try_slice(idx, pos).is_none(), "index via register read must taint");
+        assert!(
+            s.try_slice(idx, pos).is_none(),
+            "index via register read must taint"
+        );
     }
 
     #[test]
@@ -169,7 +225,11 @@ mod tests {
         let (pos, idx) = find_write_pos(&tac, "r");
         // Slice: the `p.h + 3` temp, the store into p.h, and the `%`.
         let slice = s.try_slice(idx, pos).unwrap();
-        assert_eq!(slice.len(), 3, "must include the p.h overwrite chain and the %");
+        assert_eq!(
+            slice.len(),
+            3,
+            "must include the p.h overwrite chain and the %"
+        );
     }
 
     #[test]

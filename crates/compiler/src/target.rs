@@ -23,6 +23,12 @@ pub struct Target {
     /// Pairs atoms are pinned to one pipeline and serialized at stage
     /// granularity.
     pub allow_pairs: bool,
+    /// SRAM budget per stage, in bits. Register state costs
+    /// `size × (64 data + 30 metadata)` bits per array (§4.2's 30-bit
+    /// per-index sharding metadata on top of the 64-bit value word).
+    /// Checked by the `mp5-analysis` pressure estimator, not by code
+    /// generation itself.
+    pub max_sram_bits_per_stage: u64,
 }
 
 impl Default for Target {
@@ -32,6 +38,9 @@ impl Default for Target {
             max_ops_per_stage: 64,
             max_chain_depth: 4,
             allow_pairs: true,
+            // 1 MiB of stateful SRAM per stage — the order of magnitude
+            // of commercial RMT-style switch stages.
+            max_sram_bits_per_stage: 8 * 1024 * 1024,
         }
     }
 }
@@ -44,6 +53,7 @@ impl Target {
             max_ops_per_stage: 8,
             max_chain_depth: 1,
             allow_pairs: false,
+            max_sram_bits_per_stage: 64 * 1024,
         }
     }
 }

@@ -62,11 +62,7 @@ struct AccessSite {
 ///
 /// `stage_base` maps a PVSM stage to its physical stage id (the body
 /// offset after the prologue is sized, so the caller passes a closure).
-pub fn transform(
-    tac: &TacProgram,
-    schedule: &Schedule,
-    max_chain_depth: usize,
-) -> TransformResult {
+pub fn transform(tac: &TacProgram, schedule: &Schedule, max_chain_depth: usize) -> TransformResult {
     let slicer = Slicer::new(tac);
     let mut slice_set: BTreeSet<usize> = BTreeSet::new();
     let mut extra_fields: Vec<String> = Vec::new();
@@ -236,10 +232,7 @@ pub fn transform(
 
     // Assemble the prologue instruction list: the union slice in
     // original program order, then synthesized predicate combinators.
-    let mut instrs: Vec<TacInstr> = slice_set
-        .iter()
-        .map(|&i| tac.instrs[i].clone())
-        .collect();
+    let mut instrs: Vec<TacInstr> = slice_set.iter().map(|&i| tac.instrs[i].clone()).collect();
     instrs.extend(synth);
 
     // Size the prologue: the slice instructions re-scheduled with the
@@ -296,7 +289,7 @@ fn prologue_stages(instrs: &[TacInstr], tac: &TacProgram, maxd: usize) -> usize 
             for o in expr.operands() {
                 if let Operand::Field(f) = o {
                     let (ps, pd) = avail[f.index()];
-                    let (cs, cd) = if pd + 1 <= maxd { (ps, pd + 1) } else { (ps + 1, 1) };
+                    let (cs, cd) = if pd < maxd { (ps, pd + 1) } else { (ps + 1, 1) };
                     if cs > s {
                         s = cs;
                         d = cd;

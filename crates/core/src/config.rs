@@ -151,7 +151,10 @@ mod tests {
         assert_eq!(ideal.sharding, ShardingMode::IdealPeriodic);
 
         assert!(!SwitchConfig::no_d4(4).phantoms);
-        assert_eq!(SwitchConfig::static_shard(4, 7).sharding, ShardingMode::Static);
+        assert_eq!(
+            SwitchConfig::static_shard(4, 7).sharding,
+            ShardingMode::Static
+        );
 
         let naive = SwitchConfig::naive(4);
         assert_eq!(naive.spray, SprayMode::SinglePipeline(0));

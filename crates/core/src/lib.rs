@@ -44,4 +44,4 @@ pub mod switch;
 pub use config::{ShardingMode, SprayMode, SwitchConfig};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
 pub use report::{DropCounts, RunReport};
-pub use switch::Mp5Switch;
+pub use switch::{InvariantViolation, Mp5Switch};

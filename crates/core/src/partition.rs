@@ -186,14 +186,18 @@ mod tests {
 
         // Each logical switch matches its own single-pipeline reference
         // over its own packets.
-        let ref_a = BanzaiSwitch::new(prog_a).run(
-            ta.into_iter().map(|p| super::remap_port(p, 0)).collect(),
+        let ref_a = BanzaiSwitch::new(prog_a)
+            .run(ta.into_iter().map(|p| super::remap_port(p, 0)).collect());
+        let ref_b = BanzaiSwitch::new(prog_b)
+            .run(tb.into_iter().map(|p| super::remap_port(p, 32)).collect());
+        assert!(
+            reports[0].report.result.equivalent_to(&ref_a),
+            "partition A"
         );
-        let ref_b = BanzaiSwitch::new(prog_b).run(
-            tb.into_iter().map(|p| super::remap_port(p, 32)).collect(),
+        assert!(
+            reports[1].report.result.equivalent_to(&ref_b),
+            "partition B"
         );
-        assert!(reports[0].report.result.equivalent_to(&ref_a), "partition A");
-        assert!(reports[1].report.result.equivalent_to(&ref_b), "partition B");
     }
 
     #[test]
@@ -206,8 +210,7 @@ mod tests {
             ..SwitchConfig::mp5(2)
         };
         let nf = prog.num_fields();
-        let rep = Mp5Switch::new(prog, cfg)
-            .run(TraceBuilder::new(100, 1).build(nf, |_, _, _| {}));
+        let rep = Mp5Switch::new(prog, cfg).run(TraceBuilder::new(100, 1).build(nf, |_, _, _| {}));
         assert_eq!(rep.cycle_len, 64 * 4);
     }
 

@@ -116,7 +116,12 @@ impl RunReport {
             cycle_len: 64,
         }
     }
+}
 
+impl Default for RunReport {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ pub fn remap_heuristic(
     for (i, &p) in map.iter().enumerate() {
         if p as usize == h && counters[i] < c && inflight[i] == 0 {
             let cand = (counters[i], i);
-            if best.map_or(true, |b| cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1)) {
+            if best.is_none_or(|b| cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1)) {
                 best = Some(cand);
             }
         }
@@ -109,12 +109,7 @@ pub fn remap_to_fixpoint(
 ///
 /// Kept for comparison and unit-tested, but **not** used by the ideal
 /// baseline: see [`remap_to_fixpoint`] for why.
-pub fn remap_lpt(
-    map: &[u16],
-    counters: &[u64],
-    inflight: &[u32],
-    pipelines: usize,
-) -> Vec<Move> {
+pub fn remap_lpt(map: &[u16], counters: &[u64], inflight: &[u32], pipelines: usize) -> Vec<Move> {
     if pipelines < 2 || map.is_empty() {
         return Vec::new();
     }
@@ -139,7 +134,10 @@ pub fn remap_lpt(
             .expect("pipelines > 0");
         load[target] += counters[i];
         if map[i] as usize != target {
-            moves.push(Move { index: i, to: target });
+            moves.push(Move {
+                index: i,
+                to: target,
+            });
         }
     }
     moves

@@ -12,6 +12,35 @@ use crate::config::{ShardingMode, SprayMode, SwitchConfig};
 use crate::report::RunReport;
 use crate::shard;
 
+/// The simulator's liveness invariant broke: a run failed to drain all
+/// in-flight work within its cycle cap. Carries a snapshot of where the
+/// stuck work sits, for debugging deadlocked configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The cycle cap that was exceeded.
+    pub cap: u64,
+    /// Packets still waiting at ingress.
+    pub ingress: usize,
+    /// Packets occupying pipeline lanes.
+    pub in_lanes: usize,
+    /// Packets sitting in stage FIFOs.
+    pub queued: usize,
+    /// Phantoms still in flight on the dedicated channel.
+    pub channel: usize,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation exceeded {} cycles: ingress={}, in-lanes={}, queued={}, channel={}",
+            self.cap, self.ingress, self.in_lanes, self.queued, self.channel
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
 /// A packet in flight through the switch, with its entry-order key and
 /// ingress pipeline (the lane its phantoms use).
 #[derive(Debug, Clone)]
@@ -72,10 +101,10 @@ impl StageQueue {
         }
     }
 
-    fn sub<'a>(
-        subs: &'a mut std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
+    fn sub(
+        subs: &mut std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
         index: u32,
-    ) -> &'a mut LogicalFifo<Flight> {
+    ) -> &mut LogicalFifo<Flight> {
         subs.entry(index)
             .or_insert_with(|| LogicalFifo::new(1, None))
     }
@@ -87,8 +116,7 @@ impl StageQueue {
                 let ok = Self::sub(subs, key.index)
                     .push_phantom(key, ts, PipelineId(0))
                     .is_ok();
-                *max_total =
-                    (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
+                *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
                 ok
             }
         }
@@ -101,8 +129,7 @@ impl StageQueue {
                 let r = Self::sub(subs, INDEX_ARRAY_LEVEL)
                     .push_data(fl, ts, PipelineId(0))
                     .map(|_| ());
-                *max_total =
-                    (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
+                *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
                 r
             }
         }
@@ -148,7 +175,9 @@ impl StageQueue {
                 let mut heads: std::collections::BTreeMap<u32, (OrderKey, Head)> =
                     Default::default();
                 for (&idx, f) in subs.iter_mut() {
-                    let Some(entry) = f.peek_oldest() else { continue };
+                    let Some(entry) = f.peek_oldest() else {
+                        continue;
+                    };
                     let ts = entry.ts();
                     let head = match entry {
                         mp5_fabric::Entry::Phantom { key, .. } => Head::Phantom(*key),
@@ -180,9 +209,7 @@ impl StageQueue {
                         // or after drops, there is nothing to wait for).
                         let eligible = keys.iter().all(|k| {
                             k.index == idx
-                                || subs
-                                    .get(&k.index)
-                                    .map_or(true, |sub| !sub.has_phantom(*k))
+                                || subs.get(&k.index).is_none_or(|sub| !sub.has_phantom(*k))
                                 || matches!(
                                     heads.get(&k.index),
                                     Some((_, Head::Phantom(hk))) if hk == k
@@ -345,7 +372,22 @@ impl Mp5Switch {
     }
 
     /// Runs a full trace to completion and returns the report.
-    pub fn run(mut self, mut packets: Vec<Packet>) -> RunReport {
+    ///
+    /// Panics if the simulation fails to drain within its cycle cap; use
+    /// [`Mp5Switch::try_run`] to handle that as a structured
+    /// [`InvariantViolation`] instead.
+    pub fn run(self, packets: Vec<Packet>) -> RunReport {
+        match self.try_run(packets) {
+            Ok(report) => report,
+            Err(v) => panic!("{v}"),
+        }
+    }
+
+    /// Runs a full trace to completion, reporting a structured
+    /// [`InvariantViolation`] (instead of panicking) if the switch fails
+    /// to drain within its cycle cap — the liveness invariant every
+    /// well-formed configuration must uphold.
+    pub fn try_run(mut self, mut packets: Vec<Packet>) -> Result<RunReport, InvariantViolation> {
         packets.sort_by_key(|p| p.entry_order_key());
         self.report.offered = packets.len() as u64;
         self.report.input_duration = packets
@@ -360,17 +402,17 @@ impl Mp5Switch {
         });
         while !self.drained() {
             if self.cycle >= cap {
-                panic!(
-                    "simulation exceeded {cap} cycles: ingress={}, in-lanes={}, queued={}, channel={}",
-                    self.ingress_q.len(),
-                    self.lanes.iter().flatten().filter(|l| l.is_some()).count(),
-                    self.queues.iter().flatten().map(|q| q.len()).sum::<usize>(),
-                    self.channel.in_flight(),
-                );
+                return Err(InvariantViolation {
+                    cap,
+                    ingress: self.ingress_q.len(),
+                    in_lanes: self.lanes.iter().flatten().filter(|l| l.is_some()).count(),
+                    queued: self.queues.iter().flatten().map(|q| q.len()).sum(),
+                    channel: self.channel.in_flight(),
+                });
             }
             self.step();
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     fn drained(&self) -> bool {
@@ -384,7 +426,7 @@ impl Mp5Switch {
     /// Simulates one pipeline cycle.
     fn step(&mut self) {
         // 1. Background dynamic sharding.
-        if self.cycle > 0 && self.cycle % self.cfg.remap_period == 0 {
+        if self.cycle > 0 && self.cycle.is_multiple_of(self.cfg.remap_period) {
             self.remap();
         }
 
@@ -403,7 +445,7 @@ impl Mp5Switch {
         // 3. Move phase: all stage occupants advance simultaneously.
         let mut incoming: Vec<Vec<Option<Flight>>> =
             (0..self.k).map(|_| vec![None; self.stages]).collect();
-        for pl in 0..self.k {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
             for st in (0..self.stages).rev() {
                 let Some(fl) = self.lanes[pl][st].take() else {
                     continue;
@@ -413,11 +455,7 @@ impl Mp5Switch {
                     continue;
                 }
                 let next = st + 1;
-                let has_tag_here = fl
-                    .pkt
-                    .tags
-                    .first()
-                    .map_or(false, |t| t.stage.index() == next);
+                let has_tag_here = fl.pkt.tags.first().is_some_and(|t| t.stage.index() == next);
                 if has_tag_here {
                     let dest = fl.pkt.tags[0].pipeline;
                     self.crossbars[next].route(PipelineId(pl as u16), dest);
@@ -426,7 +464,7 @@ impl Mp5Switch {
                     }
                     self.enqueue_stateful(dest, next, fl);
                 } else {
-                    incoming[pl][next] = Some(fl);
+                    inc_row[next] = Some(fl);
                 }
             }
             self.crossbars.iter_mut().for_each(|x| x.end_cycle());
@@ -434,11 +472,7 @@ impl Mp5Switch {
 
         // 3b. Ingress: spray eligible arrivals over pipelines.
         let now_end = (self.cycle + 1) * cycle_len(self.timing_k);
-        while self
-            .arrivals
-            .front()
-            .map_or(false, |p| p.arrival < now_end)
-        {
+        while self.arrivals.front().is_some_and(|p| p.arrival < now_end) {
             let pkt = self.arrivals.pop_front().expect("front checked");
             let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
             self.ingress_q.push_back(Flight {
@@ -473,15 +507,15 @@ impl Mp5Switch {
 
         // 4. Admit/work phase: each (pipeline, stage) processes at most
         // one packet; incoming pass-through has priority (Invariant 2).
-        for pl in 0..self.k {
-            for st in 0..self.stages {
-                if let Some(fl) = incoming[pl][st].take() {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
+            for (st, slot) in inc_row.iter_mut().enumerate() {
+                if let Some(fl) = slot.take() {
                     // Starvation handling (§3.4): drop an incoming
                     // packet that is stateless-from-here-on in favor of
                     // a long-starved queued stateful packet.
                     if let Some(thr) = self.cfg.starvation_threshold {
                         let starved = fl.pkt.tags.is_empty()
-                            && self.queues[pl][st].oldest_ts().map_or(false, |ts| {
+                            && self.queues[pl][st].oldest_ts().is_some_and(|ts| {
                                 let now = self.cycle * cycle_len(self.timing_k);
                                 now.saturating_sub(ts.0) > thr * cycle_len(self.timing_k)
                             });
@@ -610,9 +644,9 @@ impl Mp5Switch {
         }
         if st >= self.prologue {
             let body = st - self.prologue;
-            let accesses =
-                self.prog
-                    .execute_stage(body, &mut fl.pkt.fields, &mut self.regs[pl]);
+            let accesses = self
+                .prog
+                .execute_stage(body, &mut fl.pkt.fields, &mut self.regs[pl]);
             for a in &accesses {
                 self.report
                     .result
@@ -630,12 +664,7 @@ impl Mp5Switch {
             // (§3.3's speculative-false penalty).
             let mut retired_speculative = false;
             let mut first = true;
-            while fl
-                .pkt
-                .tags
-                .first()
-                .map_or(false, |t| t.stage.index() == st)
-            {
+            while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
                 let tag = fl.pkt.tags.remove(0);
                 retired_speculative |= tag.speculative;
                 if !first && self.cfg.phantoms {
@@ -699,10 +728,10 @@ impl Mp5Switch {
             "packet exited with unvisited tags: {:?}",
             fl.pkt.tags
         );
-        self.report
-            .result
-            .outputs
-            .insert(fl.pkt.id, fl.pkt.fields[..self.prog.declared_fields].to_vec());
+        self.report.result.outputs.insert(
+            fl.pkt.id,
+            fl.pkt.fields[..self.prog.declared_fields].to_vec(),
+        );
         self.report.completions.push((fl.pkt.id, self.cycle));
         self.report.completed += 1;
         if fl.pkt.ecn {
@@ -841,7 +870,12 @@ mod tests {
     const STATELESS: &str = "struct Packet { int a; int b; };
         void func(struct Packet p) { p.b = p.a * 2 + 1; }";
 
-    fn run_both(src: &str, cfg: SwitchConfig, n: usize, seed: u64) -> (mp5_banzai::RunResult, RunReport) {
+    fn run_both(
+        src: &str,
+        cfg: SwitchConfig,
+        n: usize,
+        seed: u64,
+    ) -> (mp5_banzai::RunResult, RunReport) {
         let prog = compile(src, &Target::default()).unwrap();
         let nf = prog.num_fields();
         let trace = TraceBuilder::new(n, seed).build(nf, |r, _, f| {
@@ -851,6 +885,26 @@ mod tests {
         let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
         let report = Mp5Switch::new(prog, cfg).run(trace);
         (reference, report)
+    }
+
+    #[test]
+    fn try_run_reports_cycle_cap_violation() {
+        let prog = compile(COUNTER, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(50, 7).build(nf, |_, _, _| {});
+        let cfg = SwitchConfig {
+            max_cycles: Some(1),
+            ..SwitchConfig::mp5(4)
+        };
+        let err = Mp5Switch::new(prog, cfg)
+            .try_run(trace)
+            .expect_err("1-cycle cap cannot drain 50 packets");
+        assert_eq!(err.cap, 1);
+        assert!(
+            err.ingress + err.in_lanes + err.queued + err.channel > 0,
+            "violation snapshot locates the stuck work: {err}"
+        );
+        assert!(err.to_string().contains("exceeded 1 cycles"));
     }
 
     #[test]
@@ -945,7 +999,10 @@ mod tests {
     #[test]
     fn naive_design_caps_at_one_over_k() {
         let (reference, report) = run_both(SHARDED, SwitchConfig::naive(4), 2000, 6);
-        assert!(report.result.equivalent_to(&reference), "naive is still correct");
+        assert!(
+            report.result.equivalent_to(&reference),
+            "naive is still correct"
+        );
         let t = report.normalized_throughput();
         assert!(
             t < 0.30 && t > 0.15,
@@ -987,20 +1044,12 @@ mod tests {
 
     #[test]
     fn bounded_fifos_drop_under_overload_and_cascade() {
-        let (_, report) = run_both(
-            COUNTER,
-            SwitchConfig::mp5(4).with_hardware_fifos(),
-            3000,
-            9,
-        );
+        let (_, report) = run_both(COUNTER, SwitchConfig::mp5(4).with_hardware_fifos(), 3000, 9);
         // The global counter admits 1/k of line rate; bounded FIFOs must
         // shed the excess as phantom + data drops, never deadlock.
         assert!(report.drops.phantom_fifo_full > 0);
         assert!(report.drops.data_no_phantom > 0);
-        assert_eq!(
-            report.completed + report.drops.total_data(),
-            report.offered
-        );
+        assert_eq!(report.completed + report.drops.total_data(), report.offered);
     }
 
     #[test]

@@ -385,7 +385,8 @@ mod tests {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(4));
         // Phantom for packet 0 (older) into lane 0; data for packet 1
         // (younger) into lane 1.
-        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
         f.push_data("pkt1", OrderKey(1, 0), PipelineId(1)).unwrap();
         // pkt1 must be blocked behind pkt0's phantom.
         assert!(matches!(f.pop(), PopOutcome::BlockedOnPhantom(k) if k == key(0)));
@@ -401,14 +402,16 @@ mod tests {
     fn younger_phantom_does_not_block_older_data() {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(4));
         f.push_data("old", OrderKey(0, 0), PipelineId(0)).unwrap();
-        f.push_phantom(key(9), OrderKey(5, 0), PipelineId(1)).unwrap();
+        f.push_phantom(key(9), OrderKey(5, 0), PipelineId(1))
+            .unwrap();
         assert!(matches!(f.pop(), PopOutcome::Data("old")));
     }
 
     #[test]
     fn insert_inherits_phantom_timestamp() {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(8));
-        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
         f.push_data("mid", OrderKey(1, 0), PipelineId(1)).unwrap();
         // Data for packet 0 arrives late but replaces its phantom, so it
         // is still served before "mid".
@@ -427,8 +430,11 @@ mod tests {
     #[test]
     fn full_lane_drops_phantom_then_cascades() {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(1));
-        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
-        assert!(f.push_phantom(key(1), OrderKey(1, 0), PipelineId(0)).is_err());
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
+        assert!(f
+            .push_phantom(key(1), OrderKey(1, 0), PipelineId(0))
+            .is_err());
         assert_eq!(f.stats().phantom_drops, 1);
         // The data packet for the dropped phantom is dropped too.
         assert!(f.insert_data(key(1), "late").is_err());
@@ -438,7 +444,8 @@ mod tests {
     #[test]
     fn speculative_false_costs_one_cycle() {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
-        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
         f.push_data("next", OrderKey(1, 0), PipelineId(0)).unwrap();
         assert!(f.cancel(key(0), false));
         // First pop wastes a cycle reclaiming the speculative phantom...
@@ -451,7 +458,8 @@ mod tests {
     #[test]
     fn free_cancel_costs_nothing() {
         let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
-        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
         f.push_data("next", OrderKey(1, 0), PipelineId(0)).unwrap();
         assert!(f.cancel(key(0), true));
         assert!(matches!(f.pop(), PopOutcome::Data("next")));
@@ -469,7 +477,8 @@ mod tests {
         // Interleave pushes across lanes with shuffled timestamps.
         let order = [(3u64, 2usize), (0, 0), (2, 1), (1, 3), (5, 0), (4, 2)];
         for &(ts, lane) in &order {
-            f.push_data(ts, OrderKey(ts, 0), PipelineId::from(lane)).unwrap();
+            f.push_data(ts, OrderKey(ts, 0), PipelineId::from(lane))
+                .unwrap();
         }
         let mut out = Vec::new();
         while let PopOutcome::Data(v) = f.pop() {
@@ -483,10 +492,20 @@ mod tests {
         // A packet with an unresolvable predicate owns one phantom per
         // branch; both must be addressable independently.
         let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
-        let k_then = PhantomKey { pkt: PacketId(0), reg: RegId(0), index: 1 };
-        let k_else = PhantomKey { pkt: PacketId(0), reg: RegId(0), index: 2 };
-        f.push_phantom(k_then, OrderKey(0, 0), PipelineId(0)).unwrap();
-        f.push_phantom(k_else, OrderKey(0, 1), PipelineId(0)).unwrap();
+        let k_then = PhantomKey {
+            pkt: PacketId(0),
+            reg: RegId(0),
+            index: 1,
+        };
+        let k_else = PhantomKey {
+            pkt: PacketId(0),
+            reg: RegId(0),
+            index: 2,
+        };
+        f.push_phantom(k_then, OrderKey(0, 0), PipelineId(0))
+            .unwrap();
+        f.push_phantom(k_else, OrderKey(0, 1), PipelineId(0))
+            .unwrap();
         assert!(f.has_phantom(k_then) && f.has_phantom(k_else));
         // Predicate resolves to the then-branch: else phantom cancelled.
         f.cancel(k_else, false);

@@ -7,34 +7,72 @@
 //!   be indexed and arrays must be indexed;
 //! * locals must be declared before use and not shadow registers;
 //! * duplicate declarations are rejected.
+//!
+//! Unlike the original first-error-only checker, [`check_diagnostics`]
+//! walks the whole program and accumulates *every* semantic error as a
+//! span-carrying [`Diagnostic`] with a stable `MP5xxx` code. The
+//! [`check`] shim keeps the old `Result<(), LangError>` API by
+//! returning the first accumulated error.
 
 use std::collections::{HashMap, HashSet};
 
 use crate::ast::{Expr, LValue, Program, Stmt};
+use crate::diag::{Code, Diagnostic};
 use crate::error::{LangError, Span};
 
 /// Checks a parsed [`Program`], returning the first error found.
+///
+/// Compatibility shim over [`check_diagnostics`]: callers that want
+/// every error (and its stable code) should use that instead.
 pub fn check(prog: &Program) -> Result<(), LangError> {
+    match check_diagnostics(prog).into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(LangError::Semantic {
+            span: d.span,
+            message: d.message,
+        }),
+    }
+}
+
+/// Checks a parsed [`Program`], accumulating every semantic error.
+///
+/// Errors are reported in program order (declarations first, then the
+/// function body, statement by statement). After a faulty declaration
+/// the declared name is still brought into scope, so one mistake does
+/// not cascade into spurious "undeclared" errors at every use site.
+pub fn check_diagnostics(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
     let mut fields = HashSet::new();
     for f in &prog.fields {
         if !fields.insert(f.as_str()) {
-            return Err(sem(Span::default(), format!("duplicate packet field '{f}'")));
+            diags.push(Diagnostic::error(
+                Code::DUPLICATE_FIELD,
+                Span::default(),
+                format!("duplicate packet field '{f}'"),
+            ));
         }
     }
 
     let mut regs: HashMap<&str, u32> = HashMap::new();
     for r in &prog.regs {
         if regs.insert(r.name.as_str(), r.size).is_some() {
-            return Err(sem(r.span, format!("duplicate register '{}'", r.name)));
+            diags.push(Diagnostic::error(
+                Code::DUPLICATE_REGISTER,
+                r.span,
+                format!("duplicate register '{}'", r.name),
+            ));
         }
         if fields.contains(r.name.as_str()) {
-            return Err(sem(
+            diags.push(Diagnostic::error(
+                Code::REGISTER_SHADOWS_FIELD,
                 r.span,
                 format!("register '{}' collides with a packet field", r.name),
             ));
         }
         if r.name == prog.pkt_param {
-            return Err(sem(
+            diags.push(Diagnostic::error(
+                Code::REGISTER_SHADOWS_PARAM,
                 r.span,
                 format!("register '{}' collides with the packet parameter", r.name),
             ));
@@ -45,68 +83,83 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
         fields: &fields,
         regs: &regs,
         locals: HashSet::new(),
+        diags,
     };
-    ck.block(&prog.body)
-}
-
-fn sem(span: Span, message: String) -> LangError {
-    LangError::Semantic { span, message }
+    ck.block(&prog.body);
+    ck.diags
 }
 
 struct Checker<'a> {
     fields: &'a HashSet<&'a str>,
     regs: &'a HashMap<&'a str, u32>,
     locals: HashSet<String>,
+    diags: Vec<Diagnostic>,
 }
 
 impl<'a> Checker<'a> {
-    fn block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
-        for s in stmts {
-            self.stmt(s)?;
-        }
-        Ok(())
+    fn emit(&mut self, code: Code, span: Span, message: String) {
+        self.diags.push(Diagnostic::error(code, span, message));
     }
 
-    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::DeclLocal { name, init, span } => {
                 if let Some(e) = init {
-                    self.expr(e, *span)?;
+                    self.expr(e, *span);
                 }
                 if self.regs.contains_key(name.as_str()) {
-                    return Err(sem(*span, format!("local '{name}' shadows a register")));
+                    self.emit(
+                        Code::LOCAL_SHADOWS_REGISTER,
+                        *span,
+                        format!("local '{name}' shadows a register"),
+                    );
                 }
                 if self.locals.contains(name) {
-                    return Err(sem(*span, format!("duplicate local '{name}'")));
+                    self.emit(
+                        Code::DUPLICATE_LOCAL,
+                        *span,
+                        format!("duplicate local '{name}'"),
+                    );
                 }
+                // Bring the name into scope even after an error so later
+                // uses do not cascade.
                 self.locals.insert(name.clone());
-                Ok(())
             }
             Stmt::Assign { lhs, rhs, span } => {
-                self.expr(rhs, *span)?;
+                self.expr(rhs, *span);
                 match lhs {
                     LValue::Field(f) => {
                         if !self.fields.contains(f.as_str()) {
-                            return Err(sem(*span, format!("unknown packet field '{f}'")));
+                            self.emit(
+                                Code::UNKNOWN_FIELD,
+                                *span,
+                                format!("unknown packet field '{f}'"),
+                            );
                         }
                     }
                     LValue::Local(name) => {
                         if !self.locals.contains(name) {
-                            return Err(sem(
+                            self.emit(
+                                Code::UNDECLARED_IDENTIFIER,
                                 *span,
                                 format!("assignment to undeclared local '{name}'"),
-                            ));
+                            );
                         }
                     }
                     LValue::RegElem(name, idx) => {
-                        self.reg_array(name, *span)?;
-                        self.expr(idx, *span)?;
+                        self.reg_array(name, *span);
+                        self.expr(idx, *span);
                     }
                     LValue::RegScalar(name) => {
-                        self.reg_scalar(name, *span)?;
+                        self.reg_scalar(name, *span);
                     }
                 }
-                Ok(())
             }
             Stmt::If {
                 cond,
@@ -114,62 +167,74 @@ impl<'a> Checker<'a> {
                 else_branch,
                 span,
             } => {
-                self.expr(cond, *span)?;
-                self.block(then_branch)?;
-                self.block(else_branch)
+                self.expr(cond, *span);
+                self.block(then_branch);
+                self.block(else_branch);
             }
         }
     }
 
-    fn reg_array(&self, name: &str, span: Span) -> Result<(), LangError> {
-        match self.regs.get(name) {
-            None => Err(sem(span, format!("unknown register '{name}'"))),
-            Some(_) => Ok(()),
+    fn reg_array(&mut self, name: &str, span: Span) {
+        if !self.regs.contains_key(name) {
+            self.emit(
+                Code::UNKNOWN_REGISTER,
+                span,
+                format!("unknown register '{name}'"),
+            );
         }
     }
 
-    fn reg_scalar(&self, name: &str, span: Span) -> Result<(), LangError> {
+    fn reg_scalar(&mut self, name: &str, span: Span) {
         match self.regs.get(name) {
-            None => Err(sem(span, format!("unknown register '{name}'"))),
-            Some(&size) if size != 1 => Err(sem(
+            None => self.emit(
+                Code::UNKNOWN_REGISTER,
+                span,
+                format!("unknown register '{name}'"),
+            ),
+            Some(&size) if size != 1 => self.emit(
+                Code::ARRAY_WITHOUT_INDEX,
                 span,
                 format!("register array '{name}' used without an index"),
-            )),
-            Some(_) => Ok(()),
+            ),
+            Some(_) => {}
         }
     }
 
-    fn expr(&self, e: &Expr, span: Span) -> Result<(), LangError> {
+    fn expr(&mut self, e: &Expr, span: Span) {
         match e {
-            Expr::Const(_) => Ok(()),
+            Expr::Const(_) => {}
             Expr::Field(f) => {
-                if self.fields.contains(f.as_str()) {
-                    Ok(())
-                } else {
-                    Err(sem(span, format!("unknown packet field '{f}'")))
+                if !self.fields.contains(f.as_str()) {
+                    self.emit(
+                        Code::UNKNOWN_FIELD,
+                        span,
+                        format!("unknown packet field '{f}'"),
+                    );
                 }
             }
             Expr::Local(name) => {
-                if self.locals.contains(name) {
-                    Ok(())
-                } else {
-                    Err(sem(span, format!("use of undeclared identifier '{name}'")))
+                if !self.locals.contains(name) {
+                    self.emit(
+                        Code::UNDECLARED_IDENTIFIER,
+                        span,
+                        format!("use of undeclared identifier '{name}'"),
+                    );
                 }
             }
             Expr::RegElem(name, idx) => {
-                self.reg_array(name, span)?;
-                self.expr(idx, span)
+                self.reg_array(name, span);
+                self.expr(idx, span);
             }
             Expr::RegScalar(name) => self.reg_scalar(name, span),
             Expr::Binary(_, a, b) | Expr::Hash2(a, b) => {
-                self.expr(a, span)?;
-                self.expr(b, span)
+                self.expr(a, span);
+                self.expr(b, span);
             }
             Expr::Unary(_, a) => self.expr(a, span),
             Expr::Ternary(c, t, f) | Expr::Hash3(c, t, f) => {
-                self.expr(c, span)?;
-                self.expr(t, span)?;
-                self.expr(f, span)
+                self.expr(c, span);
+                self.expr(t, span);
+                self.expr(f, span);
             }
         }
     }
@@ -177,10 +242,17 @@ impl<'a> Checker<'a> {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::parse;
 
     fn err(src: &str) -> String {
         crate::parse(src).unwrap_err().to_string()
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let tokens = crate::lexer::lex(src).unwrap();
+        let prog = crate::parser::parse_tokens(&tokens).unwrap();
+        check_diagnostics(&prog)
     }
 
     #[test]
@@ -195,85 +267,67 @@ mod tests {
 
     #[test]
     fn rejects_unknown_field() {
-        assert!(err(
-            "struct Packet { int a; };
-             void func(struct Packet p) { p.b = 1; }"
-        )
+        assert!(err("struct Packet { int a; };
+             void func(struct Packet p) { p.b = 1; }")
         .contains("unknown packet field 'b'"));
     }
 
     #[test]
     fn rejects_unknown_register() {
-        assert!(err(
-            "struct Packet { int a; };
-             void func(struct Packet p) { p.a = zoo[0]; }"
-        )
+        assert!(err("struct Packet { int a; };
+             void func(struct Packet p) { p.a = zoo[0]; }")
         .contains("unknown register 'zoo'"));
     }
 
     #[test]
     fn rejects_undeclared_local() {
-        assert!(err(
-            "struct Packet { int a; };
-             void func(struct Packet p) { p.a = t; }"
-        )
+        assert!(err("struct Packet { int a; };
+             void func(struct Packet p) { p.a = t; }")
         .contains("undeclared identifier 't'"));
     }
 
     #[test]
     fn rejects_local_use_before_decl() {
-        assert!(err(
-            "struct Packet { int a; };
-             void func(struct Packet p) { p.a = t; int t = 1; }"
-        )
+        assert!(err("struct Packet { int a; };
+             void func(struct Packet p) { p.a = t; int t = 1; }")
         .contains("undeclared identifier 't'"));
     }
 
     #[test]
     fn rejects_array_used_as_scalar() {
-        assert!(err(
-            "struct Packet { int a; };
+        assert!(err("struct Packet { int a; };
              int r[4];
-             void func(struct Packet p) { r = 1; }"
-        )
+             void func(struct Packet p) { r = 1; }")
         .contains("without an index"));
     }
 
     #[test]
     fn rejects_duplicate_register() {
-        assert!(err(
-            "struct Packet { int a; };
+        assert!(err("struct Packet { int a; };
              int r; int r;
-             void func(struct Packet p) { p.a = 0; }"
-        )
+             void func(struct Packet p) { p.a = 0; }")
         .contains("duplicate register"));
     }
 
     #[test]
     fn rejects_duplicate_field() {
-        assert!(err(
-            "struct Packet { int a; int a; };
-             void func(struct Packet p) { p.a = 0; }"
-        )
+        assert!(err("struct Packet { int a; int a; };
+             void func(struct Packet p) { p.a = 0; }")
         .contains("duplicate packet field"));
     }
 
     #[test]
     fn rejects_local_shadowing_register() {
-        assert!(err(
-            "struct Packet { int a; };
+        assert!(err("struct Packet { int a; };
              int r;
-             void func(struct Packet p) { int r = 1; }"
-        )
+             void func(struct Packet p) { int r = 1; }")
         .contains("shadows a register"));
     }
 
     #[test]
     fn rejects_duplicate_local() {
-        assert!(err(
-            "struct Packet { int a; };
-             void func(struct Packet p) { int t = 1; int t = 2; }"
-        )
+        assert!(err("struct Packet { int a; };
+             void func(struct Packet p) { int t = 1; int t = 2; }")
         .contains("duplicate local"));
     }
 
@@ -285,5 +339,66 @@ mod tests {
              void func(struct Packet p) { c = c + 1; p.a = c; }",
         )
         .unwrap();
+    }
+
+    // ---- accumulation ----
+
+    #[test]
+    fn accumulates_every_error_in_order() {
+        let ds = diags(
+            "struct Packet { int a; };
+             void func(struct Packet p) {
+                 p.b = 1;
+                 p.c = 2;
+                 p.a = zoo[0];
+             }",
+        );
+        let codes: Vec<Code> = ds.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::UNKNOWN_FIELD,
+                Code::UNKNOWN_FIELD,
+                Code::UNKNOWN_REGISTER
+            ],
+            "{ds:?}"
+        );
+        // Spans advance with the statements.
+        assert!(ds[0].span.line < ds[2].span.line, "{ds:?}");
+    }
+
+    #[test]
+    fn faulty_declaration_does_not_cascade() {
+        // `int r = 1` shadows register r, but later uses of the local
+        // must not also report "undeclared identifier".
+        let ds = diags(
+            "struct Packet { int a; };
+             int r;
+             void func(struct Packet p) { int r = 1; p.a = r; }",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::LOCAL_SHADOWS_REGISTER);
+    }
+
+    #[test]
+    fn shim_returns_first_error() {
+        let tokens = crate::lexer::lex(
+            "struct Packet { int a; };
+             void func(struct Packet p) { p.b = 1; p.c = 2; }",
+        )
+        .unwrap();
+        let prog = crate::parser::parse_tokens(&tokens).unwrap();
+        let e = check(&prog).unwrap_err();
+        assert!(e.to_string().contains("unknown packet field 'b'"), "{e}");
+    }
+
+    #[test]
+    fn clean_program_yields_no_diagnostics() {
+        let ds = diags(
+            "struct Packet { int a; };
+             int r[4];
+             void func(struct Packet p) { r[p.a % 4] = 1; }",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
     }
 }

@@ -1,0 +1,419 @@
+//! Span-carrying diagnostics with stable codes and rustc-style
+//! rendering.
+//!
+//! Every user-facing finding in the MP5 toolchain — frontend semantic
+//! errors, shardability verdicts, D4 hazard warnings, resource-pressure
+//! failures — flows through [`Diagnostic`]: a severity, a stable
+//! `MP5xxx` [`Code`], a source [`Span`], a primary message, and optional
+//! notes. Unlike the original first-error-only `Result<(), LangError>`
+//! plumbing, diagnostics *accumulate*: one run of the checker or the
+//! analyzer reports every problem it can find.
+//!
+//! Rendering mimics rustc:
+//!
+//! ```text
+//! error[MP5005]: unknown packet field 'b'
+//!   --> prog.mp5:2:30
+//!    |
+//!  2 |  void func(struct Packet p) { p.b = 1; }
+//!    |                              ^
+//!    = note: declared packet fields: a
+//! ```
+//!
+//! The code space is partitioned by subsystem (see the constants on
+//! [`Code`] and the table in `DESIGN.md`):
+//!
+//! | range    | subsystem                                   |
+//! |----------|---------------------------------------------|
+//! | MP5001–MP5099 | semantic checks (`mp5-lang/check`)     |
+//! | MP5101–MP5199 | lexical / syntax errors                |
+//! | MP5201–MP5299 | shardability analysis (D2, §3.3)       |
+//! | MP5301–MP5399 | hazard / ordering analysis (D4)        |
+//! | MP5401–MP5499 | resource-pressure analysis             |
+//! | MP5900–MP5999 | internal invariant violations          |
+
+use std::fmt;
+
+use crate::error::{LangError, Span};
+
+/// A stable diagnostic code, rendered as `MP5xxx`.
+///
+/// Codes are append-only: once published, a code's meaning never
+/// changes (tools and expected-diagnostic fixtures key on them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(pub u16);
+
+impl Code {
+    // ---- frontend semantic checks (MP50xx) ----
+    /// Duplicate packet field declaration.
+    pub const DUPLICATE_FIELD: Code = Code(1);
+    /// Duplicate register declaration.
+    pub const DUPLICATE_REGISTER: Code = Code(2);
+    /// Register name collides with a packet field.
+    pub const REGISTER_SHADOWS_FIELD: Code = Code(3);
+    /// Register name collides with the packet parameter.
+    pub const REGISTER_SHADOWS_PARAM: Code = Code(4);
+    /// Reference to an undeclared packet field.
+    pub const UNKNOWN_FIELD: Code = Code(5);
+    /// Reference to an undeclared register.
+    pub const UNKNOWN_REGISTER: Code = Code(6);
+    /// Use of an undeclared local identifier.
+    pub const UNDECLARED_IDENTIFIER: Code = Code(7);
+    /// Register array used without an index.
+    pub const ARRAY_WITHOUT_INDEX: Code = Code(8);
+    /// Local declaration shadows a register.
+    pub const LOCAL_SHADOWS_REGISTER: Code = Code(9);
+    /// Duplicate local declaration.
+    pub const DUPLICATE_LOCAL: Code = Code(10);
+
+    // ---- lexical / syntax (MP51xx) ----
+    /// Lexical error (unexpected character, unterminated comment).
+    pub const LEX_ERROR: Code = Code(101);
+    /// Syntax error.
+    pub const PARSE_ERROR: Code = Code(102);
+
+    // ---- shardability analysis (MP52xx) ----
+    /// Array pinned: its index computation reads state (§3.3 hard case —
+    /// "effectively no state sharding").
+    pub const PINNED_STATEFUL_INDEX: Code = Code(201);
+    /// Array pinned: co-resident with other arrays (pairs-class atom or
+    /// stage-budget merge) — every co-resident array maps to one
+    /// pipeline.
+    pub const PINNED_CO_RESIDENT: Code = Code(202);
+    /// Array pinned: a packet may touch multiple distinct indexes, which
+    /// sharding could scatter across pipelines the packet cannot all
+    /// visit.
+    pub const PINNED_MULTI_INDEX: Code = Code(203);
+    /// Array pinned: a stateful predicate forces array-level
+    /// serialization of a multi-index array.
+    pub const PINNED_STATEFUL_PREDICATE: Code = Code(204);
+    /// Stateful predicate resolved speculatively: the array still shards,
+    /// but false outcomes waste one cycle at the stateful stage.
+    pub const SPECULATIVE_PHANTOM: Code = Code(205);
+
+    // ---- hazard / ordering analysis (MP53xx) ----
+    /// Access serialized at array granularity: per-index serial-order
+    /// freezing (D4's per-index FIFO placeholders) is unavailable.
+    pub const ARRAY_LEVEL_SERIALIZATION: Code = Code(301);
+    /// A stateful stage is not covered by any phantom plan: D4's
+    /// precondition is violated and serial order cannot be frozen.
+    pub const UNCOVERED_STATEFUL_STAGE: Code = Code(302);
+
+    // ---- resource pressure (MP54xx) ----
+    /// The program needs more pipeline stages than the target provides.
+    pub const TOO_MANY_STAGES: Code = Code(401);
+    /// A stage exceeds the target's per-stage operation budget.
+    pub const TOO_MANY_OPS: Code = Code(402);
+    /// A stage's register arrays exceed the target's per-stage SRAM.
+    pub const SRAM_OVERFLOW: Code = Code(403);
+    /// The program needs a pairs-class atom the target lacks.
+    pub const PAIRS_UNSUPPORTED: Code = Code(404);
+
+    // ---- internal (MP59xx) ----
+    /// Internal invariant violation (should never fire on valid input).
+    pub const INTERNAL: Code = Code(999);
+
+    /// Parses a rendered `MP5xxx` code (e.g. from a fixture annotation).
+    pub fn parse(s: &str) -> Option<Code> {
+        let digits = s.strip_prefix("MP5")?;
+        if digits.len() != 3 {
+            return None;
+        }
+        digits.parse::<u16>().ok().map(Code)
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MP5{:03}", self.0)
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (rendered as `note`).
+    Note,
+    /// Suspicious but compilable (rendered as `warning`).
+    Warning,
+    /// The program is rejected (rendered as `error`).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: severity, stable code, source location, message, notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable `MP5xxx` code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Primary source location (line/col; `Span::default()` = unknown).
+    pub span: Span,
+    /// Primary message.
+    pub message: String,
+    /// Supplementary notes (rendered as `= note: ...` lines).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Appends a supplementary note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders this diagnostic rustc-style against the program source.
+    ///
+    /// `filename` is purely presentational (`<input>` is conventional
+    /// when no file is involved).
+    pub fn render(&self, source: &str, filename: &str) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, source, filename);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, source: &str, filename: &str) {
+        use fmt::Write;
+        let _ = writeln!(out, "{}[{}]: {}", self.severity, self.code, self.message);
+        let line_no = self.span.line as usize;
+        let gutter = if line_no > 0 {
+            line_no.to_string().len().max(2)
+        } else {
+            2
+        };
+        let pad = " ".repeat(gutter);
+        if self.span != Span::default() {
+            let _ = writeln!(
+                out,
+                "{pad}--> {filename}:{}:{}",
+                self.span.line, self.span.col
+            );
+            if let Some(text) = source.lines().nth(line_no.saturating_sub(1)) {
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{line_no:>gutter$} | {text}");
+                // Column is 1-based; tabs render as one column here, which
+                // matches how the lexer counts them.
+                let caret_pad = " ".repeat((self.span.col as usize).saturating_sub(1));
+                let _ = writeln!(out, "{pad} | {caret_pad}^");
+            }
+        } else {
+            let _ = writeln!(out, "{pad}--> {filename}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "{pad} = note: {note}");
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+impl From<LangError> for Diagnostic {
+    fn from(e: LangError) -> Self {
+        match e {
+            LangError::Lex { span, message } => Diagnostic::error(Code::LEX_ERROR, span, message),
+            LangError::Parse { span, message } => {
+                Diagnostic::error(Code::PARSE_ERROR, span, message)
+            }
+            LangError::Semantic { span, message } => {
+                // `check_diagnostics` produces precise codes; this
+                // conversion is for contexts that only hold a LangError.
+                Diagnostic::error(semantic_code_for(&message), span, message)
+            }
+        }
+    }
+}
+
+/// Maps a semantic error message back to its stable code (used when
+/// converting a bare [`LangError`]; `check_diagnostics` assigns codes
+/// directly).
+fn semantic_code_for(message: &str) -> Code {
+    const TABLE: &[(&str, Code)] = &[
+        ("duplicate packet field", Code::DUPLICATE_FIELD),
+        ("duplicate register", Code::DUPLICATE_REGISTER),
+        ("collides with a packet field", Code::REGISTER_SHADOWS_FIELD),
+        (
+            "collides with the packet parameter",
+            Code::REGISTER_SHADOWS_PARAM,
+        ),
+        ("unknown packet field", Code::UNKNOWN_FIELD),
+        ("unknown register", Code::UNKNOWN_REGISTER),
+        ("undeclared", Code::UNDECLARED_IDENTIFIER),
+        ("without an index", Code::ARRAY_WITHOUT_INDEX),
+        ("shadows a register", Code::LOCAL_SHADOWS_REGISTER),
+        ("duplicate local", Code::DUPLICATE_LOCAL),
+    ];
+    TABLE
+        .iter()
+        .find(|(needle, _)| message.contains(needle))
+        .map(|&(_, c)| c)
+        .unwrap_or(Code::PARSE_ERROR)
+}
+
+/// Renders a batch of diagnostics followed by a summary line, mimicking
+/// a compiler invocation's output.
+pub fn render_all(diags: &[Diagnostic], source: &str, filename: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        d.render_into(&mut out, source, filename);
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    use fmt::Write;
+    match (errors, warnings) {
+        (0, 0) if diags.is_empty() => {
+            let _ = writeln!(out, "{filename}: no diagnostics");
+        }
+        (0, 0) => {
+            let _ = writeln!(out, "{filename}: {} note(s)", diags.len());
+        }
+        (0, w) => {
+            let _ = writeln!(out, "{filename}: {w} warning(s)");
+        }
+        (e, 0) => {
+            let _ = writeln!(out, "{filename}: {e} error(s)");
+        }
+        (e, w) => {
+            let _ = writeln!(out, "{filename}: {e} error(s), {w} warning(s)");
+        }
+    }
+    out
+}
+
+/// True if any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_display_and_parse_roundtrip() {
+        assert_eq!(Code::UNKNOWN_FIELD.to_string(), "MP5005");
+        assert_eq!(Code::PINNED_STATEFUL_INDEX.to_string(), "MP5201");
+        assert_eq!(Code::parse("MP5005"), Some(Code::UNKNOWN_FIELD));
+        assert_eq!(Code::parse("MP5401"), Some(Code::TOO_MANY_STAGES));
+        assert_eq!(Code::parse("MP5"), None);
+        assert_eq!(Code::parse("E0001"), None);
+        assert_eq!(Code::parse("MP51234"), None);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rendering_points_caret_at_column() {
+        let src = "struct Packet { int a; };\nvoid func(struct Packet p) { p.b = 1; }\n";
+        let d = Diagnostic::error(
+            Code::UNKNOWN_FIELD,
+            Span { line: 2, col: 30 },
+            "unknown packet field 'b'",
+        )
+        .with_note("declared packet fields: a");
+        let r = d.render(src, "prog.mp5");
+        assert!(r.contains("error[MP5005]: unknown packet field 'b'"), "{r}");
+        assert!(r.contains("--> prog.mp5:2:30"), "{r}");
+        assert!(r.contains(" 2 | void func"), "{r}");
+        // Caret lands under column 30 of the quoted line.
+        let caret_line = r.lines().find(|l| l.trim_end().ends_with('^')).unwrap();
+        let quoted = r.lines().find(|l| l.contains("void func")).unwrap();
+        let caret_col = caret_line.find('^').unwrap();
+        let text_start = quoted.find("void").unwrap();
+        assert_eq!(caret_col - text_start + 1, 30, "{r}");
+        assert!(r.contains("= note: declared packet fields: a"), "{r}");
+    }
+
+    #[test]
+    fn rendering_without_span_omits_snippet() {
+        let d = Diagnostic::warning(Code::SPECULATIVE_PHANTOM, Span::default(), "spec");
+        let r = d.render("x", "f.mp5");
+        assert!(!r.contains('^'), "{r}");
+        assert!(r.contains("warning[MP5205]"), "{r}");
+    }
+
+    #[test]
+    fn render_all_summarizes() {
+        let src = "a\nb\n";
+        let ds = vec![
+            Diagnostic::error(Code::UNKNOWN_FIELD, Span { line: 1, col: 1 }, "e1"),
+            Diagnostic::warning(Code::SPECULATIVE_PHANTOM, Span { line: 2, col: 1 }, "w1"),
+        ];
+        let r = render_all(&ds, src, "x.mp5");
+        assert!(r.contains("1 error(s), 1 warning(s)"), "{r}");
+        assert!(has_errors(&ds));
+        assert!(!has_errors(&ds[1..]));
+    }
+
+    #[test]
+    fn langerror_conversion_assigns_codes() {
+        let d: Diagnostic = LangError::Semantic {
+            span: Span { line: 1, col: 2 },
+            message: "unknown register 'z'".into(),
+        }
+        .into();
+        assert_eq!(d.code, Code::UNKNOWN_REGISTER);
+        let d: Diagnostic = LangError::Lex {
+            span: Span::default(),
+            message: "bad char".into(),
+        }
+        .into();
+        assert_eq!(d.code, Code::LEX_ERROR);
+        assert_eq!(d.severity, Severity::Error);
+    }
+}

@@ -157,13 +157,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     span,
                     message: format!("integer literal out of range: {text}"),
                 })?;
-                out.push(Token { tok: Tok::Int(v), span });
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    span,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &src[start..i];
@@ -222,10 +223,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                             other => {
                                 return Err(LangError::Lex {
                                     span,
-                                    message: format!(
-                                        "unexpected character '{}'",
-                                        other as char
-                                    ),
+                                    message: format!("unexpected character '{}'", other as char),
                                 })
                             }
                         };
@@ -292,12 +290,10 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(kinds("0 42 1000000"), vec![
-            Tok::Int(0),
-            Tok::Int(42),
-            Tok::Int(1_000_000),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("0 42 1000000"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(1_000_000), Tok::Eof]
+        );
     }
 
     #[test]

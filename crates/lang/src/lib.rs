@@ -46,12 +46,14 @@
 
 pub mod ast;
 pub mod check;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod tac;
 
 pub use ast::Program;
+pub use diag::{Code, Diagnostic, Severity};
 pub use error::{LangError, Span};
 pub use tac::{lower, Operand, TacExpr, TacInstr, TacProgram};
 
@@ -68,6 +70,37 @@ pub fn parse(source: &str) -> Result<Program, LangError> {
 pub fn frontend(source: &str) -> Result<TacProgram, LangError> {
     let prog = parse(source)?;
     Ok(lower(&prog))
+}
+
+/// Parses a source program, accumulating *all* frontend diagnostics.
+///
+/// Lexical and syntax errors abort early (there is no program to check),
+/// so at most one `MP51xx` diagnostic is reported; semantic checking
+/// reports every error it finds. The parsed [`Program`] is returned even
+/// when semantic diagnostics are present so tools can keep analyzing.
+pub fn parse_diagnostics(source: &str) -> (Option<Program>, Vec<Diagnostic>) {
+    let tokens = match lexer::lex(source) {
+        Ok(t) => t,
+        Err(e) => return (None, vec![e.into()]),
+    };
+    let prog = match parser::parse_tokens(&tokens) {
+        Ok(p) => p,
+        Err(e) => return (None, vec![e.into()]),
+    };
+    let diags = check::check_diagnostics(&prog);
+    (Some(prog), diags)
+}
+
+/// Parses, checks, and lowers, accumulating all frontend diagnostics.
+///
+/// Lowering only happens when the program is semantically clean (the
+/// lowerer assumes checked input).
+pub fn frontend_diagnostics(source: &str) -> (Option<TacProgram>, Vec<Diagnostic>) {
+    let (prog, diags) = parse_diagnostics(source);
+    match prog {
+        Some(p) if !diag::has_errors(&diags) => (Some(lower(&p)), diags),
+        _ => (None, diags),
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +140,13 @@ mod tests {
     #[test]
     fn fig3_lowers_to_tac() {
         let t = frontend(FIG3).expect("figure 3 program must lower");
-        assert!(t.instrs.iter().any(|i| matches!(i, TacInstr::RegRead { .. })));
-        assert!(t.instrs.iter().any(|i| matches!(i, TacInstr::RegWrite { .. })));
+        assert!(t
+            .instrs
+            .iter()
+            .any(|i| matches!(i, TacInstr::RegRead { .. })));
+        assert!(t
+            .instrs
+            .iter()
+            .any(|i| matches!(i, TacInstr::RegWrite { .. })));
     }
 }

@@ -600,7 +600,10 @@ mod tests {
         .unwrap();
         // 2 + 3*4 must parse as 2 + (3*4).
         match &p.body[0] {
-            Stmt::Assign { rhs: Expr::Ternary(_, t, _), .. } => match t.as_ref() {
+            Stmt::Assign {
+                rhs: Expr::Ternary(_, t, _),
+                ..
+            } => match t.as_ref() {
                 Expr::Binary(BinOp::Add, _, r) => {
                     assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Mul, _, _)));
                 }
@@ -683,19 +686,28 @@ mod tests {
         )
         .unwrap();
         match &p.body[0] {
-            Stmt::Assign { rhs: Expr::Binary(BinOp::BitAnd, _, r), .. } => {
+            Stmt::Assign {
+                rhs: Expr::Binary(BinOp::BitAnd, _, r),
+                ..
+            } => {
                 assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Eq, _, _)));
             }
             other => panic!("unexpected: {other:?}"),
         }
         match &p.body[1] {
-            Stmt::Assign { rhs: Expr::Binary(BinOp::Shl, _, r), .. } => {
+            Stmt::Assign {
+                rhs: Expr::Binary(BinOp::Shl, _, r),
+                ..
+            } => {
                 assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Add, _, _)));
             }
             other => panic!("unexpected: {other:?}"),
         }
         match &p.body[2] {
-            Stmt::Assign { rhs: Expr::Binary(BinOp::BitOr, _, r), .. } => {
+            Stmt::Assign {
+                rhs: Expr::Binary(BinOp::BitOr, _, r),
+                ..
+            } => {
                 assert!(matches!(r.as_ref(), Expr::Binary(BinOp::BitXor, _, _)));
             }
             other => panic!("unexpected: {other:?}"),

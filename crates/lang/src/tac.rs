@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, LValue, Program, Stmt, UnOp};
+use crate::error::Span;
 use mp5_types::{hash2, hash3, FieldId, RegId, Value};
 
 /// An operand: a constant or a packet/metadata field.
@@ -147,6 +148,12 @@ pub struct TacProgram {
     pub regs: Vec<RegInfo>,
     /// The instruction sequence.
     pub instrs: Vec<TacInstr>,
+    /// Source span of each instruction, in lockstep with `instrs`
+    /// (`spans[i]` is where `instrs[i]` came from). Instructions that
+    /// were synthesised without a source location (e.g. injected flow
+    /// orders) carry `Span::default()`. Kept as a side table so the
+    /// instruction enums stay plain data.
+    pub spans: Vec<Span>,
 }
 
 /// One recorded state access (for access logs / C1 ground truth).
@@ -169,12 +176,21 @@ impl TacProgram {
 
     /// Looks up a register id by name.
     pub fn reg(&self, name: &str) -> Option<RegId> {
-        self.regs.iter().position(|r| r.name == name).map(RegId::from)
+        self.regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(RegId::from)
     }
 
     /// Fresh register state (initial contents of every array).
     pub fn initial_regs(&self) -> Vec<Vec<Value>> {
         self.regs.iter().map(|r| r.init.clone()).collect()
+    }
+
+    /// Source span of the instruction at `pos` (default span when the
+    /// instruction was synthesised without a location).
+    pub fn span_of(&self, pos: usize) -> Span {
+        self.spans.get(pos).copied().unwrap_or_default()
     }
 
     /// Wraps an index operand value into `[0, size)` (Euclidean modulo),
@@ -199,24 +215,40 @@ impl TacProgram {
                 TacInstr::Assign { dst, expr } => {
                     fields[dst.index()] = expr.eval(fields);
                 }
-                TacInstr::RegRead { dst, reg, idx, pred } => {
-                    let taken = pred.as_ref().map_or(true, |p| opval(p, fields) != 0);
+                TacInstr::RegRead {
+                    dst,
+                    reg,
+                    idx,
+                    pred,
+                } => {
+                    let taken = pred.as_ref().is_none_or(|p| opval(p, fields) != 0);
                     if taken {
                         let size = self.regs[reg.index()].size;
                         let i = Self::wrap_index(size, opval(idx, fields));
                         fields[dst.index()] = regs[reg.index()][i as usize];
-                        accesses.push(StateAccess { reg: *reg, index: i });
+                        accesses.push(StateAccess {
+                            reg: *reg,
+                            index: i,
+                        });
                     } else {
                         fields[dst.index()] = 0;
                     }
                 }
-                TacInstr::RegWrite { reg, idx, val, pred } => {
-                    let taken = pred.as_ref().map_or(true, |p| opval(p, fields) != 0);
+                TacInstr::RegWrite {
+                    reg,
+                    idx,
+                    val,
+                    pred,
+                } => {
+                    let taken = pred.as_ref().is_none_or(|p| opval(p, fields) != 0);
                     if taken {
                         let size = self.regs[reg.index()].size;
                         let i = Self::wrap_index(size, opval(idx, fields));
                         regs[reg.index()][i as usize] = opval(val, fields);
-                        accesses.push(StateAccess { reg: *reg, index: i });
+                        accesses.push(StateAccess {
+                            reg: *reg,
+                            index: i,
+                        });
                     }
                 }
             }
@@ -262,6 +294,8 @@ struct Lowerer {
     local_ids: HashMap<String, FieldId>,
     cse: HashMap<CseKey, Operand>,
     instrs: Vec<TacInstr>,
+    spans: Vec<Span>,
+    cur_span: Span,
     next_tmp: u32,
 }
 
@@ -289,14 +323,18 @@ pub fn lower(prog: &Program) -> TacProgram {
         local_ids: HashMap::new(),
         cse: HashMap::new(),
         instrs: Vec::new(),
+        spans: Vec::new(),
+        cur_span: Span::default(),
         next_tmp: 0,
     };
     lw.block(&prog.body, None);
+    debug_assert_eq!(lw.instrs.len(), lw.spans.len());
     TacProgram {
         declared_fields: prog.fields.len(),
         field_names: lw.field_names,
         regs: lw.regs,
         instrs: lw.instrs,
+        spans: lw.spans,
     }
 }
 
@@ -331,9 +369,16 @@ impl Lowerer {
         )
     }
 
+    /// Appends an instruction, recording the current source span in the
+    /// lockstep side table.
+    fn push_instr(&mut self, ins: TacInstr) {
+        self.instrs.push(ins);
+        self.spans.push(self.cur_span);
+    }
+
     /// Emits `dst = expr` (no CSE bookkeeping; caller handles versions).
     fn emit_assign(&mut self, dst: FieldId, expr: TacExpr) {
-        self.instrs.push(TacInstr::Assign { dst, expr });
+        self.push_instr(TacInstr::Assign { dst, expr });
     }
 
     /// Materialises a (possibly cached) pure expression into an operand.
@@ -342,7 +387,11 @@ impl Lowerer {
             return op;
         }
         // Constant folding for all-constant operands.
-        if expr.operands().iter().all(|o| matches!(o, Operand::Const(_))) {
+        if expr
+            .operands()
+            .iter()
+            .all(|o| matches!(o, Operand::Const(_)))
+        {
             let v = expr.eval(&[]);
             let op = Operand::Const(v);
             self.cse.insert(key, op);
@@ -378,6 +427,11 @@ impl Lowerer {
     }
 
     fn stmt(&mut self, s: &Stmt, pred: Option<Operand>) {
+        self.cur_span = match s {
+            Stmt::DeclLocal { span, .. } | Stmt::Assign { span, .. } | Stmt::If { span, .. } => {
+                *span
+            }
+        };
         match s {
             Stmt::DeclLocal { name, init, .. } => {
                 let rhs = match init {
@@ -405,7 +459,7 @@ impl Lowerer {
                     LValue::RegElem(name, idx_e) => {
                         let idx = self.expr(idx_e, pred);
                         let reg = self.reg_ids[name];
-                        self.instrs.push(TacInstr::RegWrite {
+                        self.push_instr(TacInstr::RegWrite {
                             reg,
                             idx,
                             val,
@@ -415,7 +469,7 @@ impl Lowerer {
                     }
                     LValue::RegScalar(name) => {
                         let reg = self.reg_ids[name];
-                        self.instrs.push(TacInstr::RegWrite {
+                        self.push_instr(TacInstr::RegWrite {
                             reg,
                             idx: Operand::Const(0),
                             val,
@@ -519,7 +573,7 @@ impl Lowerer {
             return op;
         }
         let dst = self.new_tmp();
-        self.instrs.push(TacInstr::RegRead {
+        self.push_instr(TacInstr::RegRead {
             dst,
             reg,
             idx,
@@ -542,10 +596,7 @@ mod tests {
 
     /// Runs a program serially over packets given as declared-field value
     /// vectors; returns final register state and per-packet outputs.
-    fn run(
-        tac: &TacProgram,
-        packets: &[Vec<Value>],
-    ) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    fn run(tac: &TacProgram, packets: &[Vec<Value>]) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
         let mut regs = tac.initial_regs();
         let mut outs = Vec::new();
         for p in packets {
@@ -639,7 +690,10 @@ mod tests {
             })
             .collect();
         assert_eq!(idxes.len(), 2);
-        assert_eq!(idxes[0], idxes[1], "read and write must share the CSE'd index");
+        assert_eq!(
+            idxes[0], idxes[1],
+            "read and write must share the CSE'd index"
+        );
     }
 
     #[test]
@@ -660,7 +714,13 @@ mod tests {
         let mut f = vec![0; tac.field_names.len()];
         f[0] = 5; // predicate true
         let acc = tac.execute(&mut f, &mut regs);
-        assert_eq!(acc, vec![StateAccess { reg: RegId(0), index: 0 }]);
+        assert_eq!(
+            acc,
+            vec![StateAccess {
+                reg: RegId(0),
+                index: 0
+            }]
+        );
         assert_eq!(regs[0][0], 1);
     }
 
@@ -740,7 +800,10 @@ mod tests {
         // assigning Const(14).
         assert_eq!(tac.instrs.len(), 1);
         match &tac.instrs[0] {
-            TacInstr::Assign { expr: TacExpr::Copy(Operand::Const(14)), .. } => {}
+            TacInstr::Assign {
+                expr: TacExpr::Copy(Operand::Const(14)),
+                ..
+            } => {}
             other => panic!("expected folded constant, got {other:?}"),
         }
     }
@@ -769,6 +832,30 @@ mod tests {
     }
 
     #[test]
+    fn spans_are_lockstep_and_advance() {
+        let tac = lower_src(
+            "struct Packet { int h; int o; };
+             int r[4] = {0};
+             void func(struct Packet p) {
+                 r[p.h % 4] = r[p.h % 4] + 1;
+                 p.o = p.h + 2;
+             }",
+        );
+        assert_eq!(tac.instrs.len(), tac.spans.len());
+        // Every instruction carries a real location...
+        assert!(tac.spans.iter().all(|s| s.line > 0), "{:?}", tac.spans);
+        // ...and the last instruction (from the later statement) sits on
+        // a later line than the first.
+        assert!(
+            tac.span_of(tac.instrs.len() - 1).line > tac.span_of(0).line,
+            "{:?}",
+            tac.spans
+        );
+        // Out-of-range positions degrade to the default span.
+        assert_eq!(tac.span_of(usize::MAX), crate::Span::default());
+    }
+
+    #[test]
     fn rmw_access_deduped() {
         let tac = lower_src(
             "struct Packet { int h; };
@@ -781,7 +868,10 @@ mod tests {
         let acc = tac.execute(&mut f, &mut regs);
         assert_eq!(
             acc,
-            vec![StateAccess { reg: RegId(0), index: 2 }],
+            vec![StateAccess {
+                reg: RegId(0),
+                index: 2
+            }],
             "read-modify-write of one index is a single atomic access"
         );
     }
@@ -833,14 +923,24 @@ impl TacProgram {
             TacInstr::Assign { dst, expr } => {
                 format!("{} = {}", field(dst), self.fmt_expr(expr))
             }
-            TacInstr::RegRead { dst, reg, idx, pred: p } => format!(
+            TacInstr::RegRead {
+                dst,
+                reg,
+                idx,
+                pred: p,
+            } => format!(
                 "{} = {}[{}]{}",
                 field(dst),
                 self.regs[reg.index()].name,
                 self.fmt_operand(idx),
                 pred(p)
             ),
-            TacInstr::RegWrite { reg, idx, val, pred: p } => format!(
+            TacInstr::RegWrite {
+                reg,
+                idx,
+                val,
+                pred: p,
+            } => format!(
                 "{}[{}] = {}{}",
                 self.regs[reg.index()].name,
                 self.fmt_operand(idx),

@@ -13,8 +13,8 @@
 //! the chosen access pattern (every field gets an independent draw),
 //! which drives the register indexes for typical hash-indexed programs.
 
-use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_banzai::BanzaiSwitch;
+use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_compiler::{compile, Target};
 use mp5_core::{Mp5Switch, SwitchConfig};
 use mp5_sim::c1_violation_fraction;
@@ -60,7 +60,9 @@ fn parse_args() -> Args {
             })
         };
         match a.as_str() {
-            "--pipelines" => args.pipelines = val("--pipelines").parse().unwrap_or_else(|_| usage()),
+            "--pipelines" => {
+                args.pipelines = val("--pipelines").parse().unwrap_or_else(|_| usage())
+            }
             "--packets" => args.packets = val("--packets").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--keys" => args.keys = val("--keys").parse().unwrap_or_else(|_| usage()),
@@ -128,14 +130,26 @@ fn main() {
     let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
     let k = args.pipelines;
     let (report, extra) = match args.design.as_str() {
-        "mp5" => (Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace), String::new()),
-        "ideal" => (Mp5Switch::new(prog, SwitchConfig::ideal(k)).run(trace), String::new()),
-        "no-d4" => (Mp5Switch::new(prog, SwitchConfig::no_d4(k)).run(trace), String::new()),
+        "mp5" => (
+            Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace),
+            String::new(),
+        ),
+        "ideal" => (
+            Mp5Switch::new(prog, SwitchConfig::ideal(k)).run(trace),
+            String::new(),
+        ),
+        "no-d4" => (
+            Mp5Switch::new(prog, SwitchConfig::no_d4(k)).run(trace),
+            String::new(),
+        ),
         "static" => (
             Mp5Switch::new(prog, SwitchConfig::static_shard(k, args.seed)).run(trace),
             String::new(),
         ),
-        "naive" => (Mp5Switch::new(prog, SwitchConfig::naive(k)).run(trace), String::new()),
+        "naive" => (
+            Mp5Switch::new(prog, SwitchConfig::naive(k)).run(trace),
+            String::new(),
+        ),
         "recirc" => {
             let rep = RecircSwitch::new(prog, RecircConfig::new(k)).run(trace);
             let extra = format!(

@@ -12,8 +12,8 @@
 
 use serde::Serialize;
 
-use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_banzai::BanzaiSwitch;
+use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_core::{Mp5Switch, SwitchConfig};
 use mp5_traffic::{AccessPattern, FlowTraceBuilder};
 use mp5_types::Packet;
@@ -41,8 +41,8 @@ pub fn seeds_per_point() -> usize {
 
 /// Throughput of one synthetic run under a switch configuration.
 fn run_synth_once(cfg: SynthConfig, sw: SwitchConfig) -> f64 {
-    let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size)
-        .expect("synthetic program compiles");
+    let prog =
+        synthetic_compiled(cfg.stateful_stages, cfg.reg_size).expect("synthetic program compiles");
     let trace = synthetic_trace(&prog, &cfg);
     Mp5Switch::new(prog, sw).run(trace).normalized_throughput()
 }
@@ -232,18 +232,13 @@ pub fn micro_d4() -> Vec<D4Row> {
                 let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
                 let trace = synthetic_trace(&prog, &cfg);
                 let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
-                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
-                    .run(trace.clone());
-                let nod4 = Mp5Switch::new(prog.clone(), SwitchConfig::no_d4(4))
-                    .run(trace.clone());
+                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+                let nod4 = Mp5Switch::new(prog.clone(), SwitchConfig::no_d4(4)).run(trace.clone());
                 let rec = RecircSwitch::new(prog, RecircConfig::new(4)).run(trace);
                 D4Row {
                     seed,
                     mp5: c1_violation_fraction(&reference.access_log, &mp5.result.access_log),
-                    no_d4: c1_violation_fraction(
-                        &reference.access_log,
-                        &nod4.result.access_log,
-                    ),
+                    no_d4: c1_violation_fraction(&reference.access_log, &nod4.result.access_log),
                     recirc: c1_violation_fraction(
                         &reference.access_log,
                         &rec.report.result.access_log,
@@ -288,10 +283,8 @@ pub fn micro_d3() -> Vec<D3Row> {
                 };
                 let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
                 let trace = synthetic_trace(&prog, &cfg);
-                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
-                    .run(trace.clone());
-                let naive = Mp5Switch::new(prog.clone(), SwitchConfig::naive(4))
-                    .run(trace.clone());
+                let mp5 = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+                let naive = Mp5Switch::new(prog.clone(), SwitchConfig::naive(4)).run(trace.clone());
                 let rec = RecircSwitch::new(prog, RecircConfig::new(4)).run(trace);
                 D3Row {
                     seed,
@@ -326,7 +319,11 @@ pub struct Fig8Row {
 
 /// Builds the realistic §4.4 trace for an application: Web-search
 /// flows, bimodal packet sizes, line-rate input.
-pub fn app_trace(app: &mp5_apps::AppSpec, packets: usize, seed: u64) -> (mp5_compiler::CompiledProgram, Vec<Packet>) {
+pub fn app_trace(
+    app: &mp5_apps::AppSpec,
+    packets: usize,
+    seed: u64,
+) -> (mp5_compiler::CompiledProgram, Vec<Packet>) {
     let prog = app.compile().expect("bundled app compiles");
     let nf = prog.num_fields();
     let fill = app.fill;
@@ -601,6 +598,7 @@ pub fn ablation_flow_order() -> Vec<FlowOrderRow> {
                     &mp5_compiler::Target::default(),
                     &CompileOptions {
                         enforce_flow_order: Some(FlowOrderSpec::default()),
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -621,8 +619,7 @@ pub fn ablation_flow_order() -> Vec<FlowOrderRow> {
                         trace.iter().map(|p| (p.id, p.fields[0])).collect();
                     let arrival: Vec<_> = trace.iter().map(|p| p.id).collect();
                     let rep = Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace);
-                    let completion: Vec<_> =
-                        rep.completions.iter().map(|&(p, _)| p).collect();
+                    let completion: Vec<_> = rep.completions.iter().map(|&(p, _)| p).collect();
                     (
                         rep.normalized_throughput(),
                         crate::metrics::reordered_flow_fraction(&flows, &arrival, &completion),
@@ -669,7 +666,11 @@ pub fn ext_chiplet() -> Vec<ChipletRow> {
 
     let packets = packets_per_run();
     let mut rows = Vec::new();
-    for app in [&mp5_apps::SEQUENCER, &mp5_apps::FLOWLET, &mp5_apps::DDOS_COUNTER] {
+    for app in [
+        &mp5_apps::SEQUENCER,
+        &mp5_apps::FLOWLET,
+        &mp5_apps::DDOS_COUNTER,
+    ] {
         let (prog, trace) = app_trace(app, packets, 31);
         let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
 
@@ -739,7 +740,9 @@ mod ablation_tests {
         assert_eq!(fifo.len(), 6);
         // Delivered fraction is monotone (within noise) in capacity for
         // the worst-case workload, and the real app never drops.
-        assert!(fifo.windows(2).all(|w| w[1].delivered_synth >= w[0].delivered_synth - 0.02));
+        assert!(fifo
+            .windows(2)
+            .all(|w| w[1].delivered_synth >= w[0].delivered_synth - 0.02));
         assert!(fifo.iter().all(|r| r.delivered_app > 0.999));
 
         let remap = ablation_remap();

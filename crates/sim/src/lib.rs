@@ -37,8 +37,10 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<std::sync::Mutex<Option<F>>> =
-        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
+    let jobs: Vec<std::sync::Mutex<Option<F>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx: Vec<std::sync::Mutex<&mut Option<T>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
@@ -49,14 +51,21 @@ where
                 if i >= n {
                     break;
                 }
-                let job = jobs[i].lock().expect("no poison").take().expect("job taken once");
+                let job = jobs[i]
+                    .lock()
+                    .expect("no poison")
+                    .take()
+                    .expect("job taken once");
                 let out = job();
                 **results_mx[i].lock().expect("no poison") = Some(out);
             });
         }
     });
     drop(results_mx);
-    results.into_iter().map(|r| r.expect("all jobs ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all jobs ran"))
+        .collect()
 }
 
 #[cfg(test)]

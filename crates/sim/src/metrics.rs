@@ -21,11 +21,8 @@ pub fn c1_violation_fraction(reference: &AccessLog, actual: &AccessLog) -> f64 {
     let mut violators: HashSet<PacketId> = HashSet::new();
 
     for (state, ref_seq) in reference {
-        let rank: HashMap<PacketId, usize> = ref_seq
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
+        let rank: HashMap<PacketId, usize> =
+            ref_seq.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         accessors.extend(ref_seq.iter().copied());
         let Some(act_seq) = actual.get(state) else {
             // Nobody reached this state: every reference accessor has a

@@ -64,9 +64,7 @@ pub fn synthetic_program(stateful_stages: usize, reg_size: u32) -> String {
     for i in 0..stateful_stages {
         regs.push_str(&format!("int r{i}[{reg_size}] = {{0}};\n"));
     }
-    format!(
-        "struct Packet {{ {fields} }};\n{regs}\nvoid func(struct Packet p) {{\n{body}}}\n"
-    )
+    format!("struct Packet {{ {fields} }};\n{regs}\nvoid func(struct Packet p) {{\n{body}}}\n")
 }
 
 /// Compiles the synthetic program for the default 16-stage machine.
@@ -74,7 +72,10 @@ pub fn synthetic_compiled(
     stateful_stages: usize,
     reg_size: u32,
 ) -> Result<CompiledProgram, CompileError> {
-    compile(&synthetic_program(stateful_stages, reg_size), &Target::default())
+    compile(
+        &synthetic_program(stateful_stages, reg_size),
+        &Target::default(),
+    )
 }
 
 /// Generates the line-rate trace driving a synthetic program: each
@@ -88,8 +89,8 @@ pub fn synthetic_trace(prog: &CompiledProgram, cfg: &SynthConfig) -> Vec<Packet>
     TraceBuilder::new(cfg.packets, cfg.seed)
         .size(SizeDist::Fixed(cfg.packet_size))
         .build(nf, move |rng, _, fields| {
-            for i in 0..m.max(1) {
-                fields[i] = pattern.draw(reg_size, rng) as i64;
+            for field in fields.iter_mut().take(m.max(1)) {
+                *field = pattern.draw(reg_size, rng) as i64;
             }
         })
 }
@@ -103,8 +104,7 @@ mod tests {
     #[test]
     fn synthetic_programs_compile_up_to_10_stateful_stages() {
         for m in 0..=10 {
-            let prog = synthetic_compiled(m, 512)
-                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            let prog = synthetic_compiled(m, 512).unwrap_or_else(|e| panic!("m={m}: {e}"));
             let stateful = prog.stages.iter().filter(|s| !s.regs.is_empty()).count();
             assert_eq!(stateful, m, "m={m}");
             assert!(prog.num_stages() <= 16);

@@ -107,8 +107,14 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let rows = vec![
-            Row { name: "a".into(), value: 1.5 },
-            Row { name: "b".into(), value: 2.0 },
+            Row {
+                name: "a".into(),
+                value: 1.5,
+            },
+            Row {
+                name: "b".into(),
+                value: 2.0,
+            },
         ];
         let csv = to_csv(&rows);
         let mut lines = csv.lines();
@@ -118,7 +124,10 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
-        let rows = vec![Row { name: "x".into(), value: 3.25 }];
+        let rows = vec![Row {
+            name: "x".into(),
+            value: 3.25,
+        }];
         let j = to_json(&rows);
         let back: Vec<serde_json::Value> = serde_json::from_str(&j).unwrap();
         assert_eq!(back[0]["value"], 3.25);

@@ -131,7 +131,7 @@ impl FlowTraceBuilder {
                         src_ip: rng.gen(),
                         dst_ip: rng.gen(),
                         src_port: rng.gen_range(1024..60_000),
-                        dst_port: *[80u16, 443, 8080, 5201].iter().nth(rng.gen_range(0..4)).unwrap(),
+                        dst_port: [80u16, 443, 8080, 5201][rng.gen_range(0..4)],
                         proto: 6,
                     };
                     let bytes = web_search_flow_bytes(&mut rng);
@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn flow_sizes_are_heavy_tailed() {
         let mut rng = SmallRng::seed_from_u64(11);
-        let sizes: Vec<u64> = (0..20_000).map(|_| web_search_flow_bytes(&mut rng)).collect();
+        let sizes: Vec<u64> = (0..20_000)
+            .map(|_| web_search_flow_bytes(&mut rng))
+            .collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2];
@@ -195,7 +197,11 @@ mod tests {
             f[..5].copy_from_slice(&v);
         });
         assert_eq!(pkts.len(), 5000);
-        assert!(flows.len() > 10, "should see multiple flows: {}", flows.len());
+        assert!(
+            flows.len() > 10,
+            "should see multiple flows: {}",
+            flows.len()
+        );
         // Entry-ordered and deterministic.
         assert!(pkts
             .windows(2)

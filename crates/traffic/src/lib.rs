@@ -60,9 +60,11 @@ impl SizeDist {
     pub fn mean(&self) -> f64 {
         match *self {
             SizeDist::Fixed(s) => s as f64,
-            SizeDist::Bimodal { small, large, p_small } => {
-                small as f64 * p_small + large as f64 * (1.0 - p_small)
-            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => small as f64 * p_small + large as f64 * (1.0 - p_small),
         }
     }
 
@@ -70,7 +72,11 @@ impl SizeDist {
     pub fn sample(&self, rng: &mut SmallRng) -> u32 {
         match *self {
             SizeDist::Fixed(s) => s,
-            SizeDist::Bimodal { small, large, p_small } => {
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => {
                 if rng.gen_bool(p_small) {
                     small
                 } else {
@@ -165,13 +171,7 @@ impl TraceBuilder {
             let arrival = port_free[port].ceil() as Time;
             // Port occupancy: size bytes at rate aggregate/ports.
             port_free[port] += (size as f64) * (self.ports as f64) / self.load;
-            let mut pkt = Packet::new(
-                PacketId(i),
-                PortId(port as u16),
-                arrival,
-                size,
-                nfields,
-            );
+            let mut pkt = Packet::new(PacketId(i), PortId(port as u16), arrival, size, nfields);
             fill(&mut rng, i, &mut pkt.fields);
             packets.push(pkt);
         }

@@ -56,7 +56,7 @@ mod tests {
     #[test]
     fn uniform_covers_key_space() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut hist = vec![0u32; 16];
+        let mut hist = [0u32; 16];
         for _ in 0..16_000 {
             hist[AccessPattern::Uniform.draw(16, &mut rng) as usize] += 1;
         }

@@ -31,7 +31,10 @@ fn main() {
 
     // Phase 1: Preprocessing — branch removal + three-address code.
     let tac = frontend(FIG3).expect("parses");
-    println!("=== Three-address code ({} instructions) ===", tac.instrs.len());
+    println!(
+        "=== Three-address code ({} instructions) ===",
+        tac.instrs.len()
+    );
     println!("{}", tac.dump());
 
     // Phases 2–4: Pipelining, PVSM-to-PVSM, code generation.

@@ -28,7 +28,8 @@ fn main() {
     let reference = BanzaiSwitch::new(program.clone()).run(trace.clone());
 
     let dynamic = Mp5Switch::new(program.clone(), SwitchConfig::mp5(4)).run(trace.clone());
-    let static_ = Mp5Switch::new(program.clone(), SwitchConfig::static_shard(4, 99)).run(trace.clone());
+    let static_ =
+        Mp5Switch::new(program.clone(), SwitchConfig::static_shard(4, 99)).run(trace.clone());
 
     println!(
         "dynamic sharding: throughput={:.3}, {} state migrations, equivalent={}",

@@ -15,7 +15,9 @@ use mp5::types::PortId;
 
 fn main() {
     let seq = mp5::apps::SEQUENCER.compile().expect("sequencer compiles");
-    let hh = mp5::apps::HEAVY_HITTER.compile().expect("heavy hitter compiles");
+    let hh = mp5::apps::HEAVY_HITTER
+        .compile()
+        .expect("heavy hitter compiles");
 
     // One realistic trace over all 64 ports; the partitioning routes
     // ports 0-15 to the sequencer and 16-63 to telemetry.
@@ -72,7 +74,11 @@ fn main() {
     let trace: Vec<_> = trace
         .into_iter()
         .map(|mut p| {
-            let want = if p.port.0 < 16 { seq.num_fields() } else { hh.num_fields() };
+            let want = if p.port.0 < 16 {
+                seq.num_fields()
+            } else {
+                hh.num_fields()
+            };
             p.fields.truncate(want);
             p
         })
@@ -80,7 +86,11 @@ fn main() {
 
     println!("partition      pipelines  throughput  offered  equivalent");
     for rep in chip.run(trace) {
-        let reference = if rep.name == "sequencer" { &seq_ref } else { &hh_ref };
+        let reference = if rep.name == "sequencer" {
+            &seq_ref
+        } else {
+            &hh_ref
+        };
         println!(
             "{:<13}  {:>9}  {:>10.3}  {:>7}  {}",
             rep.name,

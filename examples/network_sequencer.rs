@@ -21,7 +21,11 @@ fn main() {
     println!(
         "compiled to {} stages; register arrays: {:?}",
         program.num_stages(),
-        program.regs.iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+        program
+            .regs
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Ground truth: the logical single-pipeline switch.

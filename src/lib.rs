@@ -49,6 +49,7 @@
 //! | [`types`] | `mp5-types` | Packets, ids, the byte-time clock model |
 //! | [`lang`] | `mp5-lang` | Domino-like DSL frontend (lexer → parser → three-address code) |
 //! | [`compiler`] | `mp5-compiler` | Pipelining, PVSM, the PVSM-to-PVSM transformer, codegen |
+//! | [`analysis`] | `mp5-analysis` | Static shardability / hazard / resource analyzer + `mp5lint` |
 //! | [`banzai`] | `mp5-banzai` | Single-pipeline reference switch (equivalence ground truth) |
 //! | [`fabric`] | `mp5-fabric` | Ring buffers, logical k-FIFOs + phantom directory, crossbars, phantom channel |
 //! | [`core`] | `mp5-core` | **The MP5 switch**: architecture + runtime (steering, phantoms, dynamic sharding) |
@@ -61,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mp5_analysis as analysis;
 pub use mp5_apps as apps;
 pub use mp5_asic as asic;
 pub use mp5_banzai as banzai;

@@ -190,8 +190,10 @@ proptest! {
 #[test]
 fn duplicate_phantom_key_overwrites_directory_safely() {
     let mut fifo: LogicalFifo<u64> = LogicalFifo::new(2, None);
-    fifo.push_phantom(key(1), OrderKey(1, 0), PipelineId(0)).unwrap();
-    fifo.push_phantom(key(1), OrderKey(2, 0), PipelineId(1)).unwrap();
+    fifo.push_phantom(key(1), OrderKey(1, 0), PipelineId(0))
+        .unwrap();
+    fifo.push_phantom(key(1), OrderKey(2, 0), PipelineId(1))
+        .unwrap();
     // Only the newer phantom is addressable; the older one is orphaned.
     fifo.insert_data(key(1), 1).unwrap();
     match fifo.pop() {

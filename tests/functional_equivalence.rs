@@ -30,18 +30,35 @@ use mp5::traffic::TraceBuilder;
 #[derive(Debug, Clone)]
 enum GenStmt {
     /// `r[p.hF % S] = r[p.hF % S] + delta;`
-    Bump { reg: usize, field: usize, delta: i64 },
+    Bump {
+        reg: usize,
+        field: usize,
+        delta: i64,
+    },
     /// `p.out = r[p.hF % S];`
     ReadOut { reg: usize, field: usize },
     /// `if (p.hF > t) { r[p.hF % S] = p.hF; }`
-    PredUpdate { reg: usize, field: usize, thresh: i64 },
+    PredUpdate {
+        reg: usize,
+        field: usize,
+        thresh: i64,
+    },
     /// `p.out = (p.hF % 2 == 0) ? rA[p.hF % SA] : rB[p.hF % SB];`
     TernaryRead { a: usize, b: usize, field: usize },
     /// `int v = rS[p.hF % S]; rD[p.hG % SD] = rD[p.hG % SD] + v;`
-    Chain { src: usize, dst: usize, f: usize, g: usize },
+    Chain {
+        src: usize,
+        dst: usize,
+        f: usize,
+        g: usize,
+    },
     /// `if (rG[0] > 0) { rD[p.hF % SD] = rD[p.hF % SD] + 1; }` —
     /// a stateful predicate, exercising speculative phantoms.
-    StatefulPred { gate: usize, reg: usize, field: usize },
+    StatefulPred {
+        gate: usize,
+        reg: usize,
+        field: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -120,19 +137,16 @@ fn stmt_strategy(nregs: usize) -> impl Strategy<Value = GenStmt> {
             delta
         }),
         (r.clone(), f.clone()).prop_map(|(reg, field)| GenStmt::ReadOut { reg, field }),
-        (r.clone(), f.clone(), 0i64..32).prop_map(|(reg, field, thresh)| {
-            GenStmt::PredUpdate { reg, field, thresh }
-        }),
-        (r.clone(), r.clone(), f.clone())
-            .prop_map(|(a, b, field)| GenStmt::TernaryRead { a, b, field }),
-        (r.clone(), r.clone(), f.clone(), 0..NFIELDS).prop_map(|(src, dst, f, g)| {
-            GenStmt::Chain { src, dst, f, g }
-        }),
-        (r.clone(), r, f).prop_map(|(gate, reg, field)| GenStmt::StatefulPred {
-            gate,
-            reg,
+        (r.clone(), f.clone(), 0i64..32)
+            .prop_map(|(reg, field, thresh)| { GenStmt::PredUpdate { reg, field, thresh } }),
+        (r.clone(), r.clone(), f.clone()).prop_map(|(a, b, field)| GenStmt::TernaryRead {
+            a,
+            b,
             field
         }),
+        (r.clone(), r.clone(), f.clone(), 0..NFIELDS)
+            .prop_map(|(src, dst, f, g)| { GenStmt::Chain { src, dst, f, g } }),
+        (r.clone(), r, f).prop_map(|(gate, reg, field)| GenStmt::StatefulPred { gate, reg, field }),
     ]
 }
 
@@ -268,13 +282,59 @@ fn no_d4_fails_the_equivalence_property() {
 #[test]
 fn every_statement_template_compiles() {
     let cases = [
-        GenProgram { reg_sizes: vec![8], stmts: vec![GenStmt::Bump { reg: 0, field: 0, delta: 2 }] },
-        GenProgram { reg_sizes: vec![8], stmts: vec![GenStmt::ReadOut { reg: 0, field: 1 }] },
-        GenProgram { reg_sizes: vec![8], stmts: vec![GenStmt::PredUpdate { reg: 0, field: 2, thresh: 9 }] },
-        GenProgram { reg_sizes: vec![8, 4], stmts: vec![GenStmt::TernaryRead { a: 0, b: 1, field: 3 }] },
-        GenProgram { reg_sizes: vec![8, 4], stmts: vec![GenStmt::Chain { src: 0, dst: 1, f: 0, g: 1 }] },
-        GenProgram { reg_sizes: vec![8, 4], stmts: vec![GenStmt::StatefulPred { gate: 0, reg: 1, field: 0 }] },
-        GenProgram { reg_sizes: vec![8], stmts: vec![GenStmt::StatefulPred { gate: 0, reg: 0, field: 0 }] },
+        GenProgram {
+            reg_sizes: vec![8],
+            stmts: vec![GenStmt::Bump {
+                reg: 0,
+                field: 0,
+                delta: 2,
+            }],
+        },
+        GenProgram {
+            reg_sizes: vec![8],
+            stmts: vec![GenStmt::ReadOut { reg: 0, field: 1 }],
+        },
+        GenProgram {
+            reg_sizes: vec![8],
+            stmts: vec![GenStmt::PredUpdate {
+                reg: 0,
+                field: 2,
+                thresh: 9,
+            }],
+        },
+        GenProgram {
+            reg_sizes: vec![8, 4],
+            stmts: vec![GenStmt::TernaryRead {
+                a: 0,
+                b: 1,
+                field: 3,
+            }],
+        },
+        GenProgram {
+            reg_sizes: vec![8, 4],
+            stmts: vec![GenStmt::Chain {
+                src: 0,
+                dst: 1,
+                f: 0,
+                g: 1,
+            }],
+        },
+        GenProgram {
+            reg_sizes: vec![8, 4],
+            stmts: vec![GenStmt::StatefulPred {
+                gate: 0,
+                reg: 1,
+                field: 0,
+            }],
+        },
+        GenProgram {
+            reg_sizes: vec![8],
+            stmts: vec![GenStmt::StatefulPred {
+                gate: 0,
+                reg: 0,
+                field: 0,
+            }],
+        },
     ];
     for gp in &cases {
         assert!(

@@ -80,7 +80,8 @@ fn fundamental_limit_single_state() {
     .unwrap();
     let mut last = f64::INFINITY;
     for k in [2usize, 4, 8] {
-        let trace = mp5::traffic::TraceBuilder::new(6_000, 3).build(prog.num_fields(), |_, _, _| {});
+        let trace =
+            mp5::traffic::TraceBuilder::new(6_000, 3).build(prog.num_fields(), |_, _, _| {});
         let rep = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k)).run(trace);
         let t = rep.normalized_throughput();
         let ceiling = 1.0 / k as f64;
@@ -124,17 +125,47 @@ fn sensitivity_shapes() {
     };
 
     // (a) more pipelines -> lower normalized throughput.
-    let k2 = run(SynthConfig { pipelines: 2, ..base }, SwitchConfig::mp5(2));
-    let k16 = run(SynthConfig { pipelines: 16, ..base }, SwitchConfig::mp5(16));
+    let k2 = run(
+        SynthConfig {
+            pipelines: 2,
+            ..base
+        },
+        SwitchConfig::mp5(2),
+    );
+    let k16 = run(
+        SynthConfig {
+            pipelines: 16,
+            ..base
+        },
+        SwitchConfig::mp5(16),
+    );
     assert!(k2 > k16, "k=2 {k2:.3} vs k=16 {k16:.3}");
 
     // (c) bigger register arrays -> higher throughput.
-    let r4 = run(SynthConfig { reg_size: 4, ..base }, SwitchConfig::mp5(4));
-    let r4096 = run(SynthConfig { reg_size: 4096, ..base }, SwitchConfig::mp5(4));
+    let r4 = run(
+        SynthConfig {
+            reg_size: 4,
+            ..base
+        },
+        SwitchConfig::mp5(4),
+    );
+    let r4096 = run(
+        SynthConfig {
+            reg_size: 4096,
+            ..base
+        },
+        SwitchConfig::mp5(4),
+    );
     assert!(r4096 > r4, "size 4096 {r4096:.3} vs size 4 {r4:.3}");
 
     // (d) bigger packets -> line rate by 128 B.
-    let p128 = run(SynthConfig { packet_size: 128, ..base }, SwitchConfig::mp5(4));
+    let p128 = run(
+        SynthConfig {
+            packet_size: 128,
+            ..base
+        },
+        SwitchConfig::mp5(4),
+    );
     assert!(p128 > 0.9, "128 B should reach ~line rate, got {p128:.3}");
 
     // MP5 close to the ideal upper bound.

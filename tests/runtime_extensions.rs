@@ -34,7 +34,11 @@ const NATISH: &str = "
         }
     }";
 
-fn nat_trace(prog: &mp5::compiler::CompiledProgram, n: usize, seed: u64) -> Vec<mp5::types::Packet> {
+fn nat_trace(
+    prog: &mp5::compiler::CompiledProgram,
+    n: usize,
+    seed: u64,
+) -> Vec<mp5::types::Packet> {
     // A handful of flows, each sending many packets; ~half are "SYN"
     // (stateful) to maximize the mixed stateful/stateless interleaving.
     TraceBuilder::new(n, seed).build(prog.num_fields(), |rng, _, f| {
@@ -56,6 +60,7 @@ fn flow_map(trace: &[mp5::types::Packet]) -> HashMap<PacketId, Value> {
 fn flow_order_register_lands_in_final_stage() {
     let opts = CompileOptions {
         enforce_flow_order: Some(FlowOrderSpec::default()),
+        ..Default::default()
     };
     let prog = compile_with_options(NATISH, &Target::default(), &opts).unwrap();
     prog.validate().unwrap();
@@ -65,7 +70,10 @@ fn flow_order_register_lands_in_final_stage() {
         prog.num_stages() - 1,
         "flow-order state must occupy the final stage"
     );
-    assert!(prog.regs[fo.index()].shardable, "flow-hash index is stateless");
+    assert!(
+        prog.regs[fo.index()].shardable,
+        "flow-hash index is stateless"
+    );
     // Every packet now generates a phantom for the final stage.
     let mut fields = vec![0; prog.num_fields()];
     let accesses = prog.resolve(&mut fields);
@@ -80,6 +88,7 @@ fn flow_order_enforcement_eliminates_reordering() {
         &Target::default(),
         &CompileOptions {
             enforce_flow_order: Some(FlowOrderSpec::default()),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -122,6 +131,7 @@ fn flow_order_preserves_functional_equivalence() {
         &Target::default(),
         &CompileOptions {
             enforce_flow_order: Some(FlowOrderSpec::default()),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -139,6 +149,7 @@ fn flow_order_requires_key_fields() {
         &Target::default(),
         &CompileOptions {
             enforce_flow_order: Some(FlowOrderSpec::default()),
+            ..Default::default()
         },
     )
     .unwrap_err();
@@ -225,10 +236,7 @@ fn starvation_threshold_sheds_stateless_packets() {
         "aged stateful packets must trigger stateless drops"
     );
     // Everything offered is either completed or an accounted drop.
-    assert_eq!(
-        with.completed + with.drops.total_data(),
-        with.offered
-    );
+    assert_eq!(with.completed + with.drops.total_data(), with.offered);
 }
 
 #[test]
@@ -262,7 +270,9 @@ fn pairs_atom_program_is_equivalent_on_mp5() {
     assert!(report.result.equivalent_to(&reference));
 
     // A pairs-less target rejects the same program.
-    let mut no_pairs = Target::default();
-    no_pairs.allow_pairs = false;
+    let no_pairs = Target {
+        allow_pairs: false,
+        ..Target::default()
+    };
     assert!(compile(src, &no_pairs).is_err());
 }
