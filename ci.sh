@@ -19,4 +19,14 @@ echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
     crates/analysis/fixtures/broken crates/analysis/fixtures/clean
 
+echo "==> traced smoke run through the offline auditor"
+TRACE_TMP=$(mktemp -t mp5-ci-trace.XXXXXX)
+trap 'rm -f "$TRACE_TMP"' EXIT
+./target/release/mp5run crates/apps/programs/flowlet.mp5 \
+    --packets 4000 --trace "$TRACE_TMP"
+./target/release/mp5audit --quiet "$TRACE_TMP"
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "CI OK"

@@ -28,6 +28,7 @@ use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_core::RunReport;
 use mp5_fabric::OrderKey;
+use mp5_trace::{EventKind, NopSink, TraceCtx, TraceSink};
 use mp5_types::time::cycle_len;
 use mp5_types::{hash2, Packet, PipelineId, StageId, Value};
 
@@ -86,8 +87,8 @@ impl RecircReport {
 #[derive(Debug, Clone)]
 struct Flight {
     pkt: Packet,
-    /// Entry-order key, kept for debugging dumps of in-flight state.
-    #[allow(dead_code)]
+    /// Entry-order key, reproduced on every traced state access so the
+    /// offline auditor can reconstruct the reference serial order.
     order: OrderKey,
     /// Next body stage to execute (stages execute strictly in order).
     exec_ptr: usize,
@@ -95,8 +96,14 @@ struct Flight {
 }
 
 /// The re-circulation switch simulator.
+///
+/// Generic over a [`TraceSink`] like `mp5_core::Mp5Switch`: the default
+/// [`NopSink`] compiles the instrumentation away; use
+/// [`RecircSwitch::with_sink`] to record a run for the `mp5audit`
+/// offline auditor (which checks C1 and conservation against the
+/// recorded stream — and, for this baseline, *expects* C1 findings).
 #[derive(Debug)]
-pub struct RecircSwitch {
+pub struct RecircSwitch<S: TraceSink = NopSink> {
     cfg: RecircConfig,
     prog: CompiledProgram,
     k: usize,
@@ -116,11 +123,21 @@ pub struct RecircSwitch {
     report: RunReport,
     total_recircs: u64,
     max_passes: u32,
+    sink: S,
 }
 
-impl RecircSwitch {
-    /// Builds the baseline switch.
+impl RecircSwitch<NopSink> {
+    /// Builds the (untraced) baseline switch.
     pub fn new(prog: CompiledProgram, cfg: RecircConfig) -> Self {
+        Self::with_sink(prog, cfg, NopSink)
+    }
+}
+
+impl<S: TraceSink> RecircSwitch<S> {
+    /// Builds a baseline switch that records every observable action
+    /// into `sink`. The sink only observes; the run is identical to
+    /// [`RecircSwitch::new`]'s.
+    pub fn with_sink(prog: CompiledProgram, cfg: RecircConfig, sink: S) -> Self {
         let k = cfg.pipelines;
         assert!(k >= 1);
         let body_stages = prog.stages.len();
@@ -162,6 +179,7 @@ impl RecircSwitch {
             prologue,
             regs,
             shard,
+            sink,
         }
     }
 
@@ -183,7 +201,13 @@ impl RecircSwitch {
     }
 
     /// Runs a trace to completion.
-    pub fn run(mut self, mut packets: Vec<Packet>) -> RecircReport {
+    pub fn run(self, packets: Vec<Packet>) -> RecircReport {
+        self.run_traced(packets).0
+    }
+
+    /// Like [`RecircSwitch::run`], but also returns the trace sink with
+    /// its recorded event stream.
+    pub fn run_traced(mut self, mut packets: Vec<Packet>) -> (RecircReport, S) {
         packets.sort_by_key(|p| p.entry_order_key());
         self.report.offered = packets.len() as u64;
         self.report.input_duration = packets
@@ -252,6 +276,15 @@ impl RecircSwitch {
             // Resolve the itinerary once at first ingress.
             self.resolve(&mut pkt);
             let pl = self.port_pipeline(pkt.port.0);
+            if S::ENABLED {
+                TraceCtx::new(self.cycle, pl as u16, 0).emit(
+                    &mut self.sink,
+                    EventKind::Ingress {
+                        pkt: pkt.id,
+                        order: (order.0, order.1),
+                    },
+                );
+            }
             self.fresh[pl].push_back(Flight {
                 pkt,
                 order,
@@ -278,10 +311,34 @@ impl RecircSwitch {
             for (st, slot) in inc_row.iter_mut().enumerate() {
                 if let Some(mut fl) = slot.take() {
                     if fl.exec_ptr == st && self.stage_executable(pl, st, &fl) {
+                        if S::ENABLED {
+                            // `queued: false`: this datapath has no
+                            // stage FIFOs — every execution is a
+                            // pass-through of the lane occupant.
+                            TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                                &mut self.sink,
+                                EventKind::Execute {
+                                    pkt: fl.pkt.id,
+                                    queued: false,
+                                    bypassed: false,
+                                },
+                            );
+                        }
                         let accesses =
                             self.prog
                                 .execute_stage(st, &mut fl.pkt.fields, &mut self.regs[pl]);
                         for a in &accesses {
+                            if S::ENABLED {
+                                TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                                    &mut self.sink,
+                                    EventKind::Access {
+                                        pkt: fl.pkt.id,
+                                        reg: a.reg,
+                                        index: a.index,
+                                        order: (fl.order.0, fl.order.1),
+                                    },
+                                );
+                            }
                             self.report
                                 .result
                                 .access_log
@@ -329,8 +386,12 @@ impl RecircSwitch {
 
     /// Pipeline egress: complete, or loop back towards the pipeline of
     /// the next pending stage's state.
-    fn egress(&mut self, _pl: usize, fl: Flight) {
+    fn egress(&mut self, pl: usize, fl: Flight) {
         if fl.exec_ptr >= self.body_stages {
+            if S::ENABLED {
+                TraceCtx::new(self.cycle, pl as u16, (self.body_stages - 1) as u16)
+                    .emit(&mut self.sink, EventKind::Egress { pkt: fl.pkt.id });
+            }
             self.max_passes = self.max_passes.max(fl.passes);
             self.report.result.outputs.insert(
                 fl.pkt.id,
@@ -356,11 +417,20 @@ impl RecircSwitch {
         let mut fl = fl;
         fl.passes += 1;
         self.total_recircs += 1;
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, pl as u16, (self.body_stages - 1) as u16).emit(
+                &mut self.sink,
+                EventKind::Recirculate {
+                    pkt: fl.pkt.id,
+                    target: target as u16,
+                },
+            );
+        }
         self.looping
             .push((self.cycle + self.cfg.recirc_latency, target, fl));
     }
 
-    fn finish(mut self) -> RecircReport {
+    fn finish(mut self) -> (RecircReport, S) {
         let mut final_regs = Vec::with_capacity(self.prog.regs.len());
         for (ri, meta) in self.prog.regs.iter().enumerate() {
             let mut arr = Vec::with_capacity(meta.size as usize);
@@ -373,11 +443,14 @@ impl RecircSwitch {
         self.report.result.final_regs = final_regs;
         self.report.result.processed = self.report.completed;
         self.report.cycles = self.cycle;
-        RecircReport {
-            report: self.report,
-            total_recircs: self.total_recircs,
-            max_passes: self.max_passes,
-        }
+        (
+            RecircReport {
+                report: self.report,
+                total_recircs: self.total_recircs,
+                max_passes: self.max_passes,
+            },
+            self.sink,
+        )
     }
 }
 
@@ -469,6 +542,32 @@ mod tests {
         let rep = RecircSwitch::new(prog, RecircConfig::new(1)).run(t);
         assert_eq!(rep.total_recircs, 0);
         assert!(rep.report.result.equivalent_to(&reference));
+    }
+
+    #[test]
+    fn traced_recirc_records_loops_and_conserves_packets() {
+        use mp5_trace::{EventKind, MemSink};
+        let (prog, t) = trace(TWO_STATE, 1000, 7);
+        let plain = RecircSwitch::new(prog.clone(), RecircConfig::new(4)).run(t.clone());
+        let (rep, sink) =
+            RecircSwitch::with_sink(prog, RecircConfig::new(4), MemSink::new()).run_traced(t);
+        assert_eq!(plain.report.result.final_regs, rep.report.result.final_regs);
+        assert_eq!(plain.report.cycles, rep.report.cycles);
+        let evs = sink.into_events();
+        let count =
+            |pred: fn(&EventKind) -> bool| evs.iter().filter(|e| pred(&e.kind)).count() as u64;
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Recirculate { .. })),
+            rep.total_recircs
+        );
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Ingress { .. })),
+            rep.report.offered
+        );
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Egress { .. })),
+            rep.report.completed
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use mp5_compiler::{compile, Target};
 use mp5_core::{Mp5Switch, SwitchConfig};
 use mp5_fabric::{LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
 use mp5_sim::synth::{synthetic_compiled, synthetic_trace, SynthConfig};
+use mp5_trace::MemSink;
 use mp5_types::{PacketId, PipelineId, RegId, StageId};
 
 fn bench_fifo(c: &mut Criterion) {
@@ -90,11 +91,46 @@ fn bench_switch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tracing must be pay-for-what-you-use: the default `NopSink`
+/// (statically dispatched, `ENABLED = false`) run must be
+/// indistinguishable from the pre-tracing switch, while an in-memory
+/// sink quantifies the cost of full observability.
+fn bench_sink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_sink");
+    g.sample_size(10);
+    let cfg = SynthConfig {
+        pipelines: 4,
+        packets: 5_000,
+        ..Default::default()
+    };
+    let prog = synthetic_compiled(cfg.stateful_stages, cfg.reg_size).unwrap();
+    g.throughput(Throughput::Elements(cfg.packets as u64));
+    g.bench_function("nop_sink", |b| {
+        b.iter(|| {
+            let trace = synthetic_trace(&prog, &cfg);
+            Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4))
+                .run(trace)
+                .completed
+        });
+    });
+    g.bench_function("mem_sink", |b| {
+        b.iter(|| {
+            let trace = synthetic_trace(&prog, &cfg);
+            let (rep, sink) =
+                Mp5Switch::with_sink(prog.clone(), SwitchConfig::mp5(4), MemSink::new())
+                    .run_traced(trace);
+            (rep.completed, sink.into_events().len())
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fifo,
     bench_channel,
     bench_compile,
-    bench_switch
+    bench_switch,
+    bench_sink
 );
 criterion_main!(benches);

@@ -35,7 +35,14 @@ pub fn banner(what: &str, paper_ref: &str) {
 pub fn maybe_dump_json<T: serde::Serialize>(name: &str, rows: &[T]) {
     if let Ok(dir) = std::env::var("MP5_EXP_JSON") {
         let path = std::path::Path::new(&dir).join(format!("{name}.json"));
-        match std::fs::write(&path, mp5_sim::table::to_json(rows)) {
+        let json = match mp5_sim::table::to_json(rows) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("warning: could not serialize {name} rows: {e}");
+                return;
+            }
+        };
+        match std::fs::write(&path, json) {
             Ok(()) => println!("(rows archived to {})", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }

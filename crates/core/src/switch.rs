@@ -5,12 +5,22 @@ use std::collections::{HashSet, VecDeque};
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
+use mp5_trace::{DropCause, EventKind, NopSink, TraceCtx, TraceSink, NO_LOC};
 use mp5_types::time::cycle_len;
 use mp5_types::{AccessTag, Packet, PipelineId, RegId, StageId, Value};
 
 use crate::config::{ShardingMode, SprayMode, SwitchConfig};
 use crate::report::RunReport;
 use crate::shard;
+
+/// Converts a fabric phantom key into the trace schema's access key.
+fn tkey(key: PhantomKey) -> mp5_trace::Key {
+    mp5_trace::Key {
+        pkt: key.pkt,
+        reg: key.reg,
+        index: key.index,
+    }
+}
 
 /// The simulator's liveness invariant broke: a run failed to drain all
 /// in-flight work within its cycle cap. Carries a snapshot of where the
@@ -109,12 +119,19 @@ impl StageQueue {
             .or_insert_with(|| LogicalFifo::new(1, None))
     }
 
-    fn push_phantom(&mut self, key: PhantomKey, ts: OrderKey, lane: PipelineId) -> bool {
+    fn push_phantom<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        ts: OrderKey,
+        lane: PipelineId,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> bool {
         match self {
-            StageQueue::Logical(f) => f.push_phantom(key, ts, lane).is_ok(),
+            StageQueue::Logical(f) => f.push_phantom_traced(key, ts, lane, sink, ctx).is_ok(),
             StageQueue::PerIndex { subs, max_total } => {
                 let ok = Self::sub(subs, key.index)
-                    .push_phantom(key, ts, PipelineId(0))
+                    .push_phantom_traced(key, ts, PipelineId(0), sink, ctx)
                     .is_ok();
                 *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
                 ok
@@ -122,12 +139,20 @@ impl StageQueue {
         }
     }
 
-    fn push_data(&mut self, fl: Flight, ts: OrderKey, lane: PipelineId) -> Result<(), Flight> {
+    fn push_data<S: TraceSink>(
+        &mut self,
+        fl: Flight,
+        ts: OrderKey,
+        lane: PipelineId,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> Result<(), Flight> {
+        let pkt = fl.pkt.id;
         match self {
-            StageQueue::Logical(f) => f.push_data(fl, ts, lane).map(|_| ()),
+            StageQueue::Logical(f) => f.push_data_traced(pkt, fl, ts, lane, sink, ctx).map(|_| ()),
             StageQueue::PerIndex { subs, max_total } => {
                 let r = Self::sub(subs, INDEX_ARRAY_LEVEL)
-                    .push_data(fl, ts, PipelineId(0))
+                    .push_data_traced(pkt, fl, ts, PipelineId(0), sink, ctx)
                     .map(|_| ());
                 *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
                 r
@@ -135,25 +160,39 @@ impl StageQueue {
         }
     }
 
-    fn insert_data(&mut self, key: PhantomKey, fl: Flight) -> Result<(), Flight> {
+    fn insert_data<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        fl: Flight,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> Result<(), Flight> {
         match self {
-            StageQueue::Logical(f) => f.insert_data(key, fl).map(|_| ()),
+            StageQueue::Logical(f) => f.insert_data_traced(key, fl, sink, ctx).map(|_| ()),
+            StageQueue::PerIndex { subs, .. } => Self::sub(subs, key.index)
+                .insert_data_traced(key, fl, sink, ctx)
+                .map(|_| ()),
+        }
+    }
+
+    fn cancel<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        free: bool,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> bool {
+        match self {
+            StageQueue::Logical(f) => f.cancel_traced(key, free, sink, ctx),
             StageQueue::PerIndex { subs, .. } => {
-                Self::sub(subs, key.index).insert_data(key, fl).map(|_| ())
+                Self::sub(subs, key.index).cancel_traced(key, free, sink, ctx)
             }
         }
     }
 
-    fn cancel(&mut self, key: PhantomKey, free: bool) -> bool {
+    fn serve<S: TraceSink>(&mut self, st: usize, sink: &mut S, ctx: TraceCtx) -> Serve {
         match self {
-            StageQueue::Logical(f) => f.cancel(key, free),
-            StageQueue::PerIndex { subs, .. } => Self::sub(subs, key.index).cancel(key, free),
-        }
-    }
-
-    fn serve(&mut self, st: usize) -> Serve {
-        match self {
-            StageQueue::Logical(f) => match f.pop() {
+            StageQueue::Logical(f) => match f.pop_traced(sink, ctx, |fl| fl.pkt.id) {
                 PopOutcome::Data(fl) => Serve::Served(fl),
                 PopOutcome::ConsumedStale => Serve::Wasted,
                 PopOutcome::Empty | PopOutcome::BlockedOnPhantom(_) => Serve::Idle,
@@ -220,7 +259,7 @@ impl StageQueue {
                         }
                     }
                     let sub = subs.get_mut(&idx).expect("exists");
-                    let out = match sub.pop() {
+                    let out = match sub.pop_traced(sink, ctx, |fl| fl.pkt.id) {
                         PopOutcome::Data(fl) => Serve::Served(fl),
                         PopOutcome::ConsumedStale => Serve::Wasted,
                         _ => unreachable!("candidate head is servable"),
@@ -262,8 +301,13 @@ impl StageQueue {
 }
 
 /// The MP5 multi-pipeline switch.
+///
+/// Generic over a [`TraceSink`] `S` (default [`NopSink`]): with the
+/// default, every emission guard is `if false` after monomorphization
+/// and the instrumentation compiles away entirely (the `hotpath` bench
+/// pins this down). Use [`Mp5Switch::with_sink`] to record a run.
 #[derive(Debug)]
-pub struct Mp5Switch {
+pub struct Mp5Switch<S: TraceSink = NopSink> {
     cfg: SwitchConfig,
     prog: CompiledProgram,
     k: usize,
@@ -296,14 +340,24 @@ pub struct Mp5Switch {
     rr: usize,
     cycle: u64,
     report: RunReport,
+    sink: S,
 }
 
-impl Mp5Switch {
-    /// Builds a switch running `prog` under `cfg`. Every pipeline is
-    /// programmed identically (D1); each register array is allocated in
-    /// full in every pipeline, with the index-to-pipeline map deciding
-    /// the active copy (D2).
+impl Mp5Switch<NopSink> {
+    /// Builds an untraced switch running `prog` under `cfg`. Every
+    /// pipeline is programmed identically (D1); each register array is
+    /// allocated in full in every pipeline, with the index-to-pipeline
+    /// map deciding the active copy (D2).
     pub fn new(prog: CompiledProgram, cfg: SwitchConfig) -> Self {
+        Self::with_sink(prog, cfg, NopSink)
+    }
+}
+
+impl<S: TraceSink> Mp5Switch<S> {
+    /// Builds a switch that records every observable action into
+    /// `sink`. Semantically identical to [`Mp5Switch::new`]; the sink
+    /// only observes.
+    pub fn with_sink(prog: CompiledProgram, cfg: SwitchConfig, sink: S) -> Self {
         assert!(cfg.pipelines >= 1, "need at least one pipeline");
         let k = cfg.pipelines;
         let timing_k = cfg.physical_pipelines.unwrap_or(k).max(k);
@@ -353,6 +407,7 @@ impl Mp5Switch {
             rr: 0,
             cycle: 0,
             report,
+            sink,
         }
     }
 
@@ -383,11 +438,29 @@ impl Mp5Switch {
         }
     }
 
+    /// Like [`Mp5Switch::run`], but also returns the trace sink with
+    /// its recorded event stream.
+    pub fn run_traced(self, packets: Vec<Packet>) -> (RunReport, S) {
+        match self.try_run_traced(packets) {
+            Ok(out) => out,
+            Err(v) => panic!("{v}"),
+        }
+    }
+
     /// Runs a full trace to completion, reporting a structured
     /// [`InvariantViolation`] (instead of panicking) if the switch fails
     /// to drain within its cycle cap — the liveness invariant every
     /// well-formed configuration must uphold.
-    pub fn try_run(mut self, mut packets: Vec<Packet>) -> Result<RunReport, InvariantViolation> {
+    pub fn try_run(self, packets: Vec<Packet>) -> Result<RunReport, InvariantViolation> {
+        self.try_run_traced(packets).map(|(report, _)| report)
+    }
+
+    /// [`Mp5Switch::try_run`] returning the sink alongside the report,
+    /// so callers can audit or export the recorded stream.
+    pub fn try_run_traced(
+        mut self,
+        mut packets: Vec<Packet>,
+    ) -> Result<(RunReport, S), InvariantViolation> {
         packets.sort_by_key(|p| p.entry_order_key());
         self.report.offered = packets.len() as u64;
         self.report.input_duration = packets
@@ -432,11 +505,23 @@ impl Mp5Switch {
 
         // 2. Phantom channel advances one hop; deliveries enter FIFOs.
         for (msg, stage) in self.channel.advance() {
+            let ctx = TraceCtx::new(self.cycle, msg.dest.0, stage.0);
             if self.cancelled.remove(&msg.key) {
+                if S::ENABLED {
+                    ctx.emit(
+                        &mut self.sink,
+                        EventKind::PhantomChannelCancel { key: tkey(msg.key) },
+                    );
+                }
                 continue;
             }
-            let ok = self.queues[msg.dest.index()][stage.index()]
-                .push_phantom(msg.key, msg.ts, msg.lane);
+            let ok = self.queues[msg.dest.index()][stage.index()].push_phantom(
+                msg.key,
+                msg.ts,
+                msg.lane,
+                &mut self.sink,
+                ctx,
+            );
             if !ok {
                 self.report.drops.phantom_fifo_full += 1;
             }
@@ -451,14 +536,19 @@ impl Mp5Switch {
                     continue;
                 };
                 if st + 1 == self.stages {
-                    self.complete(fl);
+                    self.complete(pl, fl);
                     continue;
                 }
                 let next = st + 1;
                 let has_tag_here = fl.pkt.tags.first().is_some_and(|t| t.stage.index() == next);
                 if has_tag_here {
                     let dest = fl.pkt.tags[0].pipeline;
-                    self.crossbars[next].route(PipelineId(pl as u16), dest);
+                    self.crossbars[next].route_traced(
+                        PipelineId(pl as u16),
+                        dest,
+                        &mut self.sink,
+                        TraceCtx::new(self.cycle, pl as u16, next as u16),
+                    );
                     if dest.index() != pl {
                         self.report.steered += 1;
                     }
@@ -502,6 +592,15 @@ impl Mp5Switch {
             }
             let mut fl = self.ingress_q.pop_front().expect("non-empty");
             fl.ingress = PipelineId(pl as u16);
+            if S::ENABLED {
+                TraceCtx::new(self.cycle, pl as u16, 0).emit(
+                    &mut self.sink,
+                    EventKind::Ingress {
+                        pkt: fl.pkt.id,
+                        order: (fl.order.0, fl.order.1),
+                    },
+                );
+            }
             incoming[pl][0] = Some(fl);
         }
 
@@ -521,9 +620,32 @@ impl Mp5Switch {
                             });
                         if starved {
                             self.report.drops.starvation += 1;
+                            if S::ENABLED {
+                                TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                                    &mut self.sink,
+                                    EventKind::Drop {
+                                        pkt: fl.pkt.id,
+                                        cause: DropCause::Starvation,
+                                    },
+                                );
+                            }
                             self.serve_queue(pl, st);
                             continue;
                         }
+                    }
+                    if S::ENABLED {
+                        // Invariant 2 in action: the incoming packet
+                        // takes the slot; `bypassed` flags the case
+                        // where queued stateful work was waiting.
+                        let bypassed = self.queues[pl][st].len() > 0;
+                        TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                            &mut self.sink,
+                            EventKind::Execute {
+                                pkt: fl.pkt.id,
+                                queued: false,
+                                bypassed,
+                            },
+                        );
                     }
                     let fl = self.process(pl, st, fl);
                     self.lanes[pl][st] = Some(fl);
@@ -539,8 +661,19 @@ impl Mp5Switch {
     /// Serves one packet from the stage's FIFO, if the scheduler finds a
     /// servable head.
     fn serve_queue(&mut self, pl: usize, st: usize) {
-        match self.queues[pl][st].serve(st) {
+        let ctx = TraceCtx::new(self.cycle, pl as u16, st as u16);
+        match self.queues[pl][st].serve(st, &mut self.sink, ctx) {
             Serve::Served(fl) => {
+                if S::ENABLED {
+                    ctx.emit(
+                        &mut self.sink,
+                        EventKind::Execute {
+                            pkt: fl.pkt.id,
+                            queued: true,
+                            bypassed: false,
+                        },
+                    );
+                }
                 let fl = self.process(pl, st, fl);
                 self.lanes[pl][st] = Some(fl);
             }
@@ -571,17 +704,29 @@ impl Mp5Switch {
             .map(|t| fl.key(t))
             .collect();
         debug_assert!(!keys.is_empty());
+        let ctx = TraceCtx::new(self.cycle, dest.0, st as u16);
         if !self.cfg.phantoms {
             // no-D4 ablation: queue in arrival-at-stage order.
             let ts = OrderKey(self.cycle, fl.ingress.0 as u64);
             let lane = fl.ingress;
-            if let Err(fl) = self.queues[dest.index()][st].push_data(fl, ts, lane) {
+            if let Err(fl) =
+                self.queues[dest.index()][st].push_data(fl, ts, lane, &mut self.sink, ctx)
+            {
                 self.report.drops.data_fifo_full += 1;
+                if S::ENABLED {
+                    ctx.emit(
+                        &mut self.sink,
+                        EventKind::Drop {
+                            pkt: fl.pkt.id,
+                            cause: DropCause::FifoFull,
+                        },
+                    );
+                }
                 self.drop_remaining(fl, st);
             }
             return;
         }
-        match self.queues[dest.index()][st].insert_data(keys[0], fl) {
+        match self.queues[dest.index()][st].insert_data(keys[0], fl, &mut self.sink, ctx) {
             Ok(()) => {
                 // Sibling phantoms (speculative branches / overlapping
                 // plans) stay in place: they keep blocking their index
@@ -593,8 +738,17 @@ impl Mp5Switch {
             Err(fl) => {
                 // Phantom was dropped upstream: the drop cascades.
                 self.report.drops.data_no_phantom += 1;
+                if S::ENABLED {
+                    ctx.emit(
+                        &mut self.sink,
+                        EventKind::Drop {
+                            pkt: fl.pkt.id,
+                            cause: DropCause::NoPhantom,
+                        },
+                    );
+                }
                 for &k in &keys[1..] {
-                    self.queues[dest.index()][st].cancel(k, true);
+                    self.queues[dest.index()][st].cancel(k, true, &mut self.sink, ctx);
                 }
                 self.drop_remaining(fl, st);
             }
@@ -611,7 +765,13 @@ impl Mp5Switch {
                 continue; // this stage's keys were handled by the caller
             }
             let key = fl.key(tag);
-            if !self.queues[tag.pipeline.index()][tag.stage.index()].cancel(key, true) {
+            let ctx = TraceCtx::new(self.cycle, tag.pipeline.0, tag.stage.0);
+            if !self.queues[tag.pipeline.index()][tag.stage.index()].cancel(
+                key,
+                true,
+                &mut self.sink,
+                ctx,
+            ) {
                 // Still on the channel: discard at delivery.
                 self.cancelled.insert(key);
             }
@@ -629,6 +789,16 @@ impl Mp5Switch {
             // Phantom generation stage: one phantom per resolved access,
             // in tag order, onto the dedicated channel.
             for tag in &fl.pkt.tags {
+                if S::ENABLED {
+                    TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                        &mut self.sink,
+                        EventKind::PhantomEmit {
+                            key: tkey(fl.key(tag)),
+                            dest_pipeline: tag.pipeline.0,
+                            dest_stage: tag.stage.0,
+                        },
+                    );
+                }
                 self.channel.inject(
                     PhantomMsg {
                         key: fl.key(tag),
@@ -648,6 +818,17 @@ impl Mp5Switch {
                 .prog
                 .execute_stage(body, &mut fl.pkt.fields, &mut self.regs[pl]);
             for a in &accesses {
+                if S::ENABLED {
+                    TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
+                        &mut self.sink,
+                        EventKind::Access {
+                            pkt: fl.pkt.id,
+                            reg: a.reg,
+                            index: a.index,
+                            order: (fl.order.0, fl.order.1),
+                        },
+                    );
+                }
                 self.report
                     .result
                     .access_log
@@ -669,7 +850,8 @@ impl Mp5Switch {
                 retired_speculative |= tag.speculative;
                 if !first && self.cfg.phantoms {
                     let key = fl.key(&tag);
-                    self.queues[pl][st].cancel(key, false);
+                    let ctx = TraceCtx::new(self.cycle, pl as u16, st as u16);
+                    self.queues[pl][st].cancel(key, false, &mut self.sink, ctx);
                 }
                 first = false;
                 self.dec_inflight(&tag);
@@ -722,7 +904,11 @@ impl Mp5Switch {
     }
 
     /// A packet exits the final stage.
-    fn complete(&mut self, fl: Flight) {
+    fn complete(&mut self, pl: usize, fl: Flight) {
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, pl as u16, (self.stages - 1) as u16)
+                .emit(&mut self.sink, EventKind::Egress { pkt: fl.pkt.id });
+        }
         debug_assert!(
             fl.pkt.tags.is_empty(),
             "packet exited with unvisited tags: {:?}",
@@ -787,12 +973,23 @@ impl Mp5Switch {
         let value = self.regs[from][reg][mv.index];
         self.regs[mv.to][reg][mv.index] = value;
         self.index_map[reg][mv.index] = mv.to as u16;
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, NO_LOC, NO_LOC).emit(
+                &mut self.sink,
+                EventKind::RemapMove {
+                    reg: RegId(reg as u16),
+                    index: mv.index as u32,
+                    from: from as u16,
+                    to: mv.to as u16,
+                },
+            );
+        }
         self.report.remap_moves += 1;
     }
 
     /// Finalizes the report: aggregate the active register copies into
     /// the logical final state, collect queue statistics.
-    fn finish(mut self) -> RunReport {
+    fn finish(mut self) -> (RunReport, S) {
         let mut final_regs = Vec::with_capacity(self.prog.regs.len());
         for (ri, meta) in self.prog.regs.iter().enumerate() {
             let mut arr = Vec::with_capacity(meta.size as usize);
@@ -816,7 +1013,7 @@ impl Mp5Switch {
             .map(|q| q.max_occupancy())
             .max()
             .unwrap_or(0);
-        self.report
+        (self.report, self.sink)
     }
 }
 
@@ -1079,6 +1276,36 @@ mod tests {
             }";
         let (reference, report) = run_both(src, SwitchConfig::mp5(4), 1000, 11);
         assert!(report.result.equivalent_to(&reference));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_events() {
+        use mp5_trace::{EventKind, MemSink};
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(500, 21).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let plain = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        let (traced, sink) =
+            Mp5Switch::with_sink(prog, SwitchConfig::mp5(4), MemSink::new()).run_traced(trace);
+        // The sink only observes: the run is bit-identical.
+        assert_eq!(plain.result.final_regs, traced.result.final_regs);
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.completions, traced.completions);
+        let evs = sink.into_events();
+        let count = |pred: fn(&EventKind) -> bool| evs.iter().filter(|e| pred(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, EventKind::Ingress { .. })), 500);
+        assert_eq!(count(|k| matches!(k, EventKind::Egress { .. })), 500);
+        assert!(count(|k| matches!(k, EventKind::PhantomEmit { .. })) > 0);
+        assert!(count(|k| matches!(k, EventKind::DataMatch { .. })) > 0);
+        assert!(count(|k| matches!(k, EventKind::Steer { .. })) > 0);
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Execute { queued: true, .. })),
+            count(|k| matches!(k, EventKind::PopData { .. })),
+            "every queued execution pairs with a FIFO pop"
+        );
     }
 
     #[test]

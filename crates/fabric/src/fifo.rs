@@ -34,9 +34,19 @@
 
 use std::collections::HashMap;
 
+use mp5_trace::{EventKind, TraceCtx, TraceSink};
 use mp5_types::{PacketId, PipelineId, RegId};
 
 use crate::ring::RingBuffer;
+
+/// Converts a fabric [`PhantomKey`] into the trace event schema's key.
+fn tk(key: PhantomKey) -> mp5_trace::Key {
+    mp5_trace::Key {
+        pkt: key.pkt,
+        reg: key.reg,
+        index: key.index,
+    }
+}
 
 /// Identifies the phantom (and hence queue placeholder) for one state
 /// access by one packet.
@@ -360,6 +370,113 @@ impl<T> LogicalFifo<T> {
     pub fn iter_entries(&self) -> impl Iterator<Item = &Entry<T>> {
         self.lanes.iter().flat_map(|l| l.iter())
     }
+
+    // ------------------------------------------------------------------
+    // Traced variants: identical semantics, but each outcome is emitted
+    // into the sink. With `NopSink` the emission guard constant-folds,
+    // so these compile to exactly the untraced operations.
+    // ------------------------------------------------------------------
+
+    /// Traced [`LogicalFifo::push_phantom`]: emits `ph_enq` on success,
+    /// `ph_drop` when the lane is full.
+    pub fn push_phantom_traced<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        ts: OrderKey,
+        lane: PipelineId,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> Result<FifoAddr, PushError> {
+        let r = self.push_phantom(key, ts, lane);
+        if S::ENABLED {
+            match r {
+                Ok(_) => ctx.emit(sink, EventKind::PhantomEnq { key: tk(key) }),
+                Err(_) => ctx.emit(sink, EventKind::PhantomDropFull { key: tk(key) }),
+            }
+        }
+        r
+    }
+
+    /// Traced [`LogicalFifo::push_data`]: emits `data_enq` on success,
+    /// `data_enq_drop` when the lane is full. The caller supplies the
+    /// packet id because `T` is opaque to the fabric.
+    pub fn push_data_traced<S: TraceSink>(
+        &mut self,
+        pkt: PacketId,
+        item: T,
+        ts: OrderKey,
+        lane: PipelineId,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> Result<FifoAddr, T> {
+        let r = self.push_data(item, ts, lane);
+        if S::ENABLED {
+            match &r {
+                Ok(_) => ctx.emit(sink, EventKind::DataEnq { pkt }),
+                Err(_) => ctx.emit(sink, EventKind::DataEnqDropFull { pkt }),
+            }
+        }
+        r
+    }
+
+    /// Traced [`LogicalFifo::insert_data`]: emits `data_match` when the
+    /// phantom is replaced, `data_orphan` when the directory has no
+    /// entry (the §3.4 drop cascade).
+    pub fn insert_data_traced<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        item: T,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> Result<FifoAddr, T> {
+        let r = self.insert_data(key, item);
+        if S::ENABLED {
+            match &r {
+                Ok(_) => ctx.emit(sink, EventKind::DataMatch { key: tk(key) }),
+                Err(_) => ctx.emit(sink, EventKind::DataOrphan { key: tk(key) }),
+            }
+        }
+        r
+    }
+
+    /// Traced [`LogicalFifo::cancel`]: emits `ph_cancel` only when a
+    /// live phantom was actually cancelled.
+    pub fn cancel_traced<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        free: bool,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> bool {
+        let found = self.cancel(key, free);
+        if S::ENABLED && found {
+            ctx.emit(sink, EventKind::PhantomCancel { key: tk(key), free });
+        }
+        found
+    }
+
+    /// Traced [`LogicalFifo::pop`]: emits `pop_data` / `pop_stale` /
+    /// `pop_blocked` per outcome (nothing for an empty queue). The
+    /// caller supplies a packet-id projection because `T` is opaque.
+    pub fn pop_traced<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        ctx: TraceCtx,
+        pkt_of: impl FnOnce(&T) -> PacketId,
+    ) -> PopOutcome<T> {
+        let out = self.pop();
+        if S::ENABLED {
+            match &out {
+                PopOutcome::Data(item) => ctx.emit(sink, EventKind::PopData { pkt: pkt_of(item) }),
+                PopOutcome::ConsumedStale => ctx.emit(sink, EventKind::PopStale),
+                PopOutcome::BlockedOnPhantom(key) => {
+                    ctx.emit(sink, EventKind::PopBlocked { key: tk(*key) })
+                }
+                PopOutcome::Empty => {}
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -485,6 +602,47 @@ mod tests {
             out.push(v);
         }
         assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn traced_ops_emit_matching_events() {
+        use mp5_trace::{EventKind as EK, MemSink, TraceCtx};
+        let mut sink = MemSink::new();
+        let ctx = TraceCtx::new(7, 1, 2);
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(1));
+        f.push_phantom_traced(key(0), OrderKey(0, 0), PipelineId(0), &mut sink, ctx)
+            .unwrap();
+        // Full lane: second phantom drops.
+        assert!(f
+            .push_phantom_traced(key(1), OrderKey(1, 0), PipelineId(0), &mut sink, ctx)
+            .is_err());
+        // Blocked pop, then match, then served pop.
+        let _ = f.pop_traced(&mut sink, ctx, |_| PacketId(99));
+        f.insert_data_traced(key(0), "d0", &mut sink, ctx).unwrap();
+        assert!(f.insert_data_traced(key(1), "d1", &mut sink, ctx).is_err());
+        let _ = f.pop_traced(&mut sink, ctx, |_| PacketId(0));
+        // Cancel of an unknown key emits nothing.
+        assert!(!f.cancel_traced(key(5), true, &mut sink, ctx));
+        let tags: Vec<&str> = sink.events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "ph_enq",
+                "ph_drop",
+                "pop_blocked",
+                "data_match",
+                "data_orphan",
+                "pop_data"
+            ]
+        );
+        assert!(sink
+            .events
+            .iter()
+            .all(|e| e.cycle == 7 && e.pipeline == 1 && e.stage == 2));
+        assert!(matches!(
+            sink.events[5].kind,
+            EK::PopData { pkt } if pkt == PacketId(0)
+        ));
     }
 
     #[test]

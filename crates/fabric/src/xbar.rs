@@ -10,6 +10,7 @@
 //! per-cycle usage statistics; the analytic ASIC model in `mp5-asic`
 //! charges its silicon cost.
 
+use mp5_trace::{EventKind, TraceCtx, TraceSink};
 use mp5_types::PipelineId;
 
 /// A `k×k` crossbar between two consecutive stages.
@@ -52,6 +53,27 @@ impl Crossbar {
             self.cycle_had_steer = true;
         }
         to
+    }
+
+    /// Traced [`Crossbar::route`]: emits a `steer` event for
+    /// off-diagonal routes (real inter-pipeline steering, D3).
+    pub fn route_traced<S: TraceSink>(
+        &mut self,
+        from: PipelineId,
+        to: PipelineId,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) -> PipelineId {
+        if S::ENABLED && from != to {
+            ctx.emit(
+                sink,
+                EventKind::Steer {
+                    from: from.0,
+                    to: to.0,
+                },
+            );
+        }
+        self.route(from, to)
     }
 
     /// Marks the end of a simulation cycle for statistics purposes.

@@ -6,18 +6,31 @@
 //! cargo run --release -p mp5-sim --bin mp5run -- program.dsl \
 //!     [--pipelines 4] [--packets 20000] [--pattern uniform|skewed] \
 //!     [--design mp5|ideal|no-d4|static|naive|recirc] [--seed 1] \
-//!     [--keys 1024] [--packet-size 64]
+//!     [--keys 1024] [--packet-size 64] \
+//!     [--trace out.jsonl] [--audit] [--rollup out.csv] [--chrome out.json]
 //! ```
 //!
 //! The program's declared packet fields are filled with keys drawn from
 //! the chosen access pattern (every field gets an independent draw),
 //! which drives the register indexes for typical hash-indexed programs.
+//!
+//! Observability flags (any of them switches the run into traced mode):
+//!
+//! * `--trace <path>` — record the full event stream as JSONL, ready
+//!   for the `mp5audit` offline auditor.
+//! * `--audit` — run the invariant auditor in-process on the recorded
+//!   stream and exit non-zero if it reports violations.
+//! * `--rollup <path>` — write per-stage / per-register metrics
+//!   rollups (occupancy histograms, steer matrix, phantom waits) as CSV.
+//! * `--chrome <path>` — export a Chrome-trace / Perfetto JSON timeline
+//!   with one track per `(pipeline, stage)`.
 
 use mp5_banzai::BanzaiSwitch;
 use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_compiler::{compile, Target};
 use mp5_core::{Mp5Switch, SwitchConfig};
 use mp5_sim::c1_violation_fraction;
+use mp5_trace::{audit, Event, MemSink, Rollup};
 use mp5_traffic::{AccessPattern, SizeDist, TraceBuilder};
 
 struct Args {
@@ -29,13 +42,18 @@ struct Args {
     seed: u64,
     keys: u64,
     packet_size: u32,
+    trace_out: Option<String>,
+    audit: bool,
+    rollup_out: Option<String>,
+    chrome_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mp5run <program.dsl> [--pipelines N] [--packets N] \
          [--pattern uniform|skewed] [--design mp5|ideal|no-d4|static|naive|recirc] \
-         [--seed N] [--keys N] [--packet-size BYTES]"
+         [--seed N] [--keys N] [--packet-size BYTES] \
+         [--trace FILE] [--audit] [--rollup FILE] [--chrome FILE]"
     );
     std::process::exit(2)
 }
@@ -50,6 +68,10 @@ fn parse_args() -> Args {
         seed: 1,
         keys: 1024,
         packet_size: 64,
+        trace_out: None,
+        audit: false,
+        rollup_out: None,
+        chrome_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +102,10 @@ fn parse_args() -> Args {
                 }
             }
             "--design" => args.design = val("--design"),
+            "--trace" => args.trace_out = Some(val("--trace")),
+            "--audit" => args.audit = true,
+            "--rollup" => args.rollup_out = Some(val("--rollup")),
+            "--chrome" => args.chrome_out = Some(val("--chrome")),
             "--help" | "-h" => usage(),
             other if args.program.is_empty() && !other.starts_with('-') => {
                 args.program = other.to_string()
@@ -129,39 +155,49 @@ fn main() {
 
     let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
     let k = args.pipelines;
-    let (report, extra) = match args.design.as_str() {
-        "mp5" => (
-            Mp5Switch::new(prog, SwitchConfig::mp5(k)).run(trace),
-            String::new(),
-        ),
-        "ideal" => (
-            Mp5Switch::new(prog, SwitchConfig::ideal(k)).run(trace),
-            String::new(),
-        ),
-        "no-d4" => (
-            Mp5Switch::new(prog, SwitchConfig::no_d4(k)).run(trace),
-            String::new(),
-        ),
-        "static" => (
-            Mp5Switch::new(prog, SwitchConfig::static_shard(k, args.seed)).run(trace),
-            String::new(),
-        ),
-        "naive" => (
-            Mp5Switch::new(prog, SwitchConfig::naive(k)).run(trace),
-            String::new(),
-        ),
+    // Any observability flag switches the run into traced mode (the
+    // sink only observes; the run itself is bit-identical).
+    let tracing = args.trace_out.is_some()
+        || args.audit
+        || args.rollup_out.is_some()
+        || args.chrome_out.is_some();
+    let (report, events, extra) = match args.design.as_str() {
         "recirc" => {
-            let rep = RecircSwitch::new(prog, RecircConfig::new(k)).run(trace);
+            let cfg = RecircConfig::new(k);
+            let (rep, events) = if tracing {
+                let (rep, sink) =
+                    RecircSwitch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
+                (rep, sink.into_events())
+            } else {
+                (RecircSwitch::new(prog, cfg).run(trace), Vec::new())
+            };
             let extra = format!(
                 ", recircs/pkt {:.2}, max passes {}",
                 rep.recircs_per_packet(),
                 rep.max_passes
             );
-            (rep.report, extra)
+            (rep.report, events, extra)
         }
-        other => {
-            eprintln!("unknown design '{other}'");
-            usage()
+        design => {
+            let cfg = match design {
+                "mp5" => SwitchConfig::mp5(k),
+                "ideal" => SwitchConfig::ideal(k),
+                "no-d4" => SwitchConfig::no_d4(k),
+                "static" => SwitchConfig::static_shard(k, args.seed),
+                "naive" => SwitchConfig::naive(k),
+                other => {
+                    eprintln!("unknown design '{other}'");
+                    usage()
+                }
+            };
+            let (report, events) = if tracing {
+                let (report, sink) =
+                    Mp5Switch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
+                (report, sink.into_events())
+            } else {
+                (Mp5Switch::new(prog, cfg).run(trace), Vec::new())
+            };
+            (report, events, String::new())
         }
     };
 
@@ -182,4 +218,41 @@ fn main() {
         report.result.equivalent_to(&reference),
         c1 * 100.0
     );
+
+    if let Some(path) = &args.trace_out {
+        write_or_die(path, &jsonl(&events), "trace");
+        println!("trace: {} events -> {path}", events.len());
+    }
+    if let Some(path) = &args.rollup_out {
+        write_or_die(path, &Rollup::from_events(&events).to_csv(), "rollup");
+        println!("rollup: -> {path}");
+    }
+    if let Some(path) = &args.chrome_out {
+        write_or_die(path, &mp5_trace::chrome::export(&events), "chrome trace");
+        println!("chrome trace: -> {path}");
+    }
+    if args.audit {
+        let rep = audit(&events);
+        print!("{rep}");
+        if !rep.is_clean() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Serializes an event stream as JSONL (one event per line).
+fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
 }

@@ -21,8 +21,9 @@ pub mod metrics;
 pub mod synth;
 pub mod table;
 
-pub use metrics::{c1_violation_fraction, reordered_flow_fraction};
+pub use metrics::{c1_violation_fraction, c1_violation_sets, reordered_flow_fraction};
 pub use synth::{synthetic_program, synthetic_trace, SynthConfig};
+pub use table::TableError;
 
 /// Runs `jobs` closures on a thread pool and returns results in job
 /// order. Each job must be independent and deterministic.

@@ -17,6 +17,27 @@ use mp5_types::{PacketId, Value};
 /// at least one state in the reference run (§4.3.2 reports 14–26 % for
 /// no-D4 and 18–31 % for recirculation).
 pub fn c1_violation_fraction(reference: &AccessLog, actual: &AccessLog) -> f64 {
+    let (violators, accessors) = c1_violation_sets(reference, actual);
+    if accessors.is_empty() {
+        0.0
+    } else {
+        violators.len() as f64 / accessors.len() as f64
+    }
+}
+
+/// The exact packet sets behind [`c1_violation_fraction`]:
+/// `(violators, accessors)`.
+///
+/// `accessors` is every packet that touches at least one register state
+/// in the reference run; `violators` is the subset that jumped the
+/// reference serial order (or whose access set diverged) at any state.
+/// Exposing the sets — not just the ratio — lets the offline trace
+/// auditor's per-packet verdicts be cross-checked against this online
+/// computation packet-by-packet.
+pub fn c1_violation_sets(
+    reference: &AccessLog,
+    actual: &AccessLog,
+) -> (HashSet<PacketId>, HashSet<PacketId>) {
     let mut accessors: HashSet<PacketId> = HashSet::new();
     let mut violators: HashSet<PacketId> = HashSet::new();
 
@@ -61,11 +82,7 @@ pub fn c1_violation_fraction(reference: &AccessLog, actual: &AccessLog) -> f64 {
             min_rank_right = min_rank_right.min(r);
         }
     }
-    if accessors.is_empty() {
-        0.0
-    } else {
-        violators.len() as f64 / accessors.len() as f64
-    }
+    (violators, accessors)
 }
 
 /// Fraction of multi-packet flows whose packets exited the switch in a
@@ -171,6 +188,19 @@ mod tests {
         let reference = log(&[(0, 0, &[1, 2])]);
         let actual = log(&[(0, 0, &[1, 2, 9])]);
         assert!(c1_violation_fraction(&reference, &actual) > 0.0);
+    }
+
+    #[test]
+    fn violation_sets_name_the_exact_packets() {
+        let reference = log(&[(0, 0, &[1, 2, 3, 4])]);
+        let actual = log(&[(0, 0, &[1, 3, 2, 4])]);
+        let (violators, accessors) = c1_violation_sets(&reference, &actual);
+        assert_eq!(accessors.len(), 4);
+        assert_eq!(
+            violators,
+            [PacketId(3)].into_iter().collect(),
+            "packet 3 is the overtaker"
+        );
     }
 
     #[test]

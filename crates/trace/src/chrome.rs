@@ -1,0 +1,181 @@
+//! Chrome-trace / Perfetto export.
+//!
+//! Renders an event stream in the Trace Event Format understood by
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev):
+//! each **pipeline becomes a process track** and each **stage a thread
+//! track**, so the UI lays the switch out exactly like Figure 4 of the
+//! paper — pipelines stacked, stages left to right, with packet
+//! executions as duration slices and queue/phantom activity as instant
+//! markers. One simulation cycle maps to one microsecond of trace
+//! time.
+
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+use crate::event::{Event, EventKind, NO_LOC};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The process id used for switch-global events (remap moves), shown
+/// as a separate "switch" track.
+const GLOBAL_PID: u32 = 1_000_000;
+
+fn pid(p: u16) -> u32 {
+    if p == NO_LOC {
+        GLOBAL_PID
+    } else {
+        p as u32
+    }
+}
+
+fn tid(s: u16) -> u32 {
+    if s == NO_LOC {
+        0
+    } else {
+        s as u32
+    }
+}
+
+/// Renders the stream as a complete Trace Event Format JSON document.
+pub fn export(events: &[Event]) -> String {
+    let mut tracks: BTreeSet<(u16, u16)> = BTreeSet::new();
+    for ev in events {
+        tracks.insert((ev.pipeline, ev.stage));
+    }
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut item = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    // Track naming metadata.
+    let mut pipelines: BTreeSet<u16> = BTreeSet::new();
+    for &(p, _) in &tracks {
+        pipelines.insert(p);
+    }
+    for p in pipelines {
+        item(&mut out);
+        let name = if p == NO_LOC {
+            "switch (global)".to_string()
+        } else {
+            format!("pipeline {p}")
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{name}\"}}}}",
+            pid(p)
+        );
+    }
+    for &(p, s) in &tracks {
+        item(&mut out);
+        let name = if s == NO_LOC {
+            "control".to_string()
+        } else {
+            format!("stage {s}")
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{name}\"}}}}",
+            pid(p),
+            tid(s)
+        );
+        item(&mut out);
+        // Sort stage tracks by index, not by name.
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            pid(p),
+            tid(s),
+            tid(s)
+        );
+    }
+    // The events themselves.
+    for ev in events {
+        item(&mut out);
+        let detail = esc(&ev.to_jsonl());
+        match &ev.kind {
+            EventKind::Execute { pkt, queued, .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}pkt{}\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\"pid\":{},\"tid\":{},\"args\":{{\"ev\":\"{detail}\"}}}}",
+                    if *queued { "serve " } else { "" },
+                    pkt.0,
+                    ev.cycle,
+                    pid(ev.pipeline),
+                    tid(ev.stage)
+                );
+            }
+            kind => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{{\"ev\":\"{detail}\"}}}}",
+                    kind.tag(),
+                    kind.tag(),
+                    ev.cycle,
+                    pid(ev.pipeline),
+                    tid(ev.stage)
+                );
+            }
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_types::PacketId;
+
+    #[test]
+    fn export_emits_tracks_and_slices() {
+        let evs = vec![
+            Event {
+                cycle: 3,
+                pipeline: 1,
+                stage: 2,
+                kind: EventKind::Execute {
+                    pkt: PacketId(7),
+                    queued: true,
+                    bypassed: false,
+                },
+            },
+            Event {
+                cycle: 4,
+                pipeline: 1,
+                stage: 2,
+                kind: EventKind::Egress { pkt: PacketId(7) },
+            },
+        ];
+        let js = export(&evs);
+        assert!(js.starts_with("{\"displayTimeUnit\""));
+        assert!(js.ends_with("]}"));
+        assert!(js.contains("\"process_name\""));
+        assert!(js.contains("pipeline 1"));
+        assert!(js.contains("stage 2"));
+        assert!(js.contains("\"ph\":\"X\""));
+        assert!(js.contains("serve pkt7"));
+        assert!(js.contains("\"ph\":\"i\""));
+        // Embedded detail strings must be escaped.
+        assert!(js.contains("\\\"k\\\":\\\"egress\\\""));
+    }
+
+    #[test]
+    fn global_events_get_their_own_track() {
+        let evs = vec![Event {
+            cycle: 0,
+            pipeline: NO_LOC,
+            stage: NO_LOC,
+            kind: EventKind::PopStale,
+        }];
+        let js = export(&evs);
+        assert!(js.contains("switch (global)"));
+        assert!(js.contains(&format!("\"pid\":{GLOBAL_PID}")));
+    }
+}

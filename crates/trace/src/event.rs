@@ -1,0 +1,715 @@
+//! The switch-wide event schema and its JSONL codec.
+//!
+//! Every observable action inside an MP5 switch (and the baselines) is
+//! an [`Event`]: a `(cycle, pipeline, stage)` location plus an
+//! [`EventKind`]. Events are emitted in simulation order, so a recorded
+//! stream is a total order consistent with the switch's own execution —
+//! which is exactly what the offline auditor ([`mod@crate::audit`]) needs to
+//! re-verify the paper's invariants without trusting the simulator.
+//!
+//! The codec is a hand-rolled flat-JSON line format (one event per
+//! line). It is deliberately dependency-free: traces must round-trip
+//! bit-for-bit in every build of the workspace, and the reproducibility
+//! regression test hashes the serialized stream.
+
+use std::hash::Hasher;
+
+use mp5_types::{PacketId, RegId};
+
+/// Location sentinel for switch-global events (e.g. remap moves) that
+/// have no meaningful pipeline or stage.
+pub const NO_LOC: u16 = u16::MAX;
+
+/// Identifies one state access by one packet — the same triple the
+/// phantom directory is keyed by (paper §3.2 plus the speculative-branch
+/// extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    /// The data packet.
+    pub pkt: PacketId,
+    /// The register array accessed.
+    pub reg: RegId,
+    /// The resolved register index.
+    pub index: u32,
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pkt{}@r{}[{}]", self.pkt.0, self.reg.0, self.index)
+    }
+}
+
+/// Why a data packet was dropped (mirrors
+/// `mp5_core::DropCounts`'s causes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// A stage FIFO lane was full (no-phantom operating modes).
+    FifoFull,
+    /// The packet's phantom was dropped upstream, cascading the drop.
+    NoPhantom,
+    /// A stateless packet yielded its slot to a starving stateful one
+    /// (§3.4 starvation handling).
+    Starvation,
+}
+
+impl DropCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropCause::FifoFull => "fifo_full",
+            DropCause::NoPhantom => "no_phantom",
+            DropCause::Starvation => "starvation",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "fifo_full" => DropCause::FifoFull,
+            "no_phantom" => DropCause::NoPhantom,
+            "starvation" => DropCause::Starvation,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Variants split into two layers:
+///
+/// * **switch-level** events emitted by `mp5-core` / `mp5-baselines`
+///   (ingress, execution, state accesses, phantom generation, remap,
+///   egress, drops), and
+/// * **fabric-level** events emitted by `mp5-fabric` (FIFO push /
+///   insert / pop / cancel outcomes and crossbar steers).
+///
+/// The auditor cross-checks the two layers against each other; the two
+/// sources never share counters, so agreement is evidence, not
+/// tautology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    // ---------------- switch level ----------------
+    /// A packet was admitted into a pipeline's first stage. `order` is
+    /// its switch entry-order key `(arrival byte-time, port)` — the
+    /// serial order C1 is defined against.
+    Ingress {
+        /// The admitted packet.
+        pkt: PacketId,
+        /// Entry-order key.
+        order: (u64, u64),
+    },
+    /// A packet exited the final stage.
+    Egress {
+        /// The completed packet.
+        pkt: PacketId,
+    },
+    /// A data packet was dropped.
+    Drop {
+        /// The dropped packet.
+        pkt: PacketId,
+        /// Why.
+        cause: DropCause,
+    },
+    /// A stage executed a packet this cycle. `queued` distinguishes a
+    /// FIFO-served stateful packet from an incoming pass-through;
+    /// `bypassed` marks the Invariant-2 stateless-priority case: an
+    /// incoming packet took the slot while stateful work was queued.
+    Execute {
+        /// The executed packet.
+        pkt: PacketId,
+        /// Served from the stage FIFO (true) or passing through (false).
+        queued: bool,
+        /// Pass-through executed while the stage FIFO was non-empty.
+        bypassed: bool,
+    },
+    /// A stateful register access was performed.
+    Access {
+        /// The accessing packet.
+        pkt: PacketId,
+        /// Register array.
+        reg: RegId,
+        /// Register index.
+        index: u32,
+        /// The packet's entry-order key (reproduced here so the auditor
+        /// can reconstruct the reference serial order per index).
+        order: (u64, u64),
+    },
+    /// A phantom was generated onto the dedicated channel at the end of
+    /// the prologue (D4).
+    PhantomEmit {
+        /// The access the phantom stands in for.
+        key: Key,
+        /// Destination pipeline.
+        dest_pipeline: u16,
+        /// Destination stage.
+        dest_stage: u16,
+    },
+    /// A phantom was discarded at channel delivery because its data
+    /// packet had been dropped while the phantom was still in flight.
+    PhantomChannelCancel {
+        /// The cancelled access.
+        key: Key,
+    },
+    /// The dynamic sharding runtime migrated one register index.
+    RemapMove {
+        /// Register array.
+        reg: RegId,
+        /// Migrated index.
+        index: u32,
+        /// Previous owning pipeline.
+        from: u16,
+        /// New owning pipeline.
+        to: u16,
+    },
+    /// (Recirculation baseline only) a packet looped from egress back
+    /// to an ingress.
+    Recirculate {
+        /// The looping packet.
+        pkt: PacketId,
+        /// Target pipeline.
+        target: u16,
+    },
+    // ---------------- fabric level ----------------
+    /// `push(pkt, fifo_id)`: a phantom placeholder entered a stage FIFO.
+    PhantomEnq {
+        /// The phantom's access key.
+        key: Key,
+    },
+    /// A phantom was dropped because its FIFO lane was full.
+    PhantomDropFull {
+        /// The dropped phantom's key.
+        key: Key,
+    },
+    /// A queued phantom was cancelled. `free` cancellations (upstream
+    /// drop) are reclaimed without service; non-free ones (speculative
+    /// false branch) cost one pop cycle.
+    PhantomCancel {
+        /// The cancelled phantom's key.
+        key: Key,
+        /// Whether reclamation is free.
+        free: bool,
+    },
+    /// `insert(pkt, addr, fifo_id)`: a data packet replaced its queued
+    /// phantom, inheriting its place in the serial order.
+    DataMatch {
+        /// The matched access key.
+        key: Key,
+    },
+    /// A data packet arrived for a phantom that no longer exists: the
+    /// drop cascade of §3.4.
+    DataOrphan {
+        /// The orphaned access key.
+        key: Key,
+    },
+    /// A data packet was pushed directly (no-phantom operating modes).
+    DataEnq {
+        /// The queued packet.
+        pkt: PacketId,
+    },
+    /// A direct data push was dropped on a full lane.
+    DataEnqDropFull {
+        /// The dropped packet.
+        pkt: PacketId,
+    },
+    /// `pop()` dequeued a data packet for stateful processing.
+    PopData {
+        /// The served packet.
+        pkt: PacketId,
+    },
+    /// `pop()` reclaimed a speculative-false phantom, wasting the cycle.
+    PopStale,
+    /// `pop()` found a phantom at the logical head: the stage stalled
+    /// this cycle waiting for the placeholder's data packet (D4's
+    /// order freeze).
+    PopBlocked {
+        /// The blocking phantom's key.
+        key: Key,
+    },
+    /// The inter-stage crossbar steered a packet across pipelines
+    /// (off-diagonal route, D3).
+    Steer {
+        /// Source pipeline.
+        from: u16,
+        /// Destination pipeline.
+        to: u16,
+    },
+}
+
+impl EventKind {
+    /// The codec tag for this kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Ingress { .. } => "ingress",
+            EventKind::Egress { .. } => "egress",
+            EventKind::Drop { .. } => "drop",
+            EventKind::Execute { .. } => "exec",
+            EventKind::Access { .. } => "access",
+            EventKind::PhantomEmit { .. } => "ph_emit",
+            EventKind::PhantomChannelCancel { .. } => "ph_chan_cancel",
+            EventKind::RemapMove { .. } => "remap",
+            EventKind::Recirculate { .. } => "recirc",
+            EventKind::PhantomEnq { .. } => "ph_enq",
+            EventKind::PhantomDropFull { .. } => "ph_drop",
+            EventKind::PhantomCancel { .. } => "ph_cancel",
+            EventKind::DataMatch { .. } => "data_match",
+            EventKind::DataOrphan { .. } => "data_orphan",
+            EventKind::DataEnq { .. } => "data_enq",
+            EventKind::DataEnqDropFull { .. } => "data_enq_drop",
+            EventKind::PopData { .. } => "pop_data",
+            EventKind::PopStale => "pop_stale",
+            EventKind::PopBlocked { .. } => "pop_blocked",
+            EventKind::Steer { .. } => "steer",
+        }
+    }
+}
+
+/// One traced event: a location plus what happened there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Simulation cycle of the emitting switch.
+    pub cycle: u64,
+    /// Pipeline, or [`NO_LOC`] for switch-global events.
+    pub pipeline: u16,
+    /// Stage, or [`NO_LOC`] for switch-global events.
+    pub stage: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serializes the event as one flat JSON object (no trailing
+    /// newline). Field order is fixed, so equal events serialize to
+    /// byte-identical lines — the determinism regression test depends
+    /// on this.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"c\":{},\"p\":{},\"s\":{},\"k\":\"{}\"",
+            self.cycle,
+            self.pipeline,
+            self.stage,
+            self.kind.tag()
+        );
+        let key = |s: &mut String, k: &Key| {
+            let _ = write!(
+                s,
+                ",\"pkt\":{},\"reg\":{},\"idx\":{}",
+                k.pkt.0, k.reg.0, k.index
+            );
+        };
+        match &self.kind {
+            EventKind::Ingress { pkt, order } | EventKind::Access { pkt, order, .. } => {
+                let _ = write!(s, ",\"pkt\":{}", pkt.0);
+                if let EventKind::Access { reg, index, .. } = &self.kind {
+                    let _ = write!(s, ",\"reg\":{},\"idx\":{}", reg.0, index);
+                }
+                let _ = write!(s, ",\"o1\":{},\"o2\":{}", order.0, order.1);
+            }
+            EventKind::Egress { pkt }
+            | EventKind::DataEnq { pkt }
+            | EventKind::DataEnqDropFull { pkt }
+            | EventKind::PopData { pkt } => {
+                let _ = write!(s, ",\"pkt\":{}", pkt.0);
+            }
+            EventKind::Drop { pkt, cause } => {
+                let _ = write!(s, ",\"pkt\":{},\"cause\":\"{}\"", pkt.0, cause.as_str());
+            }
+            EventKind::Execute {
+                pkt,
+                queued,
+                bypassed,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pkt\":{},\"queued\":{queued},\"bypassed\":{bypassed}",
+                    pkt.0
+                );
+            }
+            EventKind::PhantomEmit {
+                key: k,
+                dest_pipeline,
+                dest_stage,
+            } => {
+                key(&mut s, k);
+                let _ = write!(s, ",\"dp\":{dest_pipeline},\"ds\":{dest_stage}");
+            }
+            EventKind::PhantomChannelCancel { key: k }
+            | EventKind::PhantomEnq { key: k }
+            | EventKind::PhantomDropFull { key: k }
+            | EventKind::DataMatch { key: k }
+            | EventKind::DataOrphan { key: k }
+            | EventKind::PopBlocked { key: k } => key(&mut s, k),
+            EventKind::PhantomCancel { key: k, free } => {
+                key(&mut s, k);
+                let _ = write!(s, ",\"free\":{free}");
+            }
+            EventKind::RemapMove {
+                reg,
+                index,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"reg\":{},\"idx\":{index},\"from\":{from},\"to\":{to}",
+                    reg.0
+                );
+            }
+            EventKind::Recirculate { pkt, target } => {
+                let _ = write!(s, ",\"pkt\":{},\"to\":{target}", pkt.0);
+            }
+            EventKind::Steer { from, to } => {
+                let _ = write!(s, ",\"from\":{from},\"to\":{to}");
+            }
+            EventKind::PopStale => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`Event::to_jsonl`].
+    pub fn parse_jsonl(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_flat_object(line)?;
+        let num = |name: &str| -> Result<u64, ParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .and_then(|(_, v)| match v {
+                    Tok::Num(n) => Some(*n),
+                    _ => None,
+                })
+                .ok_or_else(|| ParseError::missing(name))
+        };
+        let string = |name: &str| -> Result<&str, ParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .and_then(|(_, v)| match v {
+                    Tok::Str(s) => Some(*s),
+                    _ => None,
+                })
+                .ok_or_else(|| ParseError::missing(name))
+        };
+        let boolean = |name: &str| -> Result<bool, ParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .and_then(|(_, v)| match v {
+                    Tok::Bool(b) => Some(*b),
+                    _ => None,
+                })
+                .ok_or_else(|| ParseError::missing(name))
+        };
+        let pkt = || -> Result<PacketId, ParseError> { Ok(PacketId(num("pkt")?)) };
+        let key = || -> Result<Key, ParseError> {
+            Ok(Key {
+                pkt: pkt()?,
+                reg: RegId(num("reg")? as u16),
+                index: num("idx")? as u32,
+            })
+        };
+        let order = || -> Result<(u64, u64), ParseError> { Ok((num("o1")?, num("o2")?)) };
+        let tag = string("k")?;
+        let kind = match tag {
+            "ingress" => EventKind::Ingress {
+                pkt: pkt()?,
+                order: order()?,
+            },
+            "egress" => EventKind::Egress { pkt: pkt()? },
+            "drop" => EventKind::Drop {
+                pkt: pkt()?,
+                cause: DropCause::from_str(string("cause")?)
+                    .ok_or_else(|| ParseError::missing("cause"))?,
+            },
+            "exec" => EventKind::Execute {
+                pkt: pkt()?,
+                queued: boolean("queued")?,
+                bypassed: boolean("bypassed")?,
+            },
+            "access" => EventKind::Access {
+                pkt: pkt()?,
+                reg: RegId(num("reg")? as u16),
+                index: num("idx")? as u32,
+                order: order()?,
+            },
+            "ph_emit" => EventKind::PhantomEmit {
+                key: key()?,
+                dest_pipeline: num("dp")? as u16,
+                dest_stage: num("ds")? as u16,
+            },
+            "ph_chan_cancel" => EventKind::PhantomChannelCancel { key: key()? },
+            "remap" => EventKind::RemapMove {
+                reg: RegId(num("reg")? as u16),
+                index: num("idx")? as u32,
+                from: num("from")? as u16,
+                to: num("to")? as u16,
+            },
+            "recirc" => EventKind::Recirculate {
+                pkt: pkt()?,
+                target: num("to")? as u16,
+            },
+            "ph_enq" => EventKind::PhantomEnq { key: key()? },
+            "ph_drop" => EventKind::PhantomDropFull { key: key()? },
+            "ph_cancel" => EventKind::PhantomCancel {
+                key: key()?,
+                free: boolean("free")?,
+            },
+            "data_match" => EventKind::DataMatch { key: key()? },
+            "data_orphan" => EventKind::DataOrphan { key: key()? },
+            "data_enq" => EventKind::DataEnq { pkt: pkt()? },
+            "data_enq_drop" => EventKind::DataEnqDropFull { pkt: pkt()? },
+            "pop_data" => EventKind::PopData { pkt: pkt()? },
+            "pop_stale" => EventKind::PopStale,
+            "pop_blocked" => EventKind::PopBlocked { key: key()? },
+            "steer" => EventKind::Steer {
+                from: num("from")? as u16,
+                to: num("to")? as u16,
+            },
+            other => return Err(ParseError::new(format!("unknown event tag '{other}'"))),
+        };
+        Ok(Event {
+            cycle: num("c")?,
+            pipeline: num("p")? as u16,
+            stage: num("s")? as u16,
+            kind,
+        })
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+}
+
+impl ParseError {
+    fn new(msg: String) -> Self {
+        ParseError { msg }
+    }
+
+    fn missing(field: &str) -> Self {
+        ParseError::new(format!("missing or mistyped field '{field}'"))
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A scanned flat-JSON value.
+enum Tok<'a> {
+    Num(u64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+/// Scans one `{"key":value,...}` object in the restricted flat grammar
+/// the writer emits: unsigned integers, escape-free strings, booleans.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, Tok<'_>)>, ParseError> {
+    let b = line.trim();
+    let inner = b
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new("not a JSON object".into()))?;
+    let mut out = Vec::with_capacity(8);
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let r = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError::new(format!("expected key at '{rest}'")))?;
+        let end = r
+            .find('"')
+            .ok_or_else(|| ParseError::new("unterminated key".into()))?;
+        let (key, r) = r.split_at(end);
+        let r = r[1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError::new(format!("expected ':' after key '{key}'")))?;
+        let r = r.trim_start();
+        let (tok, r) = if let Some(sr) = r.strip_prefix('"') {
+            let end = sr
+                .find('"')
+                .ok_or_else(|| ParseError::new("unterminated string".into()))?;
+            (Tok::Str(&sr[..end]), &sr[end + 1..])
+        } else if let Some(r2) = r.strip_prefix("true") {
+            (Tok::Bool(true), r2)
+        } else if let Some(r2) = r.strip_prefix("false") {
+            (Tok::Bool(false), r2)
+        } else {
+            let end = r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len());
+            if end == 0 {
+                return Err(ParseError::new(format!("expected value at '{r}'")));
+            }
+            let n: u64 = r[..end]
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad number '{}'", &r[..end])))?;
+            (Tok::Num(n), &r[end..])
+        };
+        out.push((key, tok));
+        rest = tok_rest(r)?;
+    }
+    Ok(out)
+}
+
+/// Consumes an optional `,` separator between pairs.
+fn tok_rest(r: &str) -> Result<&str, ParseError> {
+    let r = r.trim_start();
+    if let Some(r2) = r.strip_prefix(',') {
+        Ok(r2.trim_start())
+    } else if r.is_empty() {
+        Ok(r)
+    } else {
+        Err(ParseError::new(format!("expected ',' at '{r}'")))
+    }
+}
+
+/// Hashes a serialized event stream, byte for byte, with a fixed-key
+/// hasher. Two runs of the same seeded configuration must produce the
+/// same hash — DESIGN §3's bit-for-bit reproducibility claim, now
+/// checkable from the observable event stream rather than just final
+/// state.
+pub fn stream_hash(events: &[Event]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for ev in events {
+        h.write(ev.to_jsonl().as_bytes());
+        h.write_u8(b'\n');
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(p: u64) -> Key {
+        Key {
+            pkt: PacketId(p),
+            reg: RegId(3),
+            index: 17,
+        }
+    }
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Ingress {
+                pkt: PacketId(1),
+                order: (640, 3),
+            },
+            EventKind::Egress { pkt: PacketId(2) },
+            EventKind::Drop {
+                pkt: PacketId(3),
+                cause: DropCause::NoPhantom,
+            },
+            EventKind::Execute {
+                pkt: PacketId(4),
+                queued: true,
+                bypassed: false,
+            },
+            EventKind::Access {
+                pkt: PacketId(5),
+                reg: RegId(1),
+                index: 9,
+                order: (128, 7),
+            },
+            EventKind::PhantomEmit {
+                key: k(6),
+                dest_pipeline: 2,
+                dest_stage: 5,
+            },
+            EventKind::PhantomChannelCancel { key: k(7) },
+            EventKind::RemapMove {
+                reg: RegId(0),
+                index: 11,
+                from: 0,
+                to: 3,
+            },
+            EventKind::Recirculate {
+                pkt: PacketId(8),
+                target: 1,
+            },
+            EventKind::PhantomEnq { key: k(9) },
+            EventKind::PhantomDropFull { key: k(10) },
+            EventKind::PhantomCancel {
+                key: k(11),
+                free: true,
+            },
+            EventKind::DataMatch { key: k(12) },
+            EventKind::DataOrphan { key: k(13) },
+            EventKind::DataEnq { pkt: PacketId(14) },
+            EventKind::DataEnqDropFull { pkt: PacketId(15) },
+            EventKind::PopData { pkt: PacketId(16) },
+            EventKind::PopStale,
+            EventKind::PopBlocked { key: k(17) },
+            EventKind::Steer { from: 0, to: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let ev = Event {
+                cycle: 1000 + i as u64,
+                pipeline: (i % 4) as u16,
+                stage: (i % 16) as u16,
+                kind,
+            };
+            let line = ev.to_jsonl();
+            let back = Event::parse_jsonl(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(ev, back, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn global_events_round_trip_sentinel_location() {
+        let ev = Event {
+            cycle: 7,
+            pipeline: NO_LOC,
+            stage: NO_LOC,
+            kind: EventKind::RemapMove {
+                reg: RegId(2),
+                index: 4,
+                from: 1,
+                to: 2,
+            },
+        };
+        let back = Event::parse_jsonl(&ev.to_jsonl()).unwrap();
+        assert_eq!(back.pipeline, NO_LOC);
+        assert_eq!(back.stage, NO_LOC);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"c\":1}",
+            "{\"c\":1,\"p\":0,\"s\":0,\"k\":\"nope\"}",
+            "{\"c\":x,\"p\":0,\"s\":0,\"k\":\"pop_stale\"}",
+            "not json at all",
+        ] {
+            assert!(Event::parse_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn stream_hash_is_order_sensitive() {
+        let a = Event {
+            cycle: 1,
+            pipeline: 0,
+            stage: 0,
+            kind: EventKind::PopStale,
+        };
+        let b = Event {
+            cycle: 2,
+            pipeline: 0,
+            stage: 0,
+            kind: EventKind::PopStale,
+        };
+        assert_eq!(stream_hash(&[a, b]), stream_hash(&[a, b]));
+        assert_ne!(stream_hash(&[a, b]), stream_hash(&[b, a]));
+        assert_ne!(stream_hash(&[a]), stream_hash(&[a, b]));
+    }
+}

@@ -51,6 +51,7 @@
 //! | [`compiler`] | `mp5-compiler` | Pipelining, PVSM, the PVSM-to-PVSM transformer, codegen |
 //! | [`analysis`] | `mp5-analysis` | Static shardability / hazard / resource analyzer + `mp5lint` |
 //! | [`banzai`] | `mp5-banzai` | Single-pipeline reference switch (equivalence ground truth) |
+//! | [`trace`] | `mp5-trace` | Event tracing: sinks, Perfetto export, rollups, `mp5audit` offline auditor |
 //! | [`fabric`] | `mp5-fabric` | Ring buffers, logical k-FIFOs + phantom directory, crossbars, phantom channel |
 //! | [`core`] | `mp5-core` | **The MP5 switch**: architecture + runtime (steering, phantoms, dynamic sharding) |
 //! | [`baselines`] | `mp5-baselines` | Naive / static-shard / no-D4 / ideal / recirculation baselines |
@@ -72,5 +73,6 @@ pub use mp5_core as core;
 pub use mp5_fabric as fabric;
 pub use mp5_lang as lang;
 pub use mp5_sim as sim;
+pub use mp5_trace as trace;
 pub use mp5_traffic as traffic;
 pub use mp5_types as types;
