@@ -1,7 +1,35 @@
 #!/bin/sh
 # CI entry point: build, test, lint, and check formatting for the whole
 # workspace. Run from the repository root. Any failure fails the run.
+#
+# Usage: ./ci.sh [--quick]
+#
+#   --quick      skip the slow static passes (clippy, rustdoc) — used by
+#                the CI smoke job and the pre-push hook (see README).
+#   CI_BENCH=1   additionally run the mp5bench perf-regression gate
+#                against the committed ci/bench_baseline.json. The
+#                baseline is host-specific: only enable the gate on the
+#                machine (or runner class) that produced it, and refresh
+#                it with  mp5bench --quick --out ci/bench_baseline.json.
 set -eu
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "ci.sh: unknown argument '$arg' (usage: ./ci.sh [--quick])" >&2; exit 2 ;;
+    esac
+done
+
+# Fail fast with a clear message if an expected release binary is
+# missing (e.g. a renamed [[bin]] target), instead of a confusing
+# "not found" halfway through the run.
+need_bin() {
+    if [ ! -x "target/release/$1" ]; then
+        echo "ci.sh: missing release binary target/release/$1 (did the [[bin]] target change?)" >&2
+        exit 1
+    fi
+}
 
 echo "==> cargo build --release"
 cargo build --release
@@ -9,11 +37,18 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+if [ "$QUICK" -eq 0 ]; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+need_bin mp5lint
+need_bin mp5run
+need_bin mp5audit
+need_bin mp5bench
 
 echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
@@ -26,7 +61,21 @@ trap 'rm -f "$TRACE_TMP"' EXIT
     --packets 4000 --trace "$TRACE_TMP"
 ./target/release/mp5audit --quiet "$TRACE_TMP"
 
-echo "==> cargo doc (deny warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "==> engine smoke: parallel engine on the same trace"
+./target/release/mp5run crates/apps/programs/flowlet.mp5 \
+    --packets 4000 --engine par
+
+if [ "${CI_BENCH:-0}" = "1" ]; then
+    echo "==> mp5bench perf-regression gate (CI_BENCH=1)"
+    BENCH_TMP=$(mktemp -t mp5-ci-bench.XXXXXX)
+    trap 'rm -f "$TRACE_TMP" "$BENCH_TMP"' EXIT
+    ./target/release/mp5bench --quick --out "$BENCH_TMP" \
+        --gate ci/bench_baseline.json
+fi
+
+if [ "$QUICK" -eq 0 ]; then
+    echo "==> cargo doc (deny warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+fi
 
 echo "CI OK"

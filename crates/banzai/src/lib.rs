@@ -28,7 +28,7 @@ use mp5_types::{Packet, PacketId, RegId, Value};
 pub type AccessLog = HashMap<(RegId, u32), Vec<PacketId>>;
 
 /// Result of running a packet stream through a switch model.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// Final contents of every register array.
     pub final_regs: Vec<Vec<Value>>,

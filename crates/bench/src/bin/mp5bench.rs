@@ -1,0 +1,134 @@
+//! `mp5bench` — benchmark the sequential vs parallel cycle engines on
+//! the paper's four real applications and write a machine-readable
+//! report.
+//!
+//! ```sh
+//! cargo run --release -p mp5-bench --bin mp5bench -- \
+//!     [--quick] [--packets N] [--seed N] [--workers N] \
+//!     [--out BENCH_main.json] [--gate ci/bench_baseline.json] \
+//!     [--tolerance 0.15] [--require-speedup]
+//! ```
+//!
+//! * Default mode runs the full matrix (4 apps × pipelines {1,2,4,8} ×
+//!   both engines) and writes `BENCH_main.json`.
+//! * `--quick` shrinks the matrix for the CI smoke job.
+//! * `--gate FILE` additionally compares this run against a committed
+//!   baseline report and exits non-zero when packet throughput
+//!   regressed beyond the tolerance. Baselines are host-specific:
+//!   regenerate with `--out` on the machine that will enforce the gate.
+//! * `--require-speedup` turns the flowlet ≥2× @ k=8 speedup target
+//!   into a hard failure (it is skipped with a notice on hosts with
+//!   fewer than 4 cores, and reported informationally otherwise).
+
+use mp5_bench::suite::{self, BenchOpts};
+
+struct Cli {
+    opts: BenchOpts,
+    out: String,
+    gate: Option<String>,
+    tolerance: f64,
+    require_speedup: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mp5bench [--quick] [--packets N] [--seed N] [--workers N] \
+         [--out FILE] [--gate BASELINE] [--tolerance FRAC] [--require-speedup]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        opts: BenchOpts::default(),
+        out: "BENCH_main.json".into(),
+        gate: None,
+        tolerance: 0.15,
+        require_speedup: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--quick" => cli.opts.quick = true,
+            "--packets" => {
+                cli.opts.packets = Some(val("--packets").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => cli.opts.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                cli.opts.workers = Some(val("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => cli.out = val("--out"),
+            "--gate" => cli.gate = Some(val("--gate")),
+            "--tolerance" => cli.tolerance = val("--tolerance").parse().unwrap_or_else(|_| usage()),
+            "--require-speedup" => cli.require_speedup = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    println!(
+        "== mp5bench ({}) ==\nmatrix: {} packets/run, seed {}, host cpus {}\n",
+        if cli.opts.quick { "quick" } else { "full" },
+        cli.opts.effective_packets(),
+        cli.opts.seed,
+        suite::host_cpus()
+    );
+    let report = suite::run_suite(&cli.opts);
+    print!("{}", suite::render_summary(&report));
+
+    if let Err(e) = std::fs::write(&cli.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", cli.out);
+        std::process::exit(1);
+    }
+    println!("\nreport ({}): -> {}", suite::SCHEMA, cli.out);
+
+    match suite::speedup_check(&report, 2.0, 4) {
+        Ok(msg) => println!("{msg}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            if cli.require_speedup {
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &cli.gate {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1)
+        });
+        let baseline = suite::BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {path}: {e}");
+            std::process::exit(1)
+        });
+        let outcome = suite::gate(&report, &baseline, cli.tolerance);
+        for s in &outcome.skipped {
+            println!("gate: skipped {s}");
+        }
+        if outcome.is_ok() {
+            println!(
+                "gate PASSED: {} point(s) within {:.0}% of {path}",
+                outcome.passed,
+                cli.tolerance * 100.0
+            );
+        } else {
+            for f in &outcome.failures {
+                eprintln!("gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

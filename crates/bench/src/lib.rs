@@ -15,9 +15,15 @@
 //!
 //! Scale knobs: `MP5_EXP_PACKETS` (default 20 000) and `MP5_EXP_SEEDS`
 //! (default 5; paper used 10 streams).
+//!
+//! The crate also ships the `mp5bench` binary (module [`suite`]): the
+//! sequential-vs-parallel engine benchmark matrix behind
+//! `BENCH_main.json` and the CI perf-regression gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod suite;
 
 /// Prints the standard experiment banner with the active scale knobs.
 pub fn banner(what: &str, paper_ref: &str) {

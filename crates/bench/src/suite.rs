@@ -1,0 +1,488 @@
+//! The `mp5bench` engine-benchmark suite: measures the sequential and
+//! parallel cycle engines on the paper's four real applications and
+//! emits a machine-readable report (`BENCH_main.json`, schema
+//! [`SCHEMA`]) plus a human summary.
+//!
+//! The same module implements the CI perf-regression gate: a committed
+//! baseline report is compared row-by-row against a fresh run and the
+//! gate fails when packet throughput regresses beyond the tolerance.
+//! Benchmarks are host-specific, so the gate is only meaningful against
+//! a baseline produced on comparable hardware (it is opt-in in `ci.sh`
+//! behind `CI_BENCH=1` for exactly that reason).
+
+use std::time::Instant;
+
+use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag stamped into every report this module writes.
+pub const SCHEMA: &str = "mp5bench/v1";
+
+/// Pipeline counts of the full matrix.
+pub const FULL_PIPELINES: [usize; 4] = [1, 2, 4, 8];
+
+/// Pipeline counts of the `--quick` matrix (CI smoke).
+pub const QUICK_PIPELINES: [usize; 2] = [1, 4];
+
+/// Options of one suite run.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Shrink the matrix for a CI smoke run (fewer apps, fewer
+    /// pipeline counts, fewer packets).
+    pub quick: bool,
+    /// Packets per run (`None`: 10 000 full, 2 000 quick).
+    pub packets: Option<usize>,
+    /// Trace seed.
+    pub seed: u64,
+    /// Worker threads for the parallel engine (`None`: one per
+    /// pipeline).
+    pub workers: Option<usize>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            quick: false,
+            packets: None,
+            seed: 1,
+            workers: None,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Packets per run after applying the quick/full defaults.
+    pub fn effective_packets(&self) -> usize {
+        self.packets
+            .unwrap_or(if self.quick { 2_000 } else { 10_000 })
+    }
+}
+
+/// One measured `(app, pipelines, engine)` point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Application name.
+    pub app: String,
+    /// Pipelines `k`.
+    pub pipelines: usize,
+    /// `"seq"` or `"par"`.
+    pub engine: String,
+    /// Worker threads (0 for the sequential engine).
+    pub workers: usize,
+    /// Packets offered.
+    pub packets: u64,
+    /// Packets completed.
+    pub completed: u64,
+    /// Simulated cycles until drain.
+    pub cycles: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Completed packets per wall-clock second.
+    pub pkts_per_sec: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock speedup over the sequential engine at the same
+    /// `(app, pipelines)` point (1.0 for sequential rows).
+    pub speedup_vs_sequential: f64,
+    /// Median per-cycle wall time in nanoseconds.
+    pub p50_cycle_ns: u64,
+    /// 99th-percentile per-cycle wall time in nanoseconds.
+    pub p99_cycle_ns: u64,
+    /// The run's simulated normalized throughput (sanity: engine
+    /// choice must not change it).
+    pub normalized_throughput: f64,
+}
+
+/// A full suite report (what `BENCH_main.json` holds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Packets per run.
+    pub packets: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Host parallelism when the report was produced (benchmarks are
+    /// host-specific; gate only against comparable hardware).
+    pub host_cpus: u64,
+    /// The measurements.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench rows are plain structs")
+    }
+
+    /// Parses a report back (for the regression gate).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let rep: BenchReport =
+            serde_json::from_str(s).map_err(|e| format!("unparseable bench report: {e}"))?;
+        if rep.schema != SCHEMA {
+            return Err(format!(
+                "bench report schema '{}' (expected '{SCHEMA}')",
+                rep.schema
+            ));
+        }
+        Ok(rep)
+    }
+
+    /// The row at an exact `(app, pipelines, engine)` point.
+    pub fn row(&self, app: &str, pipelines: usize, engine: &str) -> Option<&BenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.app == app && r.pipelines == pipelines && r.engine == engine)
+    }
+}
+
+/// Host parallelism (1 when undeterminable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn time_run(
+    prog: &mp5_compiler::CompiledProgram,
+    trace: &[mp5_types::Packet],
+    cfg: SwitchConfig,
+) -> (mp5_core::RunReport, mp5_core::CycleTimings, f64) {
+    let sw = Mp5Switch::new(prog.clone(), cfg);
+    let start = Instant::now();
+    let (report, _sink, timings) = sw
+        .try_run_timed(trace.to_vec())
+        .expect("benchmark run drains");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (report, timings, wall_ms)
+}
+
+fn row_from(
+    app: &str,
+    k: usize,
+    engine: &str,
+    workers: usize,
+    report: &mp5_core::RunReport,
+    timings: &mp5_core::CycleTimings,
+    wall_ms: f64,
+) -> BenchRow {
+    let secs = (wall_ms / 1e3).max(1e-12);
+    BenchRow {
+        app: app.to_string(),
+        pipelines: k,
+        engine: engine.to_string(),
+        workers,
+        packets: report.offered,
+        completed: report.completed,
+        cycles: report.cycles,
+        wall_ms,
+        pkts_per_sec: report.completed as f64 / secs,
+        cycles_per_sec: report.cycles as f64 / secs,
+        speedup_vs_sequential: 1.0,
+        p50_cycle_ns: timings.percentile(50.0),
+        p99_cycle_ns: timings.percentile(99.0),
+        normalized_throughput: report.normalized_throughput(),
+    }
+}
+
+/// Runs the suite: each app × pipeline-count point is measured with
+/// the sequential engine and then the parallel engine, asserting along
+/// the way that both engines produced the **same simulation** (same
+/// completion counts, cycles, and normalized throughput).
+pub fn run_suite(opts: &BenchOpts) -> BenchReport {
+    let apps: &[mp5_apps::AppSpec] = if opts.quick {
+        &mp5_apps::PAPER_APPS[..2]
+    } else {
+        &mp5_apps::PAPER_APPS[..]
+    };
+    let ks: &[usize] = if opts.quick {
+        &QUICK_PIPELINES
+    } else {
+        &FULL_PIPELINES
+    };
+    let packets = opts.effective_packets();
+    let mut rows = Vec::new();
+    for app in apps {
+        let (prog, trace) = mp5_sim::experiments::app_trace(app, packets, opts.seed);
+        for &k in ks {
+            let seq_cfg = SwitchConfig::mp5(k);
+            let (seq_rep, seq_t, seq_ms) = time_run(&prog, &trace, seq_cfg);
+            rows.push(row_from(app.name, k, "seq", 0, &seq_rep, &seq_t, seq_ms));
+
+            let workers = opts.workers.unwrap_or(k).max(1);
+            let par_cfg = SwitchConfig::mp5(k).with_engine(EngineMode::Parallel(workers));
+            let (par_rep, par_t, par_ms) = time_run(&prog, &trace, par_cfg);
+            assert_eq!(
+                seq_rep, par_rep,
+                "{} k={k}: engines diverged — bit-identity broken",
+                app.name
+            );
+            let mut row = row_from(
+                app.name,
+                k,
+                "par",
+                par_cfg_workers(workers, k),
+                &par_rep,
+                &par_t,
+                par_ms,
+            );
+            row.speedup_vs_sequential = seq_ms / par_ms.max(1e-12);
+            rows.push(row);
+        }
+    }
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        quick: opts.quick,
+        packets: packets as u64,
+        seed: opts.seed,
+        host_cpus: host_cpus() as u64,
+        rows,
+    }
+}
+
+fn par_cfg_workers(requested: usize, pipelines: usize) -> usize {
+    EngineMode::Parallel(requested).workers_for(pipelines)
+}
+
+/// Renders the report as an aligned human-readable table.
+pub fn render_summary(rep: &BenchReport) -> String {
+    let headers = [
+        "app", "k", "engine", "wrk", "pkts/s", "cyc/s", "speedup", "p50ns", "p99ns", "tput",
+    ];
+    let rows: Vec<Vec<String>> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.pipelines.to_string(),
+                r.engine.clone(),
+                r.workers.to_string(),
+                format!("{:.0}", r.pkts_per_sec),
+                format!("{:.0}", r.cycles_per_sec),
+                format!("{:.2}x", r.speedup_vs_sequential),
+                r.p50_cycle_ns.to_string(),
+                r.p99_cycle_ns.to_string(),
+                format!("{:.3}", r.normalized_throughput),
+            ]
+        })
+        .collect();
+    mp5_sim::table::render(&headers, &rows)
+}
+
+/// Outcome of the perf-regression gate.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Points compared and within tolerance.
+    pub passed: usize,
+    /// Points present in only one of the two reports (informational).
+    pub skipped: Vec<String>,
+    /// Human-readable failures; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passed.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` against a committed `baseline`: every row present
+/// in both (matched on `(app, pipelines, engine)`) must keep
+/// `pkts_per_sec` within `tolerance` (e.g. `0.15`) below the baseline.
+/// Faster-than-baseline is always fine.
+pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.rows {
+        let Some(cur) = current.row(&base.app, base.pipelines, &base.engine) else {
+            out.skipped.push(format!(
+                "{} k={} {}: not measured in this run",
+                base.app, base.pipelines, base.engine
+            ));
+            continue;
+        };
+        let floor = base.pkts_per_sec * (1.0 - tolerance);
+        if cur.pkts_per_sec < floor {
+            out.failures.push(format!(
+                "{} k={} {}: {:.0} pkts/s is {:.1}% below baseline {:.0} (tolerance {:.0}%)",
+                base.app,
+                base.pipelines,
+                base.engine,
+                cur.pkts_per_sec,
+                (1.0 - cur.pkts_per_sec / base.pkts_per_sec) * 100.0,
+                base.pkts_per_sec,
+                tolerance * 100.0
+            ));
+        } else {
+            out.passed += 1;
+        }
+    }
+    for cur in &current.rows {
+        if baseline.row(&cur.app, cur.pipelines, &cur.engine).is_none() {
+            out.skipped.push(format!(
+                "{} k={} {}: no baseline point",
+                cur.app, cur.pipelines, cur.engine
+            ));
+        }
+    }
+    out
+}
+
+/// The §4.3.1 flowlet speedup acceptance check: on hosts with at least
+/// `min_cpus` cores, the parallel engine must reach `target`× at
+/// `k = 8`; on smaller hosts the check is skipped with a notice.
+/// Returns `Ok(message)` on pass/skip, `Err(message)` on failure.
+pub fn speedup_check(rep: &BenchReport, target: f64, min_cpus: usize) -> Result<String, String> {
+    if (rep.host_cpus as usize) < min_cpus {
+        return Ok(format!(
+            "speedup check SKIPPED: host has {} core(s), needs >= {min_cpus}",
+            rep.host_cpus
+        ));
+    }
+    let Some(row) = rep.row("flowlet", 8, "par") else {
+        return Ok("speedup check SKIPPED: no flowlet k=8 parallel point in this run".into());
+    };
+    if row.speedup_vs_sequential >= target {
+        Ok(format!(
+            "speedup check PASSED: flowlet k=8 parallel engine at {:.2}x (target {target:.1}x)",
+            row.speedup_vs_sequential
+        ))
+    } else {
+        Err(format!(
+            "speedup check FAILED: flowlet k=8 parallel engine at {:.2}x, target {target:.1}x",
+            row.speedup_vs_sequential
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(rows: Vec<BenchRow>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            quick: true,
+            packets: 100,
+            seed: 1,
+            host_cpus: 1,
+            rows,
+        }
+    }
+
+    fn row(app: &str, k: usize, engine: &str, pps: f64) -> BenchRow {
+        BenchRow {
+            app: app.to_string(),
+            pipelines: k,
+            engine: engine.to_string(),
+            workers: if engine == "seq" { 0 } else { k },
+            packets: 100,
+            completed: 100,
+            cycles: 50,
+            wall_ms: 1.0,
+            pkts_per_sec: pps,
+            cycles_per_sec: pps / 2.0,
+            speedup_vs_sequential: 1.0,
+            p50_cycle_ns: 10,
+            p99_cycle_ns: 20,
+            normalized_throughput: 1.0,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rep = report_with(vec![row("flowlet", 4, "seq", 1000.0)]);
+        let back = BenchReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].app, "flowlet");
+        assert_eq!(back.rows[0].pipelines, 4);
+        assert!((back.rows[0].pkts_per_sec - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let mut rep = report_with(vec![]);
+        rep.schema = "mp5bench/v0".into();
+        assert!(BenchReport::from_json(&rep.to_json()).is_err());
+        assert!(BenchReport::from_json("[1, 2").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = report_with(vec![
+            row("flowlet", 4, "seq", 1000.0),
+            row("flowlet", 4, "par", 1000.0),
+        ]);
+        // 10% slower: within a 15% tolerance.
+        let ok = report_with(vec![
+            row("flowlet", 4, "seq", 900.0),
+            row("flowlet", 4, "par", 2000.0), // faster is always fine
+        ]);
+        let out = gate(&ok, &baseline, 0.15);
+        assert!(out.is_ok(), "{:?}", out.failures);
+        assert_eq!(out.passed, 2);
+        // 30% slower: beyond tolerance.
+        let bad = report_with(vec![
+            row("flowlet", 4, "seq", 700.0),
+            row("flowlet", 4, "par", 1000.0),
+        ]);
+        let out = gate(&bad, &baseline, 0.15);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("flowlet k=4 seq"));
+    }
+
+    #[test]
+    fn gate_skips_unmatched_points() {
+        let baseline = report_with(vec![row("conga", 8, "par", 1000.0)]);
+        let current = report_with(vec![row("flowlet", 4, "seq", 900.0)]);
+        let out = gate(&current, &baseline, 0.15);
+        assert!(out.is_ok());
+        assert_eq!(out.passed, 0);
+        assert_eq!(out.skipped.len(), 2);
+    }
+
+    #[test]
+    fn speedup_check_skips_on_small_hosts() {
+        let rep = report_with(vec![]);
+        let msg = speedup_check(&rep, 2.0, 4).unwrap();
+        assert!(msg.contains("SKIPPED"), "{msg}");
+    }
+
+    #[test]
+    fn speedup_check_verdicts_on_big_hosts() {
+        let mut fast = row("flowlet", 8, "par", 1000.0);
+        fast.speedup_vs_sequential = 2.5;
+        let mut rep = report_with(vec![fast]);
+        rep.host_cpus = 8;
+        assert!(speedup_check(&rep, 2.0, 4).unwrap().contains("PASSED"));
+        rep.rows[0].speedup_vs_sequential = 1.2;
+        assert!(speedup_check(&rep, 2.0, 4).is_err());
+    }
+
+    #[test]
+    fn quick_suite_runs_and_engines_agree() {
+        let opts = BenchOpts {
+            quick: true,
+            packets: Some(300),
+            seed: 7,
+            workers: Some(2),
+        };
+        let rep = run_suite(&opts);
+        // 2 apps × 2 pipeline counts × 2 engines.
+        assert_eq!(rep.rows.len(), 8);
+        for chunk in rep.rows.chunks(2) {
+            let (seq, par) = (&chunk[0], &chunk[1]);
+            assert_eq!(seq.engine, "seq");
+            assert_eq!(par.engine, "par");
+            assert_eq!(seq.completed, par.completed);
+            assert_eq!(seq.cycles, par.cycles);
+            assert!((seq.normalized_throughput - par.normalized_throughput).abs() < 1e-12);
+        }
+        // Summary renders every row.
+        let summary = render_summary(&rep);
+        assert_eq!(summary.lines().count(), 2 + rep.rows.len());
+    }
+}

@@ -1,5 +1,114 @@
 //! Switch configuration.
 
+/// Which cycle engine executes the simulation.
+///
+/// Both engines implement the *same* machine: the parallel engine
+/// shards the per-(pipeline, stage) work phase of every cycle across a
+/// persistent worker pool and merges the buffered side effects in
+/// pipeline order, so its output — the [`crate::RunReport`], the final
+/// register state, and (under tracing) the exact event stream — is
+/// **bit-identical** to the sequential engine's. See `DESIGN.md` §10
+/// for the determinism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One thread simulates every pipeline×stage in program order (the
+    /// historical engine; still the default).
+    Sequential,
+    /// The work phase of each cycle is sharded over `n` persistent
+    /// worker threads (clamped to the pipeline count at run time).
+    /// `Parallel(0)` is rejected by [`SwitchConfig::validate`]; use
+    /// [`EngineMode::parallel_auto`] to size from the host.
+    Parallel(usize),
+}
+
+impl EngineMode {
+    /// A parallel engine sized to the host's available parallelism
+    /// (falls back to `Parallel(1)` when it cannot be determined).
+    pub fn parallel_auto() -> Self {
+        EngineMode::Parallel(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this mode will use for a `k`-pipeline
+    /// switch: `0` for the sequential engine, `min(n, k)` for
+    /// `Parallel(n)` (extra workers would never receive work).
+    pub fn workers_for(&self, pipelines: usize) -> usize {
+        match *self {
+            EngineMode::Sequential => 0,
+            EngineMode::Parallel(n) => n.min(pipelines).max(1),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    /// Parses the CLI spelling used by `mp5run --engine` and `mp5bench`:
+    /// `seq`, `par` (auto-sized from the host), or `par:N`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" | "sequential" => Ok(EngineMode::Sequential),
+            "par" | "parallel" => Ok(EngineMode::parallel_auto()),
+            other => match other.strip_prefix("par:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(EngineMode::Parallel(n)),
+                    _ => Err(format!("invalid worker count '{n}' (need an integer >= 1)")),
+                },
+                None => Err(format!(
+                    "unknown engine '{other}' (expected seq, par, or par:N)"
+                )),
+            },
+        }
+    }
+}
+
+/// A structurally invalid [`SwitchConfig`], reported by
+/// [`SwitchConfig::validate`] (and by `Mp5Switch::try_new` /
+/// `Mp5Switch::try_with_sink`) instead of silently "fixing" the
+/// configuration at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `pipelines` was zero.
+    ZeroPipelines,
+    /// `physical_pipelines` was smaller than the logical pipeline
+    /// count. A logical MP5 can only use a *subset* of the chip, so the
+    /// physical count must be at least the logical one. (Older versions
+    /// silently clamped the value upward, hiding the mistake.)
+    PhysicalPipelinesBelowLogical {
+        /// The configured physical pipeline count.
+        physical: usize,
+        /// The logical pipeline count it must at least match.
+        logical: usize,
+    },
+    /// `EngineMode::Parallel(0)` — a parallel engine needs at least one
+    /// worker.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPipelines => write!(f, "switch needs at least one pipeline"),
+            ConfigError::PhysicalPipelinesBelowLogical { physical, logical } => write!(
+                f,
+                "physical_pipelines ({physical}) is smaller than the logical pipeline \
+                 count ({logical}); a logical MP5 cannot outnumber the chip's pipelines"
+            ),
+            ConfigError::ZeroWorkers => {
+                write!(
+                    f,
+                    "EngineMode::Parallel(0): need at least one worker thread"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How register state is distributed across pipelines (design principle
 /// D2 and its ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +177,11 @@ pub struct SwitchConfig {
     /// [`crate::partition`] when this switch is a *logical* MP5 using
     /// only a subset of the chip's pipelines (paper §3.1, footnote 1):
     /// the pipelines still run at the physical chip's rate `N·B/k_phys`.
+    /// Must be `>= pipelines` (checked by [`SwitchConfig::validate`]).
     pub physical_pipelines: Option<usize>,
+    /// Which cycle engine executes the simulation (results are
+    /// bit-identical either way; see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl SwitchConfig {
@@ -88,6 +201,7 @@ impl SwitchConfig {
             seed: 0,
             max_cycles: None,
             physical_pipelines: None,
+            engine: EngineMode::Sequential,
         }
     }
 
@@ -133,6 +247,37 @@ impl SwitchConfig {
         self.fifo_capacity = Some(8);
         self
     }
+
+    /// Selects the cycle engine (builder style).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Checks the configuration for structural errors.
+    ///
+    /// Called by `Mp5Switch::try_new` / `try_with_sink`; the panicking
+    /// constructors (`new`, `with_sink`) unwrap its result. Notably,
+    /// `physical_pipelines < pipelines` is now a hard error — earlier
+    /// versions silently clamped it up to the logical count, which hid
+    /// miswired [`crate::partition`] call sites.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pipelines == 0 {
+            return Err(ConfigError::ZeroPipelines);
+        }
+        if let Some(phys) = self.physical_pipelines {
+            if phys < self.pipelines {
+                return Err(ConfigError::PhysicalPipelinesBelowLogical {
+                    physical: phys,
+                    logical: self.pipelines,
+                });
+            }
+        }
+        if self.engine == EngineMode::Parallel(0) {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +306,58 @@ mod tests {
         assert_eq!(naive.sharding, ShardingMode::Pinned);
 
         assert_eq!(mp5.with_hardware_fifos().fifo_capacity, Some(8));
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        assert_eq!(SwitchConfig::mp5(4).validate(), Ok(()));
+
+        let zero = SwitchConfig {
+            pipelines: 0,
+            ..SwitchConfig::mp5(1)
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroPipelines));
+
+        let shrunk = SwitchConfig {
+            physical_pipelines: Some(2),
+            ..SwitchConfig::mp5(4)
+        };
+        assert_eq!(
+            shrunk.validate(),
+            Err(ConfigError::PhysicalPipelinesBelowLogical {
+                physical: 2,
+                logical: 4
+            })
+        );
+        // Equal or larger is fine (logical partition of a bigger chip).
+        let ok = SwitchConfig {
+            physical_pipelines: Some(8),
+            ..SwitchConfig::mp5(4)
+        };
+        assert_eq!(ok.validate(), Ok(()));
+
+        let none = SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(0));
+        assert_eq!(none.validate(), Err(ConfigError::ZeroWorkers));
+        let par = SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(3));
+        assert_eq!(par.validate(), Ok(()));
+    }
+
+    #[test]
+    fn workers_for_clamps_to_pipelines() {
+        assert_eq!(EngineMode::Sequential.workers_for(4), 0);
+        assert_eq!(EngineMode::Parallel(8).workers_for(4), 4);
+        assert_eq!(EngineMode::Parallel(2).workers_for(4), 2);
+        assert!(matches!(EngineMode::parallel_auto(), EngineMode::Parallel(n) if n >= 1));
+    }
+
+    #[test]
+    fn engine_mode_parses_cli_spellings() {
+        assert_eq!("seq".parse(), Ok(EngineMode::Sequential));
+        assert_eq!("sequential".parse(), Ok(EngineMode::Sequential));
+        assert_eq!("par:3".parse(), Ok(EngineMode::Parallel(3)));
+        assert!(matches!("par".parse(), Ok(EngineMode::Parallel(n)) if n >= 1));
+        assert!("par:0".parse::<EngineMode>().is_err());
+        assert!("par:x".parse::<EngineMode>().is_err());
+        assert!("fast".parse::<EngineMode>().is_err());
     }
 }

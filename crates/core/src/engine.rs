@@ -1,0 +1,177 @@
+//! The deterministic parallel cycle engine's machinery.
+//!
+//! [`WorkerPool`] is a persistent pool of worker threads with a
+//! rendezvous-style [`WorkerPool::exchange`]: the coordinator hands each
+//! worker at most one job, blocks until every job's result is back, and
+//! only then proceeds — a barrier per simulation cycle, with **no
+//! per-cycle thread spawning**. Jobs *own* the per-pipeline state they
+//! operate on (moved in and moved back out), so there is no shared
+//! mutable state, no locking, and no interior mutability anywhere in the
+//! per-cycle hot path; determinism is purely a matter of the coordinator
+//! merging the returned results in pipeline order (see `DESIGN.md` §10).
+//!
+//! The pool is deliberately generic over the job and result types so the
+//! MP5 switch (`mp5-core`) and the recirculation baseline
+//! (`mp5-baselines`) can both drive it.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// A persistent pool of `n` worker threads executing a fixed job
+/// function, fed by one rendezvous per simulation cycle.
+///
+/// Worker `i` owns a pair of bounded channels: the coordinator pushes a
+/// job down one and blocks on the other for the result. Workers park in
+/// `recv()` between cycles, so an idle pool costs nothing but memory.
+/// Dropping the pool closes the job channels, which terminates and joins
+/// every worker.
+pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
+    txs: Vec<SyncSender<J>>,
+    rxs: Vec<Receiver<R>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
+    /// Spawns `workers` (≥ 1) persistent threads, each running `f` on
+    /// every job it receives until the pool is dropped.
+    pub fn new<F>(workers: usize, f: F) -> Self
+    where
+        F: Fn(J) -> R + Send + Clone + 'static,
+    {
+        assert!(workers >= 1, "a worker pool needs at least one worker");
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (jtx, jrx) = sync_channel::<J>(1);
+            let (rtx, rrx) = sync_channel::<R>(1);
+            let f = f.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("mp5-worker-{i}"))
+                .spawn(move || {
+                    // `recv` fails when the coordinator drops its sender:
+                    // that is the shutdown signal.
+                    while let Ok(job) = jrx.recv() {
+                        if rtx.send(f(job)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning an engine worker thread");
+            txs.push(jtx);
+            rxs.push(rrx);
+            handles.push(handle);
+        }
+        WorkerPool { txs, rxs, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Runs one barrier round: sends `jobs[i]` to worker `i`, blocks
+    /// until every worker answered, and returns the results **in worker
+    /// order** (`jobs.len()` may be smaller than the pool on the last
+    /// uneven cycle; it must never be larger).
+    pub fn exchange(&mut self, jobs: Vec<J>) -> Vec<R> {
+        assert!(
+            jobs.len() <= self.txs.len(),
+            "more jobs ({}) than workers ({})",
+            jobs.len(),
+            self.txs.len()
+        );
+        let n = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.txs[i].send(job).expect("engine worker thread alive");
+        }
+        (0..n)
+            .map(|i| self.rxs[i].recv().expect("engine worker returns"))
+            .collect()
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> Drop for WorkerPool<J, R> {
+    fn drop(&mut self) {
+        // Closing the job channels wakes every parked worker with a
+        // RecvError; then join so no thread outlives the switch.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> std::fmt::Debug for WorkerPool<J, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+/// Wall-clock duration of every simulated cycle, recorded by
+/// `Mp5Switch::try_run_timed` for the `mp5bench` latency percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct CycleTimings {
+    /// Nanoseconds per cycle, in simulation order.
+    pub nanos: Vec<u64>,
+}
+
+impl CycleTimings {
+    /// The `p`-th percentile (0–100, nearest-rank) of per-cycle wall
+    /// time in nanoseconds; 0 when no cycles were recorded.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.nanos.is_empty() {
+            return 0;
+        }
+        let mut v = self.nanos.clone();
+        v.sort_unstable();
+        // Classic nearest-rank: the ⌈p/100·N⌉-th smallest sample.
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * v.len() as f64).ceil() as usize;
+        v[rank.saturating_sub(1).min(v.len() - 1)]
+    }
+
+    /// Mean nanoseconds per cycle (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.nanos.is_empty() {
+            0.0
+        } else {
+            self.nanos.iter().sum::<u64>() as f64 / self.nanos.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_round_trips_jobs_in_worker_order() {
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(3, |x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(pool.exchange(vec![1, 2, 3]), vec![2, 4, 6]);
+        }
+        // Uneven final round: fewer jobs than workers.
+        assert_eq!(pool.exchange(vec![10]), vec![20]);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool: WorkerPool<(), ()> = WorkerPool::new(4, |()| ());
+        drop(pool); // must not hang or leak
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let t = CycleTimings {
+            nanos: (1..=100).collect(),
+        };
+        assert_eq!(t.percentile(50.0), 50);
+        assert_eq!(t.percentile(99.0), 99);
+        assert_eq!(t.percentile(0.0), 1);
+        assert_eq!(t.percentile(100.0), 100);
+        assert_eq!(CycleTimings::default().percentile(50.0), 0);
+        assert!((t.mean() - 50.5).abs() < 1e-9);
+    }
+}

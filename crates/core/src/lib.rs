@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod partition;
 pub mod report;
 pub mod shard;
 pub mod switch;
 
-pub use config::{ShardingMode, SprayMode, SwitchConfig};
+pub use config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig};
+pub use engine::{CycleTimings, WorkerPool};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
 pub use report::{DropCounts, RunReport};
 pub use switch::{InvariantViolation, Mp5Switch};

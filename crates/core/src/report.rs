@@ -24,7 +24,11 @@ impl DropCounts {
 }
 
 /// Result of running a packet trace through an MP5 switch.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the equality the engine
+/// equivalence suite relies on to assert the parallel engine is
+/// bit-identical to the sequential one.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Functional-equivalence evidence (final registers, packet outputs,
     /// per-state access order) in the same shape the Banzai reference

@@ -1,15 +1,17 @@
 //! The MP5 switch simulator (architecture §3.2 + runtime §3.4).
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
-use mp5_trace::{DropCause, EventKind, NopSink, TraceCtx, TraceSink, NO_LOC};
+use mp5_trace::{DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC};
 use mp5_types::time::cycle_len;
-use mp5_types::{AccessTag, Packet, PipelineId, RegId, StageId, Value};
+use mp5_types::{AccessTag, Packet, PacketId, PipelineId, RegId, StageId, Value};
 
-use crate::config::{ShardingMode, SprayMode, SwitchConfig};
+use crate::config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig};
+use crate::engine::{CycleTimings, WorkerPool};
 use crate::report::RunReport;
 use crate::shard;
 
@@ -300,6 +302,453 @@ impl StageQueue {
     }
 }
 
+// ---------------------------------------------------------------------
+// The per-cycle work phase, shared by both execution engines.
+//
+// Within a cycle, the admit/work phase of pipeline `pl` only touches
+// `pl`-local structures (its incoming row, stage FIFOs, lanes, register
+// copies) plus a handful of *shared* structures (the global sharding
+// counters, the phantom channel, the run report, the trace sink). The
+// functions below operate on the local state directly and buffer every
+// shared-structure effect in a `WorkFx`, which the caller applies in
+// ascending pipeline order — the exact order the historical sequential
+// loop produced. The sequential engine calls them inline with the real
+// sink; the parallel engine runs them on worker threads with a
+// per-pipeline `MemSink` and replays events on the coordinator. Either
+// way the observable behaviour is bit-identical (DESIGN.md §10).
+// ---------------------------------------------------------------------
+
+/// Read-only per-cycle view of the switch shared by every pipeline's
+/// work phase. Everything here is immutable for the duration of the
+/// phase (the index map only changes in the coordinator's remap phase),
+/// which is what makes the phase shardable across worker threads
+/// without locks or interior mutability.
+struct WorkCtx<'a> {
+    prog: &'a CompiledProgram,
+    index_map: &'a [Vec<u16>],
+    phantoms: bool,
+    starvation_threshold: Option<u64>,
+    /// Byte-times per pipeline cycle (`64·timing_k`).
+    clen: u64,
+    cycle: u64,
+    prologue: usize,
+}
+
+/// One buffered update to the global sharding counters. Kept as a
+/// single ordered stream because `inflight` decrements saturate: the
+/// inc/dec interleaving must replay exactly as the sequential engine
+/// produced it.
+#[derive(Debug, Clone, Copy)]
+enum CtrOp {
+    /// Address resolution counted an upcoming access (`access_ctr` and
+    /// `inflight` both increment).
+    Inc { reg: RegId, index: u32 },
+    /// A tag retired after its access executed (`inflight` decrements,
+    /// saturating).
+    Dec { reg: RegId, index: u32 },
+}
+
+/// A phantom injection onto the dedicated channel, buffered because the
+/// channel is shared across pipelines (injection order = delivery order
+/// per hop, so it must replay in pipeline order).
+#[derive(Debug)]
+struct PhantomInject {
+    msg: PhantomMsg,
+    from: StageId,
+    dest: StageId,
+}
+
+/// Buffered side effects of one pipeline's work phase on *shared*
+/// switch structures. The sequential engine applies them right after
+/// each pipeline's work; the parallel engine ships them back to the
+/// coordinator, which applies them in ascending pipeline order —
+/// reproducing the sequential effect order exactly.
+#[derive(Debug, Default)]
+struct WorkFx {
+    ctr_ops: Vec<CtrOp>,
+    injects: Vec<PhantomInject>,
+    /// `(reg, index, packet)` accesses for the report's access log.
+    accesses: Vec<(RegId, u32, PacketId)>,
+    wasted_cycles: u64,
+    starvation_drops: u64,
+    phantoms_generated: u64,
+}
+
+/// Applies one pipeline's buffered side effects to the shared switch
+/// structures, draining the buffers for reuse. Must be called in
+/// ascending pipeline order within a cycle.
+fn apply_work_fx(
+    fx: &mut WorkFx,
+    access_ctr: &mut [Vec<u64>],
+    inflight: &mut [Vec<u32>],
+    channel: &mut PhantomChannel<PhantomMsg>,
+    report: &mut RunReport,
+) {
+    for op in fx.ctr_ops.drain(..) {
+        match op {
+            CtrOp::Inc { reg, index } => {
+                access_ctr[reg.index()][index as usize] += 1;
+                inflight[reg.index()][index as usize] += 1;
+            }
+            CtrOp::Dec { reg, index } => {
+                let c = &mut inflight[reg.index()][index as usize];
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+    for inj in fx.injects.drain(..) {
+        channel.inject(inj.msg, inj.from, inj.dest);
+    }
+    for (reg, index, pkt) in fx.accesses.drain(..) {
+        report
+            .result
+            .access_log
+            .entry((reg, index))
+            .or_default()
+            .push(pkt);
+    }
+    report.wasted_cycles += fx.wasted_cycles;
+    report.drops.starvation += fx.starvation_drops;
+    report.phantoms_generated += fx.phantoms_generated;
+    fx.wasted_cycles = 0;
+    fx.starvation_drops = 0;
+    fx.phantoms_generated = 0;
+}
+
+/// The admit/work phase of one pipeline for one cycle: each stage
+/// processes at most one packet, with the incoming pass-through packet
+/// taking priority over queued stateful work (Invariant 2).
+#[allow(clippy::too_many_arguments)]
+fn work_pipeline<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    pl: usize,
+    inc_row: &mut [Option<Flight>],
+    queues: &mut [StageQueue],
+    lanes: &mut [Option<Flight>],
+    regs: &mut [Vec<Value>],
+    sink: &mut S,
+    fx: &mut WorkFx,
+) {
+    for st in 0..inc_row.len() {
+        if let Some(fl) = inc_row[st].take() {
+            // Starvation handling (§3.4): drop an incoming packet that
+            // is stateless-from-here-on in favor of a long-starved
+            // queued stateful packet.
+            if let Some(thr) = ctx.starvation_threshold {
+                let starved = fl.pkt.tags.is_empty()
+                    && queues[st].oldest_ts().is_some_and(|ts| {
+                        let now = ctx.cycle * ctx.clen;
+                        now.saturating_sub(ts.0) > thr * ctx.clen
+                    });
+                if starved {
+                    fx.starvation_drops += 1;
+                    if S::ENABLED {
+                        TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
+                            sink,
+                            EventKind::Drop {
+                                pkt: fl.pkt.id,
+                                cause: DropCause::Starvation,
+                            },
+                        );
+                    }
+                    serve_queue(ctx, pl, st, queues, lanes, regs, sink, fx);
+                    continue;
+                }
+            }
+            if S::ENABLED {
+                // Invariant 2 in action: the incoming packet takes the
+                // slot; `bypassed` flags the case where queued stateful
+                // work was waiting.
+                let bypassed = queues[st].len() > 0;
+                TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
+                    sink,
+                    EventKind::Execute {
+                        pkt: fl.pkt.id,
+                        queued: false,
+                        bypassed,
+                    },
+                );
+            }
+            let fl = process_flight(ctx, pl, st, fl, queues, regs, sink, fx);
+            lanes[st] = Some(fl);
+        } else {
+            serve_queue(ctx, pl, st, queues, lanes, regs, sink, fx);
+        }
+    }
+}
+
+/// Serves one packet from the stage's FIFO, if the scheduler finds a
+/// servable head.
+#[allow(clippy::too_many_arguments)]
+fn serve_queue<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    pl: usize,
+    st: usize,
+    queues: &mut [StageQueue],
+    lanes: &mut [Option<Flight>],
+    regs: &mut [Vec<Value>],
+    sink: &mut S,
+    fx: &mut WorkFx,
+) {
+    let tctx = TraceCtx::new(ctx.cycle, pl as u16, st as u16);
+    match queues[st].serve(st, sink, tctx) {
+        Serve::Served(fl) => {
+            if S::ENABLED {
+                tctx.emit(
+                    sink,
+                    EventKind::Execute {
+                        pkt: fl.pkt.id,
+                        queued: true,
+                        bypassed: false,
+                    },
+                );
+            }
+            let fl = process_flight(ctx, pl, st, fl, queues, regs, sink, fx);
+            lanes[st] = Some(fl);
+        }
+        Serve::Wasted => {
+            fx.wasted_cycles += 1;
+        }
+        Serve::Idle => {}
+    }
+}
+
+/// Executes the stage's work on a packet: address resolution at the
+/// pipeline head, phantom generation at the end of the prologue, and
+/// the body stage program elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn process_flight<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    pl: usize,
+    st: usize,
+    mut fl: Flight,
+    queues: &mut [StageQueue],
+    regs: &mut [Vec<Value>],
+    sink: &mut S,
+    fx: &mut WorkFx,
+) -> Flight {
+    if st == 0 && ctx.prologue > 0 {
+        resolve_flight(ctx, &mut fl, fx);
+    }
+    if ctx.prologue > 0 && st == ctx.prologue - 1 && ctx.phantoms {
+        // Phantom generation stage: one phantom per resolved access, in
+        // tag order, onto the dedicated channel (buffered: the channel
+        // is shared).
+        for tag in &fl.pkt.tags {
+            if S::ENABLED {
+                TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
+                    sink,
+                    EventKind::PhantomEmit {
+                        key: tkey(fl.key(tag)),
+                        dest_pipeline: tag.pipeline.0,
+                        dest_stage: tag.stage.0,
+                    },
+                );
+            }
+            fx.injects.push(PhantomInject {
+                msg: PhantomMsg {
+                    key: fl.key(tag),
+                    ts: fl.order,
+                    dest: tag.pipeline,
+                    lane: fl.ingress,
+                },
+                from: StageId(st as u16),
+                dest: tag.stage,
+            });
+            fx.phantoms_generated += 1;
+        }
+    }
+    if st >= ctx.prologue {
+        let body = st - ctx.prologue;
+        let accesses = ctx.prog.execute_stage(body, &mut fl.pkt.fields, regs);
+        for a in &accesses {
+            if S::ENABLED {
+                TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
+                    sink,
+                    EventKind::Access {
+                        pkt: fl.pkt.id,
+                        reg: a.reg,
+                        index: a.index,
+                        order: (fl.order.0, fl.order.1),
+                    },
+                );
+            }
+            fx.accesses.push((a.reg, a.index, fl.pkt.id));
+        }
+        // Retire this stage's tags. A retired *speculative* tag whose
+        // predicate turned out false produced no access: the queue slot
+        // it consumed is §3.3's one wasted cycle. Sibling placeholders
+        // beyond the first (the slot the data packet occupied) are
+        // released now that the accesses have executed; each still
+        // costs one pop cycle when reclaimed (§3.3's speculative-false
+        // penalty).
+        let mut retired_speculative = false;
+        let mut first = true;
+        while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
+            let tag = fl.pkt.tags.remove(0);
+            retired_speculative |= tag.speculative;
+            if !first && ctx.phantoms {
+                let key = fl.key(&tag);
+                let tctx = TraceCtx::new(ctx.cycle, pl as u16, st as u16);
+                queues[st].cancel(key, false, sink, tctx);
+            }
+            first = false;
+            if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+                fx.ctr_ops.push(CtrOp::Dec {
+                    reg: tag.reg,
+                    index: tag.index,
+                });
+            }
+        }
+        if retired_speculative && accesses.is_empty() {
+            fx.wasted_cycles += 1;
+        }
+    }
+    fl
+}
+
+/// Runs preemptive address resolution (§3.3) on an arriving packet:
+/// computes every index it will access, consults the index-to-pipeline
+/// map, tags the packet, and buffers the runtime counter bumps.
+fn resolve_flight(ctx: &WorkCtx<'_>, fl: &mut Flight, fx: &mut WorkFx) {
+    let resolved = ctx.prog.resolve(&mut fl.pkt.fields);
+    let mut tags = Vec::with_capacity(resolved.len());
+    for r in resolved {
+        let dest = if r.reg == REG_STAGE_SENTINEL
+            || r.index == INDEX_ARRAY_LEVEL
+            || !ctx.prog.regs[r.reg.index()].shardable
+        {
+            // Pinned arrays and stage-level serialization live on
+            // pipeline 0 (§3.3's conservative fallbacks).
+            PipelineId(0)
+        } else {
+            PipelineId(ctx.index_map[r.reg.index()][r.index as usize])
+        };
+        if r.reg != REG_STAGE_SENTINEL && r.index != INDEX_ARRAY_LEVEL {
+            fx.ctr_ops.push(CtrOp::Inc {
+                reg: r.reg,
+                index: r.index,
+            });
+        }
+        tags.push(AccessTag {
+            reg: r.reg,
+            index: r.index,
+            pipeline: dest,
+            stage: r.stage,
+            speculative: r.speculative,
+        });
+    }
+    debug_assert!(tags.windows(2).all(|w| w[0].stage <= w[1].stage));
+    fl.pkt.tags = tags;
+}
+
+// ---------------------------------------------------------------------
+// The parallel engine: jobs, units, and the worker-side entry point.
+// ---------------------------------------------------------------------
+
+/// Immutable run-wide inputs shared with the worker threads once (via
+/// `Arc`), so per-cycle jobs stay O(1) in size.
+#[derive(Debug)]
+struct EngineShared {
+    prog: CompiledProgram,
+    phantoms: bool,
+    starvation_threshold: Option<u64>,
+    clen: u64,
+    prologue: usize,
+    /// Whether the coordinator's sink observes events (workers record
+    /// into per-pipeline `MemSink`s only in that case).
+    tracing: bool,
+}
+
+/// One pipeline's work-phase state, *moved* to a worker for the cycle
+/// and moved back afterwards (no sharing, no locks: `Vec` moves are
+/// O(1) pointer swaps).
+#[derive(Debug)]
+struct Unit {
+    pl: usize,
+    inc_row: Vec<Option<Flight>>,
+    queues: Vec<StageQueue>,
+    lanes: Vec<Option<Flight>>,
+    regs: Vec<Vec<Value>>,
+    fx: WorkFx,
+    /// Trace events this pipeline emitted this cycle, replayed by the
+    /// coordinator in pipeline order (empty when untraced).
+    events: Vec<Event>,
+}
+
+/// A cycle's worth of work for one worker: a contiguous chunk of
+/// pipelines plus the shared read-only context.
+#[derive(Debug)]
+struct Job {
+    shared: Arc<EngineShared>,
+    index_map: Arc<Vec<Vec<u16>>>,
+    cycle: u64,
+    units: Vec<Unit>,
+}
+
+/// Worker-side entry point: runs the work phase for every unit in the
+/// job and hands the units (with buffered effects and events) back.
+fn run_job(mut job: Job) -> Vec<Unit> {
+    let shared = Arc::clone(&job.shared);
+    let ctx = WorkCtx {
+        prog: &shared.prog,
+        index_map: &job.index_map,
+        phantoms: shared.phantoms,
+        starvation_threshold: shared.starvation_threshold,
+        clen: shared.clen,
+        cycle: job.cycle,
+        prologue: shared.prologue,
+    };
+    for u in &mut job.units {
+        if shared.tracing {
+            let mut sink = MemSink {
+                events: std::mem::take(&mut u.events),
+            };
+            work_pipeline(
+                &ctx,
+                u.pl,
+                &mut u.inc_row,
+                &mut u.queues,
+                &mut u.lanes,
+                &mut u.regs,
+                &mut sink,
+                &mut u.fx,
+            );
+            u.events = sink.into_events();
+        } else {
+            work_pipeline(
+                &ctx,
+                u.pl,
+                &mut u.inc_row,
+                &mut u.queues,
+                &mut u.lanes,
+                &mut u.regs,
+                &mut NopSink,
+                &mut u.fx,
+            );
+        }
+    }
+    job.units
+}
+
+/// The parallel engine's per-switch state: the persistent worker pool,
+/// the `Arc`ed run-wide context, and recycled per-pipeline buffers.
+struct ParEngine {
+    pool: WorkerPool<Job, Vec<Unit>>,
+    shared: Arc<EngineShared>,
+    /// Recycled `(fx, events)` buffers, so steady-state cycles allocate
+    /// nothing for effect buffering.
+    spare: Vec<(WorkFx, Vec<Event>)>,
+}
+
+impl std::fmt::Debug for ParEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParEngine")
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
 /// The MP5 multi-pipeline switch.
 ///
 /// Generic over a [`TraceSink`] `S` (default [`NopSink`]): with the
@@ -319,8 +768,10 @@ pub struct Mp5Switch<S: TraceSink = NopSink> {
     /// copy of each index is meaningful (D2, Figure 3).
     regs: Vec<Vec<Vec<Value>>>,
     /// index-to-pipeline map, replicated in hardware, one logical copy
-    /// here.
-    index_map: Vec<Vec<u16>>,
+    /// here (`Arc` so parallel-engine jobs can snapshot it per cycle;
+    /// the coordinator's remap phase is the only writer, via
+    /// `Arc::make_mut` when no job holds a reference).
+    index_map: Arc<Vec<Vec<u16>>>,
     /// Packet access counters per register index (dynamic sharding).
     access_ctr: Vec<Vec<u64>>,
     /// In-flight packet counters per register index (remap guard).
@@ -340,6 +791,11 @@ pub struct Mp5Switch<S: TraceSink = NopSink> {
     rr: usize,
     cycle: u64,
     report: RunReport,
+    /// Parallel engine (worker pool + shared statics); `None` under
+    /// [`EngineMode::Sequential`].
+    par: Option<ParEngine>,
+    /// Reusable side-effect buffer for the sequential work phase.
+    fx_buf: WorkFx,
     sink: S,
 }
 
@@ -348,19 +804,45 @@ impl Mp5Switch<NopSink> {
     /// pipeline is programmed identically (D1); each register array is
     /// allocated in full in every pipeline, with the index-to-pipeline
     /// map deciding the active copy (D2).
+    ///
+    /// Panics on a structurally invalid configuration; use
+    /// [`Mp5Switch::try_new`] to handle that as a typed
+    /// [`ConfigError`].
     pub fn new(prog: CompiledProgram, cfg: SwitchConfig) -> Self {
         Self::with_sink(prog, cfg, NopSink)
+    }
+
+    /// Like [`Mp5Switch::new`], but reports a structurally invalid
+    /// configuration as a [`ConfigError`] instead of panicking.
+    pub fn try_new(prog: CompiledProgram, cfg: SwitchConfig) -> Result<Self, ConfigError> {
+        Self::try_with_sink(prog, cfg, NopSink)
     }
 }
 
 impl<S: TraceSink> Mp5Switch<S> {
     /// Builds a switch that records every observable action into
     /// `sink`. Semantically identical to [`Mp5Switch::new`]; the sink
-    /// only observes.
+    /// only observes. Panics on a structurally invalid configuration
+    /// ([`Mp5Switch::try_with_sink`] is the non-panicking form).
     pub fn with_sink(prog: CompiledProgram, cfg: SwitchConfig, sink: S) -> Self {
-        assert!(cfg.pipelines >= 1, "need at least one pipeline");
+        match Self::try_with_sink(prog, cfg, sink) {
+            Ok(sw) => sw,
+            Err(e) => panic!("invalid SwitchConfig: {e}"),
+        }
+    }
+
+    /// The validating constructor: rejects structurally invalid
+    /// configurations (zero pipelines, `physical_pipelines` below the
+    /// logical count, a zero-worker parallel engine) with a typed
+    /// [`ConfigError`] instead of silently "fixing" them.
+    pub fn try_with_sink(
+        prog: CompiledProgram,
+        cfg: SwitchConfig,
+        sink: S,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let k = cfg.pipelines;
-        let timing_k = cfg.physical_pipelines.unwrap_or(k).max(k);
+        let timing_k = cfg.physical_pipelines.unwrap_or(k);
         let stages = prog.num_stages();
         let prologue = prog.resolution.stages;
         let regs: Vec<Vec<Vec<Value>>> = (0..k).map(|_| prog.initial_regs()).collect();
@@ -386,7 +868,26 @@ impl<S: TraceSink> Mp5Switch<S> {
         let lanes = (0..k).map(|_| vec![None; stages]).collect();
         let mut report = RunReport::new();
         report.set_cycle_len(cycle_len(timing_k));
-        Mp5Switch {
+        let par = match cfg.engine {
+            EngineMode::Sequential => None,
+            EngineMode::Parallel(_) => {
+                let workers = cfg.engine.workers_for(k);
+                let shared = Arc::new(EngineShared {
+                    prog: prog.clone(),
+                    phantoms: cfg.phantoms,
+                    starvation_threshold: cfg.starvation_threshold,
+                    clen: cycle_len(timing_k),
+                    prologue,
+                    tracing: S::ENABLED,
+                });
+                Some(ParEngine {
+                    pool: WorkerPool::new(workers, run_job),
+                    shared,
+                    spare: Vec::new(),
+                })
+            }
+        };
+        Ok(Mp5Switch {
             channel: PhantomChannel::new(stages),
             crossbars: (0..stages).map(|_| Crossbar::new(k)).collect(),
             cfg,
@@ -396,7 +897,7 @@ impl<S: TraceSink> Mp5Switch<S> {
             stages,
             prologue,
             regs,
-            index_map,
+            index_map: Arc::new(index_map),
             access_ctr,
             inflight,
             queues,
@@ -407,8 +908,10 @@ impl<S: TraceSink> Mp5Switch<S> {
             rr: 0,
             cycle: 0,
             report,
+            par,
+            fx_buf: WorkFx::default(),
             sink,
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -458,8 +961,30 @@ impl<S: TraceSink> Mp5Switch<S> {
     /// [`Mp5Switch::try_run`] returning the sink alongside the report,
     /// so callers can audit or export the recorded stream.
     pub fn try_run_traced(
+        self,
+        packets: Vec<Packet>,
+    ) -> Result<(RunReport, S), InvariantViolation> {
+        self.run_to_completion(packets, None)
+    }
+
+    /// [`Mp5Switch::try_run_traced`] that additionally records the
+    /// wall-clock duration of every simulated cycle — the input for
+    /// `mp5bench`'s per-cycle latency percentiles. The timing
+    /// instrumentation does not affect the simulation itself.
+    pub fn try_run_timed(
+        self,
+        packets: Vec<Packet>,
+    ) -> Result<(RunReport, S, CycleTimings), InvariantViolation> {
+        let mut nanos = Vec::new();
+        let (report, sink) = self.run_to_completion(packets, Some(&mut nanos))?;
+        Ok((report, sink, CycleTimings { nanos }))
+    }
+
+    /// The drain loop behind every `run` variant.
+    fn run_to_completion(
         mut self,
         mut packets: Vec<Packet>,
+        mut timings: Option<&mut Vec<u64>>,
     ) -> Result<(RunReport, S), InvariantViolation> {
         packets.sort_by_key(|p| p.entry_order_key());
         self.report.offered = packets.len() as u64;
@@ -483,7 +1008,13 @@ impl<S: TraceSink> Mp5Switch<S> {
                     channel: self.channel.in_flight(),
                 });
             }
-            self.step();
+            if let Some(t) = timings.as_deref_mut() {
+                let t0 = std::time::Instant::now();
+                self.step();
+                t.push(t0.elapsed().as_nanos() as u64);
+            } else {
+                self.step();
+            }
         }
         Ok(self.finish())
     }
@@ -606,81 +1137,110 @@ impl<S: TraceSink> Mp5Switch<S> {
 
         // 4. Admit/work phase: each (pipeline, stage) processes at most
         // one packet; incoming pass-through has priority (Invariant 2).
-        for (pl, inc_row) in incoming.iter_mut().enumerate() {
-            for (st, slot) in inc_row.iter_mut().enumerate() {
-                if let Some(fl) = slot.take() {
-                    // Starvation handling (§3.4): drop an incoming
-                    // packet that is stateless-from-here-on in favor of
-                    // a long-starved queued stateful packet.
-                    if let Some(thr) = self.cfg.starvation_threshold {
-                        let starved = fl.pkt.tags.is_empty()
-                            && self.queues[pl][st].oldest_ts().is_some_and(|ts| {
-                                let now = self.cycle * cycle_len(self.timing_k);
-                                now.saturating_sub(ts.0) > thr * cycle_len(self.timing_k)
-                            });
-                        if starved {
-                            self.report.drops.starvation += 1;
-                            if S::ENABLED {
-                                TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
-                                    &mut self.sink,
-                                    EventKind::Drop {
-                                        pkt: fl.pkt.id,
-                                        cause: DropCause::Starvation,
-                                    },
-                                );
-                            }
-                            self.serve_queue(pl, st);
-                            continue;
-                        }
-                    }
-                    if S::ENABLED {
-                        // Invariant 2 in action: the incoming packet
-                        // takes the slot; `bypassed` flags the case
-                        // where queued stateful work was waiting.
-                        let bypassed = self.queues[pl][st].len() > 0;
-                        TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
-                            &mut self.sink,
-                            EventKind::Execute {
-                                pkt: fl.pkt.id,
-                                queued: false,
-                                bypassed,
-                            },
-                        );
-                    }
-                    let fl = self.process(pl, st, fl);
-                    self.lanes[pl][st] = Some(fl);
-                } else {
-                    self.serve_queue(pl, st);
-                }
+        // Per-(pipeline, stage) work is data-independent within the
+        // cycle — the crossbar exchange already happened in phase 3 —
+        // so the parallel engine shards it over the worker pool, while
+        // the sequential engine runs the same `work_pipeline` inline.
+        // Shared-structure side effects are buffered per pipeline and
+        // applied in ascending pipeline order either way, keeping the
+        // two engines bit-identical.
+        if self.par.is_some() {
+            self.work_parallel(&mut incoming);
+        } else {
+            let clen = cycle_len(self.timing_k);
+            let mut fx = std::mem::take(&mut self.fx_buf);
+            for (pl, inc_row) in incoming.iter_mut().enumerate() {
+                let ctx = WorkCtx {
+                    prog: &self.prog,
+                    index_map: &self.index_map,
+                    phantoms: self.cfg.phantoms,
+                    starvation_threshold: self.cfg.starvation_threshold,
+                    clen,
+                    cycle: self.cycle,
+                    prologue: self.prologue,
+                };
+                work_pipeline(
+                    &ctx,
+                    pl,
+                    inc_row,
+                    &mut self.queues[pl],
+                    &mut self.lanes[pl],
+                    &mut self.regs[pl],
+                    &mut self.sink,
+                    &mut fx,
+                );
+                apply_work_fx(
+                    &mut fx,
+                    &mut self.access_ctr,
+                    &mut self.inflight,
+                    &mut self.channel,
+                    &mut self.report,
+                );
             }
+            self.fx_buf = fx;
         }
 
         self.cycle += 1;
     }
 
-    /// Serves one packet from the stage's FIFO, if the scheduler finds a
-    /// servable head.
-    fn serve_queue(&mut self, pl: usize, st: usize) {
-        let ctx = TraceCtx::new(self.cycle, pl as u16, st as u16);
-        match self.queues[pl][st].serve(st, &mut self.sink, ctx) {
-            Serve::Served(fl) => {
-                if S::ENABLED {
-                    ctx.emit(
-                        &mut self.sink,
-                        EventKind::Execute {
-                            pkt: fl.pkt.id,
-                            queued: true,
-                            bypassed: false,
-                        },
-                    );
+    /// The work phase on the parallel engine: move each pipeline's
+    /// state into a [`Unit`], shard the units contiguously over the
+    /// worker pool, barrier on the results, and merge them back in
+    /// ascending pipeline order (state restore, trace-event replay,
+    /// side-effect application) so the outcome is bit-identical to the
+    /// sequential engine's.
+    fn work_parallel(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
+        let par = self.par.as_mut().expect("parallel engine present");
+        let shared = Arc::clone(&par.shared);
+        let workers = par.pool.workers();
+        let mut units = Vec::with_capacity(self.k);
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
+            let (fx, events) = par.spare.pop().unwrap_or_default();
+            units.push(Unit {
+                pl,
+                inc_row: std::mem::take(inc_row),
+                queues: std::mem::take(&mut self.queues[pl]),
+                lanes: std::mem::take(&mut self.lanes[pl]),
+                regs: std::mem::take(&mut self.regs[pl]),
+                fx,
+                events,
+            });
+        }
+        // Contiguous chunks in pipeline order: worker order == pipeline
+        // order, so flattening the results restores ascending order.
+        let base = self.k / workers;
+        let rem = self.k % workers;
+        let mut it = units.into_iter();
+        let mut jobs = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let take = base + usize::from(w < rem);
+            jobs.push(Job {
+                shared: Arc::clone(&shared),
+                index_map: Arc::clone(&self.index_map),
+                cycle: self.cycle,
+                units: it.by_ref().take(take).collect(),
+            });
+        }
+        let outs = par.pool.exchange(jobs);
+        for mut unit in outs.into_iter().flatten() {
+            let pl = unit.pl;
+            debug_assert!(unit.inc_row.iter().all(|s| s.is_none()));
+            self.queues[pl] = std::mem::take(&mut unit.queues);
+            self.lanes[pl] = std::mem::take(&mut unit.lanes);
+            self.regs[pl] = std::mem::take(&mut unit.regs);
+            if S::ENABLED {
+                for ev in unit.events.drain(..) {
+                    self.sink.emit(ev);
                 }
-                let fl = self.process(pl, st, fl);
-                self.lanes[pl][st] = Some(fl);
             }
-            Serve::Wasted => {
-                self.report.wasted_cycles += 1;
-            }
-            Serve::Idle => {}
+            apply_work_fx(
+                &mut unit.fx,
+                &mut self.access_ctr,
+                &mut self.inflight,
+                &mut self.channel,
+                &mut self.report,
+            );
+            par.spare.push((unit.fx, unit.events));
         }
     }
 
@@ -778,124 +1338,6 @@ impl<S: TraceSink> Mp5Switch<S> {
         }
     }
 
-    /// Executes the stage's work on a packet: address resolution at the
-    /// pipeline head, phantom generation at the end of the prologue,
-    /// and the body stage program elsewhere.
-    fn process(&mut self, pl: usize, st: usize, mut fl: Flight) -> Flight {
-        if st == 0 && self.prologue > 0 {
-            self.resolve(pl, &mut fl);
-        }
-        if self.prologue > 0 && st == self.prologue - 1 && self.cfg.phantoms {
-            // Phantom generation stage: one phantom per resolved access,
-            // in tag order, onto the dedicated channel.
-            for tag in &fl.pkt.tags {
-                if S::ENABLED {
-                    TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
-                        &mut self.sink,
-                        EventKind::PhantomEmit {
-                            key: tkey(fl.key(tag)),
-                            dest_pipeline: tag.pipeline.0,
-                            dest_stage: tag.stage.0,
-                        },
-                    );
-                }
-                self.channel.inject(
-                    PhantomMsg {
-                        key: fl.key(tag),
-                        ts: fl.order,
-                        dest: tag.pipeline,
-                        lane: fl.ingress,
-                    },
-                    StageId(st as u16),
-                    tag.stage,
-                );
-                self.report.phantoms_generated += 1;
-            }
-        }
-        if st >= self.prologue {
-            let body = st - self.prologue;
-            let accesses = self
-                .prog
-                .execute_stage(body, &mut fl.pkt.fields, &mut self.regs[pl]);
-            for a in &accesses {
-                if S::ENABLED {
-                    TraceCtx::new(self.cycle, pl as u16, st as u16).emit(
-                        &mut self.sink,
-                        EventKind::Access {
-                            pkt: fl.pkt.id,
-                            reg: a.reg,
-                            index: a.index,
-                            order: (fl.order.0, fl.order.1),
-                        },
-                    );
-                }
-                self.report
-                    .result
-                    .access_log
-                    .entry((a.reg, a.index))
-                    .or_default()
-                    .push(fl.pkt.id);
-            }
-            // Retire this stage's tags. A retired *speculative* tag
-            // whose predicate turned out false produced no access: the
-            // queue slot it consumed is §3.3's one wasted cycle.
-            // Sibling placeholders beyond the first (the slot the data
-            // packet occupied) are released now that the accesses have
-            // executed; each still costs one pop cycle when reclaimed
-            // (§3.3's speculative-false penalty).
-            let mut retired_speculative = false;
-            let mut first = true;
-            while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
-                let tag = fl.pkt.tags.remove(0);
-                retired_speculative |= tag.speculative;
-                if !first && self.cfg.phantoms {
-                    let key = fl.key(&tag);
-                    let ctx = TraceCtx::new(self.cycle, pl as u16, st as u16);
-                    self.queues[pl][st].cancel(key, false, &mut self.sink, ctx);
-                }
-                first = false;
-                self.dec_inflight(&tag);
-            }
-            if retired_speculative && accesses.is_empty() {
-                self.report.wasted_cycles += 1;
-            }
-        }
-        fl
-    }
-
-    /// Runs preemptive address resolution (§3.3) on an arriving packet:
-    /// computes every index it will access, consults the index-to-
-    /// pipeline map, tags the packet, and bumps the runtime counters.
-    fn resolve(&mut self, _pl: usize, fl: &mut Flight) {
-        let resolved = self.prog.resolve(&mut fl.pkt.fields);
-        let mut tags = Vec::with_capacity(resolved.len());
-        for r in resolved {
-            let dest = if r.reg == REG_STAGE_SENTINEL
-                || r.index == INDEX_ARRAY_LEVEL
-                || !self.prog.regs[r.reg.index()].shardable
-            {
-                // Pinned arrays and stage-level serialization live on
-                // pipeline 0 (§3.3's conservative fallbacks).
-                PipelineId(0)
-            } else {
-                PipelineId(self.index_map[r.reg.index()][r.index as usize])
-            };
-            if r.reg != REG_STAGE_SENTINEL && r.index != INDEX_ARRAY_LEVEL {
-                self.access_ctr[r.reg.index()][r.index as usize] += 1;
-                self.inflight[r.reg.index()][r.index as usize] += 1;
-            }
-            tags.push(AccessTag {
-                reg: r.reg,
-                index: r.index,
-                pipeline: dest,
-                stage: r.stage,
-                speculative: r.speculative,
-            });
-        }
-        debug_assert!(tags.windows(2).all(|w| w[0].stage <= w[1].stage));
-        fl.pkt.tags = tags;
-    }
-
     fn dec_inflight(&mut self, tag: &AccessTag) {
         if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
             let c = &mut self.inflight[tag.reg.index()][tag.index as usize];
@@ -969,10 +1411,14 @@ impl<S: TraceSink> Mp5Switch<S> {
     }
 
     fn apply_move(&mut self, reg: usize, mv: shard::Move) {
-        let from = self.index_map[reg][mv.index] as usize;
+        // `make_mut` does not copy in steady state: parallel-engine
+        // jobs return their `Arc` snapshot before the cycle ends, so
+        // the coordinator holds the only reference at remap time.
+        let map = Arc::make_mut(&mut self.index_map);
+        let from = map[reg][mv.index] as usize;
         let value = self.regs[from][reg][mv.index];
         self.regs[mv.to][reg][mv.index] = value;
-        self.index_map[reg][mv.index] = mv.to as u16;
+        map[reg][mv.index] = mv.to as u16;
         if S::ENABLED {
             TraceCtx::new(self.cycle, NO_LOC, NO_LOC).emit(
                 &mut self.sink,
@@ -1333,5 +1779,136 @@ mod tests {
             "got {}",
             report.normalized_throughput()
         );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        use crate::config::EngineMode;
+        use mp5_trace::{stream_hash, MemSink};
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(1500, 33).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let (seq, seq_sink) =
+            Mp5Switch::with_sink(prog.clone(), SwitchConfig::mp5(4), MemSink::new())
+                .run_traced(trace.clone());
+        for n in [1usize, 2, 3, 4, 7] {
+            let cfg = SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(n));
+            let (par, par_sink) =
+                Mp5Switch::with_sink(prog.clone(), cfg, MemSink::new()).run_traced(trace.clone());
+            assert_eq!(seq, par, "RunReport must be bit-identical (n={n})");
+            assert_eq!(
+                stream_hash(&seq_sink.events),
+                stream_hash(&par_sink.events),
+                "traced event stream must be bit-identical (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_on_every_ablation() {
+        use crate::config::EngineMode;
+        for cfg in [
+            SwitchConfig::mp5(4),
+            SwitchConfig::ideal(4),
+            SwitchConfig::no_d4(4),
+            SwitchConfig::static_shard(4, 7),
+            SwitchConfig::naive(4),
+            SwitchConfig::mp5(4).with_hardware_fifos(),
+            SwitchConfig {
+                starvation_threshold: Some(4),
+                ecn_threshold: Some(2),
+                ..SwitchConfig::mp5(4)
+            },
+        ] {
+            let prog = compile(SHARDED, &Target::default()).unwrap();
+            let nf = prog.num_fields();
+            let trace = TraceBuilder::new(800, 44).build(nf, |r, _, f| {
+                use rand::Rng;
+                f[0] = r.gen_range(0..1_000);
+            });
+            let seq = Mp5Switch::new(prog.clone(), cfg.clone()).run(trace.clone());
+            let par_cfg = SwitchConfig {
+                engine: EngineMode::Parallel(4),
+                ..cfg.clone()
+            };
+            let par = Mp5Switch::new(prog, par_cfg).run(trace);
+            assert_eq!(seq, par, "engines diverged under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs() {
+        use crate::config::{ConfigError, EngineMode};
+        let prog = compile(COUNTER, &Target::default()).unwrap();
+        // physical_pipelines below the logical count is a hard error
+        // now (it used to be silently clamped upward).
+        let shrunk = SwitchConfig {
+            physical_pipelines: Some(2),
+            ..SwitchConfig::mp5(4)
+        };
+        assert_eq!(
+            Mp5Switch::try_new(prog.clone(), shrunk).err(),
+            Some(ConfigError::PhysicalPipelinesBelowLogical {
+                physical: 2,
+                logical: 4
+            })
+        );
+        let zero_workers = SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(0));
+        assert_eq!(
+            Mp5Switch::try_new(prog.clone(), zero_workers).err(),
+            Some(ConfigError::ZeroWorkers)
+        );
+        // A *larger* physical chip remains valid (logical partitions).
+        let ok = SwitchConfig {
+            physical_pipelines: Some(8),
+            ..SwitchConfig::mp5(4)
+        };
+        assert!(Mp5Switch::try_new(prog, ok).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SwitchConfig")]
+    fn new_panics_on_invalid_config() {
+        let prog = compile(COUNTER, &Target::default()).unwrap();
+        let bad = SwitchConfig {
+            physical_pipelines: Some(1),
+            ..SwitchConfig::mp5(4)
+        };
+        let _ = Mp5Switch::new(prog, bad);
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_counts_cycles() {
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(400, 55).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let plain = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        let (timed, _, timings) = Mp5Switch::new(prog, SwitchConfig::mp5(4))
+            .try_run_timed(trace)
+            .unwrap();
+        assert_eq!(plain, timed);
+        assert_eq!(timings.nanos.len() as u64, timed.cycles);
+        assert!(timings.percentile(99.0) >= timings.percentile(50.0));
+    }
+
+    /// The engine's job payloads cross thread boundaries: every type
+    /// moved into a worker must be `Send` (compile-time audit).
+    #[test]
+    fn engine_payloads_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Flight>();
+        assert_send::<StageQueue>();
+        assert_send::<Unit>();
+        assert_send::<Job>();
+        assert_send::<WorkFx>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<EngineShared>();
+        assert_sync::<CompiledProgram>();
     }
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p mp5-sim --bin mp5run -- program.dsl \
 //!     [--pipelines 4] [--packets 20000] [--pattern uniform|skewed] \
 //!     [--design mp5|ideal|no-d4|static|naive|recirc] [--seed 1] \
-//!     [--keys 1024] [--packet-size 64] \
+//!     [--engine seq|par|par:N] [--keys 1024] [--packet-size 64] \
 //!     [--trace out.jsonl] [--audit] [--rollup out.csv] [--chrome out.json]
 //! ```
 //!
@@ -28,7 +28,7 @@
 use mp5_banzai::BanzaiSwitch;
 use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_compiler::{compile, Target};
-use mp5_core::{Mp5Switch, SwitchConfig};
+use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
 use mp5_sim::c1_violation_fraction;
 use mp5_trace::{audit, Event, MemSink, Rollup};
 use mp5_traffic::{AccessPattern, SizeDist, TraceBuilder};
@@ -39,6 +39,7 @@ struct Args {
     packets: usize,
     pattern: AccessPattern,
     design: String,
+    engine: EngineMode,
     seed: u64,
     keys: u64,
     packet_size: u32,
@@ -52,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mp5run <program.dsl> [--pipelines N] [--packets N] \
          [--pattern uniform|skewed] [--design mp5|ideal|no-d4|static|naive|recirc] \
-         [--seed N] [--keys N] [--packet-size BYTES] \
+         [--engine seq|par|par:N] [--seed N] [--keys N] [--packet-size BYTES] \
          [--trace FILE] [--audit] [--rollup FILE] [--chrome FILE]"
     );
     std::process::exit(2)
@@ -65,6 +66,7 @@ fn parse_args() -> Args {
         packets: 20_000,
         pattern: AccessPattern::Uniform,
         design: "mp5".into(),
+        engine: EngineMode::Sequential,
         seed: 1,
         keys: 1024,
         packet_size: 64,
@@ -102,6 +104,12 @@ fn parse_args() -> Args {
                 }
             }
             "--design" => args.design = val("--design"),
+            "--engine" => {
+                args.engine = val("--engine").parse().unwrap_or_else(|e| {
+                    eprintln!("--engine: {e}");
+                    usage()
+                })
+            }
             "--trace" => args.trace_out = Some(val("--trace")),
             "--audit" => args.audit = true,
             "--rollup" => args.rollup_out = Some(val("--rollup")),
@@ -163,7 +171,7 @@ fn main() {
         || args.chrome_out.is_some();
     let (report, events, extra) = match args.design.as_str() {
         "recirc" => {
-            let cfg = RecircConfig::new(k);
+            let cfg = RecircConfig::new(k).with_engine(args.engine);
             let (rep, events) = if tracing {
                 let (rep, sink) =
                     RecircSwitch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
@@ -189,7 +197,8 @@ fn main() {
                     eprintln!("unknown design '{other}'");
                     usage()
                 }
-            };
+            }
+            .with_engine(args.engine);
             let (report, events) = if tracing {
                 let (report, sink) =
                     Mp5Switch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);

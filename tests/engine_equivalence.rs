@@ -1,0 +1,100 @@
+//! Engine equivalence suite: the parallel cycle engine must be
+//! **bit-identical** to the sequential one — same [`RunReport`] (final
+//! registers, packet outputs, per-state access order, every counter)
+//! and the same traced event stream (compared by `stream_hash`) — for
+//! every bundled application, across seeds and pipeline counts.
+//!
+//! This is the contract `EngineMode` documents and `DESIGN.md` §10
+//! argues: the parallel engine shards the work phase of each cycle and
+//! merges buffered side effects in pipeline order, so no observable
+//! difference may ever appear. Scale knob: `MP5_EQ_PACKETS` (default
+//! 300 packets per run).
+
+use mp5::apps::ALL_APPS;
+use mp5::core::{EngineMode, Mp5Switch, RunReport, SwitchConfig};
+use mp5::sim::experiments::app_trace;
+use mp5::trace::{stream_hash, MemSink};
+
+fn packets_per_run() -> usize {
+    std::env::var("MP5_EQ_PACKETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// One traced run; returns the report and the event-stream hash.
+fn traced(
+    prog: &mp5::compiler::CompiledProgram,
+    trace: &[mp5::types::Packet],
+    cfg: SwitchConfig,
+) -> (RunReport, u64) {
+    let (report, sink) =
+        Mp5Switch::with_sink(prog.clone(), cfg, MemSink::new()).run_traced(trace.to_vec());
+    let hash = stream_hash(&sink.into_events());
+    (report, hash)
+}
+
+/// All ten bundled programs × seeds {1,2,3} × pipelines {1,2,4,8}:
+/// identical reports and identical event streams.
+#[test]
+fn parallel_engine_is_bit_identical_on_every_program() {
+    let packets = packets_per_run();
+    for app in &ALL_APPS {
+        for seed in [1u64, 2, 3] {
+            let (prog, trace) = app_trace(app, packets, seed);
+            for k in [1usize, 2, 4, 8] {
+                let (seq_rep, seq_hash) = traced(&prog, &trace, SwitchConfig::mp5(k));
+                let par_cfg = SwitchConfig::mp5(k).with_engine(EngineMode::Parallel(k));
+                let (par_rep, par_hash) = traced(&prog, &trace, par_cfg);
+                assert_eq!(
+                    seq_rep, par_rep,
+                    "{} seed={seed} k={k}: reports diverged",
+                    app.name
+                );
+                assert_eq!(
+                    seq_hash, par_hash,
+                    "{} seed={seed} k={k}: event streams diverged",
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+/// Worker counts that do not divide the pipeline count evenly (and
+/// exceed it) must not matter either: `Parallel(n)` for n in 1..=8 on a
+/// 4-pipeline switch, many short runs.
+#[test]
+fn worker_count_never_changes_results() {
+    let app = &ALL_APPS[0]; // flowlet
+    let (prog, trace) = app_trace(app, 200, 5);
+    let (seq_rep, seq_hash) = traced(&prog, &trace, SwitchConfig::mp5(4));
+    for n in 1usize..=8 {
+        for round in 0..3 {
+            let cfg = SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(n));
+            let (par_rep, par_hash) = traced(&prog, &trace, cfg);
+            assert_eq!(
+                seq_rep, par_rep,
+                "Parallel({n}) round {round}: reports diverged"
+            );
+            assert_eq!(
+                seq_hash, par_hash,
+                "Parallel({n}) round {round}: event streams diverged"
+            );
+        }
+    }
+}
+
+/// The untraced parallel path (NopSink workers) must agree with the
+/// untraced sequential path too — tracing must not be what makes the
+/// engines agree.
+#[test]
+fn untraced_runs_agree_across_engines() {
+    for app in &ALL_APPS[..4] {
+        let (prog, trace) = app_trace(app, 400, 11);
+        let seq = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        let cfg = SwitchConfig::mp5(4).with_engine(EngineMode::parallel_auto());
+        let par = Mp5Switch::new(prog.clone(), cfg).run(trace);
+        assert_eq!(seq, par, "{}: untraced reports diverged", app.name);
+    }
+}
