@@ -49,6 +49,7 @@ need_bin mp5lint
 need_bin mp5run
 need_bin mp5audit
 need_bin mp5bench
+need_bin mp5chaos
 
 echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
@@ -64,6 +65,16 @@ trap 'rm -f "$TRACE_TMP"' EXIT
 echo "==> engine smoke: parallel engine on the same trace"
 ./target/release/mp5run crates/apps/programs/flowlet.mp5 \
     --packets 4000 --engine par
+
+echo "==> chaos smoke: 3 seeded fault plans per app, auditor-gated"
+# Quick plans: every case must finish clean (no panics, closed fault
+# ledger, zero auditor findings, seq/par bit-identity). Seeds are fixed
+# so this cannot flake; the nightly CI job runs the wider sweep.
+./target/release/mp5chaos --seeds 3 --packets 400 --horizon 200
+
+echo "==> faulted replay smoke: chaos seed through mp5run + auditor"
+./target/release/mp5run crates/apps/programs/flowlet.mp5 \
+    --packets 4000 --chaos-seed 3 --audit
 
 if [ "${CI_BENCH:-0}" = "1" ]; then
     echo "==> mp5bench perf-regression gate (CI_BENCH=1)"

@@ -29,7 +29,8 @@ use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_core::{EngineMode, RunReport, WorkerPool};
 use mp5_fabric::OrderKey;
-use mp5_trace::{Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink};
+use mp5_faults::{FaultClass, FaultInjector, NoFaults};
+use mp5_trace::{Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC};
 use mp5_types::time::cycle_len;
 use mp5_types::{hash2, Packet, PacketId, PipelineId, RegId, StageId, Value};
 
@@ -111,6 +112,24 @@ struct RecircCtx<'a> {
     prog: &'a CompiledProgram,
     prologue: usize,
     cycle: u64,
+    /// `(pipeline, stage)` pairs frozen by injected stalls this cycle
+    /// (empty under `NoFaults`). Physical stage ids, like the MP5
+    /// switch's, so the same fault plan stalls the same hardware.
+    stalls: &'a [(u16, u16)],
+}
+
+impl RecircCtx<'_> {
+    /// Is `(pl, body_stage)` under an injected stall this cycle? A
+    /// stalled stage skips execution; the packet keeps moving and picks
+    /// the stage up on a later pass (this datapath's native recovery —
+    /// recirculation — absorbs the stall).
+    #[inline]
+    fn stalled(&self, pl: usize, body_stage: usize) -> bool {
+        !self.stalls.is_empty()
+            && self
+                .stalls
+                .contains(&(pl as u16, (body_stage + self.prologue) as u16))
+    }
 }
 
 /// A stage is executable in pipeline `pl` if every access the packet
@@ -138,9 +157,21 @@ fn work_row<S: TraceSink>(
     regs: &mut [Vec<Value>],
     sink: &mut S,
     accesses: &mut Vec<(RegId, u32, PacketId)>,
-) {
+) -> u64 {
+    let mut stall_hits = 0u64;
     for (st, slot) in inc_row.iter_mut().enumerate() {
         if let Some(mut fl) = slot.take() {
+            if fl.exec_ptr == st
+                && stage_executable(ctx.prologue, pl, st, &fl)
+                && ctx.stalled(pl, st)
+            {
+                // Injected stall: the stage skips this packet, which
+                // recirculates for another pass — the baseline's native
+                // recovery path.
+                stall_hits += 1;
+                lanes[st] = Some(fl);
+                continue;
+            }
             if fl.exec_ptr == st && stage_executable(ctx.prologue, pl, st, &fl) {
                 if S::ENABLED {
                     // `queued: false`: this datapath has no stage FIFOs —
@@ -175,6 +206,7 @@ fn work_row<S: TraceSink>(
             lanes[st] = Some(fl);
         }
     }
+    stall_hits
 }
 
 /// Inputs every worker shares, snapshotted at construction.
@@ -196,6 +228,8 @@ struct RecircUnit {
     regs: Vec<Vec<Value>>,
     accesses: Vec<(RegId, u32, PacketId)>,
     events: Vec<Event>,
+    /// Executions suppressed by injected stalls this cycle.
+    stall_hits: u64,
 }
 
 /// A worker's per-cycle job: a contiguous chunk of pipelines.
@@ -204,6 +238,8 @@ struct RecircJob {
     shared: Arc<RecircShared>,
     cycle: u64,
     units: Vec<RecircUnit>,
+    /// Injected stalls active this cycle (empty under `NoFaults`).
+    stalls: Vec<(u16, u16)>,
 }
 
 /// The job function executed on the worker threads.
@@ -213,12 +249,13 @@ fn run_recirc_job(mut job: RecircJob) -> Vec<RecircUnit> {
             prog: &job.shared.prog,
             prologue: job.shared.prologue,
             cycle: job.cycle,
+            stalls: &job.stalls,
         };
         if job.shared.tracing {
             let mut sink = MemSink {
                 events: std::mem::take(&mut u.events),
             };
-            work_row(
+            u.stall_hits = work_row(
                 &ctx,
                 u.pl,
                 &mut u.inc_row,
@@ -229,7 +266,7 @@ fn run_recirc_job(mut job: RecircJob) -> Vec<RecircUnit> {
             );
             u.events = sink.into_events();
         } else {
-            work_row(
+            u.stall_hits = work_row(
                 &ctx,
                 u.pl,
                 &mut u.inc_row,
@@ -262,8 +299,15 @@ struct RecircEngine {
 /// [`RecircSwitch::with_sink`] to record a run for the `mp5audit`
 /// offline auditor (which checks C1 and conservation against the
 /// recorded stream — and, for this baseline, *expects* C1 findings).
+/// Also generic over a [`FaultInjector`] `F` (default [`NoFaults`]).
+/// The baseline's fault support is deliberately minimal: only
+/// `StageStall` touches the datapath (a stalled stage skips execution
+/// and the packet recirculates — the design's native recovery); every
+/// other fired fault is accounted in the report but has no effect here,
+/// because the mechanisms they target (phantoms, crossbars, dynamic
+/// sharding) do not exist in this datapath.
 #[derive(Debug)]
-pub struct RecircSwitch<S: TraceSink = NopSink> {
+pub struct RecircSwitch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     cfg: RecircConfig,
     prog: CompiledProgram,
     k: usize,
@@ -286,6 +330,8 @@ pub struct RecircSwitch<S: TraceSink = NopSink> {
     /// Worker pool when `cfg.engine` is [`EngineMode::Parallel`].
     par: Option<RecircEngine>,
     sink: S,
+    /// Deterministic fault schedule (inert [`NoFaults`] by default).
+    faults: F,
 }
 
 impl RecircSwitch<NopSink> {
@@ -295,11 +341,20 @@ impl RecircSwitch<NopSink> {
     }
 }
 
-impl<S: TraceSink> RecircSwitch<S> {
+impl<S: TraceSink> RecircSwitch<S, NoFaults> {
     /// Builds a baseline switch that records every observable action
     /// into `sink`. The sink only observes; the run is identical to
     /// [`RecircSwitch::new`]'s.
     pub fn with_sink(prog: CompiledProgram, cfg: RecircConfig, sink: S) -> Self {
+        RecircSwitch::with_faults(prog, cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultInjector> RecircSwitch<S, F> {
+    /// Builds a baseline switch with a deterministic fault schedule
+    /// attached (see the type-level docs for which faults this
+    /// datapath honors).
+    pub fn with_faults(prog: CompiledProgram, cfg: RecircConfig, sink: S, faults: F) -> Self {
         let k = cfg.pipelines;
         assert!(k >= 1);
         let body_stages = prog.stages.len();
@@ -359,6 +414,7 @@ impl<S: TraceSink> RecircSwitch<S> {
             regs,
             shard,
             sink,
+            faults,
         }
     }
 
@@ -420,6 +476,28 @@ impl<S: TraceSink> RecircSwitch<S> {
     }
 
     fn step(&mut self) {
+        // 0. Fault schedule: fire due faults and account them. Only
+        // `StageStall` affects this datapath (see the type docs); the
+        // rest are recorded as fired-but-inapplicable.
+        if F::ENABLED {
+            for fired in self.faults.begin_cycle(self.cycle) {
+                self.report.fault.injected += 1;
+                match fired.kind.class() {
+                    FaultClass::Recovered => self.report.fault.recovered += 1,
+                    FaultClass::Degraded => self.report.fault.degraded += 1,
+                }
+                if S::ENABLED {
+                    TraceCtx::new(self.cycle, NO_LOC, NO_LOC).emit(
+                        &mut self.sink,
+                        EventKind::FaultInjected {
+                            code: fired.kind.code(),
+                            param: fired.kind.param(),
+                        },
+                    );
+                }
+            }
+        }
+
         // 1. Move phase: advance all occupants; handle egress.
         let mut incoming: Vec<Vec<Option<Flight>>> =
             (0..self.k).map(|_| vec![None; self.body_stages]).collect();
@@ -450,7 +528,9 @@ impl<S: TraceSink> RecircSwitch<S> {
         // 3. Fresh arrivals route to their port's pipeline.
         let now_end = (self.cycle + 1) * cycle_len(self.k);
         while self.arrivals.front().is_some_and(|p| p.arrival < now_end) {
-            let mut pkt = self.arrivals.pop_front().expect("front checked");
+            let Some(mut pkt) = self.arrivals.pop_front() else {
+                break; // unreachable: `front()` was just checked
+            };
             let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
             // Resolve the itinerary once at first ingress.
             self.resolve(&mut pkt);
@@ -499,8 +579,9 @@ impl<S: TraceSink> RecircSwitch<S> {
                     prog: &self.prog,
                     prologue: self.prologue,
                     cycle: self.cycle,
+                    stalls: self.faults.active_stalls(),
                 };
-                work_row(
+                let hits = work_row(
                     &ctx,
                     pl,
                     inc_row,
@@ -509,6 +590,7 @@ impl<S: TraceSink> RecircSwitch<S> {
                     &mut self.sink,
                     &mut accesses,
                 );
+                self.report.fault.stall_cycles += hits;
                 for (reg, index, pkt) in accesses.drain(..) {
                     self.report
                         .result
@@ -529,7 +611,12 @@ impl<S: TraceSink> RecircSwitch<S> {
     /// exactly the sequential order — so reports and event streams are
     /// bit-identical to [`EngineMode::Sequential`].
     fn work_parallel(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
-        let par = self.par.as_mut().expect("parallel engine present");
+        let Some(par) = self.par.as_mut() else {
+            // Guarded by the `par.is_some()` check in `step`; skipping
+            // the work phase silently would corrupt the run.
+            unreachable!("work_parallel called without a parallel engine");
+        };
+        let stalls: Vec<(u16, u16)> = self.faults.active_stalls().to_vec();
         let k = self.k;
         let workers = par.pool.workers();
         let mut units = Vec::with_capacity(k);
@@ -542,6 +629,7 @@ impl<S: TraceSink> RecircSwitch<S> {
                 regs: std::mem::take(&mut self.regs[pl]),
                 accesses,
                 events,
+                stall_hits: 0,
             });
         }
         // Contiguous chunks, first `rem` workers take one extra, so a
@@ -560,6 +648,7 @@ impl<S: TraceSink> RecircSwitch<S> {
                 shared: Arc::clone(&par.shared),
                 cycle: self.cycle,
                 units: chunk,
+                stalls: stalls.clone(),
             });
         }
         for mut unit in par.pool.exchange(jobs).into_iter().flatten() {
@@ -567,6 +656,7 @@ impl<S: TraceSink> RecircSwitch<S> {
             incoming[pl] = std::mem::take(&mut unit.inc_row);
             self.lanes[pl] = std::mem::take(&mut unit.lanes);
             self.regs[pl] = std::mem::take(&mut unit.regs);
+            self.report.fault.stall_cycles += unit.stall_hits;
             if S::ENABLED {
                 for ev in unit.events.drain(..) {
                     self.sink.emit(ev);
@@ -706,6 +796,29 @@ mod tests {
         assert_eq!(rep.report.completed, 2000);
         assert!(rep.total_recircs > 0, "remote state must force recircs");
         assert!(rep.max_passes >= 2);
+    }
+
+    #[test]
+    fn recirc_absorbs_injected_stalls() {
+        let (prog, t) = trace(TWO_STATE, 1500, 5);
+        let reference = BanzaiSwitch::new(prog.clone()).run(t.clone());
+        let plan = mp5_faults::FaultPlan::new(9).stage_stall(10, 0, 2, 60);
+        let rep =
+            RecircSwitch::with_faults(prog, RecircConfig::new(4), NopSink, plan.injector()).run(t);
+        assert_eq!(rep.report.completed, 1500);
+        // Recirculation does not preserve C1, so a stall may legally reorder
+        // state accesses and change order-dependent packet *outputs*. The
+        // order-independent increment counters must still be conserved.
+        assert_eq!(
+            rep.report.result.final_regs, reference.final_regs,
+            "stalls delay passes but never lose state updates"
+        );
+        assert_eq!(rep.report.fault.injected, 1);
+        assert!(rep.report.fault.accounted());
+        assert!(
+            rep.report.fault.stall_cycles > 0,
+            "the stall window must suppress executions"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every report this module writes.
-pub const SCHEMA: &str = "mp5bench/v1";
+///
+/// v2 added the fault-recovery columns (`degraded_cycles`,
+/// `phantoms_recovered`); regenerate committed baselines with `--out`
+/// after a schema bump.
+pub const SCHEMA: &str = "mp5bench/v2";
 
 /// Pipeline counts of the full matrix.
 pub const FULL_PIPELINES: [usize; 4] = [1, 2, 4, 8];
@@ -91,6 +95,13 @@ pub struct BenchRow {
     /// The run's simulated normalized throughput (sanity: engine
     /// choice must not change it).
     pub normalized_throughput: f64,
+    /// Cycles spent with at least one dead pipeline (0 under the
+    /// default `NoFaults` injector — the benchmark matrix runs
+    /// fault-free, the column exists so faulted reports share the
+    /// schema).
+    pub degraded_cycles: u64,
+    /// Lost phantoms recovered back into FIFO order (0 fault-free).
+    pub phantoms_recovered: u64,
 }
 
 /// A full suite report (what `BENCH_main.json` holds).
@@ -184,6 +195,8 @@ fn row_from(
         p50_cycle_ns: timings.percentile(50.0),
         p99_cycle_ns: timings.percentile(99.0),
         normalized_throughput: report.normalized_throughput(),
+        degraded_cycles: report.fault.degraded_cycles,
+        phantoms_recovered: report.fault.phantoms_recovered,
     }
 }
 
@@ -250,6 +263,7 @@ fn par_cfg_workers(requested: usize, pipelines: usize) -> usize {
 pub fn render_summary(rep: &BenchReport) -> String {
     let headers = [
         "app", "k", "engine", "wrk", "pkts/s", "cyc/s", "speedup", "p50ns", "p99ns", "tput",
+        "faulted",
     ];
     let rows: Vec<Vec<String>> = rep
         .rows
@@ -266,6 +280,12 @@ pub fn render_summary(rep: &BenchReport) -> String {
                 r.p50_cycle_ns.to_string(),
                 r.p99_cycle_ns.to_string(),
                 format!("{:.3}", r.normalized_throughput),
+                // degraded-cycles / recovered-phantoms; "-" fault-free.
+                if r.degraded_cycles == 0 && r.phantoms_recovered == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{}/{}", r.degraded_cycles, r.phantoms_recovered)
+                },
             ]
         })
         .collect();
@@ -389,6 +409,8 @@ mod tests {
             p50_cycle_ns: 10,
             p99_cycle_ns: 20,
             normalized_throughput: 1.0,
+            degraded_cycles: 0,
+            phantoms_recovered: 0,
         }
     }
 

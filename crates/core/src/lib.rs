@@ -45,5 +45,5 @@ pub mod switch;
 pub use config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig};
 pub use engine::{CycleTimings, WorkerPool};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
-pub use report::{DropCounts, RunReport};
+pub use report::{DropCounts, FaultReport, RunReport};
 pub use switch::{InvariantViolation, Mp5Switch};

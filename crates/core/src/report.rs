@@ -1,5 +1,7 @@
 //! Run reports: everything a run of the switch produces.
 
+use std::collections::BTreeMap;
+
 use mp5_banzai::RunResult;
 use mp5_types::{Cycle, PacketId, Time};
 
@@ -20,6 +22,52 @@ impl DropCounts {
     /// Total dropped *data* packets.
     pub fn total_data(&self) -> u64 {
         self.data_no_phantom + self.data_fifo_full + self.starvation
+    }
+}
+
+/// Recovery accounting for a run with injected faults (`mp5-faults`).
+///
+/// The accounting invariant the switch maintains — and the chaos suite
+/// asserts — is `injected == recovered + degraded`: every fired fault
+/// is either fully absorbed by the recovery machinery or acknowledged
+/// as permanent degradation (a dead pipeline, or a deliberately silent
+/// phantom loss used as an auditor negative control).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults fired by the plan.
+    pub injected: u64,
+    /// Transient faults fully absorbed (stalls, recoverable phantom
+    /// losses, forced FIFO pressure, grant delays, remap aborts).
+    pub recovered: u64,
+    /// Faults acknowledged as permanent degradation.
+    pub degraded: u64,
+    /// Cycles spent running with at least one dead pipeline.
+    pub degraded_cycles: u64,
+    /// Register indexes evacuated off dead pipelines via the D2 path.
+    pub evacuated_indexes: u64,
+    /// Phantoms lost to injected drops / forced overflow (recorded).
+    pub phantoms_dropped: u64,
+    /// Lost-phantom data packets recovered into FIFO order.
+    pub phantoms_recovered: u64,
+    /// Pipelines dead at end of run (ascending).
+    pub dead_pipelines: Vec<u16>,
+    /// Stage-cycles suppressed by injected stalls.
+    pub stall_cycles: u64,
+    /// Crossbar grants delayed by injected grant latency.
+    pub delayed_grants: u64,
+    /// Remap rounds aborted by injected control-plane failures.
+    pub aborted_remaps: u64,
+}
+
+impl FaultReport {
+    /// Does the accounting close? (`injected == recovered + degraded`.)
+    pub fn accounted(&self) -> bool {
+        self.injected == self.recovered + self.degraded
+    }
+
+    /// Whether any fault fired during the run.
+    pub fn any(&self) -> bool {
+        self.injected > 0
     }
 }
 
@@ -64,6 +112,14 @@ pub struct RunReport {
     /// Byte-times per pipeline cycle of the switch that produced this
     /// report (`64·k`).
     pub cycle_len: u64,
+    /// Per-`(pipeline, stage)` drop counts for bounded-FIFO runs:
+    /// every drop in [`DropCounts`] that happened *at* a stage FIFO is
+    /// also attributed to its location here (phantom overflow, cascaded
+    /// no-phantom drops, direct data overflow, starvation yields).
+    pub stage_drops: BTreeMap<(u16, u16), u64>,
+    /// Fault-injection accounting (all-zero under the default
+    /// `NoFaults` injector).
+    pub fault: FaultReport,
 }
 
 impl RunReport {
@@ -118,7 +174,19 @@ impl RunReport {
             remap_moves: 0,
             ecn_marked: 0,
             cycle_len: 64,
+            stage_drops: BTreeMap::new(),
+            fault: FaultReport::default(),
         }
+    }
+
+    /// Attribute one drop to a stage location (bounded-FIFO accounting).
+    pub fn count_stage_drop(&mut self, pipeline: u16, stage: u16) {
+        *self.stage_drops.entry((pipeline, stage)).or_insert(0) += 1;
+    }
+
+    /// Total drops attributed to stage locations.
+    pub fn stage_drop_total(&self) -> u64 {
+        self.stage_drops.values().sum()
     }
 }
 
@@ -152,6 +220,30 @@ mod tests {
         r.set_cycle_len(64);
         r.cycles = 200;
         assert!((r.normalized_throughput() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_report_accounting_closes() {
+        let mut f = FaultReport::default();
+        assert!(f.accounted());
+        assert!(!f.any());
+        f.injected = 3;
+        f.recovered = 2;
+        assert!(!f.accounted());
+        f.degraded = 1;
+        assert!(f.accounted());
+        assert!(f.any());
+    }
+
+    #[test]
+    fn stage_drops_accumulate_per_location() {
+        let mut r = RunReport::new();
+        r.count_stage_drop(1, 2);
+        r.count_stage_drop(1, 2);
+        r.count_stage_drop(0, 3);
+        assert_eq!(r.stage_drops.get(&(1, 2)), Some(&2));
+        assert_eq!(r.stage_drops.get(&(0, 3)), Some(&1));
+        assert_eq!(r.stage_drop_total(), 3);
     }
 
     #[test]

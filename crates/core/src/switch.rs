@@ -6,6 +6,7 @@ use std::sync::Arc;
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
+use mp5_faults::{FaultClass, FaultInjector, FaultKind, NoFaults, PhantomFate};
 use mp5_trace::{DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC};
 use mp5_types::time::cycle_len;
 use mp5_types::{AccessTag, Packet, PacketId, PipelineId, RegId, StageId, Value};
@@ -22,6 +23,13 @@ fn tkey(key: PhantomKey) -> mp5_trace::Key {
         reg: key.reg,
         index: key.index,
     }
+}
+
+/// Stable identity hash of a phantom key, fed to the fault injector's
+/// phantom-drop decision. Pure function of the key, so the sequential
+/// and parallel engines see identical fates.
+fn fault_key_hash(key: &PhantomKey) -> u64 {
+    key.pkt.0 ^ ((key.reg.0 as u64) << 48) ^ ((key.index as u64) << 32)
 }
 
 /// The simulator's liveness invariant broke: a run failed to drain all
@@ -91,6 +99,9 @@ enum StageQueue {
     PerIndex {
         subs: std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
         max_total: usize,
+        /// Bound applied to each per-index sub-queue (`fifo_capacity`):
+        /// the ideal configuration honors bounded-FIFO runs too.
+        capacity: Option<usize>,
     },
 }
 
@@ -107,6 +118,7 @@ impl StageQueue {
             StageQueue::PerIndex {
                 subs: Default::default(),
                 max_total: 0,
+                capacity: cfg.fifo_capacity,
             }
         } else {
             StageQueue::Logical(LogicalFifo::new(cfg.pipelines, cfg.fifo_capacity))
@@ -115,10 +127,11 @@ impl StageQueue {
 
     fn sub(
         subs: &mut std::collections::BTreeMap<u32, LogicalFifo<Flight>>,
+        capacity: Option<usize>,
         index: u32,
     ) -> &mut LogicalFifo<Flight> {
         subs.entry(index)
-            .or_insert_with(|| LogicalFifo::new(1, None))
+            .or_insert_with(|| LogicalFifo::new(1, capacity))
     }
 
     fn push_phantom<S: TraceSink>(
@@ -131,8 +144,12 @@ impl StageQueue {
     ) -> bool {
         match self {
             StageQueue::Logical(f) => f.push_phantom_traced(key, ts, lane, sink, ctx).is_ok(),
-            StageQueue::PerIndex { subs, max_total } => {
-                let ok = Self::sub(subs, key.index)
+            StageQueue::PerIndex {
+                subs,
+                max_total,
+                capacity,
+            } => {
+                let ok = Self::sub(subs, *capacity, key.index)
                     .push_phantom_traced(key, ts, PipelineId(0), sink, ctx)
                     .is_ok();
                 *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
@@ -152,12 +169,40 @@ impl StageQueue {
         let pkt = fl.pkt.id;
         match self {
             StageQueue::Logical(f) => f.push_data_traced(pkt, fl, ts, lane, sink, ctx).map(|_| ()),
-            StageQueue::PerIndex { subs, max_total } => {
-                let r = Self::sub(subs, INDEX_ARRAY_LEVEL)
+            StageQueue::PerIndex {
+                subs,
+                max_total,
+                capacity,
+            } => {
+                let r = Self::sub(subs, *capacity, INDEX_ARRAY_LEVEL)
                     .push_data_traced(pkt, fl, ts, PipelineId(0), sink, ctx)
                     .map(|_| ());
                 *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
                 r
+            }
+        }
+    }
+
+    /// Re-inserts a data packet whose phantom was lost to an injected
+    /// fault directly into FIFO order at its original order key (the
+    /// C1-preserving recovery path; see `LogicalFifo::push_recovered`).
+    fn push_recovered<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        fl: Flight,
+        ts: OrderKey,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) {
+        match self {
+            StageQueue::Logical(f) => f.push_recovered_traced(key, fl, ts, sink, ctx),
+            StageQueue::PerIndex {
+                subs,
+                max_total,
+                capacity,
+            } => {
+                Self::sub(subs, *capacity, key.index).push_recovered_traced(key, fl, ts, sink, ctx);
+                *max_total = (*max_total).max(subs.values().map(|f| f.len()).sum::<usize>());
             }
         }
     }
@@ -171,7 +216,7 @@ impl StageQueue {
     ) -> Result<(), Flight> {
         match self {
             StageQueue::Logical(f) => f.insert_data_traced(key, fl, sink, ctx).map(|_| ()),
-            StageQueue::PerIndex { subs, .. } => Self::sub(subs, key.index)
+            StageQueue::PerIndex { subs, capacity, .. } => Self::sub(subs, *capacity, key.index)
                 .insert_data_traced(key, fl, sink, ctx)
                 .map(|_| ()),
         }
@@ -186,8 +231,8 @@ impl StageQueue {
     ) -> bool {
         match self {
             StageQueue::Logical(f) => f.cancel_traced(key, free, sink, ctx),
-            StageQueue::PerIndex { subs, .. } => {
-                Self::sub(subs, key.index).cancel_traced(key, free, sink, ctx)
+            StageQueue::PerIndex { subs, capacity, .. } => {
+                Self::sub(subs, *capacity, key.index).cancel_traced(key, free, sink, ctx)
             }
         }
     }
@@ -260,10 +305,23 @@ impl StageQueue {
                             continue;
                         }
                     }
-                    let sub = subs.get_mut(&idx).expect("exists");
+                    // `idx` was collected from `heads`, which was built by
+                    // iterating `subs`, and nothing has been removed since
+                    // — absence would be a scheduler bug, so degrade to
+                    // skipping the candidate rather than panicking.
+                    let Some(sub) = subs.get_mut(&idx) else {
+                        debug_assert!(false, "candidate index {idx} vanished from sub-queues");
+                        continue;
+                    };
                     let out = match sub.pop_traced(sink, ctx, |fl| fl.pkt.id) {
                         PopOutcome::Data(fl) => Serve::Served(fl),
                         PopOutcome::ConsumedStale => Serve::Wasted,
+                        // The candidate filter above excluded phantom heads
+                        // and `peek_oldest` drained free stales, so the pop
+                        // can only observe the two servable outcomes; an
+                        // `Empty`/`BlockedOnPhantom` here would mean the
+                        // head changed mid-scan, which nothing in this
+                        // single-threaded scheduler can do.
                         _ => unreachable!("candidate head is servable"),
                     };
                     // Drop drained sub-queues so the scheduler scan
@@ -332,6 +390,23 @@ struct WorkCtx<'a> {
     clen: u64,
     cycle: u64,
     prologue: usize,
+    /// `(pipeline, stage)` pairs suppressed by injected stalls this
+    /// cycle — plain data so the work phase needs no fault generics
+    /// and the parallel engine stays bit-identical (empty under
+    /// `NoFaults`, so the gate below is a length check on the hot
+    /// path).
+    stalls: &'a [(u16, u16)],
+}
+
+impl WorkCtx<'_> {
+    /// Is `(pl, st)` under an injected stall this cycle? Stalls only
+    /// suppress *queue service*: pass-through packets keep their slot
+    /// (Invariant 2 is a hardware datapath property, not a scheduler
+    /// choice), so a stall delays the serial order without breaking it.
+    #[inline]
+    fn stalled(&self, pl: usize, st: usize) -> bool {
+        !self.stalls.is_empty() && self.stalls.contains(&(pl as u16, st as u16))
+    }
 }
 
 /// One buffered update to the global sharding counters. Kept as a
@@ -370,8 +445,13 @@ struct WorkFx {
     /// `(reg, index, packet)` accesses for the report's access log.
     accesses: Vec<(RegId, u32, PacketId)>,
     wasted_cycles: u64,
-    starvation_drops: u64,
+    /// `(pipeline, stage)` locations of this cycle's starvation drops
+    /// (the count *and* the per-stage attribution ride together so both
+    /// engines replay them identically).
+    starvation_drops: Vec<(u16, u16)>,
     phantoms_generated: u64,
+    /// Stage-service slots suppressed by injected stalls.
+    stall_cycles: u64,
 }
 
 /// Applies one pipeline's buffered side effects to the shared switch
@@ -408,11 +488,15 @@ fn apply_work_fx(
             .push(pkt);
     }
     report.wasted_cycles += fx.wasted_cycles;
-    report.drops.starvation += fx.starvation_drops;
+    report.drops.starvation += fx.starvation_drops.len() as u64;
+    for (p, s) in fx.starvation_drops.drain(..) {
+        report.count_stage_drop(p, s);
+    }
     report.phantoms_generated += fx.phantoms_generated;
+    report.fault.stall_cycles += fx.stall_cycles;
     fx.wasted_cycles = 0;
-    fx.starvation_drops = 0;
     fx.phantoms_generated = 0;
+    fx.stall_cycles = 0;
 }
 
 /// The admit/work phase of one pipeline for one cycle: each stage
@@ -441,7 +525,7 @@ fn work_pipeline<S: TraceSink>(
                         now.saturating_sub(ts.0) > thr * ctx.clen
                     });
                 if starved {
-                    fx.starvation_drops += 1;
+                    fx.starvation_drops.push((pl as u16, st as u16));
                     if S::ENABLED {
                         TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
                             sink,
@@ -451,7 +535,11 @@ fn work_pipeline<S: TraceSink>(
                             },
                         );
                     }
-                    serve_queue(ctx, pl, st, queues, lanes, regs, sink, fx);
+                    if ctx.stalled(pl, st) {
+                        fx.stall_cycles += 1;
+                    } else {
+                        serve_queue(ctx, pl, st, queues, lanes, regs, sink, fx);
+                    }
                     continue;
                 }
             }
@@ -471,6 +559,12 @@ fn work_pipeline<S: TraceSink>(
             }
             let fl = process_flight(ctx, pl, st, fl, queues, regs, sink, fx);
             lanes[st] = Some(fl);
+        } else if ctx.stalled(pl, st) {
+            // Injected stall: the stage's scheduler is frozen this
+            // cycle. Only count slots where work was actually waiting.
+            if queues[st].len() > 0 {
+                fx.stall_cycles += 1;
+            }
         } else {
             serve_queue(ctx, pl, st, queues, lanes, regs, sink, fx);
         }
@@ -684,6 +778,9 @@ struct Job {
     index_map: Arc<Vec<Vec<u16>>>,
     cycle: u64,
     units: Vec<Unit>,
+    /// Injected stalls active this cycle (empty under `NoFaults`; a
+    /// plain clone per job keeps workers free of fault generics).
+    stalls: Vec<(u16, u16)>,
 }
 
 /// Worker-side entry point: runs the work phase for every unit in the
@@ -698,6 +795,7 @@ fn run_job(mut job: Job) -> Vec<Unit> {
         clen: shared.clen,
         cycle: job.cycle,
         prologue: shared.prologue,
+        stalls: &job.stalls,
     };
     for u in &mut job.units {
         if shared.tracing {
@@ -755,8 +853,13 @@ impl std::fmt::Debug for ParEngine {
 /// default, every emission guard is `if false` after monomorphization
 /// and the instrumentation compiles away entirely (the `hotpath` bench
 /// pins this down). Use [`Mp5Switch::with_sink`] to record a run.
+///
+/// Also generic over a [`FaultInjector`] `F` (default [`NoFaults`]):
+/// the same static-dispatch trick makes every fault hook an `if false`
+/// under the default, so the fault machinery costs nothing unless a
+/// plan is attached via [`Mp5Switch::with_faults`].
 #[derive(Debug)]
-pub struct Mp5Switch<S: TraceSink = NopSink> {
+pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     cfg: SwitchConfig,
     prog: CompiledProgram,
     k: usize,
@@ -797,6 +900,24 @@ pub struct Mp5Switch<S: TraceSink = NopSink> {
     /// Reusable side-effect buffer for the sequential work phase.
     fx_buf: WorkFx,
     sink: S,
+    /// Deterministic fault schedule (inert [`NoFaults`] by default).
+    faults: F,
+    /// Per-pipeline liveness: `true` once an injected `PipelineFail`
+    /// killed the pipeline. Dead pipelines stop receiving new work
+    /// (ingress spray, sharded indexes) but keep draining what is
+    /// already inside — C1 for in-flight packets is never broken.
+    dead: Vec<bool>,
+    /// Dead pipelines whose evacuation-complete event has been emitted.
+    evac_done: Vec<bool>,
+    /// Indexes evacuated off each pipeline via the D2 path so far.
+    evac_counts: Vec<u64>,
+    /// Phantoms lost to injected faults, awaiting their data packet
+    /// (which re-enters FIFO order via the recovery path).
+    lost: HashSet<PhantomKey>,
+    /// Steered packets held back by injected crossbar grant delays:
+    /// `(ready_cycle, dest pipeline, stage, flight)`, drained in
+    /// insertion order once ready.
+    pending_grants: VecDeque<(u64, PipelineId, usize, Flight)>,
 }
 
 impl Mp5Switch<NopSink> {
@@ -819,7 +940,7 @@ impl Mp5Switch<NopSink> {
     }
 }
 
-impl<S: TraceSink> Mp5Switch<S> {
+impl<S: TraceSink> Mp5Switch<S, NoFaults> {
     /// Builds a switch that records every observable action into
     /// `sink`. Semantically identical to [`Mp5Switch::new`]; the sink
     /// only observes. Panics on a structurally invalid configuration
@@ -831,14 +952,37 @@ impl<S: TraceSink> Mp5Switch<S> {
         }
     }
 
-    /// The validating constructor: rejects structurally invalid
-    /// configurations (zero pipelines, `physical_pipelines` below the
-    /// logical count, a zero-worker parallel engine) with a typed
-    /// [`ConfigError`] instead of silently "fixing" them.
+    /// The validating fault-free constructor.
     pub fn try_with_sink(
         prog: CompiledProgram,
         cfg: SwitchConfig,
         sink: S,
+    ) -> Result<Self, ConfigError> {
+        Mp5Switch::try_with_faults(prog, cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
+    /// Builds a switch with a deterministic fault schedule attached
+    /// (and a trace sink — pass [`NopSink`] for an untraced faulted
+    /// run). Panics on a structurally invalid configuration;
+    /// [`Mp5Switch::try_with_faults`] is the non-panicking form.
+    pub fn with_faults(prog: CompiledProgram, cfg: SwitchConfig, sink: S, faults: F) -> Self {
+        match Self::try_with_faults(prog, cfg, sink, faults) {
+            Ok(sw) => sw,
+            Err(e) => panic!("invalid SwitchConfig: {e}"),
+        }
+    }
+
+    /// The validating constructor: rejects structurally invalid
+    /// configurations (zero pipelines, `physical_pipelines` below the
+    /// logical count, a zero-worker parallel engine) with a typed
+    /// [`ConfigError`] instead of silently "fixing" them.
+    pub fn try_with_faults(
+        prog: CompiledProgram,
+        cfg: SwitchConfig,
+        sink: S,
+        faults: F,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let k = cfg.pipelines;
@@ -911,6 +1055,12 @@ impl<S: TraceSink> Mp5Switch<S> {
             par,
             fx_buf: WorkFx::default(),
             sink,
+            faults,
+            dead: vec![false; k],
+            evac_done: vec![false; k],
+            evac_counts: vec![0; k],
+            lost: HashSet::new(),
+            pending_grants: VecDeque::new(),
         })
     }
 
@@ -1023,12 +1173,20 @@ impl<S: TraceSink> Mp5Switch<S> {
         self.arrivals.is_empty()
             && self.ingress_q.is_empty()
             && self.channel.in_flight() == 0
+            && self.pending_grants.is_empty()
             && self.lanes.iter().flatten().all(|l| l.is_none())
             && self.queues.iter().flatten().all(|q| q.len() == 0)
     }
 
     /// Simulates one pipeline cycle.
     fn step(&mut self) {
+        // 0. Fault schedule: fire due faults, classify them for the
+        // recovery accounting, advance degradation state (compiled out
+        // under the default `NoFaults`).
+        if F::ENABLED {
+            self.begin_faults();
+        }
+
         // 1. Background dynamic sharding.
         if self.cycle > 0 && self.cycle.is_multiple_of(self.cfg.remap_period) {
             self.remap();
@@ -1046,6 +1204,9 @@ impl<S: TraceSink> Mp5Switch<S> {
                 }
                 continue;
             }
+            if F::ENABLED && self.phantom_faulted(&msg, stage.0, ctx) {
+                continue;
+            }
             let ok = self.queues[msg.dest.index()][stage.index()].push_phantom(
                 msg.key,
                 msg.ts,
@@ -1055,6 +1216,20 @@ impl<S: TraceSink> Mp5Switch<S> {
             );
             if !ok {
                 self.report.drops.phantom_fifo_full += 1;
+                self.report.count_stage_drop(msg.dest.0, stage.0);
+            }
+        }
+
+        // 2b. Injected crossbar grant delays: release held steered
+        // packets whose delay has elapsed, in the order they were held.
+        if F::ENABLED && !self.pending_grants.is_empty() {
+            let pending = std::mem::take(&mut self.pending_grants);
+            for (ready, dest, st, fl) in pending {
+                if ready <= self.cycle {
+                    self.enqueue_stateful(dest, st, fl);
+                } else {
+                    self.pending_grants.push_back((ready, dest, st, fl));
+                }
             }
         }
 
@@ -1082,6 +1257,18 @@ impl<S: TraceSink> Mp5Switch<S> {
                     );
                     if dest.index() != pl {
                         self.report.steered += 1;
+                        if F::ENABLED {
+                            let delay = self.faults.grant_delay();
+                            if delay > 0 {
+                                // Injected grant latency: the crossbar
+                                // holds the steered packet; its phantom
+                                // keeps its place in the serial order.
+                                self.report.fault.delayed_grants += 1;
+                                self.pending_grants
+                                    .push_back((self.cycle + delay, dest, next, fl));
+                                continue;
+                            }
+                        }
                     }
                     self.enqueue_stateful(dest, next, fl);
                 } else {
@@ -1094,7 +1281,9 @@ impl<S: TraceSink> Mp5Switch<S> {
         // 3b. Ingress: spray eligible arrivals over pipelines.
         let now_end = (self.cycle + 1) * cycle_len(self.timing_k);
         while self.arrivals.front().is_some_and(|p| p.arrival < now_end) {
-            let pkt = self.arrivals.pop_front().expect("front checked");
+            let Some(pkt) = self.arrivals.pop_front() else {
+                break; // unreachable: `front()` was just checked
+            };
             let order = OrderKey(pkt.arrival, pkt.port.0 as u64);
             self.ingress_q.push_back(Flight {
                 pkt,
@@ -1118,10 +1307,18 @@ impl<S: TraceSink> Mp5Switch<S> {
                 }
                 SprayMode::SinglePipeline(p) => p,
             };
+            if F::ENABLED && self.dead[pl] {
+                // Dead pipelines take no new packets: the spray narrows
+                // to the survivors (throughput degrades by ~k/(k-1) per
+                // lost pipeline, the graceful-degradation bound).
+                continue;
+            }
             if incoming[pl][0].is_some() {
                 continue;
             }
-            let mut fl = self.ingress_q.pop_front().expect("non-empty");
+            let Some(mut fl) = self.ingress_q.pop_front() else {
+                break; // unreachable: emptiness was checked above
+            };
             fl.ingress = PipelineId(pl as u16);
             if S::ENABLED {
                 TraceCtx::new(self.cycle, pl as u16, 0).emit(
@@ -1158,6 +1355,7 @@ impl<S: TraceSink> Mp5Switch<S> {
                     clen,
                     cycle: self.cycle,
                     prologue: self.prologue,
+                    stalls: self.faults.active_stalls(),
                 };
                 work_pipeline(
                     &ctx,
@@ -1190,7 +1388,13 @@ impl<S: TraceSink> Mp5Switch<S> {
     /// side-effect application) so the outcome is bit-identical to the
     /// sequential engine's.
     fn work_parallel(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
-        let par = self.par.as_mut().expect("parallel engine present");
+        let Some(par) = self.par.as_mut() else {
+            // Guarded by the `par.is_some()` check in `step`; silently
+            // skipping the work phase would corrupt the run, so this
+            // must stay loud.
+            unreachable!("work_parallel called without a parallel engine");
+        };
+        let stalls: Vec<(u16, u16)> = self.faults.active_stalls().to_vec();
         let shared = Arc::clone(&par.shared);
         let workers = par.pool.workers();
         let mut units = Vec::with_capacity(self.k);
@@ -1219,6 +1423,7 @@ impl<S: TraceSink> Mp5Switch<S> {
                 index_map: Arc::clone(&self.index_map),
                 cycle: self.cycle,
                 units: it.by_ref().take(take).collect(),
+                stalls: stalls.clone(),
             });
         }
         let outs = par.pool.exchange(jobs);
@@ -1273,6 +1478,7 @@ impl<S: TraceSink> Mp5Switch<S> {
                 self.queues[dest.index()][st].push_data(fl, ts, lane, &mut self.sink, ctx)
             {
                 self.report.drops.data_fifo_full += 1;
+                self.report.count_stage_drop(dest.0, st as u16);
                 if S::ENABLED {
                     ctx.emit(
                         &mut self.sink,
@@ -1286,6 +1492,21 @@ impl<S: TraceSink> Mp5Switch<S> {
             }
             return;
         }
+        if F::ENABLED && !self.lost.is_empty() && self.lost.remove(&keys[0]) {
+            // Injected-fault recovery: the phantom never reached this
+            // FIFO, but the loss was recorded, so the data packet
+            // re-enters the serial order directly at its original
+            // entry-order key — exactly the slot its phantom would have
+            // frozen, so C1 is preserved (older queued phantoms still
+            // block it; see `LogicalFifo::push_recovered`).
+            let ts = fl.order;
+            for k in &keys[1..] {
+                self.lost.remove(k); // siblings ride in with the data
+            }
+            self.report.fault.phantoms_recovered += 1;
+            self.queues[dest.index()][st].push_recovered(keys[0], fl, ts, &mut self.sink, ctx);
+            return;
+        }
         match self.queues[dest.index()][st].insert_data(keys[0], fl, &mut self.sink, ctx) {
             Ok(()) => {
                 // Sibling phantoms (speculative branches / overlapping
@@ -1294,10 +1515,16 @@ impl<S: TraceSink> Mp5Switch<S> {
                 // accesses, and are reclaimed then (see `process`).
                 // Cancelling them here would let a later packet overtake
                 // the not-yet-executed access in per-index scheduling.
+                if F::ENABLED && !self.lost.is_empty() {
+                    for k in &keys[1..] {
+                        self.lost.remove(k); // lost siblings need no recovery
+                    }
+                }
             }
             Err(fl) => {
                 // Phantom was dropped upstream: the drop cascades.
                 self.report.drops.data_no_phantom += 1;
+                self.report.count_stage_drop(dest.0, st as u16);
                 if S::ENABLED {
                     ctx.emit(
                         &mut self.sink,
@@ -1325,6 +1552,11 @@ impl<S: TraceSink> Mp5Switch<S> {
                 continue; // this stage's keys were handled by the caller
             }
             let key = fl.key(tag);
+            if F::ENABLED && !self.lost.is_empty() && self.lost.remove(&key) {
+                // The phantom was already lost to a fault: there is
+                // nothing left to cancel anywhere.
+                continue;
+            }
             let ctx = TraceCtx::new(self.cycle, tag.pipeline.0, tag.stage.0);
             if !self.queues[tag.pipeline.index()][tag.stage.index()].cancel(
                 key,
@@ -1342,6 +1574,153 @@ impl<S: TraceSink> Mp5Switch<S> {
         if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
             let c = &mut self.inflight[tag.reg.index()][tag.index as usize];
             *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Fires the fault schedule's due faults at the top of a cycle:
+    /// classifies each for the recovery accounting (`injected ==
+    /// recovered + degraded` by construction), emits `FaultInjected`
+    /// trace events, marks killed pipelines dead, and advances the
+    /// degradation machinery. Only called when `F::ENABLED`.
+    fn begin_faults(&mut self) {
+        for fired in self.faults.begin_cycle(self.cycle) {
+            self.report.fault.injected += 1;
+            match fired.kind.class() {
+                FaultClass::Recovered => self.report.fault.recovered += 1,
+                FaultClass::Degraded => self.report.fault.degraded += 1,
+            }
+            if S::ENABLED {
+                TraceCtx::new(self.cycle, NO_LOC, NO_LOC).emit(
+                    &mut self.sink,
+                    EventKind::FaultInjected {
+                        code: fired.kind.code(),
+                        param: fired.kind.param(),
+                    },
+                );
+            }
+            if let FaultKind::PipelineFail { pipeline } = fired.kind {
+                let p = pipeline as usize;
+                if p < self.k && !self.dead[p] {
+                    self.dead[p] = true;
+                    self.report.fault.dead_pipelines.push(pipeline);
+                }
+            }
+        }
+        if self.dead.iter().any(|&d| d) {
+            self.report.fault.degraded_cycles += 1;
+            self.evacuate_dead(false);
+        }
+    }
+
+    /// Applies injected phantom faults to a delivery coming off the
+    /// channel. Returns `true` when the phantom was consumed by a fault
+    /// (recoverable loss, silent loss, or forced FIFO overflow) and
+    /// must not be enqueued.
+    fn phantom_faulted(&mut self, msg: &PhantomMsg, stage: u16, ctx: TraceCtx) -> bool {
+        match self.faults.phantom_fate(fault_key_hash(&msg.key)) {
+            PhantomFate::Keep => {}
+            PhantomFate::DropRecoverable => {
+                // Recorded loss: the data packet re-enters FIFO order
+                // via the recovery path when it arrives.
+                self.lost.insert(msg.key);
+                self.report.fault.phantoms_dropped += 1;
+                if S::ENABLED {
+                    ctx.emit(
+                        &mut self.sink,
+                        EventKind::FaultPhantomLost { key: tkey(msg.key) },
+                    );
+                }
+                return true;
+            }
+            PhantomFate::DropSilent => {
+                // Deliberately unrecorded loss: the auditor's negative
+                // control. The data packet takes the orphan path and the
+                // offline audit must flag the stream.
+                self.report.fault.phantoms_dropped += 1;
+                return true;
+            }
+        }
+        if self.faults.fifo_overflow(msg.dest.0, stage) {
+            // Forced overflow pressure: the FIFO behaves as if full,
+            // but the loss is recorded and recovered like a dropped
+            // phantom (the paper's overflow handling keeps C1 by
+            // conservative re-serialization of the data packet).
+            self.lost.insert(msg.key);
+            self.report.fault.phantoms_dropped += 1;
+            if S::ENABLED {
+                ctx.emit(
+                    &mut self.sink,
+                    EventKind::FaultPhantomLost { key: tkey(msg.key) },
+                );
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Moves sharded indexes off dead pipelines onto the least-loaded
+    /// survivor via the D2 remap path (same atomic state movement, same
+    /// `RemapMove` evidence). Respects the in-flight guard unless
+    /// `force` — the end-of-run sweep, when nothing is in flight by
+    /// construction — and emits `PipelineEvacuated` once a dead
+    /// pipeline no longer owns any index.
+    fn evacuate_dead(&mut self, force: bool) {
+        if !self.dead.iter().any(|&d| d) {
+            return;
+        }
+        for ri in 0..self.prog.regs.len() {
+            if !self.prog.regs[ri].shardable {
+                continue;
+            }
+            // Survivor loads for this register, by mapped-index count.
+            let mut loads = vec![0u64; self.k];
+            for &pl in self.index_map[ri].iter() {
+                if (pl as usize) < self.k {
+                    loads[pl as usize] += 1;
+                }
+            }
+            for idx in 0..self.index_map[ri].len() {
+                let from = self.index_map[ri][idx] as usize;
+                if from >= self.k || !self.dead[from] {
+                    continue;
+                }
+                if !force && self.inflight[ri][idx] > 0 {
+                    continue; // in-flight guard: move once quiesced
+                }
+                // Least-loaded alive pipeline; smallest id on ties.
+                let Some(to) = (0..self.k)
+                    .filter(|&p| !self.dead[p])
+                    .min_by_key(|&p| (loads[p], p))
+                else {
+                    return; // every pipeline is dead: nowhere to go
+                };
+                loads[from] = loads[from].saturating_sub(1);
+                loads[to] += 1;
+                self.apply_move(ri, shard::Move { index: idx, to });
+                self.evac_counts[from] += 1;
+                self.report.fault.evacuated_indexes += 1;
+            }
+        }
+        // Announce each dead pipeline once it owns nothing.
+        for p in 0..self.k {
+            if !self.dead[p] || self.evac_done[p] {
+                continue;
+            }
+            let clean = (0..self.prog.regs.len())
+                .filter(|&ri| self.prog.regs[ri].shardable)
+                .all(|ri| self.index_map[ri].iter().all(|&pl| pl as usize != p));
+            if clean {
+                self.evac_done[p] = true;
+                if S::ENABLED {
+                    TraceCtx::new(self.cycle, p as u16, NO_LOC).emit(
+                        &mut self.sink,
+                        EventKind::PipelineEvacuated {
+                            pipeline: p as u16,
+                            indexes: self.evac_counts[p],
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -1370,6 +1749,13 @@ impl<S: TraceSink> Mp5Switch<S> {
     /// Background dynamic sharding (Figure 6 / LPT), with the in-flight
     /// guard and atomic state movement.
     fn remap(&mut self) {
+        if F::ENABLED && self.faults.take_remap_abort() {
+            // Injected control-plane failure: this remap round never
+            // happens. Harmless by design — sharding is a performance
+            // optimization, not a correctness mechanism.
+            self.report.fault.aborted_remaps += 1;
+            return;
+        }
         for ri in 0..self.prog.regs.len() {
             if !self.prog.regs[ri].shardable {
                 continue;
@@ -1382,7 +1768,10 @@ impl<S: TraceSink> Mp5Switch<S> {
                         &self.inflight[ri],
                         self.k,
                     ) {
-                        self.apply_move(ri, mv);
+                        // Never shard onto a dead pipeline.
+                        if !(F::ENABLED && self.dead[mv.to]) {
+                            self.apply_move(ri, mv);
+                        }
                     }
                     // Counters reset each iteration (§3.4).
                     self.access_ctr[ri].iter_mut().for_each(|c| *c = 0);
@@ -1402,6 +1791,9 @@ impl<S: TraceSink> Mp5Switch<S> {
                         self.k,
                         64,
                     ) {
+                        if F::ENABLED && self.dead[mv.to] {
+                            continue; // never shard onto a dead pipeline
+                        }
                         self.apply_move(ri, mv);
                     }
                 }
@@ -1436,6 +1828,14 @@ impl<S: TraceSink> Mp5Switch<S> {
     /// Finalizes the report: aggregate the active register copies into
     /// the logical final state, collect queue statistics.
     fn finish(mut self) -> (RunReport, S) {
+        if F::ENABLED {
+            // End-of-run sweep: the switch has drained, so every
+            // in-flight guard is released and any index still pinned to
+            // a dead pipeline moves now. The post-run index map never
+            // references a dead pipeline.
+            self.evacuate_dead(true);
+            self.report.fault.dead_pipelines.sort_unstable();
+        }
         let mut final_regs = Vec::with_capacity(self.prog.regs.len());
         for (ri, meta) in self.prog.regs.iter().enumerate() {
             let mut arr = Vec::with_capacity(meta.size as usize);
@@ -1895,6 +2295,145 @@ mod tests {
         assert_eq!(plain, timed);
         assert_eq!(timings.nanos.len() as u64, timed.cycles);
         assert!(timings.percentile(99.0) >= timings.percentile(50.0));
+    }
+
+    /// Runs a trace through the Banzai reference and a faulted MP5
+    /// switch, returning both results.
+    fn run_faulted(
+        src: &str,
+        cfg: SwitchConfig,
+        n: usize,
+        seed: u64,
+        plan: &mp5_faults::FaultPlan,
+    ) -> (mp5_banzai::RunResult, RunReport) {
+        let prog = compile(src, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(n, seed).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
+        let report = Mp5Switch::with_faults(prog, cfg, NopSink, plan.injector()).run(trace);
+        (reference, report)
+    }
+
+    #[test]
+    fn pipeline_kill_degrades_gracefully() {
+        let plan = mp5_faults::FaultPlan::new(1).pipeline_fail(40, 2);
+        let (reference, report) = run_faulted(SHARDED, SwitchConfig::mp5(4), 3000, 11, &plan);
+        // Every packet still completes, and functional equivalence to
+        // the single-pipeline reference is preserved: losing a pipeline
+        // degrades throughput, never correctness.
+        assert_eq!(report.completed, report.offered);
+        assert!(report.result.equivalent_to(&reference));
+        assert!(report.fault.accounted(), "accounting: {:?}", report.fault);
+        assert_eq!(report.fault.injected, 1);
+        assert_eq!(report.fault.degraded, 1);
+        assert_eq!(report.fault.dead_pipelines, vec![2]);
+        assert!(report.fault.degraded_cycles > 0);
+        assert!(
+            report.fault.evacuated_indexes > 0,
+            "active indexes must evacuate off the dead pipeline"
+        );
+    }
+
+    #[test]
+    fn dead_pipeline_owns_no_indexes_after_run() {
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(2000, 13).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        let plan = mp5_faults::FaultPlan::new(2).pipeline_fail(30, 1);
+        let mut sw =
+            Mp5Switch::with_faults(prog.clone(), SwitchConfig::mp5(4), NopSink, plan.injector());
+        sw.report.offered = trace.len() as u64;
+        sw.arrivals = trace.into();
+        while !sw.drained() {
+            sw.step();
+        }
+        // The same sweep `finish` runs: with the switch drained, every
+        // in-flight guard is released and the map must come out clean.
+        sw.evacuate_dead(true);
+        for (ri, meta) in prog.regs.iter().enumerate() {
+            if meta.shardable {
+                assert!(
+                    sw.index_map[ri].iter().all(|&p| p != 1),
+                    "index map still references dead pipeline 1: {:?}",
+                    sw.index_map[ri]
+                );
+            }
+        }
+        let (report, _) = sw.finish();
+        assert_eq!(report.fault.dead_pipelines, vec![1]);
+        assert!(report.fault.evacuated_indexes > 0);
+    }
+
+    #[test]
+    fn lost_phantoms_are_recovered_and_equivalent() {
+        let plan = mp5_faults::FaultPlan::new(3).phantom_drop(10, 400, 120);
+        let (reference, report) = run_faulted(SHARDED, SwitchConfig::mp5(4), 2500, 17, &plan);
+        assert_eq!(report.completed, report.offered);
+        assert!(
+            report.result.equivalent_to(&reference),
+            "recovered packets must keep C1: access order == entry order"
+        );
+        assert!(report.fault.phantoms_dropped > 0, "window must fire");
+        assert!(report.fault.phantoms_recovered > 0);
+        assert!(report.fault.phantoms_recovered <= report.fault.phantoms_dropped);
+        assert!(report.fault.accounted());
+    }
+
+    #[test]
+    fn stalls_grant_delays_and_remap_aborts_recover() {
+        let plan = mp5_faults::FaultPlan::new(4)
+            .stage_stall(20, 0, 2, 40)
+            .grant_delay(10, 3, 200)
+            .fifo_overflow(60, 1, 2, 30)
+            .remap_abort(5, 2);
+        let cfg = SwitchConfig::mp5(4);
+        let (reference, report) = run_faulted(SHARDED, cfg, 2500, 19, &plan);
+        assert_eq!(report.completed, report.offered);
+        assert!(report.result.equivalent_to(&reference));
+        assert!(report.fault.accounted(), "accounting: {:?}", report.fault);
+        assert_eq!(report.fault.injected, 4);
+        assert_eq!(report.fault.recovered, 4);
+        assert!(report.fault.delayed_grants > 0, "steering must be delayed");
+        assert!(report.fault.aborted_remaps > 0, "remap rounds must abort");
+    }
+
+    #[test]
+    fn bounded_fifos_attribute_drops_to_stages() {
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let trace = TraceBuilder::new(3000, 23).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..8); // 8 hot indexes: deep queues
+        });
+        let cfg = SwitchConfig {
+            fifo_capacity: Some(2),
+            ..SwitchConfig::mp5(4)
+        };
+        let report = Mp5Switch::new(prog, cfg).run(trace);
+        let d = report.drops;
+        assert!(
+            d.phantom_fifo_full + d.data_no_phantom + d.data_fifo_full > 0,
+            "capacity 2 under 8 hot indexes must drop: {d:?}"
+        );
+        // Every FIFO-located drop is attributed to its (pipeline, stage).
+        assert_eq!(
+            report.stage_drop_total(),
+            d.phantom_fifo_full + d.data_no_phantom + d.data_fifo_full + d.starvation,
+            "stage attribution must cover every FIFO drop: {:?}",
+            report.stage_drops
+        );
+        assert!(report.completed < report.offered);
+        assert_eq!(
+            report.completed + d.total_data(),
+            report.offered,
+            "every offered packet either completes or is counted dropped"
+        );
     }
 
     /// The engine's job payloads cross thread boundaries: every type

@@ -32,7 +32,7 @@
 //!   order, enforcing C1) and the no-D4 ablation (keys = queue entry
 //!   time, which is what permits C1 violations).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use mp5_trace::{EventKind, TraceCtx, TraceSink};
 use mp5_types::{PacketId, PipelineId, RegId};
@@ -153,13 +153,27 @@ pub struct FifoStats {
     pub stale_cycles: u64,
     /// Pop cycles spent blocked behind a phantom.
     pub blocked_cycles: u64,
+    /// Data packets recovered into order after their phantom was lost
+    /// to an injected fault (`mp5-faults`).
+    pub recovered: u64,
 }
 
 /// The bank of `k` per-pipeline ring buffers operating as one FIFO.
+///
+/// Besides the `k` lanes, the FIFO carries a small *recovery queue*
+/// (`recovered`): a timestamp-sorted side list of **data** entries
+/// whose phantoms were lost to an injected fault. `pop()` treats the
+/// recovery head as one more candidate in the global minimum-timestamp
+/// comparison, so a recovered packet re-enters the serial order at
+/// exactly the position its phantom would have held — preserving C1.
+/// The directory only ever points at phantoms inside lanes, so the
+/// side list can never invalidate a `FifoAddr`.
 #[derive(Debug, Clone)]
 pub struct LogicalFifo<T> {
     lanes: Vec<RingBuffer<Entry<T>>>,
     directory: HashMap<PhantomKey, FifoAddr>,
+    recovered: VecDeque<Entry<T>>,
+    max_recovered: usize,
     stats: FifoStats,
 }
 
@@ -171,6 +185,8 @@ impl<T> LogicalFifo<T> {
         LogicalFifo {
             lanes: (0..lanes).map(|_| RingBuffer::new(capacity)).collect(),
             directory: HashMap::new(),
+            recovered: VecDeque::new(),
+            max_recovered: 0,
             stats: FifoStats::default(),
         }
     }
@@ -180,20 +196,20 @@ impl<T> LogicalFifo<T> {
         self.lanes.len()
     }
 
-    /// Total queued entries across lanes.
+    /// Total queued entries across lanes (plus the recovery queue).
     pub fn len(&self) -> usize {
-        self.lanes.iter().map(|l| l.len()).sum()
+        self.lanes.iter().map(|l| l.len()).sum::<usize>() + self.recovered.len()
     }
 
-    /// True if every lane is empty.
+    /// True if every lane (and the recovery queue) is empty.
     pub fn is_empty(&self) -> bool {
-        self.lanes.iter().all(|l| l.is_empty())
+        self.lanes.iter().all(|l| l.is_empty()) && self.recovered.is_empty()
     }
 
     /// High-water mark of total occupancy, approximated as the sum of
     /// per-lane high-water marks (exact when lanes fill together).
     pub fn max_occupancy(&self) -> usize {
-        self.lanes.iter().map(|l| l.max_occupancy()).sum()
+        self.lanes.iter().map(|l| l.max_occupancy()).sum::<usize>() + self.max_recovered
     }
 
     /// Statistics counters.
@@ -264,6 +280,38 @@ impl<T> LogicalFifo<T> {
         Ok(addr)
     }
 
+    /// Recovers a data packet whose phantom was lost to an injected
+    /// fault: the entry joins the timestamp-sorted recovery queue and
+    /// competes in `pop()`'s global minimum-timestamp comparison as if
+    /// its phantom had been delivered — same serial position, so C1 is
+    /// preserved. The recovery queue is unbounded by design: recovery
+    /// must never itself drop a packet.
+    pub fn push_recovered(&mut self, item: T, ts: OrderKey) {
+        let pos = self.recovered.partition_point(|e| e.ts() <= ts);
+        self.recovered.insert(pos, Entry::Data { item, ts });
+        self.max_recovered = self.max_recovered.max(self.recovered.len());
+        self.stats.recovered += 1;
+    }
+
+    /// Timestamp of the recovery-queue head, if any.
+    fn recovered_head_ts(&self) -> Option<OrderKey> {
+        self.recovered.front().map(|e| e.ts())
+    }
+
+    /// True if the recovery queue head is globally oldest (it wins the
+    /// pop this cycle). Ties cannot occur: order keys are unique per
+    /// packet and a packet is never both recovered and lane-queued.
+    fn recovered_wins(&self, lane: Option<usize>) -> bool {
+        match (self.recovered_head_ts(), lane) {
+            (Some(_), None) => true,
+            (Some(rts), Some(l)) => {
+                let lts = self.lanes[l].front().map(|e| e.ts());
+                lts.is_none_or(|lts| rts < lts)
+            }
+            (None, _) => false,
+        }
+    }
+
     /// Whether a live phantom exists for `key`.
     pub fn has_phantom(&self, key: PhantomKey) -> bool {
         self.directory.contains_key(&key)
@@ -315,7 +363,14 @@ impl<T> LogicalFifo<T> {
     /// * Non-free stale head → reclaimed, consuming the cycle.
     pub fn pop(&mut self) -> PopOutcome<T> {
         self.drain_free_stale();
-        let Some(lane) = self.oldest_lane() else {
+        let lane = self.oldest_lane();
+        if self.recovered_wins(lane) {
+            return match self.recovered.pop_front() {
+                Some(Entry::Data { item, .. }) => PopOutcome::Data(item),
+                _ => unreachable!("recovery queue holds only data entries"),
+            };
+        }
+        let Some(lane) = lane else {
             return PopOutcome::Empty;
         };
         match self.lanes[lane].front().expect("lane non-empty") {
@@ -343,8 +398,13 @@ impl<T> LogicalFifo<T> {
     /// any — used by schedulers to decide starvation.
     pub fn oldest_ts(&mut self) -> Option<OrderKey> {
         self.drain_free_stale();
-        self.oldest_lane()
-            .map(|l| self.lanes[l].front().expect("non-empty").ts())
+        let lane_ts = self
+            .oldest_lane()
+            .map(|l| self.lanes[l].front().expect("non-empty").ts());
+        match (lane_ts, self.recovered_head_ts()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Peeks the globally-oldest entry (after reclaiming free stales)
@@ -352,8 +412,11 @@ impl<T> LogicalFifo<T> {
     /// ideal-MP5 baseline) to compare heads across many queues.
     pub fn peek_oldest(&mut self) -> Option<&Entry<T>> {
         self.drain_free_stale();
-        let lane = self.oldest_lane()?;
-        self.lanes[lane].front()
+        let lane = self.oldest_lane();
+        if self.recovered_wins(lane) {
+            return self.recovered.front();
+        }
+        self.lanes[lane?].front()
     }
 
     /// True if the next `pop()` would make progress (serve data or
@@ -368,7 +431,10 @@ impl<T> LogicalFifo<T> {
     /// Iterates over all queued entries (diagnostics / end-of-run
     /// accounting).
     pub fn iter_entries(&self) -> impl Iterator<Item = &Entry<T>> {
-        self.lanes.iter().flat_map(|l| l.iter())
+        self.lanes
+            .iter()
+            .flat_map(|l| l.iter())
+            .chain(self.recovered.iter())
     }
 
     // ------------------------------------------------------------------
@@ -437,6 +503,22 @@ impl<T> LogicalFifo<T> {
             }
         }
         r
+    }
+
+    /// Traced [`LogicalFifo::push_recovered`]: emits `ph_recovered`
+    /// (the C1-preserving fault-recovery path).
+    pub fn push_recovered_traced<S: TraceSink>(
+        &mut self,
+        key: PhantomKey,
+        item: T,
+        ts: OrderKey,
+        sink: &mut S,
+        ctx: TraceCtx,
+    ) {
+        self.push_recovered(item, ts);
+        if S::ENABLED {
+            ctx.emit(sink, EventKind::PhantomRecovered { key: tk(key) });
+        }
     }
 
     /// Traced [`LogicalFifo::cancel`]: emits `ph_cancel` only when a
@@ -643,6 +725,62 @@ mod tests {
             sink.events[5].kind,
             EK::PopData { pkt } if pkt == PacketId(0)
         ));
+    }
+
+    #[test]
+    fn recovered_entry_rejoins_serial_order() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(2, Some(8));
+        f.push_data("a", OrderKey(0, 0), PipelineId(0)).unwrap();
+        f.push_data("c", OrderKey(2, 0), PipelineId(1)).unwrap();
+        // "b"'s phantom was lost to a fault; it recovers with its
+        // original order key and must be served between "a" and "c".
+        f.push_recovered("b", OrderKey(1, 0));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert!(matches!(f.pop(), PopOutcome::Data("a")));
+        assert!(matches!(f.pop(), PopOutcome::Data("b")));
+        assert!(matches!(f.pop(), PopOutcome::Data("c")));
+        assert!(matches!(f.pop(), PopOutcome::Empty));
+        assert_eq!(f.stats().recovered, 1);
+    }
+
+    #[test]
+    fn older_phantom_still_blocks_recovered_entry() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(8));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
+        f.push_recovered("young", OrderKey(1, 0));
+        // D4's order freeze applies to recovered entries too.
+        assert!(matches!(f.pop(), PopOutcome::BlockedOnPhantom(k) if k == key(0)));
+        f.insert_data(key(0), "old").unwrap();
+        assert!(matches!(f.pop(), PopOutcome::Data("old")));
+        assert!(matches!(f.pop(), PopOutcome::Data("young")));
+    }
+
+    #[test]
+    fn recovered_head_wins_when_oldest() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(8));
+        f.push_data("lane", OrderKey(5, 0), PipelineId(0)).unwrap();
+        f.push_recovered("rec2", OrderKey(2, 0));
+        f.push_recovered("rec1", OrderKey(1, 0)); // sorted insert
+        assert_eq!(f.oldest_ts(), Some(OrderKey(1, 0)));
+        assert!(f.pop_would_progress());
+        assert!(matches!(f.pop(), PopOutcome::Data("rec1")));
+        assert!(matches!(f.pop(), PopOutcome::Data("rec2")));
+        assert!(matches!(f.pop(), PopOutcome::Data("lane")));
+    }
+
+    #[test]
+    fn traced_recovery_emits_ph_recovered() {
+        use mp5_trace::{MemSink, TraceCtx};
+        let mut sink = MemSink::new();
+        let ctx = TraceCtx::new(3, 0, 1);
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(1, Some(4));
+        f.push_recovered_traced(key(7), "d", OrderKey(4, 0), &mut sink, ctx);
+        assert_eq!(sink.events.len(), 1);
+        assert_eq!(sink.events[0].kind.tag(), "ph_recovered");
+        let _ = f.pop_traced(&mut sink, ctx, |_| PacketId(7));
+        assert_eq!(sink.events[1].kind.tag(), "pop_data");
     }
 
     #[test]

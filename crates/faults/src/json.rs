@@ -1,0 +1,252 @@
+//! Minimal recursive-descent JSON reader for fault-plan files.
+//!
+//! The trace crate hand-rolls its JSONL codec for the same reason this
+//! module exists: the workspace carries no third-party JSON dependency
+//! on the hot path, and plan files are tiny, trusted inputs. Supported
+//! grammar: objects, arrays, strings (with `\"`/`\\`/`\n`/`\t`/`\r`
+//! escapes), unsigned integers, `true`/`false`/`null`. That is exactly
+//! what [`crate::FaultPlan::to_json`] emits and what hand-written plans
+//! need; anything else is a parse error, never a panic.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (plans never need floats or negatives).
+    Num(u64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonVal>),
+    /// Object as an ordered key/value list.
+    Obj(Vec<(String, JsonVal)>),
+}
+
+impl JsonVal {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonVal> {
+        match self {
+            JsonVal::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array slice.
+    pub fn as_array(&self) -> Option<&[JsonVal]> {
+        match self {
+            JsonVal::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse(src: &str) -> Result<JsonVal, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let val = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(val)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonVal::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonVal::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonVal::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonVal::Null),
+        Some(c) if c.is_ascii_digit() => parse_number(b, pos),
+        _ => Err(format!("unexpected character at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, val: JsonVal) -> Result<JsonVal, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(val)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
+    let start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<u64>()
+        .map(JsonVal::Num)
+        .map_err(|_| format!("number out of range at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    _ => return Err(format!("unsupported escape at byte {}", *pos)),
+                });
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let ch_len = utf8_len(c);
+                let end = (*pos + ch_len).min(b.len());
+                out.push_str(std::str::from_utf8(&b[*pos..end]).map_err(|e| e.to_string())?);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonVal::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonVal::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
+    expect(b, pos, b'{')?;
+    let mut kvs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonVal::Obj(kvs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        kvs.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonVal::Obj(kvs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": 2}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonVal::as_u64), Some(1));
+        let arr = v.get("b").and_then(JsonVal::as_array).unwrap();
+        assert_eq!(arr[0], JsonVal::Bool(true));
+        assert_eq!(arr[1], JsonVal::Null);
+        assert_eq!(arr[2], JsonVal::Str("x\n".into()));
+        assert_eq!(
+            v.get("c")
+                .and_then(|c| c.get("d"))
+                .and_then(JsonVal::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"a"}"#).is_err());
+    }
+}

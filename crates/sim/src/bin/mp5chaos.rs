@@ -1,0 +1,161 @@
+//! `mp5chaos` — randomized (but fully seed-deterministic) fault
+//! campaigns against the MP5 switch.
+//!
+//! ```sh
+//! cargo run --release -p mp5-sim --bin mp5chaos -- \
+//!     [--seeds N] [--start-seed N] [--apps all|name,name,...] \
+//!     [--pipelines K] [--packets N] [--horizon CYCLES] \
+//!     [--seq-only] [--dump-plans DIR]
+//! ```
+//!
+//! For every `app × seed` case the harness rolls a chaos
+//! [`FaultPlan`](mp5_faults::FaultPlan) (stalls, recoverable phantom
+//! drops, forced FIFO overflow, crossbar grant delays, remap aborts,
+//! and at most one pipeline kill), runs it traced on the sequential
+//! engine, and checks the three chaos contracts: clean finish with a
+//! closed fault ledger, zero findings from the offline invariant
+//! auditor, and — unless `--seq-only` — bit-identity between the
+//! sequential and parallel cycle engines under the identical plan.
+//!
+//! Every failing case prints its seed; re-running with
+//! `--seeds 1 --start-seed <seed> --apps <app> --dump-plans .`
+//! reproduces it exactly and writes the offending plan as JSON for
+//! `mp5run --faults`.
+
+use mp5_sim::chaos::{self, ChaosOpts};
+
+struct Cli {
+    seeds: u64,
+    start_seed: u64,
+    apps: String,
+    opts: ChaosOpts,
+    dump_plans: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mp5chaos [--seeds N] [--start-seed N] [--apps all|name,...] \
+         [--pipelines K] [--packets N] [--horizon CYCLES] [--seq-only] [--dump-plans DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        seeds: 3,
+        start_seed: 1,
+        apps: "all".into(),
+        opts: ChaosOpts::default(),
+        dump_plans: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seeds" => cli.seeds = val("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--start-seed" => {
+                cli.start_seed = val("--start-seed").parse().unwrap_or_else(|_| usage())
+            }
+            "--apps" => cli.apps = val("--apps"),
+            "--pipelines" => {
+                cli.opts.pipelines = val("--pipelines").parse().unwrap_or_else(|_| usage())
+            }
+            "--packets" => cli.opts.packets = val("--packets").parse().unwrap_or_else(|_| usage()),
+            "--horizon" => cli.opts.horizon = val("--horizon").parse().unwrap_or_else(|_| usage()),
+            "--seq-only" => cli.opts.check_parallel = false,
+            "--dump-plans" => cli.dump_plans = Some(val("--dump-plans")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn selected_apps(spec: &str) -> Vec<mp5_apps::AppSpec> {
+    if spec == "all" {
+        return mp5_apps::ALL_APPS.to_vec();
+    }
+    spec.split(',')
+        .map(|name| {
+            *mp5_apps::by_name(name.trim()).unwrap_or_else(|| {
+                eprintln!("unknown app '{name}' (try one of: all, {})", app_names());
+                std::process::exit(2)
+            })
+        })
+        .collect()
+}
+
+fn app_names() -> String {
+    mp5_apps::ALL_APPS
+        .iter()
+        .map(|a| a.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let cli = parse_cli();
+    let apps = selected_apps(&cli.apps);
+    let seeds: Vec<u64> = (0..cli.seeds).map(|i| cli.start_seed + i).collect();
+    println!(
+        "== mp5chaos ==  {} app(s) x {} seed(s), k={}, {} packets, horizon {} cycles, engines: {}",
+        apps.len(),
+        seeds.len(),
+        cli.opts.pipelines,
+        cli.opts.packets,
+        cli.opts.horizon,
+        if cli.opts.check_parallel {
+            "seq+par (bit-identity checked)"
+        } else {
+            "seq only"
+        }
+    );
+
+    let outcomes = chaos::run_campaign(&apps, &seeds, &cli.opts);
+    let mut failed = 0usize;
+    for out in &outcomes {
+        println!("{}", out.summary());
+        if !out.passed() {
+            failed += 1;
+            for f in &out.failures {
+                eprintln!("    FAIL [{} seed {}]: {f}", out.app, out.seed);
+            }
+            if let Some(dir) = &cli.dump_plans {
+                let prog = mp5_apps::by_name(&out.app)
+                    .expect("outcome app is a bundled app")
+                    .compile()
+                    .expect("bundled app compiles");
+                let plan = chaos::chaos_plan(&prog, out.seed, &cli.opts);
+                let path = format!("{dir}/chaos-{}-{}.json", out.app, out.seed);
+                match std::fs::write(&path, plan.to_json()) {
+                    Ok(()) => eprintln!("    plan -> {path} (replay: mp5run --faults {path})"),
+                    Err(e) => eprintln!("    cannot write plan to {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    let total = outcomes.len();
+    if failed == 0 {
+        println!(
+            "\nchaos PASSED: {total}/{total} case(s) clean (no panics, ledger closed, \
+             auditor zero findings{})",
+            if cli.opts.check_parallel {
+                ", engines bit-identical"
+            } else {
+                ""
+            }
+        );
+    } else {
+        eprintln!("\nchaos FAILED: {failed}/{total} case(s) violated the chaos contracts");
+        std::process::exit(1);
+    }
+}

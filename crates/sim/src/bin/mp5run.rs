@@ -24,13 +24,24 @@
 //!   rollups (occupancy histograms, steer matrix, phantom waits) as CSV.
 //! * `--chrome <path>` — export a Chrome-trace / Perfetto JSON timeline
 //!   with one track per `(pipeline, stage)`.
+//!
+//! Fault injection (see `mp5-faults` and DESIGN.md §11):
+//!
+//! * `--faults <plan.json>` — replay a deterministic fault plan
+//!   (e.g. one dumped by `mp5chaos --dump-plans`) against the run.
+//! * `--chaos-seed <n>` — roll a seed-deterministic chaos plan for
+//!   this program/pipeline-count instead of loading one from disk.
+//!
+//! Either flag prints the recovery ledger after the run; combine with
+//! `--audit` to re-verify the runtime invariants under the faults.
 
 use mp5_banzai::BanzaiSwitch;
 use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_compiler::{compile, Target};
 use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
+use mp5_faults::FaultPlan;
 use mp5_sim::c1_violation_fraction;
-use mp5_trace::{audit, Event, MemSink, Rollup};
+use mp5_trace::{audit, Event, MemSink, NopSink, Rollup};
 use mp5_traffic::{AccessPattern, SizeDist, TraceBuilder};
 
 struct Args {
@@ -47,6 +58,8 @@ struct Args {
     audit: bool,
     rollup_out: Option<String>,
     chrome_out: Option<String>,
+    faults: Option<String>,
+    chaos_seed: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -54,7 +67,8 @@ fn usage() -> ! {
         "usage: mp5run <program.dsl> [--pipelines N] [--packets N] \
          [--pattern uniform|skewed] [--design mp5|ideal|no-d4|static|naive|recirc] \
          [--engine seq|par|par:N] [--seed N] [--keys N] [--packet-size BYTES] \
-         [--trace FILE] [--audit] [--rollup FILE] [--chrome FILE]"
+         [--trace FILE] [--audit] [--rollup FILE] [--chrome FILE] \
+         [--faults PLAN.json] [--chaos-seed N]"
     );
     std::process::exit(2)
 }
@@ -74,6 +88,8 @@ fn parse_args() -> Args {
         audit: false,
         rollup_out: None,
         chrome_out: None,
+        faults: None,
+        chaos_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -114,6 +130,10 @@ fn parse_args() -> Args {
             "--audit" => args.audit = true,
             "--rollup" => args.rollup_out = Some(val("--rollup")),
             "--chrome" => args.chrome_out = Some(val("--chrome")),
+            "--faults" => args.faults = Some(val("--faults")),
+            "--chaos-seed" => {
+                args.chaos_seed = Some(val("--chaos-seed").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other if args.program.is_empty() && !other.starts_with('-') => {
                 args.program = other.to_string()
@@ -163,6 +183,37 @@ fn main() {
 
     let reference = BanzaiSwitch::new(prog.clone()).run(trace.clone());
     let k = args.pipelines;
+
+    // Fault plan: replayed from disk or rolled from a chaos seed.
+    let plan: Option<FaultPlan> = match (&args.faults, args.chaos_seed) {
+        (Some(_), Some(_)) => {
+            eprintln!("--faults and --chaos-seed are mutually exclusive");
+            usage()
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fault plan {path}: {e}");
+                std::process::exit(1)
+            });
+            Some(FaultPlan::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("fault plan {path}: {e}");
+                std::process::exit(1)
+            }))
+        }
+        (None, Some(seed)) => {
+            let horizon = (args.packets / k.max(1)).max(64) as u64;
+            Some(FaultPlan::chaos(seed, k, prog.num_stages(), horizon))
+        }
+        (None, None) => None,
+    };
+    if let Some(p) = &plan {
+        if let Err(e) = p.validate(k, prog.num_stages()) {
+            eprintln!("fault plan invalid for k={k}: {e}");
+            std::process::exit(1);
+        }
+        println!("fault plan: {} fault(s) scheduled", p.len());
+    }
+
     // Any observability flag switches the run into traced mode (the
     // sink only observes; the run itself is bit-identical).
     let tracing = args.trace_out.is_some()
@@ -172,12 +223,23 @@ fn main() {
     let (report, events, extra) = match args.design.as_str() {
         "recirc" => {
             let cfg = RecircConfig::new(k).with_engine(args.engine);
-            let (rep, events) = if tracing {
-                let (rep, sink) =
-                    RecircSwitch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
-                (rep, sink.into_events())
-            } else {
-                (RecircSwitch::new(prog, cfg).run(trace), Vec::new())
+            let (rep, events) = match (tracing, &plan) {
+                (true, Some(p)) => {
+                    let (rep, sink) =
+                        RecircSwitch::with_faults(prog, cfg, MemSink::new(), p.injector())
+                            .run_traced(trace);
+                    (rep, sink.into_events())
+                }
+                (true, None) => {
+                    let (rep, sink) =
+                        RecircSwitch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
+                    (rep, sink.into_events())
+                }
+                (false, Some(p)) => (
+                    RecircSwitch::with_faults(prog, cfg, NopSink, p.injector()).run(trace),
+                    Vec::new(),
+                ),
+                (false, None) => (RecircSwitch::new(prog, cfg).run(trace), Vec::new()),
             };
             let extra = format!(
                 ", recircs/pkt {:.2}, max passes {}",
@@ -199,12 +261,23 @@ fn main() {
                 }
             }
             .with_engine(args.engine);
-            let (report, events) = if tracing {
-                let (report, sink) =
-                    Mp5Switch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
-                (report, sink.into_events())
-            } else {
-                (Mp5Switch::new(prog, cfg).run(trace), Vec::new())
+            let (report, events) = match (tracing, &plan) {
+                (true, Some(p)) => {
+                    let (report, sink) =
+                        Mp5Switch::with_faults(prog, cfg, MemSink::new(), p.injector())
+                            .run_traced(trace);
+                    (report, sink.into_events())
+                }
+                (true, None) => {
+                    let (report, sink) =
+                        Mp5Switch::with_sink(prog, cfg, MemSink::new()).run_traced(trace);
+                    (report, sink.into_events())
+                }
+                (false, Some(p)) => (
+                    Mp5Switch::with_faults(prog, cfg, NopSink, p.injector()).run(trace),
+                    Vec::new(),
+                ),
+                (false, None) => (Mp5Switch::new(prog, cfg).run(trace), Vec::new()),
             };
             (report, events, String::new())
         }
@@ -227,6 +300,26 @@ fn main() {
         report.result.equivalent_to(&reference),
         c1 * 100.0
     );
+    if plan.is_some() {
+        let f = &report.fault;
+        println!(
+            "fault ledger: injected {} = recovered {} + degraded {} ({}), \
+             degraded cycles {}, evacuated indexes {}, phantoms recovered {}/{}, \
+             stall cycles {}, delayed grants {}, aborted remaps {}, dead pipelines {:?}",
+            f.injected,
+            f.recovered,
+            f.degraded,
+            if f.accounted() { "closed" } else { "OPEN" },
+            f.degraded_cycles,
+            f.evacuated_indexes,
+            f.phantoms_recovered,
+            f.phantoms_dropped,
+            f.stall_cycles,
+            f.delayed_grants,
+            f.aborted_remaps,
+            f.dead_pipelines,
+        );
+    }
 
     if let Some(path) = &args.trace_out {
         write_or_die(path, &jsonl(&events), "trace");

@@ -1,0 +1,218 @@
+//! Chaos harness: randomized, seed-deterministic fault campaigns.
+//!
+//! Each *case* rolls a [`FaultPlan::chaos`] schedule for one bundled
+//! application and executes it on the MP5 switch with tracing on, then
+//! checks the three chaos contracts:
+//!
+//! 1. **No panics / clean finish** — the run drains, packets are
+//!    conserved, and every injected fault is accounted
+//!    (`injected == recovered + degraded`).
+//! 2. **Auditor-clean** — the recorded event stream passes the offline
+//!    invariant auditor (`mp5audit`) with zero findings: phantom
+//!    pairing, Invariant 1/2, C1 and packet conservation all hold
+//!    *under faults*.
+//! 3. **Engine bit-identity** — the sequential and parallel cycle
+//!    engines produce the same [`RunReport`] and the same event-stream
+//!    hash under the identical fault plan.
+//!
+//! The harness is pure library code so the `mp5chaos` binary and the
+//! `tests/chaos.rs` suite share one implementation.
+
+use mp5_core::{EngineMode, Mp5Switch, RunReport, SwitchConfig};
+use mp5_faults::FaultPlan;
+use mp5_trace::{audit, stream_hash, MemSink};
+
+/// Knobs for one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosOpts {
+    /// Pipelines `k`.
+    pub pipelines: usize,
+    /// Packets per run.
+    pub packets: usize,
+    /// Rough cycle horizon the fault schedule is rolled over.
+    pub horizon: u64,
+    /// Also run the parallel engine and demand bit-identity.
+    pub check_parallel: bool,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            pipelines: 4,
+            packets: 600,
+            horizon: 400,
+            check_parallel: true,
+        }
+    }
+}
+
+/// The outcome of one chaos case (app × seed).
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Application name.
+    pub app: String,
+    /// Chaos seed (drives both the traffic trace and the fault plan).
+    pub seed: u64,
+    /// Faults in the rolled plan.
+    pub plan_len: usize,
+    /// The sequential run's report.
+    pub report: RunReport,
+    /// Auditor findings on the sequential event stream.
+    pub audit_findings: usize,
+    /// Problems found; empty means the case passed.
+    pub failures: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Did every chaos contract hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One summary line for tables and logs.
+    pub fn summary(&self) -> String {
+        let f = &self.report.fault;
+        format!(
+            "{:<10} seed {:>3}: {} faults, injected {} = recovered {} + degraded {}, \
+             {} degraded cycle(s), {} phantom(s) recovered, audit findings {} -> {}",
+            self.app,
+            self.seed,
+            self.plan_len,
+            f.injected,
+            f.recovered,
+            f.degraded,
+            f.degraded_cycles,
+            f.phantoms_recovered,
+            self.audit_findings,
+            if self.passed() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Rolls the chaos fault plan for one case. Exposed so callers can
+/// print or persist the exact schedule that a failing seed produced.
+pub fn chaos_plan(prog: &mp5_compiler::CompiledProgram, seed: u64, opts: &ChaosOpts) -> FaultPlan {
+    FaultPlan::chaos(seed, opts.pipelines, prog.num_stages(), opts.horizon)
+}
+
+/// Runs one chaos case: app × seed, both engines, auditor-gated.
+pub fn run_case(app: &mp5_apps::AppSpec, seed: u64, opts: &ChaosOpts) -> ChaosOutcome {
+    let (prog, trace) = crate::experiments::app_trace(app, opts.packets, seed);
+    let plan = chaos_plan(&prog, seed, opts);
+    let mut failures = Vec::new();
+    if let Err(e) = plan.validate(opts.pipelines, prog.num_stages()) {
+        failures.push(format!("chaos plan invalid: {e}"));
+    }
+
+    let cfg = SwitchConfig::mp5(opts.pipelines);
+    let (seq_rep, sink) =
+        Mp5Switch::with_faults(prog.clone(), cfg.clone(), MemSink::new(), plan.injector())
+            .run_traced(trace.clone());
+    let seq_events = sink.into_events();
+
+    if seq_rep.completed + seq_rep.drops.total_data() != seq_rep.offered {
+        failures.push(format!(
+            "packets not conserved: completed {} + data drops {} != offered {}",
+            seq_rep.completed,
+            seq_rep.drops.total_data(),
+            seq_rep.offered
+        ));
+    }
+    if !seq_rep.fault.accounted() {
+        failures.push(format!(
+            "fault ledger broken: injected {} != recovered {} + degraded {}",
+            seq_rep.fault.injected, seq_rep.fault.recovered, seq_rep.fault.degraded
+        ));
+    }
+    // Faults scheduled past the drain cycle legitimately never fire, so
+    // `injected <= plan.len()` rather than equality.
+    if seq_rep.fault.injected as usize > plan.len() {
+        failures.push(format!(
+            "more faults fired ({}) than the plan holds ({})",
+            seq_rep.fault.injected,
+            plan.len()
+        ));
+    }
+
+    let audit_rep = audit(&seq_events);
+    if !audit_rep.is_clean() {
+        let mut shown = String::new();
+        for f in audit_rep.findings.iter().take(3) {
+            shown.push_str(&format!(" [{f}]"));
+        }
+        failures.push(format!(
+            "auditor found {} violation(s) under faults:{shown}",
+            audit_rep.findings.len()
+        ));
+    }
+
+    if opts.check_parallel {
+        let par_cfg = cfg.with_engine(EngineMode::Parallel(opts.pipelines));
+        let (par_rep, par_sink) =
+            Mp5Switch::with_faults(prog, par_cfg, MemSink::new(), plan.injector())
+                .run_traced(trace);
+        if par_rep != seq_rep {
+            failures.push("parallel engine diverged from sequential under faults".into());
+        }
+        if stream_hash(&par_sink.into_events()) != stream_hash(&seq_events) {
+            failures.push("parallel event stream diverged from sequential under faults".into());
+        }
+    }
+
+    ChaosOutcome {
+        app: app.name.to_string(),
+        seed,
+        plan_len: plan.len(),
+        report: seq_rep,
+        audit_findings: audit_rep.findings.len(),
+        failures,
+    }
+}
+
+/// Runs a whole campaign: every app × every seed. Cases run on the
+/// process thread pool (each case is single-threaded and
+/// deterministic). Returns outcomes in `(app, seed)` order.
+pub fn run_campaign(
+    apps: &[mp5_apps::AppSpec],
+    seeds: &[u64],
+    opts: &ChaosOpts,
+) -> Vec<ChaosOutcome> {
+    let mut jobs: Vec<Box<dyn FnOnce() -> ChaosOutcome + Send>> = Vec::new();
+    for app in apps {
+        let app = *app;
+        for &seed in seeds {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || run_case(&app, seed, &opts)));
+        }
+    }
+    crate::parallel_map(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_case_passes_on_flowlet() {
+        let opts = ChaosOpts {
+            packets: 300,
+            horizon: 200,
+            ..ChaosOpts::default()
+        };
+        let out = run_case(&mp5_apps::PAPER_APPS[0], 7, &opts);
+        assert!(out.passed(), "chaos case failed: {:?}", out.failures);
+        assert!(out.plan_len >= 3, "chaos plans roll at least 3 faults");
+        assert!(out.report.fault.any(), "at least one fault must fire");
+    }
+
+    #[test]
+    fn chaos_plans_are_seed_deterministic() {
+        let prog = mp5_apps::PAPER_APPS[0].compile().expect("compiles");
+        let opts = ChaosOpts::default();
+        let a = chaos_plan(&prog, 42, &opts);
+        let b = chaos_plan(&prog, 42, &opts);
+        assert_eq!(a.to_json(), b.to_json());
+        let c = chaos_plan(&prog, 43, &opts);
+        assert_ne!(a.to_json(), c.to_json());
+    }
+}

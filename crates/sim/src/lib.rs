@@ -8,6 +8,9 @@
 //!   structured rows that the `mp5-bench` targets print and
 //!   EXPERIMENTS.md records.
 //! * [`table`] — plain-text table rendering and CSV/JSON emission.
+//! * [`chaos`] — randomized seed-deterministic fault campaigns
+//!   (auditor-gated, engine-bit-identity-checked) shared by the
+//!   `mp5chaos` binary and the chaos test suite.
 //!
 //! Runners fan independent simulator runs out over OS threads (each run
 //! is single-threaded and deterministic; only scheduling of whole runs
@@ -16,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod metrics;
 pub mod synth;

@@ -262,6 +262,12 @@ enum PhState {
     Matched,
     /// Dropped on a full lane, or cancelled (channel or FIFO).
     Dead,
+    /// Lost to an *injected fault*, with the loss recorded so the
+    /// switch can recover the data packet into FIFO order later. The
+    /// legal exits are `PhantomRecovered` (data arrived, recovered)
+    /// or end-of-trace (data was dropped for an unrelated reason —
+    /// conservation accounts for it).
+    Lost,
 }
 
 /// Configurable auditor. [`audit`] runs it with defaults.
@@ -500,13 +506,35 @@ impl Auditor {
                         );
                     }
                 }
+                EventKind::FaultPhantomLost { key } => match phantoms.insert(*key, PhState::Lost) {
+                    Some(PhState::Emitted) => {}
+                    other => flag(
+                        &mut rep,
+                        Check::Pairing,
+                        at(ev),
+                        format!("fault lost phantom {key} from state {other:?}"),
+                    ),
+                },
+                EventKind::PhantomRecovered { key } => {
+                    match phantoms.insert(*key, PhState::Matched) {
+                        Some(PhState::Lost) => {}
+                        other => flag(
+                            &mut rep,
+                            Check::Inv1,
+                            at(ev),
+                            format!("recovery of {key} from state {other:?} (only fault-lost phantoms may be recovered)"),
+                        ),
+                    }
+                }
                 EventKind::RemapMove { .. }
                 | EventKind::Recirculate { .. }
                 | EventKind::DataEnq { .. }
                 | EventKind::DataEnqDropFull { .. }
                 | EventKind::PopStale
                 | EventKind::PopBlocked { .. }
-                | EventKind::Steer { .. } => {}
+                | EventKind::Steer { .. }
+                | EventKind::FaultInjected { .. }
+                | EventKind::PipelineEvacuated { .. } => {}
             }
         }
         for ((p, st), pkt) in pending_pop.drain() {

@@ -229,6 +229,35 @@ pub enum EventKind {
         /// Destination pipeline.
         to: u16,
     },
+    // ---------------- fault level ----------------
+    /// A planned fault fired (`mp5-faults`). `code`/`param` are the
+    /// stable encoding from `FaultKind::code`/`FaultKind::param`.
+    FaultInjected {
+        /// Fault-kind code (1 = pipeline fail, 2 = stage stall, ...).
+        code: u16,
+        /// Kind-specific parameter word.
+        param: u64,
+    },
+    /// A phantom was lost to an injected fault (drop or forced FIFO
+    /// overflow) and the loss was *recorded* for later recovery.
+    FaultPhantomLost {
+        /// The lost phantom's access key.
+        key: Key,
+    },
+    /// A data packet whose phantom was lost to a fault was recovered
+    /// into FIFO order at its destination stage (C1-preserving path).
+    PhantomRecovered {
+        /// The recovered access key.
+        key: Key,
+    },
+    /// A failed pipeline finished evacuating its sharded state to
+    /// survivors via the D2 remap path.
+    PipelineEvacuated {
+        /// The dead pipeline.
+        pipeline: u16,
+        /// How many register indexes were moved off it.
+        indexes: u64,
+    },
 }
 
 impl EventKind {
@@ -255,6 +284,10 @@ impl EventKind {
             EventKind::PopStale => "pop_stale",
             EventKind::PopBlocked { .. } => "pop_blocked",
             EventKind::Steer { .. } => "steer",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::FaultPhantomLost { .. } => "ph_lost",
+            EventKind::PhantomRecovered { .. } => "ph_recovered",
+            EventKind::PipelineEvacuated { .. } => "evacuated",
         }
     }
 }
@@ -336,7 +369,9 @@ impl Event {
             | EventKind::PhantomDropFull { key: k }
             | EventKind::DataMatch { key: k }
             | EventKind::DataOrphan { key: k }
-            | EventKind::PopBlocked { key: k } => key(&mut s, k),
+            | EventKind::PopBlocked { key: k }
+            | EventKind::FaultPhantomLost { key: k }
+            | EventKind::PhantomRecovered { key: k } => key(&mut s, k),
             EventKind::PhantomCancel { key: k, free } => {
                 key(&mut s, k);
                 let _ = write!(s, ",\"free\":{free}");
@@ -358,6 +393,12 @@ impl Event {
             }
             EventKind::Steer { from, to } => {
                 let _ = write!(s, ",\"from\":{from},\"to\":{to}");
+            }
+            EventKind::FaultInjected { code, param } => {
+                let _ = write!(s, ",\"code\":{code},\"param\":{param}");
+            }
+            EventKind::PipelineEvacuated { pipeline, indexes } => {
+                let _ = write!(s, ",\"pl\":{pipeline},\"n\":{indexes}");
             }
             EventKind::PopStale => {}
         }
@@ -462,6 +503,16 @@ impl Event {
             "steer" => EventKind::Steer {
                 from: num("from")? as u16,
                 to: num("to")? as u16,
+            },
+            "fault" => EventKind::FaultInjected {
+                code: num("code")? as u16,
+                param: num("param")?,
+            },
+            "ph_lost" => EventKind::FaultPhantomLost { key: key()? },
+            "ph_recovered" => EventKind::PhantomRecovered { key: key()? },
+            "evacuated" => EventKind::PipelineEvacuated {
+                pipeline: num("pl")? as u16,
+                indexes: num("n")?,
             },
             other => return Err(ParseError::new(format!("unknown event tag '{other}'"))),
         };
@@ -643,6 +694,16 @@ mod tests {
             EventKind::PopStale,
             EventKind::PopBlocked { key: k(17) },
             EventKind::Steer { from: 0, to: 2 },
+            EventKind::FaultInjected {
+                code: 2,
+                param: (1 << 16) | 3,
+            },
+            EventKind::FaultPhantomLost { key: k(18) },
+            EventKind::PhantomRecovered { key: k(19) },
+            EventKind::PipelineEvacuated {
+                pipeline: 2,
+                indexes: 40,
+            },
         ]
     }
 

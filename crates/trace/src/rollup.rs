@@ -220,13 +220,21 @@ impl Rollup {
                 EventKind::RemapMove { reg, .. } => {
                     r.regs.entry(reg.0).or_default().remap_moves += 1;
                 }
+                EventKind::PhantomRecovered { .. } => {
+                    // A fault-recovered data packet enters the stage
+                    // FIFO directly (its phantom was lost upstream).
+                    occ_delta = Some(1);
+                }
                 EventKind::Ingress { .. }
                 | EventKind::Egress { .. }
                 | EventKind::Recirculate { .. }
                 | EventKind::PhantomEmit { .. }
                 | EventKind::PhantomChannelCancel { .. }
                 | EventKind::PhantomDropFull { .. }
-                | EventKind::DataEnqDropFull { .. } => {}
+                | EventKind::DataEnqDropFull { .. }
+                | EventKind::FaultInjected { .. }
+                | EventKind::FaultPhantomLost { .. }
+                | EventKind::PipelineEvacuated { .. } => {}
             }
             if let Some(d) = occ_delta {
                 stage.occ = (stage.occ + d).max(0);

@@ -53,6 +53,7 @@
 //! | [`banzai`] | `mp5-banzai` | Single-pipeline reference switch (equivalence ground truth) |
 //! | [`trace`] | `mp5-trace` | Event tracing: sinks, Perfetto export, rollups, `mp5audit` offline auditor |
 //! | [`fabric`] | `mp5-fabric` | Ring buffers, logical k-FIFOs + phantom directory, crossbars, phantom channel |
+//! | [`faults`] | `mp5-faults` | Deterministic fault plans, chaos generator, zero-cost `FaultInjector` hooks |
 //! | [`core`] | `mp5-core` | **The MP5 switch**: architecture + runtime (steering, phantoms, dynamic sharding) |
 //! | [`baselines`] | `mp5-baselines` | Naive / static-shard / no-D4 / ideal / recirculation baselines |
 //! | [`traffic`] | `mp5-traffic` | Line-rate arrivals, access patterns, Web-search flows |
@@ -71,6 +72,7 @@ pub use mp5_baselines as baselines;
 pub use mp5_compiler as compiler;
 pub use mp5_core as core;
 pub use mp5_fabric as fabric;
+pub use mp5_faults as faults;
 pub use mp5_lang as lang;
 pub use mp5_sim as sim;
 pub use mp5_trace as trace;

@@ -12,8 +12,9 @@
 
 use mp5::apps::ALL_APPS;
 use mp5::core::{EngineMode, Mp5Switch, RunReport, SwitchConfig};
+use mp5::faults::FaultPlan;
 use mp5::sim::experiments::app_trace;
-use mp5::trace::{stream_hash, MemSink};
+use mp5::trace::{audit, stream_hash, MemSink};
 
 fn packets_per_run() -> usize {
     std::env::var("MP5_EQ_PACKETS")
@@ -97,4 +98,107 @@ fn untraced_runs_agree_across_engines() {
         let par = Mp5Switch::new(prog.clone(), cfg).run(trace);
         assert_eq!(seq, par, "{}: untraced reports diverged", app.name);
     }
+}
+
+/// One traced run under a fault plan; report + event-stream hash.
+fn traced_faulted(
+    prog: &mp5::compiler::CompiledProgram,
+    trace: &[mp5::types::Packet],
+    cfg: SwitchConfig,
+    plan: &FaultPlan,
+) -> (RunReport, u64) {
+    let (report, sink) = Mp5Switch::with_faults(prog.clone(), cfg, MemSink::new(), plan.injector())
+        .run_traced(trace.to_vec());
+    let hash = stream_hash(&sink.into_events());
+    (report, hash)
+}
+
+/// Bit-identity must survive fault injection: the same fault plan on
+/// the same trace produces the same report and the same event stream
+/// on both engines — stalls are handed to workers as plain data and
+/// every other hook runs on the coordinator, so no nondeterminism may
+/// leak in. Covers a mixed plan (kill + stall + drops + delays) and a
+/// pure chaos plan, across pipeline counts.
+#[test]
+fn engines_stay_bit_identical_under_faults() {
+    let packets = packets_per_run();
+    for app in &ALL_APPS[..4] {
+        for k in [2usize, 4] {
+            let (prog, trace) = app_trace(app, packets, 3);
+            let mixed = FaultPlan::new(17)
+                .pipeline_fail(30, (k - 1) as u16)
+                .stage_stall(10, 0, 1, 40)
+                .phantom_drop(5, 150, 120)
+                .grant_delay(20, 2, 80)
+                .remap_abort(15, 1);
+            let chaos = FaultPlan::chaos(99, k, prog.num_stages(), 250);
+            for (name, plan) in [("mixed", &mixed), ("chaos", &chaos)] {
+                let (seq_rep, seq_hash) = traced_faulted(&prog, &trace, SwitchConfig::mp5(k), plan);
+                let par_cfg = SwitchConfig::mp5(k).with_engine(EngineMode::Parallel(k));
+                let (par_rep, par_hash) = traced_faulted(&prog, &trace, par_cfg, plan);
+                assert_eq!(
+                    seq_rep, par_rep,
+                    "{} k={k} {name} plan: reports diverged under faults",
+                    app.name
+                );
+                assert_eq!(
+                    seq_hash, par_hash,
+                    "{} k={k} {name} plan: event streams diverged under faults",
+                    app.name
+                );
+                assert!(
+                    seq_rep.fault.accounted(),
+                    "{} k={k} {name} plan: fault ledger must close",
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+/// A fault plan serialized to JSON and parsed back drives a
+/// bit-identical run — `mp5run --faults plan.json` replays exactly
+/// what `mp5chaos` rolled.
+#[test]
+fn fault_plans_replay_identically_through_json() {
+    let app = &ALL_APPS[1]; // conga
+    let (prog, trace) = app_trace(app, 300, 7);
+    let plan = FaultPlan::chaos(7, 4, prog.num_stages(), 200);
+    let reparsed = FaultPlan::from_json(&plan.to_json()).expect("plan round-trips");
+    let (a, ha) = traced_faulted(&prog, &trace, SwitchConfig::mp5(4), &plan);
+    let (b, hb) = traced_faulted(&prog, &trace, SwitchConfig::mp5(4), &reparsed);
+    assert_eq!(a, b, "JSON round-trip changed the run");
+    assert_eq!(ha, hb, "JSON round-trip changed the event stream");
+    assert!(a.fault.any(), "the replayed plan must actually fire");
+}
+
+/// Negative control: a *silent* phantom drop records no loss event and
+/// performs no recovery, so the offline auditor MUST flag the stream.
+/// This proves the chaos suite's "auditor-clean" gate has teeth — the
+/// auditor really can see an unrecovered phantom loss.
+#[test]
+fn auditor_catches_unrecovered_phantom_loss() {
+    let app = &ALL_APPS[0]; // flowlet
+    let (prog, trace) = app_trace(app, 400, 9);
+    // High silent drop rate over a long window: phantoms vanish with
+    // no FaultPhantomLost marker and no recovery insert.
+    let plan = FaultPlan::new(13).silent_phantom_drop(5, 700, 100_000);
+    let (report, sink) =
+        Mp5Switch::with_faults(prog, SwitchConfig::mp5(4), MemSink::new(), plan.injector())
+            .run_traced(trace);
+    assert!(
+        report.fault.phantoms_dropped > 0,
+        "the negative control must actually lose phantoms"
+    );
+    assert_eq!(
+        report.fault.phantoms_recovered, 0,
+        "silent losses must not be recovered"
+    );
+    let rep = audit(&sink.into_events());
+    assert!(
+        !rep.is_clean(),
+        "auditor failed to flag {} silently lost phantom(s) — the chaos \
+         gate would be blind",
+        report.fault.phantoms_dropped
+    );
 }
