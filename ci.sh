@@ -50,6 +50,7 @@ need_bin mp5run
 need_bin mp5audit
 need_bin mp5bench
 need_bin mp5chaos
+need_bin mp5fabric
 
 echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
@@ -76,10 +77,22 @@ echo "==> faulted replay smoke: chaos seed through mp5run + auditor"
 ./target/release/mp5run crates/apps/programs/flowlet.mp5 \
     --packets 4000 --chaos-seed 3 --audit
 
+echo "==> fabric smoke: traced 2x2 leaf-spine run, seq/par bit-identity, auditor"
+FABRIC_TMP=$(mktemp -d -t mp5-ci-fabric.XXXXXX)
+trap 'rm -f "$TRACE_TMP"; rm -rf "$FABRIC_TMP"' EXIT
+./target/release/mp5fabric --leaves 2 --spines 2 --flows 500 \
+    --trace-dir "$FABRIC_TMP" --audit --verify-par --quiet
+for f in "$FABRIC_TMP"/sw*.jsonl; do
+    ./target/release/mp5audit --quiet "$f"
+done
+
+echo "==> fabric chaos smoke: spine fail-stop mid-run, ledger closed"
+./target/release/mp5chaos --seeds 1 --apps flowlet --packets 400 --horizon 200 --fabric
+
 if [ "${CI_BENCH:-0}" = "1" ]; then
     echo "==> mp5bench perf-regression gate (CI_BENCH=1)"
     BENCH_TMP=$(mktemp -t mp5-ci-bench.XXXXXX)
-    trap 'rm -f "$TRACE_TMP" "$BENCH_TMP"' EXIT
+    trap 'rm -f "$TRACE_TMP" "$BENCH_TMP"; rm -rf "$FABRIC_TMP"' EXIT
     ./target/release/mp5bench --quick --out "$BENCH_TMP" \
         --gate ci/bench_baseline.json
 fi

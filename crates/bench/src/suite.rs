@@ -18,9 +18,10 @@ use serde::{Deserialize, Serialize};
 /// Schema tag stamped into every report this module writes.
 ///
 /// v2 added the fault-recovery columns (`degraded_cycles`,
-/// `phantoms_recovered`); regenerate committed baselines with `--out`
-/// after a schema bump.
-pub const SCHEMA: &str = "mp5bench/v2";
+/// `phantoms_recovered`); v3 added the `fabric` flag plus the
+/// multi-switch fabric rows measured through `mp5-topo`. Regenerate
+/// committed baselines with `--out` after a schema bump.
+pub const SCHEMA: &str = "mp5bench/v3";
 
 /// Pipeline counts of the full matrix.
 pub const FULL_PIPELINES: [usize; 4] = [1, 2, 4, 8];
@@ -102,6 +103,10 @@ pub struct BenchRow {
     pub degraded_cycles: u64,
     /// Lost phantoms recovered back into FIFO order (0 fault-free).
     pub phantoms_recovered: u64,
+    /// True for multi-switch fabric rows (measured through `mp5-topo`;
+    /// `packets`/`completed` are then fabric injected/delivered and
+    /// `cycles` is global fabric ticks).
+    pub fabric: bool,
 }
 
 /// A full suite report (what `BENCH_main.json` holds).
@@ -197,6 +202,73 @@ fn row_from(
         normalized_throughput: report.normalized_throughput(),
         degraded_cycles: report.fault.degraded_cycles,
         phantoms_recovered: report.fault.phantoms_recovered,
+        fabric: false,
+    }
+}
+
+/// Measures one leaf–spine fabric point (`leaves`×`spines`, 2 hosts per
+/// leaf) on the given engine and returns `(report, wall_ms)`.
+fn time_fabric(
+    k: usize,
+    leaves: usize,
+    spines: usize,
+    flows: u64,
+    seed: u64,
+    engine: EngineMode,
+) -> (mp5_topo::FabricReport, f64) {
+    use mp5_topo::{Fabric, FabricConfig, TopologyConfig};
+
+    let app = mp5_apps::by_name("heavy_hitter").expect("bundled app");
+    let prog = app.compile().expect("bundled app compiles");
+    let fill = app.fill;
+    let topo = TopologyConfig::leaf_spine(leaves, spines, 2)
+        .validate()
+        .expect("valid bench topology");
+    let hosts = topo.num_hosts();
+    let mut cfg = FabricConfig::new(
+        SwitchConfig::mp5(k)
+            .with_hardware_fifos()
+            .with_engine(engine),
+    );
+    cfg.seed = seed;
+    let workload = mp5_traffic::DcWorkload::new(hosts, flows, seed).max_pkts_per_flow(4);
+    let fabric = Fabric::new(topo, cfg, prog.clone()).expect("valid fabric config");
+    let prog2 = prog.clone();
+    let start = Instant::now();
+    let run = fabric.run(workload.stream(), move |key, rng, fields| {
+        fill(&prog2, key, rng, fields)
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (run.report, wall_ms)
+}
+
+fn fabric_row(
+    name: &str,
+    k: usize,
+    engine: &str,
+    workers: usize,
+    rep: &mp5_topo::FabricReport,
+    wall_ms: f64,
+) -> BenchRow {
+    let secs = (wall_ms / 1e3).max(1e-12);
+    BenchRow {
+        app: name.to_string(),
+        pipelines: k,
+        engine: engine.to_string(),
+        workers,
+        packets: rep.injected,
+        completed: rep.delivered,
+        cycles: rep.ticks,
+        wall_ms,
+        pkts_per_sec: rep.delivered as f64 / secs,
+        cycles_per_sec: rep.ticks as f64 / secs,
+        speedup_vs_sequential: 1.0,
+        p50_cycle_ns: 0,
+        p99_cycle_ns: 0,
+        normalized_throughput: rep.delivered_fraction(),
+        degraded_cycles: 0,
+        phantoms_recovered: 0,
+        fabric: true,
     }
 }
 
@@ -245,6 +317,45 @@ pub fn run_suite(opts: &BenchOpts) -> BenchReport {
             rows.push(row);
         }
     }
+
+    // Fabric rows: whole-switch composition through mp5-topo, seq and
+    // par measured on the same workload with bit-identity asserted.
+    let fabric_points: &[(usize, usize, u64)] = if opts.quick {
+        &[(2, 2, 600)]
+    } else {
+        &[(2, 2, 2_000), (4, 2, 2_000)]
+    };
+    let fk = 4usize;
+    for &(leaves, spines, flows) in fabric_points {
+        let name = format!("fabric-{leaves}x{spines}");
+        let (seq_rep, seq_ms) =
+            time_fabric(fk, leaves, spines, flows, opts.seed, EngineMode::Sequential);
+        rows.push(fabric_row(&name, fk, "seq", 0, &seq_rep, seq_ms));
+        let workers = opts.workers.unwrap_or(fk).max(1);
+        let (par_rep, par_ms) = time_fabric(
+            fk,
+            leaves,
+            spines,
+            flows,
+            opts.seed,
+            EngineMode::Parallel(workers),
+        );
+        assert_eq!(
+            seq_rep, par_rep,
+            "{name}: fabric engines diverged — bit-identity broken"
+        );
+        let mut row = fabric_row(
+            &name,
+            fk,
+            "par",
+            par_cfg_workers(workers, fk),
+            &par_rep,
+            par_ms,
+        );
+        row.speedup_vs_sequential = seq_ms / par_ms.max(1e-12);
+        rows.push(row);
+    }
+
     BenchReport {
         schema: SCHEMA.to_string(),
         quick: opts.quick,
@@ -411,6 +522,7 @@ mod tests {
             normalized_throughput: 1.0,
             degraded_cycles: 0,
             phantoms_recovered: 0,
+            fabric: false,
         }
     }
 
@@ -493,8 +605,11 @@ mod tests {
             workers: Some(2),
         };
         let rep = run_suite(&opts);
-        // 2 apps × 2 pipeline counts × 2 engines.
-        assert_eq!(rep.rows.len(), 8);
+        // 2 apps × 2 pipeline counts × 2 engines + 1 fabric point × 2.
+        assert_eq!(rep.rows.len(), 10);
+        let fab: Vec<_> = rep.rows.iter().filter(|r| r.fabric).collect();
+        assert_eq!(fab.len(), 2, "quick suite measures one fabric point");
+        assert!(fab.iter().all(|r| r.app == "fabric-2x2"));
         for chunk in rep.rows.chunks(2) {
             let (seq, par) = (&chunk[0], &chunk[1]);
             assert_eq!(seq.engine, "seq");

@@ -396,6 +396,20 @@ pub fn compile_tac(tac: TacProgram, target: &Target) -> Result<CompiledProgram, 
         }
     }
 
+    // A register declared but never referenced by any instruction is
+    // not resident in any scheduled stage; park it in the first body
+    // stage so its (initial) state still has a home. `validate()`
+    // requires every register to be resident exactly where its
+    // RegMeta.stage says, and the RegMeta loop below falls back to
+    // body stage 0 for exactly these registers.
+    if !body.is_empty() {
+        for ri in 0..tac.regs.len() {
+            if !body.iter().any(|s| s.regs.contains(&RegId::from(ri))) {
+                body[0].regs.push(RegId::from(ri));
+            }
+        }
+    }
+
     // ---- register metadata ----
     let classes = classify_atoms(&tac, &sched);
     let regs: Vec<RegMeta> = tac

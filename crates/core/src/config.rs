@@ -182,6 +182,14 @@ pub struct SwitchConfig {
     /// Which cycle engine executes the simulation (results are
     /// bit-identical either way; see [`EngineMode`]).
     pub engine: EngineMode,
+    /// Record per-packet artifacts in the report: the per-packet output
+    /// field map, the completion list, and the per-index access log.
+    /// Defaults to `true` (the historical behaviour every equivalence
+    /// test relies on). Fabric-scale runs — millions of packets across
+    /// many switches — turn this off so report memory stays O(registers)
+    /// instead of O(packets); aggregate counters (`offered`,
+    /// `completed`, drops, ECN marks, …) are always recorded.
+    pub record_detail: bool,
 }
 
 impl SwitchConfig {
@@ -202,6 +210,7 @@ impl SwitchConfig {
             max_cycles: None,
             physical_pipelines: None,
             engine: EngineMode::Sequential,
+            record_detail: true,
         }
     }
 
@@ -251,6 +260,13 @@ impl SwitchConfig {
     /// Selects the cycle engine (builder style).
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Toggles per-packet report artifacts (builder style); see
+    /// [`SwitchConfig::record_detail`].
+    pub fn with_record_detail(mut self, on: bool) -> Self {
+        self.record_detail = on;
         self
     }
 

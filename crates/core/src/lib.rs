@@ -46,4 +46,4 @@ pub use config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig}
 pub use engine::{CycleTimings, WorkerPool};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
 pub use report::{DropCounts, FaultReport, RunReport};
-pub use switch::{InvariantViolation, Mp5Switch};
+pub use switch::{EnginePool, InvariantViolation, Mp5Switch};

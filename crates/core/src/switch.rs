@@ -1,7 +1,7 @@
 //! The MP5 switch simulator (architecture §3.2 + runtime §3.4).
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
@@ -396,6 +396,10 @@ struct WorkCtx<'a> {
     /// `NoFaults`, so the gate below is a length check on the hot
     /// path).
     stalls: &'a [(u16, u16)],
+    /// Whether per-packet artifacts (the access log) are recorded.
+    /// Fabric-scale runs turn this off — see
+    /// [`SwitchConfig::record_detail`].
+    record_detail: bool,
 }
 
 impl WorkCtx<'_> {
@@ -667,7 +671,9 @@ fn process_flight<S: TraceSink>(
                     },
                 );
             }
-            fx.accesses.push((a.reg, a.index, fl.pkt.id));
+            if ctx.record_detail {
+                fx.accesses.push((a.reg, a.index, fl.pkt.id));
+            }
         }
         // Retire this stage's tags. A retired *speculative* tag whose
         // predicate turned out false produced no access: the queue slot
@@ -752,6 +758,8 @@ struct EngineShared {
     /// Whether the coordinator's sink observes events (workers record
     /// into per-pipeline `MemSink`s only in that case).
     tracing: bool,
+    /// Mirrors [`SwitchConfig::record_detail`] for worker-side gating.
+    record_detail: bool,
 }
 
 /// One pipeline's work-phase state, *moved* to a worker for the cycle
@@ -796,6 +804,7 @@ fn run_job(mut job: Job) -> Vec<Unit> {
         cycle: job.cycle,
         prologue: shared.prologue,
         stalls: &job.stalls,
+        record_detail: shared.record_detail,
     };
     for u in &mut job.units {
         if shared.tracing {
@@ -829,10 +838,60 @@ fn run_job(mut job: Job) -> Vec<Unit> {
     job.units
 }
 
-/// The parallel engine's per-switch state: the persistent worker pool,
-/// the `Arc`ed run-wide context, and recycled per-pipeline buffers.
+/// A shareable handle to a parallel-engine worker pool.
+///
+/// A single-switch run owns its pool implicitly (the constructors build
+/// one per switch), but a multi-switch fabric stepping many
+/// [`Mp5Switch`]es in one global cycle loop should *not* pay one thread
+/// pool per switch: build one `EnginePool` and hand a clone to every
+/// switch via [`Mp5Switch::try_with_pool`]. Switches take turns on the
+/// pool (the fabric advances them in a fixed order, so the mutex is
+/// never contended), and determinism is unaffected — the merge order of
+/// worker results is pipeline order regardless of which pool executed
+/// them.
+#[derive(Clone)]
+pub struct EnginePool {
+    inner: Arc<Mutex<WorkerPool<Job, Vec<Unit>>>>,
+    workers: usize,
+}
+
+impl EnginePool {
+    /// Spawns a pool of `workers` (≥ 1) persistent threads running the
+    /// MP5 work phase.
+    pub fn new(workers: usize) -> Self {
+        EnginePool {
+            inner: Arc::new(Mutex::new(WorkerPool::new(workers, run_job))),
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one barrier round on the pool (see [`WorkerPool::exchange`]).
+    fn exchange(&self, jobs: Vec<Job>) -> Vec<Vec<Unit>> {
+        self.inner
+            .lock()
+            .expect("engine pool lock poisoned")
+            .exchange(jobs)
+    }
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// The parallel engine's per-switch state: the (possibly shared) worker
+/// pool, the `Arc`ed run-wide context, and recycled per-pipeline
+/// buffers.
 struct ParEngine {
-    pool: WorkerPool<Job, Vec<Unit>>,
+    pool: EnginePool,
     shared: Arc<EngineShared>,
     /// Recycled `(fx, events)` buffers, so steady-state cycles allocate
     /// nothing for effect buffering.
@@ -918,6 +977,12 @@ pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     /// `(ready_cycle, dest pipeline, stage, flight)`, drained in
     /// insertion order once ready.
     pending_grants: VecDeque<(u64, PipelineId, usize, Flight)>,
+    /// Packets that exited the final stage, `(packet, exit cycle)` in
+    /// completion order. The streaming API's output side: a fabric
+    /// calls [`Mp5Switch::drain_egress`] each tick to route them on;
+    /// the whole-trace `run` path clears it every cycle so single-switch
+    /// memory use is unchanged.
+    egress_buf: Vec<(Packet, u64)>,
 }
 
 impl Mp5Switch<NopSink> {
@@ -984,6 +1049,31 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         sink: S,
         faults: F,
     ) -> Result<Self, ConfigError> {
+        Self::build(prog, cfg, sink, faults, None)
+    }
+
+    /// Like [`Mp5Switch::try_with_faults`], but the parallel engine
+    /// (when `cfg.engine` selects one) executes on the caller-provided
+    /// shared [`EnginePool`] instead of spawning a private one — the
+    /// multi-switch composition path, where one pool serves every
+    /// switch in the fabric. Ignored under [`EngineMode::Sequential`].
+    pub fn try_with_pool(
+        prog: CompiledProgram,
+        cfg: SwitchConfig,
+        sink: S,
+        faults: F,
+        pool: &EnginePool,
+    ) -> Result<Self, ConfigError> {
+        Self::build(prog, cfg, sink, faults, Some(pool.clone()))
+    }
+
+    fn build(
+        prog: CompiledProgram,
+        cfg: SwitchConfig,
+        sink: S,
+        faults: F,
+        pool: Option<EnginePool>,
+    ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let k = cfg.pipelines;
         let timing_k = cfg.physical_pipelines.unwrap_or(k);
@@ -1015,7 +1105,6 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         let par = match cfg.engine {
             EngineMode::Sequential => None,
             EngineMode::Parallel(_) => {
-                let workers = cfg.engine.workers_for(k);
                 let shared = Arc::new(EngineShared {
                     prog: prog.clone(),
                     phantoms: cfg.phantoms,
@@ -1023,9 +1112,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                     clen: cycle_len(timing_k),
                     prologue,
                     tracing: S::ENABLED,
+                    record_detail: cfg.record_detail,
                 });
+                let pool = pool.unwrap_or_else(|| EnginePool::new(cfg.engine.workers_for(k)));
                 Some(ParEngine {
-                    pool: WorkerPool::new(workers, run_job),
+                    pool,
                     shared,
                     spare: Vec::new(),
                 })
@@ -1061,6 +1152,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             evac_counts: vec![0; k],
             lost: HashSet::new(),
             pending_grants: VecDeque::new(),
+            egress_buf: Vec::new(),
         })
     }
 
@@ -1130,6 +1222,83 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         Ok((report, sink, CycleTimings { nanos }))
     }
 
+    // -----------------------------------------------------------------
+    // Streaming (incremental) API — the interface a multi-switch fabric
+    // drives. Instead of handing the switch a whole trace, the caller
+    // `offer`s packets as they become due, `tick`s the switch one cycle
+    // at a time in the fabric's global loop, and `drain_egress`es the
+    // packets that exited this tick to route them onward. The whole-
+    // trace `run` variants are a thin wrapper over the same `step`
+    // loop, so the two paths are behaviourally identical.
+    // -----------------------------------------------------------------
+
+    /// Offers one packet to the switch's ingress.
+    ///
+    /// Packets must be offered in ascending [`Packet::entry_order_key`]
+    /// order (the fabric maintains a per-switch monotone arrival clock
+    /// to guarantee this); a violation is a caller bug and trips a
+    /// debug assertion.
+    pub fn offer(&mut self, pkt: Packet) {
+        debug_assert!(
+            self.arrivals
+                .back()
+                .is_none_or(|b| b.entry_order_key() <= pkt.entry_order_key()),
+            "streamed packets must arrive in entry order"
+        );
+        self.report.offered += 1;
+        let end = pkt.arrival + mp5_types::BYTES_PER_SLOT;
+        if end > self.report.input_duration {
+            self.report.input_duration = end;
+        }
+        self.arrivals.push_back(pkt);
+    }
+
+    /// Advances the switch by one cycle. Completed packets accumulate
+    /// in the egress buffer until [`Mp5Switch::drain_egress`].
+    pub fn tick(&mut self) {
+        self.step();
+    }
+
+    /// Takes the packets that exited since the last drain, as
+    /// `(packet, exit cycle)` in completion order.
+    pub fn drain_egress(&mut self) -> Vec<(Packet, u64)> {
+        std::mem::take(&mut self.egress_buf)
+    }
+
+    /// Number of offered packets not yet admitted into a pipeline.
+    pub fn pending_ingress(&self) -> usize {
+        self.arrivals.len() + self.ingress_q.len()
+    }
+
+    /// True when nothing is buffered or in flight anywhere inside the
+    /// switch — the streaming analogue of the drain condition the
+    /// whole-trace loop runs until.
+    pub fn is_idle(&self) -> bool {
+        self.drained()
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Read access to the in-progress report (offered/completed/drop
+    /// counters are live; end-of-run aggregates are filled by
+    /// [`Mp5Switch::finish_stream`]). A fabric uses this for resident
+    /// accounting: `offered - completed - drops` packets are still
+    /// inside the switch.
+    pub fn live_report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Finalizes a streamed run: fills the report's end-of-run
+    /// aggregates (final register state, queue statistics, cycle count)
+    /// and returns it with the sink. The streaming counterpart of the
+    /// tail of [`Mp5Switch::try_run_traced`].
+    pub fn finish_stream(self) -> (RunReport, S) {
+        self.finish()
+    }
+
     /// The drain loop behind every `run` variant.
     fn run_to_completion(
         mut self,
@@ -1165,6 +1334,9 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             } else {
                 self.step();
             }
+            // Whole-trace runs have no egress consumer: drop completions
+            // as they happen so the buffer never grows past one cycle.
+            self.egress_buf.clear();
         }
         Ok(self.finish())
     }
@@ -1356,6 +1528,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                     cycle: self.cycle,
                     prologue: self.prologue,
                     stalls: self.faults.active_stalls(),
+                    record_detail: self.cfg.record_detail,
                 };
                 work_pipeline(
                     &ctx,
@@ -1396,7 +1569,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         };
         let stalls: Vec<(u16, u16)> = self.faults.active_stalls().to_vec();
         let shared = Arc::clone(&par.shared);
-        let workers = par.pool.workers();
+        // A shared pool may have more workers than this switch has
+        // pipelines; never build more jobs than units (a job per worker
+        // with some empty would still be correct, but chunking by
+        // `min` keeps job sizes contiguous and non-degenerate).
+        let workers = par.pool.workers().min(self.k).max(1);
         let mut units = Vec::with_capacity(self.k);
         for (pl, inc_row) in incoming.iter_mut().enumerate() {
             let (fx, events) = par.spare.pop().unwrap_or_default();
@@ -1735,15 +1912,18 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             "packet exited with unvisited tags: {:?}",
             fl.pkt.tags
         );
-        self.report.result.outputs.insert(
-            fl.pkt.id,
-            fl.pkt.fields[..self.prog.declared_fields].to_vec(),
-        );
-        self.report.completions.push((fl.pkt.id, self.cycle));
+        if self.cfg.record_detail {
+            self.report.result.outputs.insert(
+                fl.pkt.id,
+                fl.pkt.fields[..self.prog.declared_fields].to_vec(),
+            );
+            self.report.completions.push((fl.pkt.id, self.cycle));
+        }
         self.report.completed += 1;
         if fl.pkt.ecn {
             self.report.ecn_marked += 1;
         }
+        self.egress_buf.push((fl.pkt, self.cycle));
     }
 
     /// Background dynamic sharding (Figure 6 / LPT), with the in-flight

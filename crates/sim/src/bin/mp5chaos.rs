@@ -30,12 +30,14 @@ struct Cli {
     apps: String,
     opts: ChaosOpts,
     dump_plans: Option<String>,
+    fabric: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mp5chaos [--seeds N] [--start-seed N] [--apps all|name,...] \
-         [--pipelines K] [--packets N] [--horizon CYCLES] [--seq-only] [--dump-plans DIR]"
+         [--pipelines K] [--packets N] [--horizon CYCLES] [--seq-only] [--dump-plans DIR] \
+         [--fabric]"
     );
     std::process::exit(2)
 }
@@ -47,6 +49,7 @@ fn parse_cli() -> Cli {
         apps: "all".into(),
         opts: ChaosOpts::default(),
         dump_plans: None,
+        fabric: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,6 +72,7 @@ fn parse_cli() -> Cli {
             "--horizon" => cli.opts.horizon = val("--horizon").parse().unwrap_or_else(|_| usage()),
             "--seq-only" => cli.opts.check_parallel = false,
             "--dump-plans" => cli.dump_plans = Some(val("--dump-plans")),
+            "--fabric" => cli.fabric = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -143,7 +147,25 @@ fn main() {
         }
     }
 
-    let total = outcomes.len();
+    let mut total = outcomes.len();
+    if cli.fabric {
+        println!(
+            "\n-- fabric chaos: 4x2 leaf-spine, spine fail-stop mid-run, {} seed(s) --",
+            seeds.len()
+        );
+        for &seed in &seeds {
+            let out = chaos::run_fabric_case(seed, &cli.opts);
+            println!("{}", out.summary());
+            if !out.passed() {
+                failed += 1;
+                for f in &out.failures {
+                    eprintln!("    FAIL [fabric seed {seed}]: {f}");
+                }
+            }
+            total += 1;
+        }
+    }
+
     if failed == 0 {
         println!(
             "\nchaos PASSED: {total}/{total} case(s) clean (no panics, ledger closed, \

@@ -188,6 +188,143 @@ pub fn run_campaign(
     crate::parallel_map(jobs)
 }
 
+/// The outcome of one fabric chaos case: a leaf–spine fabric loses a
+/// spine mid-run and must degrade gracefully instead of collapsing.
+#[derive(Debug, Clone)]
+pub struct FabricChaosOutcome {
+    /// Chaos seed (drives workload, ECMP salt, and kill timing).
+    pub seed: u64,
+    /// The fabric report of the (sequential) kill run.
+    pub report: mp5_topo::FabricReport,
+    /// Problems found; empty means the case passed.
+    pub failures: Vec<String>,
+}
+
+impl FabricChaosOutcome {
+    /// Did every fabric chaos contract hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One summary line for tables and logs.
+    pub fn summary(&self) -> String {
+        let r = &self.report;
+        format!(
+            "fabric     seed {:>3}: spine killed, delivered {}/{} ({:.1}%), \
+             stranded {} (dead {} + to-dead {} + no-route {}), ledger {} -> {}",
+            self.seed,
+            r.delivered,
+            r.injected,
+            100.0 * r.delivered_fraction(),
+            r.lost_in_dead + r.dropped_to_dead + r.dropped_no_route,
+            r.lost_in_dead,
+            r.dropped_to_dead,
+            r.dropped_no_route,
+            if r.conservation_closed() {
+                "closed"
+            } else {
+                "OPEN"
+            },
+            if self.passed() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Runs one fabric chaos case: a 4-leaf/2-spine fabric under a uniform
+/// datacenter workload loses one spine mid-run (which spine and when
+/// derive from the seed). Contracts: the conservation ledger closes,
+/// delivery degrades to the surviving paths instead of collapsing (the
+/// surviving spine keeps forwarding and most packets still arrive), and
+/// the whole faulted run is bit-identical across the sequential and
+/// parallel cycle engines.
+pub fn run_fabric_case(seed: u64, opts: &ChaosOpts) -> FabricChaosOutcome {
+    use mp5_topo::{Fabric, FabricConfig, SpineKill, TopologyConfig};
+
+    let app = mp5_apps::by_name("heavy_hitter").expect("bundled app");
+    let prog = app.compile().expect("bundled app compiles");
+    let fill = app.fill;
+    let leaves = 4usize;
+    let kill = SpineKill {
+        spine: leaves as u32 + (seed % 2) as u32,
+        at_tick: 150 + seed % 200,
+    };
+    let mut failures = Vec::new();
+
+    let run = |engine: EngineMode| {
+        let topo = TopologyConfig::leaf_spine(leaves, 2, 2)
+            .validate()
+            .expect("valid topology");
+        let hosts = topo.num_hosts();
+        let mut cfg = FabricConfig::new(
+            SwitchConfig::mp5(opts.pipelines)
+                .with_hardware_fifos()
+                .with_engine(engine),
+        );
+        cfg.seed = seed;
+        cfg.kill_spine = Some(kill);
+        let workload = mp5_traffic::DcWorkload::new(hosts, 600, seed)
+            .load(0.7)
+            .max_pkts_per_flow(4);
+        let prog2 = prog.clone();
+        Fabric::new(topo, cfg, prog.clone())
+            .expect("valid fabric config")
+            .run(workload.stream(), move |key, rng, fields| {
+                fill(&prog2, key, rng, fields)
+            })
+            .report
+    };
+
+    let seq = run(EngineMode::Sequential);
+    if !seq.conservation_closed() {
+        failures.push(format!(
+            "conservation ledger open: injected {} != delivered {} + accounted drops",
+            seq.injected, seq.delivered
+        ));
+    }
+    let dead = kill.spine as usize;
+    let alive = leaves + (dead - leaves + 1) % 2;
+    if !seq.switches[dead].dead {
+        failures.push(format!("spine {dead} was not marked dead"));
+    }
+    if seq.switches[alive].dead {
+        failures.push(format!("surviving spine {alive} wrongly marked dead"));
+    }
+    // Graceful degradation: the survivor keeps forwarding, and the
+    // fabric still delivers the bulk of the traffic over it.
+    if seq.switches[alive].completed <= seq.switches[dead].completed {
+        failures.push(format!(
+            "surviving spine forwarded {} packets, dead one {} — traffic did not shift",
+            seq.switches[alive].completed, seq.switches[dead].completed
+        ));
+    }
+    if seq.delivered_fraction() < 0.5 {
+        failures.push(format!(
+            "fabric collapsed: only {:.1}% delivered after a single-spine loss",
+            100.0 * seq.delivered_fraction()
+        ));
+    }
+    if seq.lost_in_dead + seq.dropped_to_dead == 0 {
+        failures.push("mid-run kill stranded no packets — kill likely never fired".into());
+    }
+
+    if opts.check_parallel {
+        let par = run(EngineMode::Parallel(opts.pipelines));
+        if par != seq {
+            failures.push(format!(
+                "parallel engine diverged from sequential under spine kill \
+                 (digest {:#x} vs {:#x})",
+                par.delivery_digest, seq.delivery_digest
+            ));
+        }
+    }
+
+    FabricChaosOutcome {
+        seed,
+        report: seq,
+        failures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +340,13 @@ mod tests {
         assert!(out.passed(), "chaos case failed: {:?}", out.failures);
         assert!(out.plan_len >= 3, "chaos plans roll at least 3 faults");
         assert!(out.report.fault.any(), "at least one fault must fire");
+    }
+
+    #[test]
+    fn fabric_chaos_case_survives_a_spine_kill() {
+        let out = run_fabric_case(11, &ChaosOpts::default());
+        assert!(out.passed(), "fabric chaos failed: {:?}", out.failures);
+        assert!(out.report.conservation_closed());
     }
 
     #[test]

@@ -18,12 +18,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dc;
 pub mod flows;
 pub mod pattern;
+pub mod streams;
 pub mod trace_io;
 
+pub use dc::{DcPacket, DcPattern, DcStream, DcWorkload};
 pub use flows::{FlowTraceBuilder, WEB_SEARCH_CDF};
 pub use pattern::AccessPattern;
+pub use streams::{stream_digest, stream_rng, stream_seed};
 
 use mp5_types::{Packet, PacketId, PortId, Time, Value};
 use rand::rngs::SmallRng;

@@ -59,6 +59,7 @@
 //! | [`traffic`] | `mp5-traffic` | Line-rate arrivals, access patterns, Web-search flows |
 //! | [`apps`] | `mp5-apps` | Flowlet, CONGA, WFQ, sequencer + four more stateful programs |
 //! | [`asic`] | `mp5-asic` | Analytic area/clock/SRAM model (paper Table 1) |
+//! | [`topo`] | `mp5-topo` | Leaf–spine fabric simulation: composed switches, links, ECMP/flowlet, `mp5fabric` |
 //! | [`sim`] | `mp5-sim` | Experiment harness regenerating every paper table & figure |
 
 #![forbid(unsafe_code)]
@@ -75,6 +76,7 @@ pub use mp5_fabric as fabric;
 pub use mp5_faults as faults;
 pub use mp5_lang as lang;
 pub use mp5_sim as sim;
+pub use mp5_topo as topo;
 pub use mp5_trace as trace;
 pub use mp5_traffic as traffic;
 pub use mp5_types as types;

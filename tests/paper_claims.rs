@@ -141,10 +141,14 @@ fn sensitivity_shapes() {
     );
     assert!(k2 > k16, "k=2 {k2:.3} vs k=16 {k16:.3}");
 
-    // (c) bigger register arrays -> higher throughput.
-    let r4 = run(
+    // (c) bigger register arrays -> higher throughput. Compare below
+    // the saturation knee: once reg_size >= pipelines, every pipeline
+    // owns a dedicated shard and throughput plateaus (runs at size 4
+    // and 4096 differ only by noise), so the sensitivity is measured
+    // from a genuinely contended size.
+    let r2 = run(
         SynthConfig {
-            reg_size: 4,
+            reg_size: 2,
             ..base
         },
         SwitchConfig::mp5(4),
@@ -156,7 +160,7 @@ fn sensitivity_shapes() {
         },
         SwitchConfig::mp5(4),
     );
-    assert!(r4096 > r4, "size 4096 {r4096:.3} vs size 4 {r4:.3}");
+    assert!(r4096 > r2, "size 4096 {r4096:.3} vs size 2 {r2:.3}");
 
     // (d) bigger packets -> line rate by 128 B.
     let p128 = run(

@@ -1,0 +1,261 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no network access and no registry cache,
+//! so this workspace vendors the slice of `criterion` its benchmarks
+//! use: `Criterion`, benchmark groups with `throughput` /
+//! `sample_size` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — per benchmark it runs a short
+//! warm-up, then `sample_size` timed samples with an auto-calibrated
+//! iteration count, and reports the median and min/max per-iteration
+//! time (plus throughput when configured). There is no outlier
+//! analysis, plotting, or baseline persistence.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per benchmark (warm-up plus measurement).
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_secs(1);
+
+/// Throughput annotation for a group; scales reported rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `mp5_packets/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, consuming each return value through
+    /// `black_box` so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupConfig {
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments. Only a positional substring
+    /// filter is supported (`cargo bench -- fifo`).
+    pub fn configure_from_args(mut self) -> Self {
+        let arg = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self.filter = arg;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, &GroupConfig::default(), self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample
+/// configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.config.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.config, self.criterion.filter.as_deref(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Upstream finalizes reports here; the vendored version prints as
+    /// it goes, so this is a no-op kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    config: &GroupConfig,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the iteration count until one sample is long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    // Warm up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARM_UP {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+
+    // Measure.
+    let samples = config.sample_size.unwrap_or(100).max(3);
+    let budget_per_sample = MEASURE.div_f64(samples as f64);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        let t = Instant::now();
+        f(&mut b);
+        let sample_time = if b.elapsed > Duration::ZERO {
+            b.elapsed
+        } else {
+            t.elapsed()
+        };
+        per_iter.push(sample_time.as_secs_f64() / iters as f64);
+        if t.elapsed() > budget_per_sample * 4 {
+            break; // slow benchmark: settle for fewer samples
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+
+    let mut line = format!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+    if let Some(tp) = config.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem"),
+            Throughput::Bytes(n) => (n as f64, "B"),
+        };
+        line.push_str(&format!("  thrpt: {:.3e} {unit}/s", count / median));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,450 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no network access and
+//! no crates.io cache, so the workspace vendors the exact slice of the
+//! `rand` API it uses (see the workspace `Cargo.toml`, which points the
+//! `rand` dependency here). The implementation follows the published
+//! rand 0.8.5 algorithms so that seeded streams match the upstream
+//! crate bit-for-bit for the APIs provided:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ (the 64-bit `SmallRng` of
+//!   rand 0.8.5), with `seed_from_u64` filling state via SplitMix64 —
+//!   the override rand 0.8.5 ships for xoshiro generators.
+//! * `next_u32` returns the *upper* 32 bits of `next_u64` (the
+//!   xoshiro low bits have linear dependencies; rand 0.8.5 does the
+//!   same).
+//! * [`Rng::gen_range`] uses widening-multiply rejection sampling with
+//!   the bitmask zone (`(range << range.leading_zeros()) - 1`), the
+//!   `UniformInt::sample_single` path of rand 0.8.5.
+//! * [`Rng::gen`] for `f64` takes the top 53 bits of `next_u64` into
+//!   `[0, 1)`; [`Rng::gen_bool`] compares `next_u64` against
+//!   `(p * 2^64) as u64` (the `Bernoulli` construction).
+//!
+//! Only the surface this workspace calls is implemented; anything else
+//! from upstream `rand` is intentionally absent.
+
+/// A low-level source of random 32/64-bit words (mirror of
+/// `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes (little-endian words).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// A seedable generator (mirror of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64`.
+    ///
+    /// The trait-level default mirrors `rand_core` 0.6 (a PCG32 stream
+    /// expands the seed); generators that override it — like
+    /// [`rngs::SmallRng`] — document their own expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&x[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` distribution and the [`Distribution`] trait.
+
+    use super::RngCore;
+
+    /// A distribution over a type `T` (mirror of
+    /// `rand::distributions::Distribution`).
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over the whole value domain
+    /// (for floats, `[0, 1)`).
+    pub struct Standard;
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+    impl Distribution<u16> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<i32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+            rng.next_u32() as i32
+        }
+    }
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 bits of precision into [0, 1).
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 bits of precision into [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+mod uniform {
+    //! Integer range sampling: the widening-multiply rejection method
+    //! of rand 0.8.5's `UniformInt::sample_single`.
+
+    use super::RngCore;
+
+    /// A type that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`. Panics if the range is
+        /// empty (matching upstream).
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_64 {
+        ($ty:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "cannot sample empty range");
+                    let range = high.wrapping_sub(low) as u64;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u64();
+                        let m = (v as u128).wrapping_mul(range as u128);
+                        let (hi, lo) = ((m >> 64) as u64, m as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "cannot sample empty range");
+                    let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                    if range == 0 {
+                        // Full domain.
+                        return rng.next_u64() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u64();
+                        let m = (v as u128).wrapping_mul(range as u128);
+                        let (hi, lo) = ((m >> 64) as u64, m as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    macro_rules! uniform_32 {
+        ($ty:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "cannot sample empty range");
+                    let range = high.wrapping_sub(low) as u32;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u32();
+                        let m = (v as u64).wrapping_mul(range as u64);
+                        let (hi, lo) = ((m >> 32) as u32, m as u32);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "cannot sample empty range");
+                    let range = (high.wrapping_sub(low) as u32).wrapping_add(1);
+                    if range == 0 {
+                        return rng.next_u32() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u32();
+                        let m = (v as u64).wrapping_mul(range as u64);
+                        let (hi, lo) = ((m >> 32) as u32, m as u32);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_64!(u64);
+    uniform_64!(i64);
+    uniform_64!(usize);
+    uniform_64!(isize);
+    uniform_32!(u32);
+    uniform_32!(i32);
+    uniform_32!(u16);
+    uniform_32!(i16);
+    uniform_32!(u8);
+    uniform_32!(i8);
+
+    /// A range argument to [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// User-facing convenience methods over any [`RngCore`] (mirror of
+/// `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0` (matching upstream).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        if p == 1.0 {
+            // Upstream's ALWAYS_TRUE marker.
+            let _ = self.next_u64();
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! The small fast generator.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — rand 0.8.5's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro have linear dependencies; use the
+            // high half (as upstream does).
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; remap it (any
+                // fixed non-zero state works, upstream uses the same
+                // guard idea).
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0xbf58476d1ce4e5b9,
+                    0x94d049bb133111eb,
+                    0x2545f4914f6cdd1d,
+                ];
+            }
+            SmallRng { s }
+        }
+
+        /// SplitMix64 expansion of a `u64` seed — the xoshiro-specific
+        /// override rand 0.8.5 ships, so seeded streams match upstream.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e3779b97f4a7c15;
+            let mut seed = <Self as SeedableRng>::Seed::default();
+            for chunk in seed.as_mut().chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            let v = rng.gen_range(0..16usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+        for _ in 0..2000 {
+            let v = rng.gen_range(-50..50i64);
+            assert!((-50..50).contains(&v));
+        }
+        for _ in 0..100 {
+            let v = rng.gen_range(10..=12u32);
+            assert!((10..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.8)).count();
+        assert!((7_700..8_300).contains(&hits), "p=0.8 gave {hits}/10000");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment for this repository has no network access and
+//! no crates.io cache, so the workspace vendors the slice of serde it
+//! uses (the workspace `Cargo.toml` points the `serde` dependency
+//! here). Unlike upstream serde's visitor-based data model, this
+//! implementation serializes through a concrete JSON value tree
+//! ([`json::Value`]) — JSON is the only format the workspace ever
+//! serializes to, and the external behaviour (derive macros, field
+//! ordering, externally-tagged enums, number formatting) matches what
+//! upstream `serde` + `serde_json` produce for the types in this
+//! workspace.
+//!
+//! [`Serialize`]/[`Deserialize`] exist both as traits (type namespace)
+//! and as derive macros (macro namespace, re-exported from the
+//! companion `serde_derive` crate), exactly like upstream with the
+//! `derive` feature.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! The JSON value tree both vendored crates share. `serde_json`
+    //! re-exports these as `serde_json::{Value, Map, Error}`.
+
+    /// A serialization or deserialization failure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Builds an error with the given message.
+        pub fn custom(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A JSON object: insertion-ordered `(key, value)` pairs, so
+    /// serialized structs keep their field declaration order (as
+    /// upstream serde's struct serialization does).
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub struct Map {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl Map {
+        /// An empty object.
+        pub fn new() -> Self {
+            Map::default()
+        }
+
+        /// Inserts a key (replacing an existing entry with that key).
+        pub fn insert(&mut self, key: String, value: Value) {
+            if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+                e.1 = value;
+            } else {
+                self.entries.push((key, value));
+            }
+        }
+
+        /// Looks up a key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        /// Iterates keys in insertion order.
+        pub fn keys(&self) -> impl Iterator<Item = &String> {
+            self.entries.iter().map(|(k, _)| k)
+        }
+
+        /// Iterates `(key, value)` pairs in insertion order.
+        pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+            self.entries.iter().map(|(k, v)| (k, v))
+        }
+
+        /// Number of entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True when the object has no entries.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+    }
+
+    /// A JSON value.
+    ///
+    /// Numbers keep their arity: non-negative integers are `U64`,
+    /// negative integers `I64`, everything else `F64` — mirroring
+    /// upstream `serde_json::Number`'s internal `PosInt`/`NegInt`/
+    /// `Float` split (so equality between values serialized from `i64`
+    /// and `u64` behaves the same).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A non-negative integer.
+        U64(u64),
+        /// A negative integer.
+        I64(i64),
+        /// A non-integer number.
+        F64(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object.
+        Object(Map),
+    }
+
+    impl Value {
+        /// The object inside, if this is an object.
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array inside, if this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string inside, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as `f64`, if this is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::U64(u) => Some(u as f64),
+                Value::I64(i) => Some(i as f64),
+                Value::F64(f) => Some(f),
+                _ => None,
+            }
+        }
+
+        /// The number as `u64`, if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(u) => Some(u),
+                _ => None,
+            }
+        }
+
+        /// The number as `i64`, if it is an integer in range.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::U64(u) => i64::try_from(u).ok(),
+                Value::I64(i) => Some(i),
+                _ => None,
+            }
+        }
+
+        /// The bool inside, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        /// Member lookup that returns `Null` for absent keys /
+        /// non-objects (upstream's `Index` behaviour).
+        pub fn get_path(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.as_object().and_then(|o| o.get(key)).unwrap_or(&NULL)
+        }
+    }
+
+    /// Compact JSON rendering, matching upstream `serde_json::Value`'s
+    /// `Display`. Strings inside arrays/objects are escaped and
+    /// quoted; a top-level string is quoted too (same as upstream).
+    impl std::fmt::Display for Value {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Value::Null => f.write_str("null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::U64(n) => write!(f, "{n}"),
+                Value::I64(n) => write!(f, "{n}"),
+                Value::F64(x) => {
+                    if x.is_finite() {
+                        write!(f, "{x:?}")
+                    } else {
+                        f.write_str("null")
+                    }
+                }
+                Value::String(s) => write_json_string(s, f),
+                Value::Array(a) => {
+                    f.write_str("[")?;
+                    for (i, v) in a.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("]")
+                }
+                Value::Object(o) => {
+                    f.write_str("{")?;
+                    for (i, (k, v)) in o.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write_json_string(k, f)?;
+                        write!(f, ":{v}")?;
+                    }
+                    f.write_str("}")
+                }
+            }
+        }
+    }
+
+    fn write_json_string(s: &str, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                '\u{08}' => f.write_str("\\b")?,
+                '\u{0c}' => f.write_str("\\f")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        f.write_str("\"")
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get_path(key)
+        }
+    }
+
+    impl std::ops::Index<&String> for Value {
+        type Output = Value;
+        fn index(&self, key: &String) -> &Value {
+            self.get_path(key)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            match self {
+                Value::Array(a) => a.get(i).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl PartialEq<f64> for Value {
+        fn eq(&self, other: &f64) -> bool {
+            matches!(self, Value::F64(f) if f == other)
+        }
+    }
+
+    impl PartialEq<i64> for Value {
+        fn eq(&self, other: &i64) -> bool {
+            self.as_i64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<u64> for Value {
+        fn eq(&self, other: &u64) -> bool {
+            self.as_u64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+}
+
+/// A type serializable to a [`json::Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the JSON data model.
+    fn ser_json(&self) -> json::Value;
+}
+
+/// A type reconstructible from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the JSON data model.
+    fn de_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn ser_json(&self) -> json::Value {
+                json::Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+                match *v {
+                    json::Value::U64(u) => <$ty>::try_from(u)
+                        .map_err(|_| json::Error::custom("integer out of range")),
+                    _ => Err(json::Error::custom(concat!(
+                        "expected unsigned integer for ",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn ser_json(&self) -> json::Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    json::Value::U64(v as u64)
+                } else {
+                    json::Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+                let i = match *v {
+                    json::Value::U64(u) => i64::try_from(u)
+                        .map_err(|_| json::Error::custom("integer out of range"))?,
+                    json::Value::I64(i) => i,
+                    _ => {
+                        return Err(json::Error::custom(concat!(
+                            "expected integer for ",
+                            stringify!($ty)
+                        )))
+                    }
+                };
+                <$ty>::try_from(i).map_err(|_| json::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn ser_json(&self) -> json::Value {
+                json::Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+                v.as_f64()
+                    .map(|f| f as $ty)
+                    .ok_or_else(|| json::Error::custom("expected number"))
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool()
+            .ok_or_else(|| json::Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn ser_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn ser_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_json(&self) -> json::Value {
+        match self {
+            Some(x) => x.ser_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::de_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::ser_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_array()
+            .ok_or_else(|| json::Error::custom("expected array"))?
+            .iter()
+            .map(T::de_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::ser_json).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_json(&self) -> json::Value {
+        (**self).ser_json()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Array(vec![self.0.ser_json(), self.1.ser_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| json::Error::custom("expected 2-element array"))?;
+        if a.len() != 2 {
+            return Err(json::Error::custom("expected 2-element array"));
+        }
+        Ok((A::de_json(&a[0])?, B::de_json(&a[1])?))
+    }
+}
+
+impl Serialize for json::Value {
+    fn ser_json(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arity_is_canonical() {
+        assert_eq!(5i64.ser_json(), json::Value::U64(5));
+        assert_eq!((-5i64).ser_json(), json::Value::I64(-5));
+        assert_eq!(i64::de_json(&json::Value::U64(7)).unwrap(), 7);
+        assert_eq!(u32::de_json(&json::Value::U64(1u64 << 40)).is_err(), true);
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<u64> = None;
+        assert_eq!(v.ser_json(), json::Value::Null);
+        let xs = vec![1u64, 2, 3];
+        let j = xs.ser_json();
+        assert_eq!(Vec::<u64>::de_json(&j).unwrap(), xs);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = json::Map::new();
+        m.insert("z".into(), json::Value::U64(1));
+        m.insert("a".into(), json::Value::U64(2));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+}

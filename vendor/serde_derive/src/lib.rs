@@ -1,0 +1,393 @@
+//! Offline vendored `Serialize`/`Deserialize` derive macros.
+//!
+//! Companion to the vendored `serde` crate (see its crate docs for
+//! why vendoring). Implemented directly over `proc_macro::TokenTree`
+//! — the build environment has no `syn`/`quote` — and supports exactly
+//! the shapes this workspace derives on:
+//!
+//! * structs with named fields  → JSON object in field order
+//! * tuple structs with 1 field → the inner value (newtype)
+//! * tuple structs with N > 1   → JSON array
+//! * unit structs               → `null`
+//! * enums (externally tagged, like upstream):
+//!   unit variant `V`           → `"V"`
+//!   newtype variant `V(T)`     → `{"V": value}`
+//!   tuple variant `V(A, B)`    → `{"V": [a, b]}`
+//!   struct variant `V { .. }`  → `{"V": {..}}`
+//!
+//! Generic types and `#[serde(...)]` attributes are not supported —
+//! the macro panics with a clear message rather than silently
+//! mis-deriving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// A minimal item model.
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::Unit,
+            },
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility, in any interleaving.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped with
+/// angle-bracket awareness so `HashMap<K, V>` fields don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(fname) = tok else {
+            panic!("serde derive: expected field name, got {tok:?}");
+        };
+        fields.push(fname.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&mut toks);
+    }
+    fields
+}
+
+/// Consumes one type, stopping after the `,` (or at end of stream).
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        n += 1;
+        skip_type(&mut toks);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("serde derive: expected variant name, got {tok:?}");
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                toks.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream).
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "::serde::json::Value::Null".to_string(),
+        Kind::Tuple(1) => "::serde::Serialize::ser_json(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Named(fields) => named_ser(fields, "self.", ""),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::json::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => {{ let mut o = ::serde::json::Map::new(); \
+                             o.insert(\"{vn}\".to_string(), ::serde::Serialize::ser_json(x0)); \
+                             ::serde::json::Value::Object(o) }}"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::ser_json(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{ let mut o = ::serde::json::Map::new(); \
+                                 o.insert(\"{vn}\".to_string(), \
+                                 ::serde::json::Value::Array(vec![{}])); \
+                                 ::serde::json::Value::Object(o) }}",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = named_ser(fields, "", "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ \
+                                 let mut o = ::serde::json::Map::new(); \
+                                 o.insert(\"{vn}\".to_string(), {inner}); \
+                                 ::serde::json::Value::Object(o) }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn ser_json(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Object-building expression for a named field list. `prefix` is the
+/// field access prefix (`self.` for structs, empty for bound variant
+/// fields); bound variant fields are references, hence no extra `&`.
+fn named_ser(fields: &[String], prefix: &str, _unused: &str) -> String {
+    let mut s = String::from("{ let mut o = ::serde::json::Map::new(); ");
+    for f in fields {
+        let amp = if prefix.is_empty() { "" } else { "&" };
+        s.push_str(&format!(
+            "o.insert(\"{f}\".to_string(), ::serde::Serialize::ser_json({amp}{prefix}{f})); "
+        ));
+    }
+    s.push_str("::serde::json::Value::Object(o) }");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::de_json(v)?))"),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::de_json(&a[{i}])?"))
+                .collect();
+            format!(
+                "{{ let a = v.as_array().ok_or_else(|| \
+                 ::serde::json::Error::custom(\"expected array for {name}\"))?; \
+                 if a.len() != {n} {{ return Err(::serde::json::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }} \
+                 Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Kind::Named(fields) => format!(
+            "{{ let o = v.as_object().ok_or_else(|| \
+             ::serde::json::Error::custom(\"expected object for {name}\"))?; \
+             Ok({name} {{ {} }}) }}",
+            named_de(name, fields)
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    unit_arms.push_str(&format!("\"{0}\" => return Ok({name}::{0}),", v.name));
+                }
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::de_json(payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::de_json(&a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let a = payload.as_array().ok_or_else(|| \
+                             ::serde::json::Error::custom(\"expected array payload\"))?; \
+                             if a.len() != {n} {{ return Err(::serde::json::Error::custom(\
+                             \"wrong arity for {name}::{vn}\")); }} \
+                             return Ok({name}::{vn}({})); }}",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => {{ let o = payload.as_object().ok_or_else(|| \
+                         ::serde::json::Error::custom(\"expected object payload\"))?; \
+                         return Ok({name}::{vn} {{ {} }}); }}",
+                        named_de(name, fields)
+                    )),
+                }
+            }
+            format!(
+                "{{ if let Some(s) = v.as_str() {{ match s {{ {unit_arms} \
+                 _ => return Err(::serde::json::Error::custom(\
+                 \"unknown variant of {name}\")), }} }} \
+                 if let Some(o) = v.as_object() {{ \
+                 if let Some((tag, payload)) = o.iter().next() {{ \
+                 match tag.as_str() {{ {tagged_arms} \
+                 _ => return Err(::serde::json::Error::custom(\
+                 \"unknown variant of {name}\")), }} }} }} \
+                 Err(::serde::json::Error::custom(\"invalid value for enum {name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn de_json(v: &::serde::json::Value) -> \
+         Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `field: <lookup>?, ...` initializer list for a named-field type.
+fn named_de(type_name: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::de_json(o.get(\"{f}\").ok_or_else(|| \
+                 ::serde::json::Error::custom(\"missing field `{f}` in {type_name}\"))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}

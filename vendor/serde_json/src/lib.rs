@@ -1,0 +1,451 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! The build environment has no network access and no registry cache,
+//! so this workspace vendors the narrow slice of `serde_json` it
+//! actually uses: `Value`/`Map`/`Error` (shared with the vendored
+//! `serde` crate), a strict JSON text parser, compact and 2-space
+//! pretty printers matching upstream output, and the
+//! `from_str`/`to_string`/`to_string_pretty`/`to_value`/`from_value`
+//! entry points.
+//!
+//! Number semantics follow upstream `serde_json::Number`: integer
+//! literals without a fraction/exponent parse to `U64` (non-negative)
+//! or `I64` (negative); everything else is `F64`. Floats print with
+//! Rust's shortest-roundtrip `{:?}` formatting, which agrees with the
+//! ryu output upstream uses for the values this workspace serializes.
+
+pub use serde::json::{Error, Map, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.ser_json(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent, like
+/// upstream `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.ser_json(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.ser_json())
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::de_json(&value)
+}
+
+/// Parses a JSON document and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.i
+        )));
+    }
+    T::de_json(&v)
+}
+
+// ---------------------------------------------------------------------
+// Printer.
+// ---------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest-roundtrip float repr; it
+                // always includes a decimal point or exponent, matching
+                // serde_json's ryu-based output for these values.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // Upstream serde_json has no representation for
+                // non-finite numbers; `json!`/`to_value` map them to
+                // null, which we mirror here.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.i
+            ))),
+            None => Err(Error::custom("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.i
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.i
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::custom("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(Error::custom("invalid escape sequence")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(Error::custom("control character in string"));
+                    }
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.i + 4 > self.s.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // Integer part.
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(Error::custom(format!("invalid number at byte {start}")));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.i += 1;
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(Error::custom(format!("invalid number at byte {start}")));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            float = true;
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(Error::custom(format!("invalid number at byte {start}")));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii number");
+        if !float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<u64>() {
+                    if let Ok(i) = i64::try_from(n).map(|v| -v) {
+                        return Ok(Value::I64(i));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            // Integer overflow: fall back to f64, like upstream's
+            // arbitrary-precision-off behavior.
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_nesting() {
+        let src = r#"{"a": 1, "b": -2, "c": 1.5, "d": [true, false, null], "e": {"s": "x\ny"}}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"], 1u64);
+        assert_eq!(v["b"], -2i64);
+        assert_eq!(v["c"], 1.5);
+        assert_eq!(v["d"].as_array().unwrap().len(), 3);
+        assert_eq!(v["e"]["s"], "x\ny");
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(to_string(&back).unwrap(), compact);
+    }
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        let v: Value = from_str(r#"{"name":"a","value":1.5}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"name\": \"a\",\n  \"value\": 1.5\n}");
+        let arr: Value = from_str("[]").unwrap();
+        assert_eq!(to_string_pretty(&arr).unwrap(), "[]");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("[{]").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn number_arity() {
+        assert_eq!(from_str::<Value>("42").unwrap(), 42u64);
+        assert_eq!(from_str::<Value>("-42").unwrap(), -42i64);
+        assert_eq!(from_str::<Value>("42.0").unwrap(), 42.0);
+        assert_eq!(from_str::<Value>("1e3").unwrap(), 1000.0);
+        assert_eq!(
+            to_string(&from_str::<Value>("0.25").unwrap()).unwrap(),
+            "0.25"
+        );
+    }
+}
