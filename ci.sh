@@ -7,11 +7,25 @@
 #   --quick      skip the slow static passes (clippy, rustdoc) — used by
 #                the CI smoke job and the pre-push hook (see README).
 #   CI_BENCH=1   additionally run the mp5bench perf-regression gate
-#                against the committed ci/bench_baseline.json. The
+#                against the committed ci/bench_baseline.json, leaving
+#                the fresh report in BENCH_main.json (uploaded as a CI
+#                artifact so every run's numbers are downloadable). The
 #                baseline is host-specific: only enable the gate on the
 #                machine (or runner class) that produced it, and refresh
 #                it with  mp5bench --quick --out ci/bench_baseline.json.
 set -eu
+
+# Single EXIT trap for every temporary this script creates. Individual
+# `trap ... EXIT` lines would silently overwrite each other (sh keeps
+# one handler per signal), leaking whichever temporaries the earlier
+# handlers covered — so steps only fill in the variables below.
+TRACE_TMP=""
+FABRIC_TMP=""
+cleanup() {
+    if [ -n "$TRACE_TMP" ]; then rm -f "$TRACE_TMP"; fi
+    if [ -n "$FABRIC_TMP" ]; then rm -rf "$FABRIC_TMP"; fi
+}
+trap cleanup EXIT
 
 QUICK=0
 for arg in "$@"; do
@@ -58,14 +72,17 @@ echo "==> mp5lint over the program corpus"
 
 echo "==> traced smoke run through the offline auditor"
 TRACE_TMP=$(mktemp -t mp5-ci-trace.XXXXXX)
-trap 'rm -f "$TRACE_TMP"' EXIT
 ./target/release/mp5run crates/apps/programs/flowlet.mp5 \
     --packets 4000 --trace "$TRACE_TMP"
 ./target/release/mp5audit --quiet "$TRACE_TMP"
 
-echo "==> engine smoke: parallel engine on the same trace"
+echo "==> engine smoke: parallel engine at pinned worker counts"
+# Pinned counts (not "one worker per pipeline") so the equivalence
+# matrix covers workers < pipelines sharding on every runner class.
 ./target/release/mp5run crates/apps/programs/flowlet.mp5 \
-    --packets 4000 --engine par
+    --packets 4000 --engine par:2
+./target/release/mp5run crates/apps/programs/flowlet.mp5 \
+    --packets 4000 --engine par:4
 
 echo "==> chaos smoke: 3 seeded fault plans per app, auditor-gated"
 # Quick plans: every case must finish clean (no panics, closed fault
@@ -79,7 +96,6 @@ echo "==> faulted replay smoke: chaos seed through mp5run + auditor"
 
 echo "==> fabric smoke: traced 2x2 leaf-spine run, seq/par bit-identity, auditor"
 FABRIC_TMP=$(mktemp -d -t mp5-ci-fabric.XXXXXX)
-trap 'rm -f "$TRACE_TMP"; rm -rf "$FABRIC_TMP"' EXIT
 ./target/release/mp5fabric --leaves 2 --spines 2 --flows 500 \
     --trace-dir "$FABRIC_TMP" --audit --verify-par --quiet
 for f in "$FABRIC_TMP"/sw*.jsonl; do
@@ -91,9 +107,10 @@ echo "==> fabric chaos smoke: spine fail-stop mid-run, ledger closed"
 
 if [ "${CI_BENCH:-0}" = "1" ]; then
     echo "==> mp5bench perf-regression gate (CI_BENCH=1)"
-    BENCH_TMP=$(mktemp -t mp5-ci-bench.XXXXXX)
-    trap 'rm -f "$TRACE_TMP" "$BENCH_TMP"; rm -rf "$FABRIC_TMP"' EXIT
-    ./target/release/mp5bench --quick --out "$BENCH_TMP" \
+    # The report is written to the working tree (gitignored), not a
+    # tempfile: the CI smoke job uploads it as an artifact so every
+    # run's numbers stay downloadable next to the gate verdict.
+    ./target/release/mp5bench --quick --out BENCH_main.json \
         --gate ci/bench_baseline.json
 fi
 

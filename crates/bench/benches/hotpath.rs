@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use mp5_compiler::{compile, Target};
-use mp5_core::{Mp5Switch, SwitchConfig};
+use mp5_core::{ExecPath, Mp5Switch, SwitchConfig};
 use mp5_fabric::{LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
 use mp5_sim::synth::{synthetic_compiled, synthetic_trace, SynthConfig};
 use mp5_trace::MemSink;
@@ -91,6 +91,29 @@ fn bench_switch(c: &mut Criterion) {
     g.finish();
 }
 
+/// The work phase's two execution paths head-to-head on the flowlet
+/// application: the scalar reference interpreter versus the default
+/// SoA batch kernel, same trace, same config otherwise.
+fn bench_exec_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_path");
+    g.sample_size(10);
+    let app = mp5_apps::by_name("flowlet").unwrap();
+    let prog = app.compile().unwrap();
+    let packets = 5_000usize;
+    let (_, trace) = mp5_sim::experiments::app_trace(app, packets, 1);
+    g.throughput(Throughput::Elements(packets as u64));
+    for (name, exec) in [("scalar", ExecPath::Scalar), ("batch", ExecPath::Batch)] {
+        g.bench_with_input(BenchmarkId::new("flowlet_k8", name), &exec, |b, &exec| {
+            b.iter(|| {
+                Mp5Switch::new(prog.clone(), SwitchConfig::mp5(8).with_exec(exec))
+                    .run(trace.clone())
+                    .completed
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Tracing must be pay-for-what-you-use: the default `NopSink`
 /// (statically dispatched, `ENABLED = false`) run must be
 /// indistinguishable from the pre-tracing switch, while an in-memory
@@ -131,6 +154,7 @@ criterion_group!(
     bench_channel,
     bench_compile,
     bench_switch,
+    bench_exec_path,
     bench_sink
 );
 criterion_main!(benches);

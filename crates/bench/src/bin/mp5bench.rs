@@ -14,8 +14,12 @@
 //! * `--quick` shrinks the matrix for the CI smoke job.
 //! * `--gate FILE` additionally compares this run against a committed
 //!   baseline report and exits non-zero when packet throughput
-//!   regressed beyond the tolerance. Baselines are host-specific:
-//!   regenerate with `--out` on the machine that will enforce the gate.
+//!   regressed beyond the tolerance, printing a per-row delta table
+//!   (also appended to `$GITHUB_STEP_SUMMARY` when set). Under `--gate`
+//!   the SoA check — batch work phase ≥1.5× the scalar per-cycle p50 on
+//!   the `hotpath` rows at k=8 — is a hard failure too. Baselines are
+//!   host-specific: regenerate with `--out` on the machine that will
+//!   enforce the gate.
 //! * `--require-speedup` turns the flowlet ≥2× @ k=8 speedup target
 //!   into a hard failure (it is skipped with a notice on hosts with
 //!   fewer than 4 cores, and reported informationally otherwise).
@@ -105,6 +109,15 @@ fn main() {
         }
     }
 
+    // The SoA work-phase trajectory: informational on plain runs, a
+    // hard failure under --gate (a committed baseline implies the host
+    // is one we trust to measure on).
+    let soa = suite::soa_check(&report, 1.5);
+    match &soa {
+        Ok(msg) => println!("{msg}"),
+        Err(msg) => eprintln!("{msg}"),
+    }
+
     if let Some(path) = &cli.gate {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {path}: {e}");
@@ -118,7 +131,24 @@ fn main() {
         for s in &outcome.skipped {
             println!("gate: skipped {s}");
         }
-        if outcome.is_ok() {
+
+        // Per-row delta table: stdout always, and into the GitHub step
+        // summary when Actions provides one.
+        let delta = suite::render_delta(&report, &baseline);
+        println!("\ndelta vs {path}:\n{delta}");
+        if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&summary_path)
+                .and_then(|mut f| writeln!(f, "### mp5bench delta vs `{path}`\n\n{delta}"));
+            if let Err(e) = appended {
+                eprintln!("cannot append step summary {summary_path}: {e}");
+            }
+        }
+
+        if outcome.is_ok() && soa.is_ok() {
             println!(
                 "gate PASSED: {} point(s) within {:.0}% of {path}",
                 outcome.passed,
@@ -127,6 +157,9 @@ fn main() {
         } else {
             for f in &outcome.failures {
                 eprintln!("gate FAILED: {f}");
+            }
+            if let Err(msg) = &soa {
+                eprintln!("gate FAILED: {msg}");
             }
             std::process::exit(1);
         }

@@ -12,16 +12,18 @@
 
 use std::time::Instant;
 
-use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
+use mp5_core::{EngineMode, ExecPath, Mp5Switch, SwitchConfig};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every report this module writes.
 ///
 /// v2 added the fault-recovery columns (`degraded_cycles`,
 /// `phantoms_recovered`); v3 added the `fabric` flag plus the
-/// multi-switch fabric rows measured through `mp5-topo`. Regenerate
+/// multi-switch fabric rows measured through `mp5-topo`; v4 added the
+/// `exec` column (scalar vs SoA-batch work phase) plus the `hotpath`
+/// scalar-vs-batch rows behind the SoA speedup check. Regenerate
 /// committed baselines with `--out` after a schema bump.
-pub const SCHEMA: &str = "mp5bench/v3";
+pub const SCHEMA: &str = "mp5bench/v4";
 
 /// Pipeline counts of the full matrix.
 pub const FULL_PIPELINES: [usize; 4] = [1, 2, 4, 8];
@@ -63,7 +65,7 @@ impl BenchOpts {
     }
 }
 
-/// One measured `(app, pipelines, engine)` point.
+/// One measured `(app, pipelines, engine, exec)` point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRow {
     /// Application name.
@@ -72,6 +74,10 @@ pub struct BenchRow {
     pub pipelines: usize,
     /// `"seq"` or `"par"`.
     pub engine: String,
+    /// Work-phase execution path: `"batch"` (the SoA default) or
+    /// `"scalar"` (the reference interpreter, measured by the
+    /// `hotpath` rows).
+    pub exec: String,
     /// Worker threads (0 for the sequential engine).
     pub workers: usize,
     /// Packets offered.
@@ -146,11 +152,11 @@ impl BenchReport {
         Ok(rep)
     }
 
-    /// The row at an exact `(app, pipelines, engine)` point.
-    pub fn row(&self, app: &str, pipelines: usize, engine: &str) -> Option<&BenchRow> {
-        self.rows
-            .iter()
-            .find(|r| r.app == app && r.pipelines == pipelines && r.engine == engine)
+    /// The row at an exact `(app, pipelines, engine, exec)` point.
+    pub fn row(&self, app: &str, pipelines: usize, engine: &str, exec: &str) -> Option<&BenchRow> {
+        self.rows.iter().find(|r| {
+            r.app == app && r.pipelines == pipelines && r.engine == engine && r.exec == exec
+        })
     }
 }
 
@@ -161,47 +167,59 @@ pub fn host_cpus() -> usize {
         .unwrap_or(1)
 }
 
+/// One measured single-switch run: the report with its per-cycle
+/// timings and total wall clock, as produced by [`time_run`].
+struct Measured {
+    report: mp5_core::RunReport,
+    timings: mp5_core::CycleTimings,
+    wall_ms: f64,
+}
+
 fn time_run(
     prog: &mp5_compiler::CompiledProgram,
     trace: &[mp5_types::Packet],
     cfg: SwitchConfig,
-) -> (mp5_core::RunReport, mp5_core::CycleTimings, f64) {
+) -> Measured {
     let sw = Mp5Switch::new(prog.clone(), cfg);
     let start = Instant::now();
     let (report, _sink, timings) = sw
         .try_run_timed(trace.to_vec())
         .expect("benchmark run drains");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    (report, timings, wall_ms)
+    Measured {
+        report,
+        timings,
+        wall_ms,
+    }
 }
 
 fn row_from(
     app: &str,
     k: usize,
     engine: &str,
+    exec: ExecPath,
     workers: usize,
-    report: &mp5_core::RunReport,
-    timings: &mp5_core::CycleTimings,
-    wall_ms: f64,
+    m: &Measured,
 ) -> BenchRow {
-    let secs = (wall_ms / 1e3).max(1e-12);
+    let secs = (m.wall_ms / 1e3).max(1e-12);
     BenchRow {
         app: app.to_string(),
         pipelines: k,
         engine: engine.to_string(),
+        exec: exec.to_string(),
         workers,
-        packets: report.offered,
-        completed: report.completed,
-        cycles: report.cycles,
-        wall_ms,
-        pkts_per_sec: report.completed as f64 / secs,
-        cycles_per_sec: report.cycles as f64 / secs,
+        packets: m.report.offered,
+        completed: m.report.completed,
+        cycles: m.report.cycles,
+        wall_ms: m.wall_ms,
+        pkts_per_sec: m.report.completed as f64 / secs,
+        cycles_per_sec: m.report.cycles as f64 / secs,
         speedup_vs_sequential: 1.0,
-        p50_cycle_ns: timings.percentile(50.0),
-        p99_cycle_ns: timings.percentile(99.0),
-        normalized_throughput: report.normalized_throughput(),
-        degraded_cycles: report.fault.degraded_cycles,
-        phantoms_recovered: report.fault.phantoms_recovered,
+        p50_cycle_ns: m.timings.percentile(50.0),
+        p99_cycle_ns: m.timings.percentile(99.0),
+        normalized_throughput: m.report.normalized_throughput(),
+        degraded_cycles: m.report.fault.degraded_cycles,
+        phantoms_recovered: m.report.fault.phantoms_recovered,
         fabric: false,
     }
 }
@@ -255,6 +273,7 @@ fn fabric_row(
         app: name.to_string(),
         pipelines: k,
         engine: engine.to_string(),
+        exec: ExecPath::Batch.to_string(),
         workers,
         packets: rep.injected,
         completed: rep.delivered,
@@ -293,14 +312,14 @@ pub fn run_suite(opts: &BenchOpts) -> BenchReport {
         let (prog, trace) = mp5_sim::experiments::app_trace(app, packets, opts.seed);
         for &k in ks {
             let seq_cfg = SwitchConfig::mp5(k);
-            let (seq_rep, seq_t, seq_ms) = time_run(&prog, &trace, seq_cfg);
-            rows.push(row_from(app.name, k, "seq", 0, &seq_rep, &seq_t, seq_ms));
+            let seq = time_run(&prog, &trace, seq_cfg);
+            rows.push(row_from(app.name, k, "seq", ExecPath::Batch, 0, &seq));
 
             let workers = opts.workers.unwrap_or(k).max(1);
             let par_cfg = SwitchConfig::mp5(k).with_engine(EngineMode::Parallel(workers));
-            let (par_rep, par_t, par_ms) = time_run(&prog, &trace, par_cfg);
+            let par = time_run(&prog, &trace, par_cfg);
             assert_eq!(
-                seq_rep, par_rep,
+                seq.report, par.report,
                 "{} k={k}: engines diverged — bit-identity broken",
                 app.name
             );
@@ -308,14 +327,35 @@ pub fn run_suite(opts: &BenchOpts) -> BenchReport {
                 app.name,
                 k,
                 "par",
+                ExecPath::Batch,
                 par_cfg_workers(workers, k),
-                &par_rep,
-                &par_t,
-                par_ms,
+                &par,
             );
-            row.speedup_vs_sequential = seq_ms / par_ms.max(1e-12);
+            row.speedup_vs_sequential = seq.wall_ms / par.wall_ms.max(1e-12);
             rows.push(row);
         }
+    }
+
+    // Hot-path rows: the same flowlet trace through the sequential
+    // engine on both work-phase execution paths, asserting bit-identity
+    // along the way. These back the SoA speedup check ([`soa_check`])
+    // and give the CI delta table a scalar-vs-batch trajectory.
+    let hot_ks: &[usize] = if opts.quick { &[8] } else { &[2, 4, 8] };
+    let hot_app = &mp5_apps::PAPER_APPS[0];
+    debug_assert_eq!(hot_app.name, "flowlet");
+    let (hot_prog, hot_trace) = mp5_sim::experiments::app_trace(hot_app, packets, opts.seed);
+    for &k in hot_ks {
+        let mut path_reports = Vec::new();
+        for exec in [ExecPath::Scalar, ExecPath::Batch] {
+            let cfg = SwitchConfig::mp5(k).with_exec(exec);
+            let m = time_run(&hot_prog, &hot_trace, cfg);
+            rows.push(row_from("hotpath", k, "seq", exec, 0, &m));
+            path_reports.push(m.report);
+        }
+        assert_eq!(
+            path_reports[0], path_reports[1],
+            "hotpath k={k}: scalar and batch work phases diverged — bit-identity broken"
+        );
     }
 
     // Fabric rows: whole-switch composition through mp5-topo, seq and
@@ -373,8 +413,8 @@ fn par_cfg_workers(requested: usize, pipelines: usize) -> usize {
 /// Renders the report as an aligned human-readable table.
 pub fn render_summary(rep: &BenchReport) -> String {
     let headers = [
-        "app", "k", "engine", "wrk", "pkts/s", "cyc/s", "speedup", "p50ns", "p99ns", "tput",
-        "faulted",
+        "app", "k", "engine", "exec", "wrk", "pkts/s", "cyc/s", "speedup", "p50ns", "p99ns",
+        "tput", "faulted",
     ];
     let rows: Vec<Vec<String>> = rep
         .rows
@@ -384,6 +424,7 @@ pub fn render_summary(rep: &BenchReport) -> String {
                 r.app.clone(),
                 r.pipelines.to_string(),
                 r.engine.clone(),
+                r.exec.clone(),
                 r.workers.to_string(),
                 format!("{:.0}", r.pkts_per_sec),
                 format!("{:.0}", r.cycles_per_sec),
@@ -422,26 +463,27 @@ impl GateOutcome {
 }
 
 /// Compares `current` against a committed `baseline`: every row present
-/// in both (matched on `(app, pipelines, engine)`) must keep
+/// in both (matched on `(app, pipelines, engine, exec)`) must keep
 /// `pkts_per_sec` within `tolerance` (e.g. `0.15`) below the baseline.
 /// Faster-than-baseline is always fine.
 pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
     for base in &baseline.rows {
-        let Some(cur) = current.row(&base.app, base.pipelines, &base.engine) else {
+        let Some(cur) = current.row(&base.app, base.pipelines, &base.engine, &base.exec) else {
             out.skipped.push(format!(
-                "{} k={} {}: not measured in this run",
-                base.app, base.pipelines, base.engine
+                "{} k={} {} {}: not measured in this run",
+                base.app, base.pipelines, base.engine, base.exec
             ));
             continue;
         };
         let floor = base.pkts_per_sec * (1.0 - tolerance);
         if cur.pkts_per_sec < floor {
             out.failures.push(format!(
-                "{} k={} {}: {:.0} pkts/s is {:.1}% below baseline {:.0} (tolerance {:.0}%)",
+                "{} k={} {} {}: {:.0} pkts/s is {:.1}% below baseline {:.0} (tolerance {:.0}%)",
                 base.app,
                 base.pipelines,
                 base.engine,
+                base.exec,
                 cur.pkts_per_sec,
                 (1.0 - cur.pkts_per_sec / base.pkts_per_sec) * 100.0,
                 base.pkts_per_sec,
@@ -452,10 +494,66 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Ga
         }
     }
     for cur in &current.rows {
-        if baseline.row(&cur.app, cur.pipelines, &cur.engine).is_none() {
+        if baseline
+            .row(&cur.app, cur.pipelines, &cur.engine, &cur.exec)
+            .is_none()
+        {
             out.skipped.push(format!(
-                "{} k={} {}: no baseline point",
-                cur.app, cur.pipelines, cur.engine
+                "{} k={} {} {}: no baseline point",
+                cur.app, cur.pipelines, cur.engine, cur.exec
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a per-row delta table (current vs baseline) as GitHub-
+/// flavoured markdown, for the CI step summary. Rows missing from
+/// either report are listed with a `—` delta so silent matrix shrinkage
+/// is visible in the same table.
+pub fn render_delta(current: &BenchReport, baseline: &BenchReport) -> String {
+    fn pct(cur: f64, base: f64) -> String {
+        if base <= 0.0 {
+            return "—".into();
+        }
+        format!("{:+.1}%", (cur / base - 1.0) * 100.0)
+    }
+    let mut out = String::new();
+    out.push_str("| app | k | engine | exec | pkts/s | Δ pkts/s | p50 ns | Δ p50 |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for cur in &current.rows {
+        let point = format!(
+            "| {} | {} | {} | {} ",
+            cur.app, cur.pipelines, cur.engine, cur.exec
+        );
+        match baseline.row(&cur.app, cur.pipelines, &cur.engine, &cur.exec) {
+            Some(base) => {
+                out.push_str(&format!(
+                    "{point}| {:.0} | {} | {} | {} |\n",
+                    cur.pkts_per_sec,
+                    pct(cur.pkts_per_sec, base.pkts_per_sec),
+                    cur.p50_cycle_ns,
+                    // Lower per-cycle latency is better, so the sign is
+                    // the raw ratio: negative means faster cycles.
+                    pct(cur.p50_cycle_ns as f64, base.p50_cycle_ns as f64),
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "{point}| {:.0} | — (no baseline) | {} | — |\n",
+                    cur.pkts_per_sec, cur.p50_cycle_ns
+                ));
+            }
+        }
+    }
+    for base in &baseline.rows {
+        if current
+            .row(&base.app, base.pipelines, &base.engine, &base.exec)
+            .is_none()
+        {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | — (not measured) | — | — | — |\n",
+                base.app, base.pipelines, base.engine, base.exec
             ));
         }
     }
@@ -473,7 +571,7 @@ pub fn speedup_check(rep: &BenchReport, target: f64, min_cpus: usize) -> Result<
             rep.host_cpus
         ));
     }
-    let Some(row) = rep.row("flowlet", 8, "par") else {
+    let Some(row) = rep.row("flowlet", 8, "par", "batch") else {
         return Ok("speedup check SKIPPED: no flowlet k=8 parallel point in this run".into());
     };
     if row.speedup_vs_sequential >= target {
@@ -485,6 +583,35 @@ pub fn speedup_check(rep: &BenchReport, target: f64, min_cpus: usize) -> Result<
         Err(format!(
             "speedup check FAILED: flowlet k=8 parallel engine at {:.2}x, target {target:.1}x",
             row.speedup_vs_sequential
+        ))
+    }
+}
+
+/// The SoA acceptance check: on the `hotpath` rows (flowlet through the
+/// sequential engine) at `k = 8`, the batch work phase must cut the
+/// median per-cycle wall time by at least `target`× versus the scalar
+/// reference interpreter. Returns `Ok(message)` on pass/skip,
+/// `Err(message)` on failure.
+pub fn soa_check(rep: &BenchReport, target: f64) -> Result<String, String> {
+    let (Some(scalar), Some(batch)) = (
+        rep.row("hotpath", 8, "seq", "scalar"),
+        rep.row("hotpath", 8, "seq", "batch"),
+    ) else {
+        return Ok("SoA check SKIPPED: no hotpath k=8 scalar/batch pair in this run".into());
+    };
+    if batch.p50_cycle_ns == 0 {
+        return Ok("SoA check SKIPPED: hotpath batch p50 is zero (clock too coarse)".into());
+    }
+    let ratio = scalar.p50_cycle_ns as f64 / batch.p50_cycle_ns as f64;
+    if ratio >= target {
+        Ok(format!(
+            "SoA check PASSED: hotpath k=8 batch p50 {}ns vs scalar {}ns = {ratio:.2}x (target {target:.1}x)",
+            batch.p50_cycle_ns, scalar.p50_cycle_ns
+        ))
+    } else {
+        Err(format!(
+            "SoA check FAILED: hotpath k=8 batch p50 {}ns vs scalar {}ns = {ratio:.2}x, target {target:.1}x",
+            batch.p50_cycle_ns, scalar.p50_cycle_ns
         ))
     }
 }
@@ -509,6 +636,7 @@ mod tests {
             app: app.to_string(),
             pipelines: k,
             engine: engine.to_string(),
+            exec: "batch".to_string(),
             workers: if engine == "seq" { 0 } else { k },
             packets: 100,
             completed: 100,
@@ -597,6 +725,40 @@ mod tests {
     }
 
     #[test]
+    fn soa_check_verdicts_and_skips() {
+        let rep = report_with(vec![]);
+        assert!(soa_check(&rep, 1.5).unwrap().contains("SKIPPED"));
+        let mut scalar = row("hotpath", 8, "seq", 1000.0);
+        scalar.exec = "scalar".into();
+        scalar.p50_cycle_ns = 3000;
+        let mut batch = row("hotpath", 8, "seq", 1000.0);
+        batch.p50_cycle_ns = 1500;
+        let mut rep = report_with(vec![scalar, batch]);
+        assert!(soa_check(&rep, 1.5).unwrap().contains("PASSED"));
+        rep.rows[1].p50_cycle_ns = 2800;
+        assert!(soa_check(&rep, 1.5).is_err());
+    }
+
+    #[test]
+    fn delta_table_covers_both_reports() {
+        let baseline = report_with(vec![
+            row("flowlet", 4, "seq", 1000.0),
+            row("conga", 8, "par", 500.0),
+        ]);
+        let current = report_with(vec![
+            row("flowlet", 4, "seq", 1100.0),
+            row("hotpath", 8, "seq", 900.0),
+        ]);
+        let table = render_delta(&current, &baseline);
+        // Matched row carries a signed delta; one-sided rows are marked.
+        assert!(table.contains("+10.0%"), "{table}");
+        assert!(table.contains("no baseline"), "{table}");
+        assert!(table.contains("not measured"), "{table}");
+        // Header + separator + 2 current rows + 1 baseline-only row.
+        assert_eq!(table.lines().count(), 5, "{table}");
+    }
+
+    #[test]
     fn quick_suite_runs_and_engines_agree() {
         let opts = BenchOpts {
             quick: true,
@@ -605,12 +767,23 @@ mod tests {
             workers: Some(2),
         };
         let rep = run_suite(&opts);
-        // 2 apps × 2 pipeline counts × 2 engines + 1 fabric point × 2.
-        assert_eq!(rep.rows.len(), 10);
+        // 2 apps × 2 pipeline counts × 2 engines + 2 hotpath exec rows
+        // + 1 fabric point × 2 engines.
+        assert_eq!(rep.rows.len(), 12);
         let fab: Vec<_> = rep.rows.iter().filter(|r| r.fabric).collect();
         assert_eq!(fab.len(), 2, "quick suite measures one fabric point");
         assert!(fab.iter().all(|r| r.app == "fabric-2x2"));
-        for chunk in rep.rows.chunks(2) {
+        let hot: Vec<_> = rep.rows.iter().filter(|r| r.app == "hotpath").collect();
+        assert_eq!(hot.len(), 2, "quick suite measures one hotpath point");
+        assert_eq!(
+            (hot[0].exec.as_str(), hot[1].exec.as_str()),
+            ("scalar", "batch")
+        );
+        assert_eq!(hot[0].completed, hot[1].completed);
+        assert_eq!(hot[0].cycles, hot[1].cycles);
+        // Engine pairs (every non-hotpath row) are bit-identical runs.
+        let paired: Vec<_> = rep.rows.iter().filter(|r| r.app != "hotpath").collect();
+        for chunk in paired.chunks(2) {
             let (seq, par) = (&chunk[0], &chunk[1]);
             assert_eq!(seq.engine, "seq");
             assert_eq!(par.engine, "par");

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod codegen;
+pub mod kernel;
 pub mod program;
 pub mod report;
 pub mod schedule;
@@ -43,6 +44,7 @@ pub use codegen::{
     compile, compile_tac, compile_with_options, CompileError, CompileOptions, FlowOrderSpec,
     FLOW_ORDER_REG,
 };
+pub use kernel::{BatchRegs, FieldMatrix, LaneAccess};
 pub use program::{
     AccessPlan, CompiledProgram, IdxPlan, PredPlan, ResolutionCode, ResolvedAccess, StageCode,
 };

@@ -178,6 +178,16 @@ impl CompiledProgram {
     /// Mutates `fields`: resolution temporaries are metadata carried in
     /// the packet, exactly like the paper's `p.metadata.add(...)`.
     pub fn resolve(&self, fields: &mut [Value]) -> Vec<ResolvedAccess> {
+        let mut out = Vec::new();
+        self.resolve_into(fields, &mut out);
+        out
+    }
+
+    /// [`CompiledProgram::resolve`] into a caller-owned buffer
+    /// (cleared first), so per-packet resolution on the hot path
+    /// allocates nothing once the buffer reaches steady-state size.
+    pub fn resolve_into(&self, fields: &mut [Value], out: &mut Vec<ResolvedAccess>) {
+        out.clear();
         for ins in &self.resolution.instrs {
             match ins {
                 TacInstr::Assign { dst, expr } => fields[dst.index()] = expr.eval(fields),
@@ -188,7 +198,6 @@ impl CompiledProgram {
             Operand::Const(v) => *v,
             Operand::Field(f) => fields[f.index()],
         };
-        let mut out = Vec::new();
         for plan in &self.resolution.plans {
             let (generate, speculative) = match plan.pred {
                 PredPlan::Always => (true, false),
@@ -223,7 +232,6 @@ impl CompiledProgram {
                 speculative,
             });
         }
-        out
     }
 
     /// Executes one body stage on a packet's fields against register

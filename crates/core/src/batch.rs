@@ -1,0 +1,374 @@
+//! The struct-of-arrays work phase (`ExecPath::Batch`, DESIGN.md §13).
+//!
+//! The scalar work phase interleaves *scheduling* (which packet does a
+//! `(pipeline, stage)` slot run this cycle?) with *execution* (run it)
+//! — one packet at a time, re-dispatching the stage program and
+//! allocating access buffers per packet. This module splits the phase
+//! into three passes over a [`PacketBatch`]:
+//!
+//! 1. **Sweep** — per pipeline, stages ascending, make exactly the
+//!    scalar scheduler's decisions (incoming priority / Invariant 2,
+//!    starvation drops, injected stalls, FIFO service) but *pack* each
+//!    chosen packet into the batch instead of executing it: fields go
+//!    into a dense [`FieldMatrix`] row, the flight parks in a parallel
+//!    array, and lane metadata records where it came from.
+//! 2. **Execute** — stage-major over the batch: address resolution for
+//!    the pipeline-head lanes, then one
+//!    [`CompiledProgram::execute_stage_batch`] kernel call per body
+//!    stage (instruction-major, allocation-free). Outcomes that the
+//!    scalar path applied mid-loop are recorded as per-lane *verdict
+//!    flags* and access ranges in parallel arrays.
+//! 3. **Compact** — walk the lanes in sweep order (pipeline-major,
+//!    stages ascending — the scalar effect order) and apply the
+//!    verdicts: write fields back, retire tags, cancel sibling queue
+//!    slots, and push counter/phantom/access side effects into the
+//!    per-pipeline [`WorkFx`] buffers, which the caller applies in
+//!    ascending pipeline order exactly as before.
+//!
+//! Equivalence with the scalar path is argued in DESIGN.md §13 and
+//! pinned by `tests/engine_equivalence.rs` and `tests/batch_soa.rs`:
+//! a stage's execution only touches its own packet's fields, its
+//! pipeline's register replica, and its own `(pipeline, stage)` queue
+//! — never an un-swept slot — so deferring execution behind a full
+//! sweep, and running it stage-major, produces bit-identical reports.
+//!
+//! This module is a child of `switch` so it can share the private
+//! work-phase types; the split keeps the batch representation in one
+//! place without widening any crate-level visibility.
+
+use super::*;
+
+use mp5_compiler::{BatchRegs, FieldMatrix, LaneAccess};
+
+/// Verdict flag: the lane retired a speculative tag without performing
+/// an access — §3.3's one wasted cycle, counted during compaction.
+const V_WASTED: u8 = 1 << 0;
+
+/// A mutable view of one pipeline's work-phase state. The sequential
+/// engine builds one per pipeline from the switch's own arrays; the
+/// parallel engine builds one per [`Unit`] in a worker's contiguous
+/// pipeline range — the batch passes are identical either way.
+pub(super) struct PipeView<'a> {
+    pub(super) pl: usize,
+    pub(super) inc_row: &'a mut [Option<Flight>],
+    pub(super) queues: &'a mut [StageQueue],
+    pub(super) lanes: &'a mut [Option<Flight>],
+    pub(super) regs: &'a mut [Vec<Value>],
+    pub(super) fx: &'a mut WorkFx,
+}
+
+/// Lane metadata: which `(view, stage)` slot this batch row executes
+/// for. Kept to four bytes so the lane array stays cache-resident.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    st: u16,
+    slot: u16,
+}
+
+/// One cycle's worth of packets in struct-of-arrays layout, plus every
+/// reusable buffer the three passes need. All `Vec`s reach a
+/// steady-state capacity after the first few cycles, so the batch work
+/// phase allocates nothing per cycle (beyond what packets themselves
+/// carry).
+#[derive(Debug, Default)]
+pub(super) struct PacketBatch {
+    /// Lane metadata, parallel to `flights` / `verdicts` /
+    /// `acc_ranges` and to the rows of `fields`.
+    lanes: Vec<Lane>,
+    /// Parked packets (`Option` so compaction can move them out).
+    flights: Vec<Option<Flight>>,
+    /// Per-lane verdict flags (`V_*`), set by execute, applied by
+    /// compact.
+    verdicts: Vec<u8>,
+    /// Per-lane `[start, end)` ranges into `acc`.
+    acc_ranges: Vec<(u32, u32)>,
+    /// Packet fields, one dense row per lane.
+    fields: FieldMatrix,
+    /// Lane ids grouped by physical stage (the execute pass is
+    /// stage-major).
+    stage_lanes: Vec<Vec<u32>>,
+    /// Register-file slots parallel to `stage_lanes`.
+    stage_slots: Vec<Vec<u16>>,
+    /// Reusable resolution output buffer.
+    resolved: Vec<mp5_compiler::ResolvedAccess>,
+    /// Raw kernel output for one stage (instruction-major), regrouped
+    /// per lane into `acc` after each kernel call.
+    kernel_out: Vec<LaneAccess>,
+    /// Deduped per-lane accesses, flat; indexed via `acc_ranges`.
+    acc: Vec<(RegId, u32)>,
+}
+
+impl PacketBatch {
+    fn reset(&mut self, stages: usize, num_fields: usize) {
+        self.lanes.clear();
+        self.flights.clear();
+        self.verdicts.clear();
+        self.acc_ranges.clear();
+        self.fields.reset(num_fields);
+        self.stage_lanes.resize_with(stages, Vec::new);
+        self.stage_slots.resize_with(stages, Vec::new);
+        self.stage_lanes.truncate(stages);
+        self.stage_slots.truncate(stages);
+        for v in &mut self.stage_lanes {
+            v.clear();
+        }
+        for v in &mut self.stage_slots {
+            v.clear();
+        }
+        self.acc.clear();
+    }
+
+    /// Packs one scheduled packet into the batch.
+    fn admit(&mut self, st: usize, slot: u16, fl: Flight) {
+        let lane = self.fields.push_row(&fl.pkt.fields);
+        self.lanes.push(Lane {
+            st: st as u16,
+            slot,
+        });
+        self.flights.push(Some(fl));
+        self.verdicts.push(0);
+        self.acc_ranges.push((0, 0));
+        self.stage_lanes[st].push(lane);
+        self.stage_slots[st].push(slot);
+    }
+}
+
+/// Register-file adapter from batch slots to per-pipeline register
+/// replicas (monomorphized into the kernel; see [`BatchRegs`]).
+struct ViewRegs<'a, 'v>(&'a mut [PipeView<'v>]);
+
+impl BatchRegs for ViewRegs<'_, '_> {
+    #[inline]
+    fn read(&mut self, slot: u16, reg: RegId, idx: u32) -> Value {
+        self.0[slot as usize].regs[reg.index()][idx as usize]
+    }
+
+    #[inline]
+    fn write(&mut self, slot: u16, reg: RegId, idx: u32, val: Value) {
+        self.0[slot as usize].regs[reg.index()][idx as usize] = val;
+    }
+}
+
+/// Runs the full batch work phase for one cycle over `views` (a
+/// contiguous, ascending range of pipelines). On return every view's
+/// `fx` holds its buffered side effects in the scalar path's order;
+/// the caller applies them in ascending pipeline order.
+pub(super) fn batch_work(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut PacketBatch) {
+    batch.reset(ctx.prog.num_stages(), ctx.prog.num_fields());
+    for (slot, view) in views.iter_mut().enumerate() {
+        sweep_pipeline(ctx, view, slot as u16, batch);
+    }
+    execute_batch(ctx, views, batch);
+    compact_batch(ctx, views, batch);
+}
+
+/// Pass 1: the scalar scheduler's decisions for one pipeline, packing
+/// instead of executing. Must mirror `work_pipeline` exactly —
+/// including the short-circuit order of the starvation probe, whose
+/// `oldest_ts` call drains freed stale queue heads as a side effect.
+fn sweep_pipeline(ctx: &WorkCtx<'_>, view: &mut PipeView<'_>, slot: u16, batch: &mut PacketBatch) {
+    for st in 0..view.inc_row.len() {
+        if let Some(fl) = view.inc_row[st].take() {
+            if let Some(thr) = ctx.starvation_threshold {
+                let starved = fl.pkt.tags.is_empty()
+                    && view.queues[st].oldest_ts().is_some_and(|ts| {
+                        let now = ctx.cycle * ctx.clen;
+                        now.saturating_sub(ts.0) > thr * ctx.clen
+                    });
+                if starved {
+                    view.fx.starvation_drops.push((view.pl as u16, st as u16));
+                    if ctx.stalled(view.pl, st) {
+                        view.fx.stall_cycles += 1;
+                    } else {
+                        serve_into(ctx, view, slot, st, batch);
+                    }
+                    continue;
+                }
+            }
+            batch.admit(st, slot, fl);
+        } else if ctx.stalled(view.pl, st) {
+            if !view.queues[st].is_empty() {
+                view.fx.stall_cycles += 1;
+            }
+        } else {
+            serve_into(ctx, view, slot, st, batch);
+        }
+    }
+}
+
+fn serve_into(
+    ctx: &WorkCtx<'_>,
+    view: &mut PipeView<'_>,
+    slot: u16,
+    st: usize,
+    batch: &mut PacketBatch,
+) {
+    // Data-oriented early-out: a truly empty queue's `serve` is a
+    // no-op (`pop` scans every lane head twice just to report
+    // `Empty`), and in steady state most `(pipeline, stage)` queues
+    // are empty every cycle. A queue holding only free stales still
+    // counts as occupied, so the drain inside `pop` is preserved.
+    if view.queues[st].is_empty() {
+        return;
+    }
+    let tctx = TraceCtx::new(ctx.cycle, view.pl as u16, st as u16);
+    match view.queues[st].serve(st, &mut NopSink, tctx) {
+        Serve::Served(fl) => batch.admit(st, slot, fl),
+        Serve::Wasted => view.fx.wasted_cycles += 1,
+        Serve::Idle => {}
+    }
+}
+
+/// Pass 2: stage-major execution over the packed lanes. Address
+/// resolution runs per-lane (into a reusable buffer); body stages run
+/// through the instruction-major SoA kernel; per-lane access lists and
+/// verdict flags land in the batch's parallel arrays.
+fn execute_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut PacketBatch) {
+    // Address resolution at the pipeline head (§3.3), same per-packet
+    // computation as `resolve_flight` with the counter bumps deferred
+    // to compaction (tag order carries all the information).
+    if ctx.prologue > 0 {
+        for i in 0..batch.stage_lanes[0].len() {
+            let l = batch.stage_lanes[0][i];
+            ctx.prog
+                .resolve_into(batch.fields.row_mut(l), &mut batch.resolved);
+            let mut tags = Vec::with_capacity(batch.resolved.len());
+            for r in &batch.resolved {
+                let dest = if r.reg == REG_STAGE_SENTINEL
+                    || r.index == INDEX_ARRAY_LEVEL
+                    || !ctx.prog.regs[r.reg.index()].shardable
+                {
+                    PipelineId(0)
+                } else {
+                    PipelineId(ctx.index_map[r.reg.index()][r.index as usize])
+                };
+                tags.push(AccessTag {
+                    reg: r.reg,
+                    index: r.index,
+                    pipeline: dest,
+                    stage: r.stage,
+                    speculative: r.speculative,
+                });
+            }
+            debug_assert!(tags.windows(2).all(|w| w[0].stage <= w[1].stage));
+            let fl = batch.flights[l as usize]
+                .as_mut()
+                .expect("lane flight parked by sweep");
+            fl.pkt.tags = tags;
+        }
+    }
+    for st in ctx.prologue..batch.stage_lanes.len() {
+        let body = st - ctx.prologue;
+        if batch.stage_lanes[st].is_empty() {
+            continue;
+        }
+        batch.kernel_out.clear();
+        ctx.prog.execute_stage_batch(
+            body,
+            &batch.stage_lanes[st],
+            &batch.stage_slots[st],
+            &mut batch.fields,
+            &mut ViewRegs(views),
+            &mut batch.kernel_out,
+        );
+        // Regroup the instruction-major kernel output per lane,
+        // deduping consecutive duplicates — reproducing
+        // `execute_stage`'s per-packet access list — and render the
+        // verdicts the scalar path applied inline.
+        for i in 0..batch.stage_lanes[st].len() {
+            let l = batch.stage_lanes[st][i];
+            let start = batch.acc.len();
+            for a in batch.kernel_out.iter().filter(|a| a.lane == l) {
+                let e = (a.reg, a.index);
+                if batch.acc.len() == start || *batch.acc.last().expect("nonempty") != e {
+                    batch.acc.push(e);
+                }
+            }
+            let end = batch.acc.len();
+            batch.acc_ranges[l as usize] = (start as u32, end as u32);
+            let fl = batch.flights[l as usize]
+                .as_ref()
+                .expect("lane flight parked by sweep");
+            let retired_speculative = fl
+                .pkt
+                .tags
+                .iter()
+                .take_while(|t| t.stage.index() == st)
+                .any(|t| t.speculative);
+            if retired_speculative && start == end {
+                batch.verdicts[l as usize] |= V_WASTED;
+            }
+        }
+    }
+}
+
+/// Pass 3: apply verdicts and retirements in sweep order — which is
+/// pipeline-major with stages ascending, i.e. exactly the order the
+/// scalar loop produced its per-pipeline effects in.
+fn compact_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut PacketBatch) {
+    for (i, lane) in batch.lanes.iter().enumerate() {
+        let mut fl = batch.flights[i]
+            .take()
+            .expect("lane flight parked by sweep");
+        let st = lane.st as usize;
+        fl.pkt.fields.copy_from_slice(batch.fields.row(i as u32));
+        let view = &mut views[lane.slot as usize];
+        if st == 0 && ctx.prologue > 0 {
+            // The resolution counter bumps, in tag (= resolution) order.
+            for tag in &fl.pkt.tags {
+                if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+                    view.fx.ctr_ops.push(CtrOp::Inc {
+                        reg: tag.reg,
+                        index: tag.index,
+                    });
+                }
+            }
+        }
+        if ctx.prologue > 0 && st == ctx.prologue - 1 && ctx.phantoms {
+            // Phantom generation stage: one phantom per tag, in order.
+            for tag in &fl.pkt.tags {
+                view.fx.injects.push(PhantomInject {
+                    msg: PhantomMsg {
+                        key: fl.key(tag),
+                        ts: fl.order,
+                        dest: tag.pipeline,
+                        lane: fl.ingress,
+                    },
+                    from: StageId(st as u16),
+                    dest: tag.stage,
+                });
+                view.fx.phantoms_generated += 1;
+            }
+        }
+        if st >= ctx.prologue {
+            let (a0, a1) = batch.acc_ranges[i];
+            if ctx.record_detail {
+                for &(reg, index) in &batch.acc[a0 as usize..a1 as usize] {
+                    view.fx.accesses.push((reg, index, fl.pkt.id));
+                }
+            }
+            // Retire this stage's tags; see `process_flight` for the
+            // sibling-cancel and wasted-cycle semantics.
+            let mut first = true;
+            while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
+                let tag = fl.pkt.tags.remove(0);
+                if !first && ctx.phantoms {
+                    let key = fl.key(&tag);
+                    let tctx = TraceCtx::new(ctx.cycle, view.pl as u16, st as u16);
+                    view.queues[st].cancel(key, false, &mut NopSink, tctx);
+                }
+                first = false;
+                if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+                    view.fx.ctr_ops.push(CtrOp::Dec {
+                        reg: tag.reg,
+                        index: tag.index,
+                    });
+                }
+            }
+            if batch.verdicts[i] & V_WASTED != 0 {
+                view.fx.wasted_cycles += 1;
+            }
+        }
+        view.lanes[st] = Some(fl);
+    }
+}

@@ -65,6 +65,57 @@ impl std::str::FromStr for EngineMode {
     }
 }
 
+/// Which implementation of the per-cycle work phase executes packets.
+///
+/// Both paths implement the same machine and produce **bit-identical**
+/// [`crate::RunReport`]s; they differ only in how the per-(pipeline,
+/// stage) inner loop is organized. Traced runs (`TraceSink::ENABLED`)
+/// always use the scalar path so the event stream keeps its historical
+/// interleaving — the batch path is an untraced-hot-path optimization,
+/// selected statically so traced builds pay nothing for the check. See
+/// `DESIGN.md` §13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// The historical packet-at-a-time loop: each (pipeline, stage)
+    /// slot resolves/executes its packet inline as the scheduler visits
+    /// it.
+    Scalar,
+    /// Struct-of-arrays batching (the default): the scheduler first
+    /// *sweeps* every slot, packing chosen packets into a
+    /// [`PacketBatch`](crate::switch) — fields in a flat matrix, lane
+    /// metadata and verdict flags in parallel arrays — then executes
+    /// each stage's lanes as one tight loop over the matrix, and
+    /// finally *compacts*: verdicts, retirements and buffered side
+    /// effects are applied in the scalar path's exact order.
+    #[default]
+    Batch,
+}
+
+impl std::str::FromStr for ExecPath {
+    type Err = String;
+
+    /// Parses the CLI spelling used by `mp5run --exec` and `mp5bench`:
+    /// `scalar` or `batch`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(ExecPath::Scalar),
+            "batch" | "soa" => Ok(ExecPath::Batch),
+            other => Err(format!(
+                "unknown exec path '{other}' (expected scalar or batch)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecPath::Scalar => "scalar",
+            ExecPath::Batch => "batch",
+        })
+    }
+}
+
 /// A structurally invalid [`SwitchConfig`], reported by
 /// [`SwitchConfig::validate`] (and by `Mp5Switch::try_new` /
 /// `Mp5Switch::try_with_sink`) instead of silently "fixing" the
@@ -182,6 +233,9 @@ pub struct SwitchConfig {
     /// Which cycle engine executes the simulation (results are
     /// bit-identical either way; see [`EngineMode`]).
     pub engine: EngineMode,
+    /// Which work-phase implementation executes packets (results are
+    /// bit-identical either way; see [`ExecPath`]).
+    pub exec: ExecPath,
     /// Record per-packet artifacts in the report: the per-packet output
     /// field map, the completion list, and the per-index access log.
     /// Defaults to `true` (the historical behaviour every equivalence
@@ -210,6 +264,7 @@ impl SwitchConfig {
             max_cycles: None,
             physical_pipelines: None,
             engine: EngineMode::Sequential,
+            exec: ExecPath::Batch,
             record_detail: true,
         }
     }
@@ -260,6 +315,13 @@ impl SwitchConfig {
     /// Selects the cycle engine (builder style).
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the work-phase implementation (builder style); see
+    /// [`ExecPath`].
+    pub fn with_exec(mut self, exec: ExecPath) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -364,6 +426,21 @@ mod tests {
         assert_eq!(EngineMode::Parallel(8).workers_for(4), 4);
         assert_eq!(EngineMode::Parallel(2).workers_for(4), 2);
         assert!(matches!(EngineMode::parallel_auto(), EngineMode::Parallel(n) if n >= 1));
+    }
+
+    #[test]
+    fn exec_path_defaults_to_batch_and_parses() {
+        assert_eq!(SwitchConfig::mp5(4).exec, ExecPath::Batch);
+        assert_eq!(
+            SwitchConfig::mp5(4).with_exec(ExecPath::Scalar).exec,
+            ExecPath::Scalar
+        );
+        assert_eq!("scalar".parse(), Ok(ExecPath::Scalar));
+        assert_eq!("batch".parse(), Ok(ExecPath::Batch));
+        assert_eq!("soa".parse(), Ok(ExecPath::Batch));
+        assert!("vector".parse::<ExecPath>().is_err());
+        assert_eq!(ExecPath::Scalar.to_string(), "scalar");
+        assert_eq!(ExecPath::Batch.to_string(), "batch");
     }
 
     #[test]

@@ -110,6 +110,26 @@ impl<J: Send + 'static, R: Send + 'static> std::fmt::Debug for WorkerPool<J, R> 
     }
 }
 
+/// Contiguous shard boundaries for distributing `n` ordered items over
+/// `workers` workers: worker `w` gets `n / workers` items plus one of
+/// the `n % workers` leftovers, front-loaded, so concatenating the
+/// ranges in worker order restores `0..n` exactly. The engines shard
+/// *ranges* of per-pipeline state (not packet lists) with this, which
+/// is what keeps worker order equal to pipeline order and the merge
+/// deterministic.
+pub fn shard_ranges(n: usize, workers: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    debug_assert!(workers >= 1, "sharding over zero workers");
+    let base = n / workers;
+    let rem = n % workers;
+    let mut start = 0usize;
+    (0..workers).map(move |w| {
+        let len = base + usize::from(w < rem);
+        let range = start..start + len;
+        start += len;
+        range
+    })
+}
+
 /// Wall-clock duration of every simulated cycle, recorded by
 /// `Mp5Switch::try_run_timed` for the `mp5bench` latency percentiles.
 #[derive(Debug, Clone, Default)]
@@ -160,6 +180,23 @@ mod tests {
     fn pool_drop_joins_workers() {
         let pool: WorkerPool<(), ()> = WorkerPool::new(4, |()| ());
         drop(pool); // must not hang or leak
+    }
+
+    #[test]
+    fn shard_ranges_partition_in_order() {
+        for n in 0..20 {
+            for workers in 1..6 {
+                let ranges: Vec<_> = shard_ranges(n, workers).collect();
+                assert_eq!(ranges.len(), workers);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} workers={workers}");
+                // Front-loaded remainder: sizes never differ by more
+                // than one and never increase.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+                assert!(sizes[0] - sizes[workers - 1] <= 1);
+            }
+        }
     }
 
     #[test]

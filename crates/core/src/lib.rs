@@ -42,7 +42,7 @@ pub mod report;
 pub mod shard;
 pub mod switch;
 
-pub use config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig};
+pub use config::{ConfigError, EngineMode, ExecPath, ShardingMode, SprayMode, SwitchConfig};
 pub use engine::{CycleTimings, WorkerPool};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
 pub use report::{DropCounts, FaultReport, RunReport};

@@ -11,10 +11,16 @@ use mp5_trace::{DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSi
 use mp5_types::time::cycle_len;
 use mp5_types::{AccessTag, Packet, PacketId, PipelineId, RegId, StageId, Value};
 
-use crate::config::{ConfigError, EngineMode, ShardingMode, SprayMode, SwitchConfig};
-use crate::engine::{CycleTimings, WorkerPool};
+use crate::config::{ConfigError, EngineMode, ExecPath, ShardingMode, SprayMode, SwitchConfig};
+use crate::engine::{shard_ranges, CycleTimings, WorkerPool};
 use crate::report::RunReport;
 use crate::shard;
+
+/// The struct-of-arrays work phase (a child module so it can share the
+/// private work-phase types below; see DESIGN.md §13).
+#[path = "batch.rs"]
+mod batch;
+use batch::{batch_work, PacketBatch, PipeView};
 
 /// Converts a fabric phantom key into the trace schema's access key.
 fn tkey(key: PhantomKey) -> mp5_trace::Key {
@@ -352,6 +358,16 @@ impl StageQueue {
         }
     }
 
+    /// O(1) for the logical layout (the FIFO keeps an occupancy
+    /// counter); the batch sweep probes this for every `(pipeline,
+    /// stage)` slot before paying for a full `serve` scan.
+    fn is_empty(&self) -> bool {
+        match self {
+            StageQueue::Logical(f) => f.is_empty(),
+            StageQueue::PerIndex { subs, .. } => subs.values().all(|f| f.is_empty()),
+        }
+    }
+
     fn max_occupancy(&self) -> usize {
         match self {
             StageQueue::Logical(f) => f.max_occupancy(),
@@ -361,6 +377,7 @@ impl StageQueue {
 }
 
 // ---------------------------------------------------------------------
+
 // The per-cycle work phase, shared by both execution engines.
 //
 // Within a cycle, the admit/work phase of pipeline `pl` only touches
@@ -551,7 +568,7 @@ fn work_pipeline<S: TraceSink>(
                 // Invariant 2 in action: the incoming packet takes the
                 // slot; `bypassed` flags the case where queued stateful
                 // work was waiting.
-                let bypassed = queues[st].len() > 0;
+                let bypassed = !queues[st].is_empty();
                 TraceCtx::new(ctx.cycle, pl as u16, st as u16).emit(
                     sink,
                     EventKind::Execute {
@@ -566,7 +583,7 @@ fn work_pipeline<S: TraceSink>(
         } else if ctx.stalled(pl, st) {
             // Injected stall: the stage's scheduler is frozen this
             // cycle. Only count slots where work was actually waiting.
-            if queues[st].len() > 0 {
+            if !queues[st].is_empty() {
                 fx.stall_cycles += 1;
             }
         } else {
@@ -760,6 +777,9 @@ struct EngineShared {
     tracing: bool,
     /// Mirrors [`SwitchConfig::record_detail`] for worker-side gating.
     record_detail: bool,
+    /// Whether workers run the SoA batch work phase (`ExecPath::Batch`
+    /// on an untraced switch) instead of the scalar loop.
+    batch: bool,
 }
 
 /// One pipeline's work-phase state, *moved* to a worker for the cycle
@@ -789,11 +809,20 @@ struct Job {
     /// Injected stalls active this cycle (empty under `NoFaults`; a
     /// plain clone per job keeps workers free of fault generics).
     stalls: Vec<(u16, u16)>,
+    /// Recycled SoA buffers when `shared.batch` is set: the worker runs
+    /// the batch passes over its contiguous pipeline range instead of
+    /// the scalar loop (`None` on the scalar path).
+    batch: Option<PacketBatch>,
 }
 
+/// What one worker hands back per job: the finished units (with
+/// buffered effects and events) plus the job's recycled batch buffers.
+type JobOut = (Vec<Unit>, Option<PacketBatch>);
+
 /// Worker-side entry point: runs the work phase for every unit in the
-/// job and hands the units (with buffered effects and events) back.
-fn run_job(mut job: Job) -> Vec<Unit> {
+/// job and hands the units (with buffered effects and events) back,
+/// along with the job's recycled batch buffers.
+fn run_job(mut job: Job) -> JobOut {
     let shared = Arc::clone(&job.shared);
     let ctx = WorkCtx {
         prog: &shared.prog,
@@ -806,6 +835,25 @@ fn run_job(mut job: Job) -> Vec<Unit> {
         stalls: &job.stalls,
         record_detail: shared.record_detail,
     };
+    if let Some(pack) = job.batch.as_mut() {
+        // SoA path: this worker's units are a contiguous range of the
+        // cycle's global batch; sweep/execute/compact run over all of
+        // them at once (see `batch_work`).
+        let mut views: Vec<PipeView<'_>> = job
+            .units
+            .iter_mut()
+            .map(|u| PipeView {
+                pl: u.pl,
+                inc_row: &mut u.inc_row[..],
+                queues: &mut u.queues[..],
+                lanes: &mut u.lanes[..],
+                regs: &mut u.regs[..],
+                fx: &mut u.fx,
+            })
+            .collect();
+        batch_work(&ctx, &mut views, pack);
+        return (job.units, job.batch);
+    }
     for u in &mut job.units {
         if shared.tracing {
             let mut sink = MemSink {
@@ -835,7 +883,7 @@ fn run_job(mut job: Job) -> Vec<Unit> {
             );
         }
     }
-    job.units
+    (job.units, None)
 }
 
 /// A shareable handle to a parallel-engine worker pool.
@@ -851,7 +899,7 @@ fn run_job(mut job: Job) -> Vec<Unit> {
 /// them.
 #[derive(Clone)]
 pub struct EnginePool {
-    inner: Arc<Mutex<WorkerPool<Job, Vec<Unit>>>>,
+    inner: Arc<Mutex<WorkerPool<Job, JobOut>>>,
     workers: usize,
 }
 
@@ -871,7 +919,7 @@ impl EnginePool {
     }
 
     /// Runs one barrier round on the pool (see [`WorkerPool::exchange`]).
-    fn exchange(&self, jobs: Vec<Job>) -> Vec<Vec<Unit>> {
+    fn exchange(&self, jobs: Vec<Job>) -> Vec<JobOut> {
         self.inner
             .lock()
             .expect("engine pool lock poisoned")
@@ -896,6 +944,9 @@ struct ParEngine {
     /// Recycled `(fx, events)` buffers, so steady-state cycles allocate
     /// nothing for effect buffering.
     spare: Vec<(WorkFx, Vec<Event>)>,
+    /// Recycled per-job SoA buffers for the batch path (empty on the
+    /// scalar path).
+    spare_batch: Vec<PacketBatch>,
 }
 
 impl std::fmt::Debug for ParEngine {
@@ -904,6 +955,14 @@ impl std::fmt::Debug for ParEngine {
             .field("workers", &self.pool.workers())
             .finish()
     }
+}
+
+/// The sequential engine's SoA work-phase buffers (see `batch`).
+#[derive(Debug, Default)]
+struct BatchSeq {
+    pack: PacketBatch,
+    /// One side-effect buffer per pipeline.
+    fx: Vec<WorkFx>,
 }
 
 /// The MP5 multi-pipeline switch.
@@ -958,6 +1017,21 @@ pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     par: Option<ParEngine>,
     /// Reusable side-effect buffer for the sequential work phase.
     fx_buf: WorkFx,
+    /// Whether the SoA batch work phase is in effect: decided once at
+    /// construction (`ExecPath::Batch` on an untraced switch — traced
+    /// runs keep the scalar loop so the event stream's historical
+    /// interleaving is preserved; the check is a compile-time constant
+    /// under the default `NopSink`).
+    use_batch: bool,
+    /// The sequential engine's SoA buffers: the packet batch plus one
+    /// side-effect buffer per pipeline (the stage-major execute pass
+    /// interleaves pipelines, so effects are bucketed per pipeline and
+    /// applied in ascending order afterwards). `None` on the scalar
+    /// path or parallel engine.
+    batch_seq: Option<BatchSeq>,
+    /// Reusable move-phase buffer for the batch path (the scalar path
+    /// keeps its historical per-cycle allocation; empty there).
+    inc_buf: Vec<Vec<Option<Flight>>>,
     sink: S,
     /// Deterministic fault schedule (inert [`NoFaults`] by default).
     faults: F,
@@ -1102,6 +1176,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         let lanes = (0..k).map(|_| vec![None; stages]).collect();
         let mut report = RunReport::new();
         report.set_cycle_len(cycle_len(timing_k));
+        // The SoA path is an untraced-only optimization: traced runs
+        // statically keep the scalar loop (its event interleaving is
+        // the schema every recorded stream hash depends on), so under
+        // the default `NopSink` this is a compile-time constant.
+        let use_batch = !S::ENABLED && cfg.exec == ExecPath::Batch;
         let par = match cfg.engine {
             EngineMode::Sequential => None,
             EngineMode::Parallel(_) => {
@@ -1113,14 +1192,25 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                     prologue,
                     tracing: S::ENABLED,
                     record_detail: cfg.record_detail,
+                    batch: use_batch,
                 });
                 let pool = pool.unwrap_or_else(|| EnginePool::new(cfg.engine.workers_for(k)));
                 Some(ParEngine {
                     pool,
                     shared,
                     spare: Vec::new(),
+                    spare_batch: Vec::new(),
                 })
             }
+        };
+        let batch_seq = (use_batch && par.is_none()).then(|| BatchSeq {
+            pack: PacketBatch::default(),
+            fx: (0..k).map(|_| WorkFx::default()).collect(),
+        });
+        let inc_buf = if use_batch {
+            (0..k).map(|_| vec![None; stages]).collect()
+        } else {
+            Vec::new()
         };
         Ok(Mp5Switch {
             channel: PhantomChannel::new(stages),
@@ -1145,6 +1235,9 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             report,
             par,
             fx_buf: WorkFx::default(),
+            use_batch,
+            batch_seq,
+            inc_buf,
             sink,
             faults,
             dead: vec![false; k],
@@ -1347,7 +1440,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             && self.channel.in_flight() == 0
             && self.pending_grants.is_empty()
             && self.lanes.iter().flatten().all(|l| l.is_none())
-            && self.queues.iter().flatten().all(|q| q.len() == 0)
+            && self.queues.iter().flatten().all(|q| q.is_empty())
     }
 
     /// Simulates one pipeline cycle.
@@ -1406,8 +1499,16 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         }
 
         // 3. Move phase: all stage occupants advance simultaneously.
-        let mut incoming: Vec<Vec<Option<Flight>>> =
-            (0..self.k).map(|_| vec![None; self.stages]).collect();
+        // The batch path reuses a persistent buffer (its rows come back
+        // empty from the sweep); the scalar path keeps its historical
+        // per-cycle allocation.
+        let mut incoming: Vec<Vec<Option<Flight>>> = if self.use_batch {
+            let buf = std::mem::take(&mut self.inc_buf);
+            debug_assert!(buf.iter().all(|row| row.iter().all(|s| s.is_none())));
+            buf
+        } else {
+            (0..self.k).map(|_| vec![None; self.stages]).collect()
+        };
         for (pl, inc_row) in incoming.iter_mut().enumerate() {
             for st in (0..self.stages).rev() {
                 let Some(fl) = self.lanes[pl][st].take() else {
@@ -1515,6 +1616,8 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         // two engines bit-identical.
         if self.par.is_some() {
             self.work_parallel(&mut incoming);
+        } else if self.use_batch {
+            self.work_batch_seq(&mut incoming);
         } else {
             let clen = cycle_len(self.timing_k);
             let mut fx = std::mem::take(&mut self.fx_buf);
@@ -1550,8 +1653,62 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             }
             self.fx_buf = fx;
         }
+        if self.use_batch {
+            self.inc_buf = incoming;
+        }
 
         self.cycle += 1;
+    }
+
+    /// The SoA work phase on the sequential engine: build one
+    /// [`PipeView`] per pipeline over the switch's own arrays, run the
+    /// sweep/execute/compact passes, then apply the per-pipeline side
+    /// effects in ascending order — the scalar effect order.
+    fn work_batch_seq(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
+        let Some(bs) = self.batch_seq.as_mut() else {
+            // Guarded by `use_batch` + the sequential-engine dispatch in
+            // `step`; silently skipping the work phase would corrupt the
+            // run, so this must stay loud.
+            unreachable!("work_batch_seq called without batch buffers");
+        };
+        let ctx = WorkCtx {
+            prog: &self.prog,
+            index_map: &self.index_map,
+            phantoms: self.cfg.phantoms,
+            starvation_threshold: self.cfg.starvation_threshold,
+            clen: cycle_len(self.timing_k),
+            cycle: self.cycle,
+            prologue: self.prologue,
+            stalls: self.faults.active_stalls(),
+            record_detail: self.cfg.record_detail,
+        };
+        let mut views: Vec<PipeView<'_>> = incoming
+            .iter_mut()
+            .zip(self.queues.iter_mut())
+            .zip(self.lanes.iter_mut())
+            .zip(self.regs.iter_mut())
+            .zip(bs.fx.iter_mut())
+            .enumerate()
+            .map(|(pl, ((((inc_row, queues), lanes), regs), fx))| PipeView {
+                pl,
+                inc_row: &mut inc_row[..],
+                queues: &mut queues[..],
+                lanes: &mut lanes[..],
+                regs: &mut regs[..],
+                fx,
+            })
+            .collect();
+        batch_work(&ctx, &mut views, &mut bs.pack);
+        drop(views);
+        for fx in &mut bs.fx {
+            apply_work_fx(
+                fx,
+                &mut self.access_ctr,
+                &mut self.inflight,
+                &mut self.channel,
+                &mut self.report,
+            );
+        }
     }
 
     /// The work phase on the parallel engine: move each pipeline's
@@ -1587,42 +1744,52 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 events,
             });
         }
-        // Contiguous chunks in pipeline order: worker order == pipeline
-        // order, so flattening the results restores ascending order.
-        let base = self.k / workers;
-        let rem = self.k % workers;
+        // Contiguous range shards in pipeline order: worker order ==
+        // pipeline order, so flattening the results restores ascending
+        // order.
+        let batch_mode = shared.batch;
         let mut it = units.into_iter();
         let mut jobs = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let take = base + usize::from(w < rem);
+        for range in shard_ranges(self.k, workers) {
             jobs.push(Job {
                 shared: Arc::clone(&shared),
                 index_map: Arc::clone(&self.index_map),
                 cycle: self.cycle,
-                units: it.by_ref().take(take).collect(),
+                units: it.by_ref().take(range.len()).collect(),
                 stalls: stalls.clone(),
+                batch: batch_mode.then(|| par.spare_batch.pop().unwrap_or_default()),
             });
         }
         let outs = par.pool.exchange(jobs);
-        for mut unit in outs.into_iter().flatten() {
-            let pl = unit.pl;
-            debug_assert!(unit.inc_row.iter().all(|s| s.is_none()));
-            self.queues[pl] = std::mem::take(&mut unit.queues);
-            self.lanes[pl] = std::mem::take(&mut unit.lanes);
-            self.regs[pl] = std::mem::take(&mut unit.regs);
-            if S::ENABLED {
-                for ev in unit.events.drain(..) {
-                    self.sink.emit(ev);
-                }
+        for (units_out, pack) in outs {
+            if let Some(pack) = pack {
+                par.spare_batch.push(pack);
             }
-            apply_work_fx(
-                &mut unit.fx,
-                &mut self.access_ctr,
-                &mut self.inflight,
-                &mut self.channel,
-                &mut self.report,
-            );
-            par.spare.push((unit.fx, unit.events));
+            for mut unit in units_out {
+                let pl = unit.pl;
+                debug_assert!(unit.inc_row.iter().all(|s| s.is_none()));
+                self.queues[pl] = std::mem::take(&mut unit.queues);
+                self.lanes[pl] = std::mem::take(&mut unit.lanes);
+                self.regs[pl] = std::mem::take(&mut unit.regs);
+                if batch_mode {
+                    // Hand the (all-`None`) row back so `step` can
+                    // recycle the allocation via `inc_buf`.
+                    incoming[pl] = std::mem::take(&mut unit.inc_row);
+                }
+                if S::ENABLED {
+                    for ev in unit.events.drain(..) {
+                        self.sink.emit(ev);
+                    }
+                }
+                apply_work_fx(
+                    &mut unit.fx,
+                    &mut self.access_ctr,
+                    &mut self.inflight,
+                    &mut self.channel,
+                    &mut self.report,
+                );
+                par.spare.push((unit.fx, unit.events));
+            }
         }
     }
 

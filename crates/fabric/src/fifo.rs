@@ -175,6 +175,12 @@ pub struct LogicalFifo<T> {
     recovered: VecDeque<Entry<T>>,
     max_recovered: usize,
     stats: FifoStats,
+    /// Total queued entries across lanes and the recovery queue,
+    /// maintained on every push/pop/drain so `len()`/`is_empty()` are
+    /// O(1). Per-cycle schedulers probe emptiness for every
+    /// `(pipeline, stage)` queue, so this counter is load-bearing for
+    /// the simulation rate, not a convenience.
+    total: usize,
 }
 
 impl<T> LogicalFifo<T> {
@@ -188,6 +194,7 @@ impl<T> LogicalFifo<T> {
             recovered: VecDeque::new(),
             max_recovered: 0,
             stats: FifoStats::default(),
+            total: 0,
         }
     }
 
@@ -198,12 +205,17 @@ impl<T> LogicalFifo<T> {
 
     /// Total queued entries across lanes (plus the recovery queue).
     pub fn len(&self) -> usize {
-        self.lanes.iter().map(|l| l.len()).sum::<usize>() + self.recovered.len()
+        debug_assert_eq!(
+            self.total,
+            self.lanes.iter().map(|l| l.len()).sum::<usize>() + self.recovered.len(),
+            "occupancy counter out of sync"
+        );
+        self.total
     }
 
-    /// True if every lane (and the recovery queue) is empty.
+    /// True if every lane (and the recovery queue) is empty. O(1).
     pub fn is_empty(&self) -> bool {
-        self.lanes.iter().all(|l| l.is_empty()) && self.recovered.is_empty()
+        self.len() == 0
     }
 
     /// High-water mark of total occupancy, approximated as the sum of
@@ -231,6 +243,7 @@ impl<T> LogicalFifo<T> {
         let l = &mut self.lanes[lane.index()];
         match l.push_back(Entry::Phantom { key, ts }) {
             Ok(seq) => {
+                self.total += 1;
                 let addr = FifoAddr { lane, seq };
                 self.directory.insert(key, addr);
                 Ok(addr)
@@ -249,7 +262,10 @@ impl<T> LogicalFifo<T> {
     pub fn push_data(&mut self, item: T, ts: OrderKey, lane: PipelineId) -> Result<FifoAddr, T> {
         let l = &mut self.lanes[lane.index()];
         match l.push_back(Entry::Data { item, ts }) {
-            Ok(seq) => Ok(FifoAddr { lane, seq }),
+            Ok(seq) => {
+                self.total += 1;
+                Ok(FifoAddr { lane, seq })
+            }
             Err(Entry::Data { item, .. }) => {
                 self.stats.data_drops_full += 1;
                 Err(item)
@@ -289,6 +305,7 @@ impl<T> LogicalFifo<T> {
     pub fn push_recovered(&mut self, item: T, ts: OrderKey) {
         let pos = self.recovered.partition_point(|e| e.ts() <= ts);
         self.recovered.insert(pos, Entry::Data { item, ts });
+        self.total += 1;
         self.max_recovered = self.max_recovered.max(self.recovered.len());
         self.stats.recovered += 1;
     }
@@ -339,6 +356,7 @@ impl<T> LogicalFifo<T> {
         for lane in &mut self.lanes {
             while matches!(lane.front(), Some(Entry::Stale { free: true, .. })) {
                 lane.pop_front();
+                self.total -= 1;
             }
         }
     }
@@ -366,7 +384,10 @@ impl<T> LogicalFifo<T> {
         let lane = self.oldest_lane();
         if self.recovered_wins(lane) {
             return match self.recovered.pop_front() {
-                Some(Entry::Data { item, .. }) => PopOutcome::Data(item),
+                Some(Entry::Data { item, .. }) => {
+                    self.total -= 1;
+                    PopOutcome::Data(item)
+                }
                 _ => unreachable!("recovery queue holds only data entries"),
             };
         }
@@ -375,7 +396,10 @@ impl<T> LogicalFifo<T> {
         };
         match self.lanes[lane].front().expect("lane non-empty") {
             Entry::Data { .. } => match self.lanes[lane].pop_front() {
-                Some(Entry::Data { item, .. }) => PopOutcome::Data(item),
+                Some(Entry::Data { item, .. }) => {
+                    self.total -= 1;
+                    PopOutcome::Data(item)
+                }
                 _ => unreachable!("head was data"),
             },
             Entry::Phantom { key, .. } => {
@@ -385,6 +409,7 @@ impl<T> LogicalFifo<T> {
             }
             Entry::Stale { free: false, .. } => {
                 self.lanes[lane].pop_front();
+                self.total -= 1;
                 self.stats.stale_cycles += 1;
                 PopOutcome::ConsumedStale
             }

@@ -7,14 +7,16 @@
 //! This is the contract `EngineMode` documents and `DESIGN.md` §10
 //! argues: the parallel engine shards the work phase of each cycle and
 //! merges buffered side effects in pipeline order, so no observable
-//! difference may ever appear. Scale knob: `MP5_EQ_PACKETS` (default
-//! 300 packets per run).
+//! difference may ever appear. The same bar applies to the work phase's
+//! two execution paths (`ExecPath::Scalar` vs the SoA `Batch` default,
+//! DESIGN.md §13). Scale knob: `MP5_EQ_PACKETS` (default 300 packets
+//! per run).
 
 use mp5::apps::ALL_APPS;
-use mp5::core::{EngineMode, Mp5Switch, RunReport, SwitchConfig};
+use mp5::core::{EngineMode, ExecPath, Mp5Switch, RunReport, SwitchConfig};
 use mp5::faults::FaultPlan;
 use mp5::sim::experiments::app_trace;
-use mp5::trace::{audit, stream_hash, MemSink};
+use mp5::trace::{audit, stream_hash, MemSink, NopSink};
 
 fn packets_per_run() -> usize {
     std::env::var("MP5_EQ_PACKETS")
@@ -97,6 +99,107 @@ fn untraced_runs_agree_across_engines() {
         let cfg = SwitchConfig::mp5(4).with_engine(EngineMode::parallel_auto());
         let par = Mp5Switch::new(prog.clone(), cfg).run(trace);
         assert_eq!(seq, par, "{}: untraced reports diverged", app.name);
+    }
+}
+
+/// The SoA batch work phase (the default, [`ExecPath::Batch`]) must be
+/// bit-identical to the scalar reference interpreter: all ten bundled
+/// programs × seeds × pipelines {1,2,4,8} through the sequential
+/// engine.
+#[test]
+fn batch_work_phase_is_bit_identical_to_scalar() {
+    let packets = packets_per_run();
+    for app in &ALL_APPS {
+        for seed in [1u64, 2] {
+            let (prog, trace) = app_trace(app, packets, seed);
+            for k in [1usize, 2, 4, 8] {
+                let scalar_cfg = SwitchConfig::mp5(k).with_exec(ExecPath::Scalar);
+                let scalar = Mp5Switch::new(prog.clone(), scalar_cfg).run(trace.clone());
+                let batch = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k)).run(trace.clone());
+                assert_eq!(
+                    scalar, batch,
+                    "{} seed={seed} k={k}: scalar and batch work phases diverged",
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+/// Exec paths must also agree when the parallel engine shards the batch
+/// ranges across pinned worker counts (including workers < pipelines),
+/// and both must match the sequential batch run.
+#[test]
+fn batch_work_phase_matches_scalar_on_the_parallel_engine() {
+    for app in &ALL_APPS[..4] {
+        let (prog, trace) = app_trace(app, 300, 5);
+        for k in [4usize, 8] {
+            let seq = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(k)).run(trace.clone());
+            for workers in [2usize, 4] {
+                let par = SwitchConfig::mp5(k).with_engine(EngineMode::Parallel(workers));
+                let scalar_rep =
+                    Mp5Switch::new(prog.clone(), par.clone().with_exec(ExecPath::Scalar))
+                        .run(trace.clone());
+                let batch_rep = Mp5Switch::new(prog.clone(), par).run(trace.clone());
+                assert_eq!(
+                    scalar_rep, batch_rep,
+                    "{} k={k} par:{workers}: exec paths diverged",
+                    app.name
+                );
+                assert_eq!(
+                    seq, batch_rep,
+                    "{} k={k} par:{workers}: engines diverged on the batch path",
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+/// Fault injection runs on the shared phase machinery, so the batch
+/// work phase must not disturb it: same fault plan, same report on
+/// both exec paths (untraced — tracing forces the scalar path).
+#[test]
+fn batch_work_phase_matches_scalar_under_faults() {
+    for app in &ALL_APPS[..4] {
+        let (prog, trace) = app_trace(app, 300, 3);
+        for k in [2usize, 4] {
+            let plan = FaultPlan::chaos(41, k, prog.num_stages(), 250);
+            let run = |exec: ExecPath| {
+                let cfg = SwitchConfig::mp5(k).with_exec(exec);
+                Mp5Switch::with_faults(prog.clone(), cfg, NopSink, plan.injector())
+                    .run(trace.clone())
+            };
+            let scalar = run(ExecPath::Scalar);
+            let batch = run(ExecPath::Batch);
+            assert_eq!(
+                scalar, batch,
+                "{} k={k}: exec paths diverged under faults",
+                app.name
+            );
+            assert!(
+                batch.fault.accounted(),
+                "{} k={k}: fault ledger must close on the batch path",
+                app.name
+            );
+        }
+    }
+}
+
+/// Attaching a sink falls back to the scalar path (tracing hooks are
+/// per-packet), but that fallback must not change the simulation: a
+/// traced run's report equals the untraced batch run's report.
+#[test]
+fn traced_fallback_matches_the_batch_report() {
+    for app in &ALL_APPS[..4] {
+        let (prog, trace) = app_trace(app, 300, 7);
+        let (traced_rep, _) = traced(&prog, &trace, SwitchConfig::mp5(4));
+        let batch_rep = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
+        assert_eq!(
+            traced_rep, batch_rep,
+            "{}: traced (scalar-fallback) and untraced batch reports diverged",
+            app.name
+        );
     }
 }
 

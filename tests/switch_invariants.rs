@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use mp5::compiler::{compile, Target};
-use mp5::core::{EngineMode, Mp5Switch, ShardingMode, SprayMode, SwitchConfig};
+use mp5::core::{EngineMode, ExecPath, Mp5Switch, ShardingMode, SprayMode, SwitchConfig};
 use mp5::traffic::TraceBuilder;
 
 const PROGRAMS: [&str; 3] = [
@@ -47,9 +47,10 @@ fn config_strategy() -> impl Strategy<Value = SwitchConfig> {
             Just(EngineMode::Parallel(2)),
             Just(EngineMode::Parallel(4)),
         ],
+        prop_oneof![Just(ExecPath::Scalar), Just(ExecPath::Batch)],
     )
         .prop_map(
-            |(k, fifo, phantoms, per_index, sharding, single, starve, engine)| SwitchConfig {
+            |(k, fifo, phantoms, per_index, sharding, single, starve, engine, exec)| SwitchConfig {
                 pipelines: k,
                 // Per-index queues are unbounded by design; bounded
                 // capacity applies to the logical-FIFO layout only.
@@ -69,6 +70,7 @@ fn config_strategy() -> impl Strategy<Value = SwitchConfig> {
                 max_cycles: None,
                 physical_pipelines: None,
                 engine,
+                exec,
                 record_detail: true,
             },
         )
