@@ -20,9 +20,11 @@ set -eu
 # one handler per signal), leaking whichever temporaries the earlier
 # handlers covered — so steps only fill in the variables below.
 TRACE_TMP=""
+TRACE_SCALAR_TMP=""
 FABRIC_TMP=""
 cleanup() {
     if [ -n "$TRACE_TMP" ]; then rm -f "$TRACE_TMP"; fi
+    if [ -n "$TRACE_SCALAR_TMP" ]; then rm -f "$TRACE_SCALAR_TMP"; fi
     if [ -n "$FABRIC_TMP" ]; then rm -rf "$FABRIC_TMP"; fi
 }
 trap cleanup EXIT
@@ -70,11 +72,23 @@ echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
     crates/analysis/fixtures/broken crates/analysis/fixtures/clean
 
-echo "==> traced smoke run through the offline auditor"
+echo "==> traced smoke run (batch exec path) through the offline auditor"
+# Traced runs ride the SoA batch path (no scalar fallback); the
+# auditor must accept the batch-produced stream, and the stream must
+# be byte-identical to the frozen scalar reference's.
 TRACE_TMP=$(mktemp -t mp5-ci-trace.XXXXXX)
 ./target/release/mp5run crates/apps/programs/flowlet.mp5 \
-    --packets 4000 --trace "$TRACE_TMP"
+    --packets 4000 --exec batch --trace "$TRACE_TMP"
 ./target/release/mp5audit --quiet "$TRACE_TMP"
+
+echo "==> traced batch-vs-scalar stream bit-identity"
+TRACE_SCALAR_TMP=$(mktemp -t mp5-ci-trace-scalar.XXXXXX)
+./target/release/mp5run crates/apps/programs/flowlet.mp5 \
+    --packets 4000 --exec scalar --trace "$TRACE_SCALAR_TMP" >/dev/null
+cmp "$TRACE_TMP" "$TRACE_SCALAR_TMP" || {
+    echo "ci.sh: batch-traced event stream diverged from the scalar reference" >&2
+    exit 1
+}
 
 echo "==> engine smoke: parallel engine at pinned worker counts"
 # Pinned counts (not "one worker per pipeline") so the equivalence
@@ -110,8 +124,15 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
     # The report is written to the working tree (gitignored), not a
     # tempfile: the CI smoke job uploads it as an artifact so every
     # run's numbers stay downloadable next to the gate verdict.
+    #
+    # Tolerance: the enforcing runner is a single shared core whose
+    # effective speed swings ~40% between multi-minute host phases, so
+    # the absolute pkts/s compare needs headroom even with mp5bench's
+    # best-of-3 re-measure. The actual perf trajectory is enforced by
+    # the window-independent ratio checks (SoA >= 1.5x, hot-state
+    # >= 1.3x), which stay hard at any tolerance.
     ./target/release/mp5bench --quick --out BENCH_main.json \
-        --gate ci/bench_baseline.json
+        --gate ci/bench_baseline.json --tolerance 0.40
 fi
 
 if [ "$QUICK" -eq 0 ]; then

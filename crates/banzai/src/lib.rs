@@ -18,14 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
 use mp5_compiler::CompiledProgram;
-use mp5_types::{Packet, PacketId, RegId, Value};
+use mp5_types::{FastMap, Packet, PacketId, RegId, Value};
 
 /// The order in which packets accessed each register state: the C1
-/// ground truth. Keyed by `(register, index)`.
-pub type AccessLog = HashMap<(RegId, u32), Vec<PacketId>>;
+/// ground truth. Keyed by `(register, index)`. One map-entry operation
+/// per stateful access puts this on the simulators' hot path, hence
+/// the id-tuned hasher (`mp5_types::fasthash`).
+pub type AccessLog = FastMap<(RegId, u32), Vec<PacketId>>;
 
 /// Result of running a packet stream through a switch model.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,7 +33,7 @@ pub struct RunResult {
     /// Final contents of every register array.
     pub final_regs: Vec<Vec<Value>>,
     /// Final *declared* header fields of each completed packet.
-    pub outputs: HashMap<PacketId, Vec<Value>>,
+    pub outputs: FastMap<PacketId, Vec<Value>>,
     /// Per-state packet access order.
     pub access_log: AccessLog,
     /// Packets processed to completion.
@@ -98,8 +98,8 @@ impl BanzaiSwitch {
         packets.sort_by_key(|p| p.entry_order_key());
         let mut result = RunResult {
             final_regs: Vec::new(),
-            outputs: HashMap::with_capacity(packets.len()),
-            access_log: HashMap::new(),
+            outputs: FastMap::with_capacity_and_hasher(packets.len(), Default::default()),
+            access_log: AccessLog::default(),
             processed: 0,
         };
         for mut pkt in packets {

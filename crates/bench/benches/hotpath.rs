@@ -114,6 +114,56 @@ fn bench_exec_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batched move phase head-to-head with the scalar reference on
+/// the heavy-queue hot-state workload (every packet in one flow, so
+/// queues never drain and the cycle loop spends its time in the move
+/// phase and the FIFO service scan — the paths the occupancy index and
+/// the mask-driven batched move exist for).
+fn bench_move_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("move_phase");
+    g.sample_size(10);
+    let packets = 3_000usize;
+    let (prog, trace) = mp5_bench::suite::hotstate_trace(packets, 1);
+    g.throughput(Throughput::Elements(packets as u64));
+    for (name, exec) in [("scalar", ExecPath::Scalar), ("batch", ExecPath::Batch)] {
+        g.bench_with_input(BenchmarkId::new("hotstate_k8", name), &exec, |b, &exec| {
+            b.iter(|| {
+                Mp5Switch::new(prog.clone(), SwitchConfig::mp5(8).with_exec(exec))
+                    .run(trace.clone())
+                    .completed
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Traced execution no longer falls back to scalar: a `MemSink` run
+/// rides the batch path (per-batch event buffers flushed in canonical
+/// scalar order), so the scalar-vs-batch gap must survive tracing.
+fn bench_traced_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traced_exec");
+    g.sample_size(10);
+    let app = mp5_apps::by_name("flowlet").unwrap();
+    let prog = app.compile().unwrap();
+    let packets = 3_000usize;
+    let (_, trace) = mp5_sim::experiments::app_trace(app, packets, 1);
+    g.throughput(Throughput::Elements(packets as u64));
+    for (name, exec) in [("scalar", ExecPath::Scalar), ("batch", ExecPath::Batch)] {
+        g.bench_with_input(BenchmarkId::new("flowlet_k8", name), &exec, |b, &exec| {
+            b.iter(|| {
+                let (rep, sink) = Mp5Switch::with_sink(
+                    prog.clone(),
+                    SwitchConfig::mp5(8).with_exec(exec),
+                    MemSink::new(),
+                )
+                .run_traced(trace.clone());
+                (rep.completed, sink.into_events().len())
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Tracing must be pay-for-what-you-use: the default `NopSink`
 /// (statically dispatched, `ENABLED = false`) run must be
 /// indistinguishable from the pre-tracing switch, while an in-memory
@@ -155,6 +205,8 @@ criterion_group!(
     bench_compile,
     bench_switch,
     bench_exec_path,
+    bench_move_phase,
+    bench_traced_exec,
     bench_sink
 );
 criterion_main!(benches);

@@ -39,6 +39,31 @@ pub trait BatchRegs {
     fn write(&mut self, slot: u16, reg: RegId, idx: u32, val: Value);
 }
 
+/// Row-addressable per-lane field storage for batch execution.
+///
+/// The kernel only ever touches one lane's field vector at a time, so
+/// it does not care whether rows live in a dense [`FieldMatrix`] or
+/// in place inside caller-owned packets — the engine executes stages
+/// directly over its parked flights' field vectors, skipping the
+/// pack/unpack copy a dense matrix would force every cycle.
+pub trait LaneFields {
+    /// Lane `lane`'s field vector.
+    fn row(&self, lane: u32) -> &[Value];
+    /// Lane `lane`'s field vector, mutably.
+    fn row_mut(&mut self, lane: u32) -> &mut [Value];
+}
+
+impl LaneFields for FieldMatrix {
+    #[inline]
+    fn row(&self, lane: u32) -> &[Value] {
+        FieldMatrix::row(self, lane)
+    }
+    #[inline]
+    fn row_mut(&mut self, lane: u32) -> &mut [Value] {
+        FieldMatrix::row_mut(self, lane)
+    }
+}
+
 /// One state access performed by one lane during a batch stage
 /// execution. The flat list a kernel call appends to is
 /// instruction-major; per-lane access order is recovered by filtering
@@ -118,19 +143,19 @@ fn opval(o: &Operand, fields: &[Value]) -> Value {
 impl CompiledProgram {
     /// Executes one body stage over a batch of lanes in SoA layout.
     ///
-    /// `lanes[i]` is a row of `fields` and `slots[i]` the register-file
-    /// handle its pipeline's state lives under. Accesses are appended
-    /// to `out` tagged by lane, in instruction-major order; within a
-    /// lane they appear in the scalar path's instruction order, so
-    /// filtering `out` by lane and deduping consecutive duplicates
-    /// reproduces [`CompiledProgram::execute_stage`]'s return value
-    /// exactly.
-    pub fn execute_stage_batch<R: BatchRegs>(
+    /// `lanes[i]` is a row of `fields` (any [`LaneFields`] store) and
+    /// `slots[i]` the register-file handle its pipeline's state lives
+    /// under. Accesses are appended to `out` tagged by lane, in
+    /// instruction-major order; within a lane they appear in the
+    /// scalar path's instruction order, so filtering `out` by lane and
+    /// deduping consecutive duplicates reproduces
+    /// [`CompiledProgram::execute_stage`]'s return value exactly.
+    pub fn execute_stage_batch<F: LaneFields, R: BatchRegs>(
         &self,
         body_stage: usize,
         lanes: &[u32],
         slots: &[u16],
-        fields: &mut FieldMatrix,
+        fields: &mut F,
         regs: &mut R,
         out: &mut Vec<LaneAccess>,
     ) {

@@ -44,7 +44,7 @@ pub use codegen::{
     compile, compile_tac, compile_with_options, CompileError, CompileOptions, FlowOrderSpec,
     FLOW_ORDER_REG,
 };
-pub use kernel::{BatchRegs, FieldMatrix, LaneAccess};
+pub use kernel::{BatchRegs, FieldMatrix, LaneAccess, LaneFields};
 pub use program::{
     AccessPlan, CompiledProgram, IdxPlan, PredPlan, ResolutionCode, ResolvedAccess, StageCode,
 };

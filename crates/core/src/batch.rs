@@ -8,10 +8,12 @@
 //!
 //! 1. **Sweep** — per pipeline, stages ascending, make exactly the
 //!    scalar scheduler's decisions (incoming priority / Invariant 2,
-//!    starvation drops, injected stalls, FIFO service) but *pack* each
-//!    chosen packet into the batch instead of executing it: fields go
-//!    into a dense [`FieldMatrix`] row, the flight parks in a parallel
-//!    array, and lane metadata records where it came from.
+//!    starvation drops, injected stalls, FIFO service) but *park* each
+//!    chosen packet in the batch instead of executing it: the flight
+//!    lands in a lane array (fields stay in place inside the packet —
+//!    the kernel reads and writes them through [`FlightRows`], so
+//!    admission and compaction copy nothing) and lane metadata records
+//!    where it came from.
 //! 2. **Execute** — stage-major over the batch: address resolution for
 //!    the pipeline-head lanes, then one
 //!    [`CompiledProgram::execute_stage_batch`] kernel call per body
@@ -24,6 +26,15 @@
 //!    slots, and push counter/phantom/access side effects into the
 //!    per-pipeline [`WorkFx`] buffers, which the caller applies in
 //!    ascending pipeline order exactly as before.
+//!
+//! **Tracing** rides the same passes instead of falling back to the
+//! scalar loop: the sweep appends its scheduler events (drops, pops,
+//! execute) to a per-batch buffer via [`BufSink`], compaction renders
+//! each lane's execution events (phantom emits, accesses, sibling
+//! cancels) into a per-view scratch buffer, and a stable merge by stage
+//! — scheduler stream first on ties — reconstructs the exact scalar
+//! event order per pipeline (DESIGN.md §13). With `NopSink` every
+//! buffer stays empty and the guards constant-fold as before.
 //!
 //! Equivalence with the scalar path is argued in DESIGN.md §13 and
 //! pinned by `tests/engine_equivalence.rs` and `tests/batch_soa.rs`:
@@ -38,7 +49,7 @@
 
 use super::*;
 
-use mp5_compiler::{BatchRegs, FieldMatrix, LaneAccess};
+use mp5_compiler::{BatchRegs, LaneAccess, LaneFields};
 
 /// Verdict flag: the lane retired a speculative tag without performing
 /// an access — §3.3's one wasted cycle, counted during compaction.
@@ -55,6 +66,24 @@ pub(super) struct PipeView<'a> {
     pub(super) lanes: &'a mut [Option<Flight>],
     pub(super) regs: &'a mut [Vec<Value>],
     pub(super) fx: &'a mut WorkFx,
+    /// This pipeline's trace events for the cycle, flushed in canonical
+    /// scalar order by compaction (untouched when the sink is disabled).
+    pub(super) events: &'a mut Vec<Event>,
+    /// Bitmask of stages compaction parked a flight at this cycle,
+    /// consumed by the next batched move phase (stages ≥ 64 are not
+    /// recorded; the move phase falls back to the full lane scan for
+    /// such programs).
+    pub(super) park: &'a mut u64,
+    /// Bitmask of `inc_row` slots the move phase and ingress filled
+    /// this cycle: the sweep tests bits instead of probing every fat
+    /// `Option<Flight>` slot (programs of > 64 stages fall back to the
+    /// probe).
+    pub(super) inc: u64,
+    /// Possibly-non-empty stage FIFOs (stages < 64; conservative
+    /// superset, see `Mp5Switch::queue_mask`). The sweep visits only
+    /// `inc | qmask` slots and clears a bit when the queue turns out
+    /// empty; programs of > 64 stages fall back to probing every slot.
+    pub(super) qmask: &'a mut u64,
 }
 
 /// Lane metadata: which `(view, stage)` slot this batch row executes
@@ -82,8 +111,6 @@ pub(super) struct PacketBatch {
     verdicts: Vec<u8>,
     /// Per-lane `[start, end)` ranges into `acc`.
     acc_ranges: Vec<(u32, u32)>,
-    /// Packet fields, one dense row per lane.
-    fields: FieldMatrix,
     /// Lane ids grouped by physical stage (the execute pass is
     /// stage-major).
     stage_lanes: Vec<Vec<u32>>,
@@ -96,15 +123,28 @@ pub(super) struct PacketBatch {
     kernel_out: Vec<LaneAccess>,
     /// Deduped per-lane accesses, flat; indexed via `acc_ranges`.
     acc: Vec<(RegId, u32)>,
+    /// Reusable regroup buckets, one per lane of the stage being
+    /// executed: scattering `kernel_out` through these is a stable
+    /// counting sort by lane (instruction order preserved within a
+    /// lane), replacing an O(lanes × accesses) filter scan.
+    regroup: Vec<Vec<(RegId, u32)>>,
+    /// Lane id → position within the current stage's lane list.
+    lane_local: Vec<u32>,
+    /// Scheduler events from the sweep (traced runs only), across all
+    /// views in sweep order; sliced per view via `sched_marks`.
+    sched_ev: Vec<Event>,
+    /// End index into `sched_ev` after each view's sweep.
+    sched_marks: Vec<u32>,
+    /// Reusable per-view execution-event scratch for compaction.
+    exec_ev: Vec<Event>,
 }
 
 impl PacketBatch {
-    fn reset(&mut self, stages: usize, num_fields: usize) {
+    fn reset(&mut self, stages: usize) {
         self.lanes.clear();
         self.flights.clear();
         self.verdicts.clear();
         self.acc_ranges.clear();
-        self.fields.reset(num_fields);
         self.stage_lanes.resize_with(stages, Vec::new);
         self.stage_slots.resize_with(stages, Vec::new);
         self.stage_lanes.truncate(stages);
@@ -118,9 +158,11 @@ impl PacketBatch {
         self.acc.clear();
     }
 
-    /// Packs one scheduled packet into the batch.
+    /// Parks one scheduled packet in the batch. Fields stay inside the
+    /// flight — the execute pass reads and writes them in place through
+    /// [`FlightRows`], so admission copies nothing.
     fn admit(&mut self, st: usize, slot: u16, fl: Flight) {
-        let lane = self.fields.push_row(&fl.pkt.fields);
+        let lane = self.flights.len() as u32;
         self.lanes.push(Lane {
             st: st as u16,
             slot,
@@ -130,6 +172,31 @@ impl PacketBatch {
         self.acc_ranges.push((0, 0));
         self.stage_lanes[st].push(lane);
         self.stage_slots[st].push(slot);
+    }
+}
+
+/// Field-row adapter over the parked flights: the kernel executes
+/// stages directly on each flight's own field vector, so the batch
+/// never copies fields in at admission or back out at compaction.
+struct FlightRows<'a>(&'a mut [Option<Flight>]);
+
+impl LaneFields for FlightRows<'_> {
+    #[inline]
+    fn row(&self, lane: u32) -> &[Value] {
+        &self.0[lane as usize]
+            .as_ref()
+            .expect("lane flight parked by sweep")
+            .pkt
+            .fields
+    }
+
+    #[inline]
+    fn row_mut(&mut self, lane: u32) -> &mut [Value] {
+        &mut self.0[lane as usize]
+            .as_mut()
+            .expect("lane flight parked by sweep")
+            .pkt
+            .fields
     }
 }
 
@@ -153,67 +220,171 @@ impl BatchRegs for ViewRegs<'_, '_> {
 /// contiguous, ascending range of pipelines). On return every view's
 /// `fx` holds its buffered side effects in the scalar path's order;
 /// the caller applies them in ascending pipeline order.
-pub(super) fn batch_work(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut PacketBatch) {
-    batch.reset(ctx.prog.num_stages(), ctx.prog.num_fields());
+pub(super) fn batch_work<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    views: &mut [PipeView<'_>],
+    batch: &mut PacketBatch,
+) {
+    batch.reset(ctx.prog.num_stages());
+    // The sweep's event buffer moves out of the batch so `admit` can
+    // borrow the batch mutably while the sink borrows the buffer.
+    let mut sched = std::mem::take(&mut batch.sched_ev);
+    sched.clear();
+    batch.sched_marks.clear();
     for (slot, view) in views.iter_mut().enumerate() {
-        sweep_pipeline(ctx, view, slot as u16, batch);
+        sweep_pipeline::<S>(ctx, view, slot as u16, batch, &mut sched);
+        batch.sched_marks.push(sched.len() as u32);
     }
+    batch.sched_ev = sched;
     execute_batch(ctx, views, batch);
-    compact_batch(ctx, views, batch);
+    compact_batch::<S>(ctx, views, batch);
 }
 
 /// Pass 1: the scalar scheduler's decisions for one pipeline, packing
 /// instead of executing. Must mirror `work_pipeline` exactly —
 /// including the short-circuit order of the starvation probe, whose
 /// `oldest_ts` call drains freed stale queue heads as a side effect.
-fn sweep_pipeline(ctx: &WorkCtx<'_>, view: &mut PipeView<'_>, slot: u16, batch: &mut PacketBatch) {
-    for st in 0..view.inc_row.len() {
-        if let Some(fl) = view.inc_row[st].take() {
-            if let Some(thr) = ctx.starvation_threshold {
-                let starved = fl.pkt.tags.is_empty()
-                    && view.queues[st].oldest_ts().is_some_and(|ts| {
-                        let now = ctx.cycle * ctx.clen;
-                        now.saturating_sub(ts.0) > thr * ctx.clen
-                    });
-                if starved {
-                    view.fx.starvation_drops.push((view.pl as u16, st as u16));
-                    if ctx.stalled(view.pl, st) {
-                        view.fx.stall_cycles += 1;
-                    } else {
-                        serve_into(ctx, view, slot, st, batch);
-                    }
-                    continue;
-                }
-            }
-            batch.admit(st, slot, fl);
-        } else if ctx.stalled(view.pl, st) {
-            if !view.queues[st].is_empty() {
-                view.fx.stall_cycles += 1;
-            }
-        } else {
-            serve_into(ctx, view, slot, st, batch);
+fn sweep_pipeline<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    view: &mut PipeView<'_>,
+    slot: u16,
+    batch: &mut PacketBatch,
+    sched: &mut Vec<Event>,
+) {
+    // For programs of ≤ 64 stages the incoming and queue-occupancy
+    // masks say exactly which slots can do any work this cycle —
+    // everything else is a no-op in the scalar scheduler too (no
+    // incoming flight, nothing queued to serve, stalls only observable
+    // on occupied slots) — so the sweep walks set bits ascending
+    // (`trailing_zeros` order = stage order) instead of probing all
+    // `stages` slots. Wider programs keep the full probe loop.
+    if view.inc_row.len() <= 64 {
+        let mut work = view.inc | *view.qmask;
+        while work != 0 {
+            let st = work.trailing_zeros() as usize;
+            work &= work - 1;
+            debug_assert_eq!(
+                view.inc & (1 << st) != 0,
+                view.inc_row[st].is_some(),
+                "incoming mask out of sync at stage {st}"
+            );
+            sweep_slot::<S>(ctx, view, slot, st, view.inc & (1 << st) != 0, batch, sched);
+        }
+        debug_assert!(
+            view.inc_row.iter().all(|s| s.is_none()),
+            "incoming flight missed by the work mask"
+        );
+    } else {
+        for st in 0..view.inc_row.len() {
+            let has_inc = view.inc_row[st].is_some();
+            sweep_slot::<S>(ctx, view, slot, st, has_inc, batch, sched);
         }
     }
 }
 
-fn serve_into(
+/// One `(pipeline, stage)` slot of the sweep: the scalar scheduler's
+/// decision for that slot, parking instead of executing.
+fn sweep_slot<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    view: &mut PipeView<'_>,
+    slot: u16,
+    st: usize,
+    has_inc: bool,
+    batch: &mut PacketBatch,
+    sched: &mut Vec<Event>,
+) {
+    if has_inc {
+        let fl = view.inc_row[st]
+            .take()
+            .expect("incoming mask bit set on an empty slot");
+        if let Some(thr) = ctx.starvation_threshold {
+            let starved = fl.pkt.tags.is_empty()
+                && view.queues[st].oldest_ts().is_some_and(|ts| {
+                    let now = ctx.cycle * ctx.clen;
+                    now.saturating_sub(ts.0) > thr * ctx.clen
+                });
+            if starved {
+                view.fx.starvation_drops.push((view.pl as u16, st as u16));
+                if S::ENABLED {
+                    TraceCtx::new(ctx.cycle, view.pl as u16, st as u16).emit(
+                        &mut BufSink(sched),
+                        EventKind::Drop {
+                            pkt: fl.pkt.id,
+                            cause: DropCause::Starvation,
+                        },
+                    );
+                }
+                if ctx.stalled(view.pl, st) {
+                    view.fx.stall_cycles += 1;
+                } else {
+                    serve_into::<S>(ctx, view, slot, st, batch, sched);
+                }
+                return;
+            }
+        }
+        if S::ENABLED {
+            let bypassed = !view.queues[st].is_empty();
+            TraceCtx::new(ctx.cycle, view.pl as u16, st as u16).emit(
+                &mut BufSink(sched),
+                EventKind::Execute {
+                    pkt: fl.pkt.id,
+                    queued: false,
+                    bypassed,
+                },
+            );
+        }
+        batch.admit(st, slot, fl);
+    } else if ctx.stalled(view.pl, st) {
+        if !view.queues[st].is_empty() {
+            view.fx.stall_cycles += 1;
+        } else if st < 64 {
+            *view.qmask &= !(1 << st);
+        }
+    } else {
+        serve_into::<S>(ctx, view, slot, st, batch, sched);
+    }
+}
+
+fn serve_into<S: TraceSink>(
     ctx: &WorkCtx<'_>,
     view: &mut PipeView<'_>,
     slot: u16,
     st: usize,
     batch: &mut PacketBatch,
+    sched: &mut Vec<Event>,
 ) {
     // Data-oriented early-out: a truly empty queue's `serve` is a
     // no-op (`pop` scans every lane head twice just to report
     // `Empty`), and in steady state most `(pipeline, stage)` queues
     // are empty every cycle. A queue holding only free stales still
-    // counts as occupied, so the drain inside `pop` is preserved.
+    // counts as occupied, so the drain inside `pop` is preserved. An
+    // empty queue also retires its (conservative) occupancy bit here.
     if view.queues[st].is_empty() {
+        if st < 64 {
+            *view.qmask &= !(1 << st);
+        }
         return;
     }
     let tctx = TraceCtx::new(ctx.cycle, view.pl as u16, st as u16);
-    match view.queues[st].serve(st, &mut NopSink, tctx) {
-        Serve::Served(fl) => batch.admit(st, slot, fl),
+    let served = if S::ENABLED {
+        view.queues[st].serve(st, &mut BufSink(sched), tctx)
+    } else {
+        view.queues[st].serve(st, &mut NopSink, tctx)
+    };
+    match served {
+        Serve::Served(fl) => {
+            if S::ENABLED {
+                tctx.emit(
+                    &mut BufSink(sched),
+                    EventKind::Execute {
+                        pkt: fl.pkt.id,
+                        queued: true,
+                        bypassed: false,
+                    },
+                );
+            }
+            batch.admit(st, slot, fl)
+        }
         Serve::Wasted => view.fx.wasted_cycles += 1,
         Serve::Idle => {}
     }
@@ -230,8 +401,13 @@ fn execute_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut Pack
     if ctx.prologue > 0 {
         for i in 0..batch.stage_lanes[0].len() {
             let l = batch.stage_lanes[0][i];
-            ctx.prog
-                .resolve_into(batch.fields.row_mut(l), &mut batch.resolved);
+            {
+                let fl = batch.flights[l as usize]
+                    .as_mut()
+                    .expect("lane flight parked by sweep");
+                ctx.prog
+                    .resolve_into(&mut fl.pkt.fields, &mut batch.resolved);
+            }
             let mut tags = Vec::with_capacity(batch.resolved.len());
             for r in &batch.resolved {
                 let dest = if r.reg == REG_STAGE_SENTINEL
@@ -267,19 +443,34 @@ fn execute_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut Pack
             body,
             &batch.stage_lanes[st],
             &batch.stage_slots[st],
-            &mut batch.fields,
+            &mut FlightRows(&mut batch.flights),
             &mut ViewRegs(views),
             &mut batch.kernel_out,
         );
         // Regroup the instruction-major kernel output per lane,
         // deduping consecutive duplicates — reproducing
         // `execute_stage`'s per-packet access list — and render the
-        // verdicts the scalar path applied inline.
-        for i in 0..batch.stage_lanes[st].len() {
+        // verdicts the scalar path applied inline. The scatter through
+        // per-lane buckets is a stable counting sort: one pass over
+        // `kernel_out` instead of one filter scan per lane.
+        let n = batch.stage_lanes[st].len();
+        if batch.regroup.len() < n {
+            batch.regroup.resize_with(n, Vec::new);
+        }
+        batch.lane_local.resize(batch.flights.len(), 0);
+        for (i, &l) in batch.stage_lanes[st].iter().enumerate() {
+            batch.lane_local[l as usize] = i as u32;
+            batch.regroup[i].clear();
+        }
+        for a in &batch.kernel_out {
+            let i = batch.lane_local[a.lane as usize] as usize;
+            batch.regroup[i].push((a.reg, a.index));
+        }
+        for i in 0..n {
             let l = batch.stage_lanes[st][i];
             let start = batch.acc.len();
-            for a in batch.kernel_out.iter().filter(|a| a.lane == l) {
-                let e = (a.reg, a.index);
+            for bi in 0..batch.regroup[i].len() {
+                let e = batch.regroup[i][bi];
                 if batch.acc.len() == start || *batch.acc.last().expect("nonempty") != e {
                     batch.acc.push(e);
                 }
@@ -304,71 +495,150 @@ fn execute_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut Pack
 
 /// Pass 3: apply verdicts and retirements in sweep order — which is
 /// pipeline-major with stages ascending, i.e. exactly the order the
-/// scalar loop produced its per-pipeline effects in.
-fn compact_batch(ctx: &WorkCtx<'_>, views: &mut [PipeView<'_>], batch: &mut PacketBatch) {
-    for (i, lane) in batch.lanes.iter().enumerate() {
-        let mut fl = batch.flights[i]
-            .take()
-            .expect("lane flight parked by sweep");
-        let st = lane.st as usize;
-        fl.pkt.fields.copy_from_slice(batch.fields.row(i as u32));
-        let view = &mut views[lane.slot as usize];
-        if st == 0 && ctx.prologue > 0 {
-            // The resolution counter bumps, in tag (= resolution) order.
-            for tag in &fl.pkt.tags {
-                if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
-                    view.fx.ctr_ops.push(CtrOp::Inc {
-                        reg: tag.reg,
-                        index: tag.index,
+/// scalar loop produced its per-pipeline effects in. On traced runs
+/// each lane's execution events render into a per-view scratch buffer,
+/// which is then merge-flushed with the view's scheduler events into
+/// the view's event stream in canonical scalar order.
+fn compact_batch<S: TraceSink>(
+    ctx: &WorkCtx<'_>,
+    views: &mut [PipeView<'_>],
+    batch: &mut PacketBatch,
+) {
+    let sched = std::mem::take(&mut batch.sched_ev);
+    let mut exec = std::mem::take(&mut batch.exec_ev);
+    // Lanes were admitted per view in slot order, so each view's lanes
+    // form a contiguous run; `i` walks them across the view loop.
+    let mut i = 0usize;
+    for (v, view) in views.iter_mut().enumerate() {
+        exec.clear();
+        while i < batch.lanes.len() && batch.lanes[i].slot as usize == v {
+            let st = batch.lanes[i].st as usize;
+            let mut fl = batch.flights[i]
+                .take()
+                .expect("lane flight parked by sweep");
+            if st == 0 && ctx.prologue > 0 {
+                // The resolution counter bumps, in tag (= resolution) order.
+                for tag in &fl.pkt.tags {
+                    if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+                        view.fx.ctr_ops.push(CtrOp::Inc {
+                            reg: tag.reg,
+                            index: tag.index,
+                        });
+                    }
+                }
+            }
+            if ctx.prologue > 0 && st == ctx.prologue - 1 && ctx.phantoms {
+                // Phantom generation stage: one phantom per tag, in order.
+                for tag in &fl.pkt.tags {
+                    if S::ENABLED {
+                        TraceCtx::new(ctx.cycle, view.pl as u16, st as u16).emit(
+                            &mut BufSink(&mut exec),
+                            EventKind::PhantomEmit {
+                                key: tkey(fl.key(tag)),
+                                dest_pipeline: tag.pipeline.0,
+                                dest_stage: tag.stage.0,
+                            },
+                        );
+                    }
+                    view.fx.injects.push(PhantomInject {
+                        msg: PhantomMsg {
+                            key: fl.key(tag),
+                            ts: fl.order,
+                            dest: tag.pipeline,
+                            lane: fl.ingress,
+                        },
+                        from: StageId(st as u16),
+                        dest: tag.stage,
                     });
+                    view.fx.phantoms_generated += 1;
                 }
             }
+            if st >= ctx.prologue {
+                let (a0, a1) = batch.acc_ranges[i];
+                if S::ENABLED || ctx.record_detail {
+                    for &(reg, index) in &batch.acc[a0 as usize..a1 as usize] {
+                        if S::ENABLED {
+                            TraceCtx::new(ctx.cycle, view.pl as u16, st as u16).emit(
+                                &mut BufSink(&mut exec),
+                                EventKind::Access {
+                                    pkt: fl.pkt.id,
+                                    reg,
+                                    index,
+                                    order: (fl.order.0, fl.order.1),
+                                },
+                            );
+                        }
+                        if ctx.record_detail {
+                            view.fx.accesses.push((reg, index, fl.pkt.id));
+                        }
+                    }
+                }
+                // Retire this stage's tags; see `process_flight` for the
+                // sibling-cancel and wasted-cycle semantics.
+                let mut first = true;
+                while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
+                    let tag = fl.pkt.tags.remove(0);
+                    if !first && ctx.phantoms {
+                        let key = fl.key(&tag);
+                        let tctx = TraceCtx::new(ctx.cycle, view.pl as u16, st as u16);
+                        if S::ENABLED {
+                            view.queues[st].cancel(key, false, &mut BufSink(&mut exec), tctx);
+                        } else {
+                            view.queues[st].cancel(key, false, &mut NopSink, tctx);
+                        }
+                    }
+                    first = false;
+                    if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
+                        view.fx.ctr_ops.push(CtrOp::Dec {
+                            reg: tag.reg,
+                            index: tag.index,
+                        });
+                    }
+                }
+                if batch.verdicts[i] & V_WASTED != 0 {
+                    view.fx.wasted_cycles += 1;
+                }
+            }
+            view.lanes[st] = Some(fl);
+            if st < 64 {
+                *view.park |= 1 << st;
+            }
+            i += 1;
         }
-        if ctx.prologue > 0 && st == ctx.prologue - 1 && ctx.phantoms {
-            // Phantom generation stage: one phantom per tag, in order.
-            for tag in &fl.pkt.tags {
-                view.fx.injects.push(PhantomInject {
-                    msg: PhantomMsg {
-                        key: fl.key(tag),
-                        ts: fl.order,
-                        dest: tag.pipeline,
-                        lane: fl.ingress,
-                    },
-                    from: StageId(st as u16),
-                    dest: tag.stage,
-                });
-                view.fx.phantoms_generated += 1;
-            }
+        if S::ENABLED {
+            let s0 = if v == 0 {
+                0
+            } else {
+                batch.sched_marks[v - 1] as usize
+            };
+            let s1 = batch.sched_marks[v] as usize;
+            merge_flush(&sched[s0..s1], &exec, view.events);
         }
-        if st >= ctx.prologue {
-            let (a0, a1) = batch.acc_ranges[i];
-            if ctx.record_detail {
-                for &(reg, index) in &batch.acc[a0 as usize..a1 as usize] {
-                    view.fx.accesses.push((reg, index, fl.pkt.id));
-                }
-            }
-            // Retire this stage's tags; see `process_flight` for the
-            // sibling-cancel and wasted-cycle semantics.
-            let mut first = true;
-            while fl.pkt.tags.first().is_some_and(|t| t.stage.index() == st) {
-                let tag = fl.pkt.tags.remove(0);
-                if !first && ctx.phantoms {
-                    let key = fl.key(&tag);
-                    let tctx = TraceCtx::new(ctx.cycle, view.pl as u16, st as u16);
-                    view.queues[st].cancel(key, false, &mut NopSink, tctx);
-                }
-                first = false;
-                if tag.reg != REG_STAGE_SENTINEL && tag.index != INDEX_ARRAY_LEVEL {
-                    view.fx.ctr_ops.push(CtrOp::Dec {
-                        reg: tag.reg,
-                        index: tag.index,
-                    });
-                }
-            }
-            if batch.verdicts[i] & V_WASTED != 0 {
-                view.fx.wasted_cycles += 1;
-            }
-        }
-        view.lanes[st] = Some(fl);
     }
+    batch.sched_ev = sched;
+    batch.exec_ev = exec;
+}
+
+/// Interleaves one view's scheduler and execution event buffers back
+/// into the canonical scalar order. Both buffers are stage-ascending
+/// (the sweep visits stages in order; compaction walks lanes in sweep
+/// order), and within one `(pipeline, stage)` slot the scalar loop
+/// emits scheduler events (drops, pops, execute) before execution
+/// events (phantom emits, accesses, sibling cancels) — so a stable
+/// merge by stage with the scheduler stream winning ties reconstructs
+/// the exact scalar stream.
+fn merge_flush(sched: &[Event], exec: &[Event], out: &mut Vec<Event>) {
+    out.reserve(sched.len() + exec.len());
+    let (mut i, mut j) = (0, 0);
+    while i < sched.len() && j < exec.len() {
+        if sched[i].stage <= exec[j].stage {
+            out.push(sched[i]);
+            i += 1;
+        } else {
+            out.push(exec[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&sched[i..]);
+    out.extend_from_slice(&exec[j..]);
 }

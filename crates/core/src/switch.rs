@@ -1,15 +1,17 @@
 //! The MP5 switch simulator (architecture §3.2 + runtime §3.4).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
 use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
 use mp5_faults::{FaultClass, FaultInjector, FaultKind, NoFaults, PhantomFate};
-use mp5_trace::{DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC};
+use mp5_trace::{
+    BufSink, DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC,
+};
 use mp5_types::time::cycle_len;
-use mp5_types::{AccessTag, Packet, PacketId, PipelineId, RegId, StageId, Value};
+use mp5_types::{AccessTag, FastSet, Packet, PacketId, PipelineId, RegId, StageId, Value};
 
 use crate::config::{ConfigError, EngineMode, ExecPath, ShardingMode, SprayMode, SwitchConfig};
 use crate::engine::{shard_ranges, CycleTimings, WorkerPool};
@@ -127,7 +129,13 @@ impl StageQueue {
                 capacity: cfg.fifo_capacity,
             }
         } else {
-            StageQueue::Logical(LogicalFifo::new(cfg.pipelines, cfg.fifo_capacity))
+            let mut fifo = LogicalFifo::new(cfg.pipelines, cfg.fifo_capacity);
+            // The scalar interpreter is the reference oracle: it keeps
+            // the paper-literal all-lane service scan, while the batch
+            // path services through the occupancy index (same head
+            // choice, cheaper scan — see `LogicalFifo`).
+            fifo.set_reference_service(cfg.exec == ExecPath::Scalar);
+            StageQueue::Logical(fifo)
         }
     }
 
@@ -777,8 +785,10 @@ struct EngineShared {
     tracing: bool,
     /// Mirrors [`SwitchConfig::record_detail`] for worker-side gating.
     record_detail: bool,
-    /// Whether workers run the SoA batch work phase (`ExecPath::Batch`
-    /// on an untraced switch) instead of the scalar loop.
+    /// Whether workers run the SoA batch work phase (`ExecPath::Batch`)
+    /// instead of the scalar loop. Traced batch runs buffer events per
+    /// pipeline and the coordinator replays them in pipeline order,
+    /// same as the scalar parallel path.
     batch: bool,
 }
 
@@ -796,6 +806,17 @@ struct Unit {
     /// Trace events this pipeline emitted this cycle, replayed by the
     /// coordinator in pipeline order (empty when untraced).
     events: Vec<Event>,
+    /// Stages this unit parked flights at (batch path only): handed
+    /// back to the coordinator's `park_mask` so the next batched move
+    /// phase visits only occupied slots.
+    park: u64,
+    /// Occupied `inc_row` slots, from the coordinator's `inc_mask`
+    /// (batch path only): the sweep tests bits instead of probing
+    /// every slot.
+    inc: u64,
+    /// Possibly-non-empty stage FIFOs, from (and handed back to) the
+    /// coordinator's `queue_mask` (batch path only).
+    qmask: u64,
 }
 
 /// A cycle's worth of work for one worker: a contiguous chunk of
@@ -838,7 +859,10 @@ fn run_job(mut job: Job) -> JobOut {
     if let Some(pack) = job.batch.as_mut() {
         // SoA path: this worker's units are a contiguous range of the
         // cycle's global batch; sweep/execute/compact run over all of
-        // them at once (see `batch_work`).
+        // them at once (see `batch_work`). `run_job` is a plain fn (no
+        // sink generic reaches the workers), so the traced/untraced
+        // split is a runtime branch on two monomorphizations — the type
+        // parameter only feeds the `const ENABLED` guards.
         let mut views: Vec<PipeView<'_>> = job
             .units
             .iter_mut()
@@ -849,9 +873,17 @@ fn run_job(mut job: Job) -> JobOut {
                 lanes: &mut u.lanes[..],
                 regs: &mut u.regs[..],
                 fx: &mut u.fx,
+                events: &mut u.events,
+                park: &mut u.park,
+                inc: u.inc,
+                qmask: &mut u.qmask,
             })
             .collect();
-        batch_work(&ctx, &mut views, pack);
+        if shared.tracing {
+            batch_work::<MemSink>(&ctx, &mut views, pack);
+        } else {
+            batch_work::<NopSink>(&ctx, &mut views, pack);
+        }
         return (job.units, job.batch);
     }
     for u in &mut job.units {
@@ -963,6 +995,40 @@ struct BatchSeq {
     pack: PacketBatch,
     /// One side-effect buffer per pipeline.
     fx: Vec<WorkFx>,
+    /// One trace-event buffer per pipeline (stay empty when untraced),
+    /// drained into the switch's sink in ascending pipeline order.
+    events: Vec<Vec<Event>>,
+}
+
+/// One deferred advance from the batched move phase's sweep. Plain
+/// lane-to-lane advances are applied during the sweep itself (they
+/// touch nothing shared); only completions and crossbar transfers are
+/// deferred so grants can resolve stage-major before the effects —
+/// egress, steer events, grant delays, stateful enqueues — replay in
+/// the scalar (pipeline-ascending, stage-descending) order.
+#[derive(Debug)]
+enum MoveOp {
+    /// The packet exits the final stage.
+    Complete { pl: u16, fl: Flight },
+    /// The packet is tagged for stage `next`: it crosses the crossbar
+    /// to pipeline `dest` (possibly its own) and enqueues there.
+    Steer {
+        from: u16,
+        next: u16,
+        dest: PipelineId,
+        fl: Flight,
+    },
+}
+
+/// Reusable scratch for the batched move phase: the deferred ops in
+/// sweep order plus per-stage `(from, to)` grant lists so the crossbar
+/// counters update stage-major (one crossbar at a time) instead of
+/// ping-ponging across all `stages` crossbars per pipeline. Both
+/// vectors reach steady-state capacity after a few cycles.
+#[derive(Debug, Default)]
+struct MoveBatch {
+    moves: Vec<MoveOp>,
+    stage_steers: Vec<Vec<(u16, u16)>>,
 }
 
 /// The MP5 multi-pipeline switch.
@@ -1002,9 +1068,14 @@ pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     /// Stage occupancy per (pipeline, stage).
     lanes: Vec<Vec<Option<Flight>>>,
     channel: PhantomChannel<PhantomMsg>,
+    /// Reusable buffer for the channel's per-cycle deliveries.
+    channel_buf: Vec<(PhantomMsg, StageId)>,
+    /// Reusable buffer for one packet's stage keys in
+    /// [`Mp5Switch::enqueue_stateful`] (runs per stateful arrival).
+    key_scratch: Vec<PhantomKey>,
     crossbars: Vec<Crossbar>,
     /// Phantoms cancelled while still on the channel.
-    cancelled: HashSet<PhantomKey>,
+    cancelled: FastSet<PhantomKey>,
     /// Arrived packets waiting for an ingress slot.
     ingress_q: VecDeque<Flight>,
     /// Future arrivals, ascending entry order.
@@ -1029,9 +1100,32 @@ pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     /// applied in ascending order afterwards). `None` on the scalar
     /// path or parallel engine.
     batch_seq: Option<BatchSeq>,
-    /// Reusable move-phase buffer for the batch path (the scalar path
-    /// keeps its historical per-cycle allocation; empty there).
+    /// Reusable per-cycle incoming rows for the batch path (its rows
+    /// come back all-`None` from the sweep, so the allocation recycles
+    /// across cycles). The scalar reference keeps its historical
+    /// per-cycle allocation; empty there.
     inc_buf: Vec<Vec<Option<Flight>>>,
+    /// Reusable batched move-phase scratch (`ExecPath::Batch` only).
+    move_buf: MoveBatch,
+    /// Per-pipeline bitmask of stages holding a parked flight
+    /// (`ExecPath::Batch` only, maintained for programs of ≤ 64
+    /// stages): compaction sets a bit when it parks, the batched move
+    /// phase drains exactly the set bits instead of scanning all
+    /// `k × stages` lane slots — most of which are empty on sparse
+    /// workloads, but each is a cache miss on a fat `Option<Flight>`.
+    park_mask: Vec<u64>,
+    /// Same idea for the incoming rows: the batched move phase and the
+    /// ingress spray record which `incoming[pl][st]` slots they filled,
+    /// and the sweep tests bits instead of `take()`-probing every fat
+    /// `Option<Flight>` slot. Zeroed once the cycle's views are built.
+    inc_mask: Vec<u64>,
+    /// Per-pipeline bitmask of stage FIFOs that *may* be non-empty
+    /// (stages < 64; conservative superset). The coordinator sets a bit
+    /// at every enqueue site; the sweep visits only `inc | queue` bits
+    /// and clears a bit lazily when the queue turns out empty — in
+    /// steady state most of the `k × stages` service slots are idle
+    /// every cycle, and each idle probe is an `Option`-enum load.
+    queue_mask: Vec<u64>,
     sink: S,
     /// Deterministic fault schedule (inert [`NoFaults`] by default).
     faults: F,
@@ -1046,7 +1140,7 @@ pub struct Mp5Switch<S: TraceSink = NopSink, F: FaultInjector = NoFaults> {
     evac_counts: Vec<u64>,
     /// Phantoms lost to injected faults, awaiting their data packet
     /// (which re-enters FIFO order via the recovery path).
-    lost: HashSet<PhantomKey>,
+    lost: FastSet<PhantomKey>,
     /// Steered packets held back by injected crossbar grant delays:
     /// `(ready_cycle, dest pipeline, stage, flight)`, drained in
     /// insertion order once ready.
@@ -1176,11 +1270,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         let lanes = (0..k).map(|_| vec![None; stages]).collect();
         let mut report = RunReport::new();
         report.set_cycle_len(cycle_len(timing_k));
-        // The SoA path is an untraced-only optimization: traced runs
-        // statically keep the scalar loop (its event interleaving is
-        // the schema every recorded stream hash depends on), so under
-        // the default `NopSink` this is a compile-time constant.
-        let use_batch = !S::ENABLED && cfg.exec == ExecPath::Batch;
+        // Traced runs ride the SoA path too: the batch passes buffer
+        // events per pipeline and flush them in the canonical scalar
+        // order (see `batch::merge_flush`), so the recorded stream hash
+        // is bit-identical to the scalar reference either way.
+        let use_batch = cfg.exec == ExecPath::Batch;
         let par = match cfg.engine {
             EngineMode::Sequential => None,
             EngineMode::Parallel(_) => {
@@ -1206,6 +1300,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         let batch_seq = (use_batch && par.is_none()).then(|| BatchSeq {
             pack: PacketBatch::default(),
             fx: (0..k).map(|_| WorkFx::default()).collect(),
+            events: (0..k).map(|_| Vec::new()).collect(),
         });
         let inc_buf = if use_batch {
             (0..k).map(|_| vec![None; stages]).collect()
@@ -1214,6 +1309,8 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         };
         Ok(Mp5Switch {
             channel: PhantomChannel::new(stages),
+            channel_buf: Vec::new(),
+            key_scratch: Vec::new(),
             crossbars: (0..stages).map(|_| Crossbar::new(k)).collect(),
             cfg,
             prog,
@@ -1227,7 +1324,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             inflight,
             queues,
             lanes,
-            cancelled: HashSet::new(),
+            cancelled: FastSet::default(),
             ingress_q: VecDeque::new(),
             arrivals: VecDeque::new(),
             rr: 0,
@@ -1238,12 +1335,16 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             use_batch,
             batch_seq,
             inc_buf,
+            move_buf: MoveBatch::default(),
+            park_mask: vec![0; k],
+            inc_mask: vec![0; k],
+            queue_mask: vec![0; k],
             sink,
             faults,
             dead: vec![false; k],
             evac_done: vec![false; k],
             evac_counts: vec![0; k],
-            lost: HashSet::new(),
+            lost: FastSet::default(),
             pending_grants: VecDeque::new(),
             egress_buf: Vec::new(),
         })
@@ -1458,7 +1559,9 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         }
 
         // 2. Phantom channel advances one hop; deliveries enter FIFOs.
-        for (msg, stage) in self.channel.advance() {
+        let mut deliveries = std::mem::take(&mut self.channel_buf);
+        self.channel.advance_into(&mut deliveries);
+        for (msg, stage) in deliveries.drain(..) {
             let ctx = TraceCtx::new(self.cycle, msg.dest.0, stage.0);
             if self.cancelled.remove(&msg.key) {
                 if S::ENABLED {
@@ -1479,11 +1582,15 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 &mut self.sink,
                 ctx,
             );
+            if ok && stage.index() < 64 {
+                self.queue_mask[msg.dest.index()] |= 1 << stage.index();
+            }
             if !ok {
                 self.report.drops.phantom_fifo_full += 1;
                 self.report.count_stage_drop(msg.dest.0, stage.0);
             }
         }
+        self.channel_buf = deliveries;
 
         // 2b. Injected crossbar grant delays: release held steered
         // packets whose delay has elapsed, in the order they were held.
@@ -1500,8 +1607,10 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
 
         // 3. Move phase: all stage occupants advance simultaneously.
         // The batch path reuses a persistent buffer (its rows come back
-        // empty from the sweep); the scalar path keeps its historical
-        // per-cycle allocation.
+        // empty from the sweep); the scalar reference keeps its
+        // historical per-cycle allocation — its cost profile is part of
+        // what `soa_check` measures, so it stays frozen (see DESIGN.md
+        // §13).
         let mut incoming: Vec<Vec<Option<Flight>>> = if self.use_batch {
             let buf = std::mem::take(&mut self.inc_buf);
             debug_assert!(buf.iter().all(|row| row.iter().all(|s| s.is_none())));
@@ -1509,47 +1618,13 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         } else {
             (0..self.k).map(|_| vec![None; self.stages]).collect()
         };
-        for (pl, inc_row) in incoming.iter_mut().enumerate() {
-            for st in (0..self.stages).rev() {
-                let Some(fl) = self.lanes[pl][st].take() else {
-                    continue;
-                };
-                if st + 1 == self.stages {
-                    self.complete(pl, fl);
-                    continue;
-                }
-                let next = st + 1;
-                let has_tag_here = fl.pkt.tags.first().is_some_and(|t| t.stage.index() == next);
-                if has_tag_here {
-                    let dest = fl.pkt.tags[0].pipeline;
-                    self.crossbars[next].route_traced(
-                        PipelineId(pl as u16),
-                        dest,
-                        &mut self.sink,
-                        TraceCtx::new(self.cycle, pl as u16, next as u16),
-                    );
-                    if dest.index() != pl {
-                        self.report.steered += 1;
-                        if F::ENABLED {
-                            let delay = self.faults.grant_delay();
-                            if delay > 0 {
-                                // Injected grant latency: the crossbar
-                                // holds the steered packet; its phantom
-                                // keeps its place in the serial order.
-                                self.report.fault.delayed_grants += 1;
-                                self.pending_grants
-                                    .push_back((self.cycle + delay, dest, next, fl));
-                                continue;
-                            }
-                        }
-                    }
-                    self.enqueue_stateful(dest, next, fl);
-                } else {
-                    inc_row[next] = Some(fl);
-                }
-            }
-            self.crossbars.iter_mut().for_each(|x| x.end_cycle());
+        if self.use_batch {
+            self.move_batched(&mut incoming);
+        } else {
+            self.move_scalar(&mut incoming);
         }
+        // One statistics tick per crossbar per simulated cycle.
+        self.crossbars.iter_mut().for_each(|x| x.end_cycle());
 
         // 3b. Ingress: spray eligible arrivals over pipelines.
         let now_end = (self.cycle + 1) * cycle_len(self.timing_k);
@@ -1603,6 +1678,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 );
             }
             incoming[pl][0] = Some(fl);
+            self.inc_mask[pl] |= 1;
         }
 
         // 4. Admit/work phase: each (pipeline, stage) processes at most
@@ -1660,6 +1736,193 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
         self.cycle += 1;
     }
 
+    /// The reference (scalar) move phase: pipelines ascending, stages
+    /// descending, each occupant completed / crossed / advanced in
+    /// place. This order is the bit-identity contract the batched move
+    /// phase replays.
+    fn move_scalar(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
+        for (pl, inc_row) in incoming.iter_mut().enumerate() {
+            for st in (0..self.stages).rev() {
+                let Some(fl) = self.lanes[pl][st].take() else {
+                    continue;
+                };
+                if st + 1 == self.stages {
+                    self.complete(pl, fl);
+                    continue;
+                }
+                let next = st + 1;
+                let has_tag_here = fl.pkt.tags.first().is_some_and(|t| t.stage.index() == next);
+                if has_tag_here {
+                    let dest = fl.pkt.tags[0].pipeline;
+                    self.crossbars[next].route_traced(
+                        PipelineId(pl as u16),
+                        dest,
+                        &mut self.sink,
+                        TraceCtx::new(self.cycle, pl as u16, next as u16),
+                    );
+                    if dest.index() != pl {
+                        self.report.steered += 1;
+                        if F::ENABLED {
+                            let delay = self.faults.grant_delay();
+                            if delay > 0 {
+                                // Injected grant latency: the crossbar
+                                // holds the steered packet; its phantom
+                                // keeps its place in the serial order.
+                                self.report.fault.delayed_grants += 1;
+                                self.pending_grants
+                                    .push_back((self.cycle + delay, dest, next, fl));
+                                continue;
+                            }
+                        }
+                    }
+                    self.enqueue_stateful(dest, next, fl);
+                } else {
+                    inc_row[next] = Some(fl);
+                }
+            }
+        }
+    }
+
+    /// The batched move phase (`ExecPath::Batch`): sweep stage
+    /// occupants in the scalar order, applying plain advances
+    /// immediately (they emit nothing and touch only this pipeline's
+    /// incoming row) while deferring completions and crossbar transfers
+    /// into [`MoveBatch`]; resolve crossbar grants stage-major (the
+    /// usage counters are commutative, so regrouping them by stage is
+    /// unobservable); then replay the deferred effects — egress, steer
+    /// events, injected grant delays, stateful enqueues — in the exact
+    /// sweep order, keeping `RunReport` and the event stream
+    /// bit-identical to [`Mp5Switch::move_scalar`].
+    fn move_batched(&mut self, incoming: &mut [Vec<Option<Flight>>]) {
+        let mut mb = std::mem::take(&mut self.move_buf);
+        mb.stage_steers.resize_with(self.stages, Vec::new);
+        // Classification shared by both sweep strategies below: decide
+        // what one occupant of `(pl, st)` does this cycle.
+        fn classify(
+            stages: usize,
+            pl: usize,
+            st: usize,
+            fl: Flight,
+            inc_row: &mut [Option<Flight>],
+            inc_mask: &mut u64,
+            mb: &mut MoveBatch,
+        ) {
+            if st + 1 == stages {
+                mb.moves.push(MoveOp::Complete { pl: pl as u16, fl });
+                return;
+            }
+            let next = st + 1;
+            let has_tag_here = fl.pkt.tags.first().is_some_and(|t| t.stage.index() == next);
+            if has_tag_here {
+                let dest = fl.pkt.tags[0].pipeline;
+                mb.stage_steers[next].push((pl as u16, dest.0));
+                mb.moves.push(MoveOp::Steer {
+                    from: pl as u16,
+                    next: next as u16,
+                    dest,
+                    fl,
+                });
+            } else {
+                inc_row[next] = Some(fl);
+                if next < 64 {
+                    *inc_mask |= 1 << next;
+                }
+            }
+        }
+        // Pass 1: sweep and classify. For programs of ≤ 64 stages the
+        // park mask (filled by last cycle's compaction) says exactly
+        // which lane slots are occupied; draining its set bits
+        // highest-first reproduces the scalar stage-descending sweep
+        // while skipping the empty slots — each of which is otherwise a
+        // strided load of a fat `Option<Flight>`, the dominant move-
+        // phase cost on sparse workloads. Wider programs keep the full
+        // scan.
+        if self.stages <= 64 {
+            for (pl, inc_row) in incoming.iter_mut().enumerate() {
+                let mut mask = std::mem::take(&mut self.park_mask[pl]);
+                while mask != 0 {
+                    let st = 63 - mask.leading_zeros() as usize;
+                    mask ^= 1 << st;
+                    let fl = self.lanes[pl][st]
+                        .take()
+                        .expect("park mask bit set on an empty lane slot");
+                    classify(
+                        self.stages,
+                        pl,
+                        st,
+                        fl,
+                        inc_row,
+                        &mut self.inc_mask[pl],
+                        &mut mb,
+                    );
+                }
+                debug_assert!(
+                    self.lanes[pl].iter().all(|s| s.is_none()),
+                    "parked flight missing from the park mask"
+                );
+            }
+        } else {
+            for (pl, inc_row) in incoming.iter_mut().enumerate() {
+                for st in (0..self.stages).rev() {
+                    let Some(fl) = self.lanes[pl][st].take() else {
+                        continue;
+                    };
+                    classify(
+                        self.stages,
+                        pl,
+                        st,
+                        fl,
+                        inc_row,
+                        &mut self.inc_mask[pl],
+                        &mut mb,
+                    );
+                }
+            }
+        }
+        // Pass 2: crossbar grants, stage-major — one crossbar's
+        // counters at a time instead of all `stages` per pipeline.
+        for (st, steers) in mb.stage_steers.iter_mut().enumerate() {
+            for (from, to) in steers.drain(..) {
+                self.crossbars[st].route(PipelineId(from), PipelineId(to));
+            }
+        }
+        // Pass 3: deferred effects, in sweep order.
+        for op in mb.moves.drain(..) {
+            match op {
+                MoveOp::Complete { pl, fl } => self.complete(pl as usize, fl),
+                MoveOp::Steer {
+                    from,
+                    next,
+                    dest,
+                    fl,
+                } => {
+                    if S::ENABLED && dest.0 != from {
+                        TraceCtx::new(self.cycle, from, next)
+                            .emit(&mut self.sink, EventKind::Steer { from, to: dest.0 });
+                    }
+                    let next = next as usize;
+                    if dest.index() != from as usize {
+                        self.report.steered += 1;
+                        if F::ENABLED {
+                            let delay = self.faults.grant_delay();
+                            if delay > 0 {
+                                // Injected grant latency: the crossbar
+                                // holds the steered packet; its phantom
+                                // keeps its place in the serial order.
+                                self.report.fault.delayed_grants += 1;
+                                self.pending_grants
+                                    .push_back((self.cycle + delay, dest, next, fl));
+                                continue;
+                            }
+                        }
+                    }
+                    self.enqueue_stateful(dest, next, fl);
+                }
+            }
+        }
+        self.move_buf = mb;
+    }
+
     /// The SoA work phase on the sequential engine: build one
     /// [`PipeView`] per pipeline over the switch's own arrays, run the
     /// sweep/execute/compact passes, then apply the per-pipeline side
@@ -1688,19 +1951,36 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             .zip(self.lanes.iter_mut())
             .zip(self.regs.iter_mut())
             .zip(bs.fx.iter_mut())
+            .zip(bs.events.iter_mut())
+            .zip(self.park_mask.iter_mut())
+            .zip(self.inc_mask.iter_mut())
+            .zip(self.queue_mask.iter_mut())
             .enumerate()
-            .map(|(pl, ((((inc_row, queues), lanes), regs), fx))| PipeView {
-                pl,
-                inc_row: &mut inc_row[..],
-                queues: &mut queues[..],
-                lanes: &mut lanes[..],
-                regs: &mut regs[..],
-                fx,
-            })
+            .map(
+                |(pl, ((((((((inc_row, queues), lanes), regs), fx), events), park), inc), qm))| {
+                    PipeView {
+                        pl,
+                        inc_row: &mut inc_row[..],
+                        queues: &mut queues[..],
+                        lanes: &mut lanes[..],
+                        regs: &mut regs[..],
+                        fx,
+                        events,
+                        park,
+                        inc: std::mem::take(inc),
+                        qmask: qm,
+                    }
+                },
+            )
             .collect();
-        batch_work(&ctx, &mut views, &mut bs.pack);
+        batch_work::<S>(&ctx, &mut views, &mut bs.pack);
         drop(views);
-        for fx in &mut bs.fx {
+        for (pl, fx) in bs.fx.iter_mut().enumerate() {
+            if S::ENABLED {
+                for ev in bs.events[pl].drain(..) {
+                    self.sink.emit(ev);
+                }
+            }
             apply_work_fx(
                 fx,
                 &mut self.access_ctr,
@@ -1742,6 +2022,9 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 regs: std::mem::take(&mut self.regs[pl]),
                 fx,
                 events,
+                park: 0,
+                inc: std::mem::take(&mut self.inc_mask[pl]),
+                qmask: self.queue_mask[pl],
             });
         }
         // Contiguous range shards in pipeline order: worker order ==
@@ -1760,7 +2043,17 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 batch: batch_mode.then(|| par.spare_batch.pop().unwrap_or_default()),
             });
         }
-        let outs = par.pool.exchange(jobs);
+        // `Parallel(n)` resolving to a single worker (n = 1, or k = 1)
+        // degenerates to sequential work with a rendezvous barrier on
+        // top — two thread handoffs per cycle for nothing, ~27× on
+        // per-cycle p50 at k = 1. Run the lone job inline on the
+        // coordinator instead: `run_job` is a plain fn, so this is the
+        // exact computation the worker would have done.
+        let outs = if jobs.len() == 1 {
+            jobs.drain(..).map(run_job).collect()
+        } else {
+            par.pool.exchange(jobs)
+        };
         for (units_out, pack) in outs {
             if let Some(pack) = pack {
                 par.spare_batch.push(pack);
@@ -1771,11 +2064,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 self.queues[pl] = std::mem::take(&mut unit.queues);
                 self.lanes[pl] = std::mem::take(&mut unit.lanes);
                 self.regs[pl] = std::mem::take(&mut unit.regs);
-                if batch_mode {
-                    // Hand the (all-`None`) row back so `step` can
-                    // recycle the allocation via `inc_buf`.
-                    incoming[pl] = std::mem::take(&mut unit.inc_row);
-                }
+                self.park_mask[pl] = unit.park;
+                self.queue_mask[pl] = unit.qmask;
+                // Hand the (all-`None`) row back so `step` can recycle
+                // the allocation via `inc_buf`.
+                incoming[pl] = std::mem::take(&mut unit.inc_row);
                 if S::ENABLED {
                     for ev in unit.events.drain(..) {
                         self.sink.emit(ev);
@@ -1796,6 +2089,11 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
     /// A data packet arrives at the stateful stage it is tagged for:
     /// replace its phantom (or queue directly when phantoms are off).
     fn enqueue_stateful(&mut self, dest: PipelineId, st: usize, mut fl: Flight) {
+        // Conservative: set before knowing whether the enqueue sticks —
+        // a spurious bit costs one lazy clear at the next sweep.
+        if st < 64 {
+            self.queue_mask[dest.index()] |= 1 << st;
+        }
         // ECN-inspired backpressure (§3.4): mark the packet if the queue
         // it joins has built past the threshold.
         if let Some(thr) = self.cfg.ecn_threshold {
@@ -1803,16 +2101,6 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 fl.pkt.ecn = true;
             }
         }
-        // All tags for this stage (possibly several: speculative
-        // branches or overlapping exact plans).
-        let keys: Vec<PhantomKey> = fl
-            .pkt
-            .tags
-            .iter()
-            .take_while(|t| t.stage.index() == st)
-            .map(|t| fl.key(t))
-            .collect();
-        debug_assert!(!keys.is_empty());
         let ctx = TraceCtx::new(self.cycle, dest.0, st as u16);
         if !self.cfg.phantoms {
             // no-D4 ablation: queue in arrival-at-stage order.
@@ -1836,6 +2124,19 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             }
             return;
         }
+        // All tags for this stage (possibly several: speculative
+        // branches or overlapping exact plans), collected into a
+        // reusable scratch — this runs once per stateful arrival.
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        keys.extend(
+            fl.pkt
+                .tags
+                .iter()
+                .take_while(|t| t.stage.index() == st)
+                .map(|t| fl.key(t)),
+        );
+        debug_assert!(!keys.is_empty());
         if F::ENABLED && !self.lost.is_empty() && self.lost.remove(&keys[0]) {
             // Injected-fault recovery: the phantom never reached this
             // FIFO, but the loss was recorded, so the data packet
@@ -1849,6 +2150,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
             }
             self.report.fault.phantoms_recovered += 1;
             self.queues[dest.index()][st].push_recovered(keys[0], fl, ts, &mut self.sink, ctx);
+            self.key_scratch = keys;
             return;
         }
         match self.queues[dest.index()][st].insert_data(keys[0], fl, &mut self.sink, ctx) {
@@ -1884,6 +2186,7 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
                 self.drop_remaining(fl, st);
             }
         }
+        self.key_scratch = keys;
     }
 
     /// Cleans up after dropping a data packet at stage `st`: cancel all

@@ -32,6 +32,10 @@ struct InFlight<T> {
 #[derive(Debug, Clone)]
 pub struct PhantomChannel<T> {
     flights: Vec<InFlight<T>>,
+    /// Recycled backing store for the still-in-flight survivors of an
+    /// advance: swapped with `flights` each cycle so the per-cycle
+    /// advance allocates nothing in steady state.
+    spare: Vec<InFlight<T>>,
     stages: u16,
     max_in_flight: usize,
     delivered: u64,
@@ -42,6 +46,7 @@ impl<T> PhantomChannel<T> {
     pub fn new(stages: usize) -> Self {
         PhantomChannel {
             flights: Vec::new(),
+            spare: Vec::new(),
             stages: stages as u16,
             max_in_flight: 0,
             delivered: 0,
@@ -70,7 +75,17 @@ impl<T> PhantomChannel<T> {
     /// order guarantee of Invariant 1).
     pub fn advance(&mut self) -> Vec<(T, StageId)> {
         let mut arrived = Vec::new();
-        let mut remaining = Vec::with_capacity(self.flights.len());
+        self.advance_into(&mut arrived);
+        arrived
+    }
+
+    /// [`PhantomChannel::advance`] into a caller-owned buffer
+    /// (`arrived` is cleared first): the per-cycle form, allocation-free
+    /// in steady state on both the survivor and the delivery side.
+    pub fn advance_into(&mut self, arrived: &mut Vec<(T, StageId)>) {
+        arrived.clear();
+        let mut remaining = std::mem::take(&mut self.spare);
+        debug_assert!(remaining.is_empty());
         for mut f in self.flights.drain(..) {
             f.at += 1;
             if f.at == f.dest {
@@ -79,9 +94,9 @@ impl<T> PhantomChannel<T> {
                 remaining.push(f);
             }
         }
-        self.flights = remaining;
+        // The drained `flights` buffer becomes next cycle's spare.
+        self.spare = std::mem::replace(&mut self.flights, remaining);
         self.delivered += arrived.len() as u64;
-        arrived
     }
 
     /// Number of phantoms currently in flight.

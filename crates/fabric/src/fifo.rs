@@ -139,6 +139,10 @@ pub enum PopOutcome<T> {
     ConsumedStale,
 }
 
+/// Sentinel in [`LogicalFifo::lane_pos`]: the lane holds no entries and
+/// is absent from the packed occupied-lane list.
+const NOT_OCCUPIED: u32 = u32::MAX;
+
 /// Statistics counters for one logical FIFO.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FifoStats {
@@ -181,6 +185,25 @@ pub struct LogicalFifo<T> {
     /// `(pipeline, stage)` queue, so this counter is load-bearing for
     /// the simulation rate, not a convenience.
     total: usize,
+    /// Dense occupancy index: the lanes holding at least one entry, as
+    /// a packed list (arbitrary order). Service scans (`pop`,
+    /// `oldest_ts`, `peek_oldest`) walk only this list instead of all
+    /// `k` lane heads, so heavy-queue workloads with few active lanes
+    /// stop paying the linear scan (and the free-stale drain fuses into
+    /// the same pass). Maintained incrementally on every empty ↔
+    /// non-empty lane transition; debug builds assert it against a full
+    /// lane scan in `len()`.
+    occupied: Vec<u32>,
+    /// Per-lane position in `occupied`, or [`NOT_OCCUPIED`].
+    lane_pos: Vec<u32>,
+    /// When `false`, service scans walk every lane head (the paper's
+    /// literal `pop()` and this FIFO's behavior before the occupancy
+    /// index existed). The scalar reference interpreter runs in this
+    /// mode: its job is to be the obviously-correct oracle the batch
+    /// path is differentially tested against, so it keeps the naive
+    /// scan while the index (still maintained and debug-asserted
+    /// either way) accelerates the production batch path.
+    indexed: bool,
 }
 
 impl<T> LogicalFifo<T> {
@@ -195,7 +218,21 @@ impl<T> LogicalFifo<T> {
             max_recovered: 0,
             stats: FifoStats::default(),
             total: 0,
+            occupied: Vec::with_capacity(lanes),
+            lane_pos: vec![NOT_OCCUPIED; lanes],
+            indexed: true,
         }
+    }
+
+    /// Switches service scans to the pre-index reference behavior
+    /// (walk every lane head, `reference = true`) or back to the
+    /// occupancy-index fast path (`false`, the default). Semantics are
+    /// identical — both pick the same minimum-timestamp head — only the
+    /// scan cost differs. The occupancy index keeps being maintained in
+    /// reference mode, so debug builds continuously cross-check it
+    /// against the very scan the fast path replaces.
+    pub fn set_reference_service(&mut self, reference: bool) {
+        self.indexed = !reference;
     }
 
     /// Number of lanes (`k`).
@@ -210,7 +247,68 @@ impl<T> LogicalFifo<T> {
             self.lanes.iter().map(|l| l.len()).sum::<usize>() + self.recovered.len(),
             "occupancy counter out of sync"
         );
+        #[cfg(debug_assertions)]
+        self.check_occupancy_index();
         self.total
+    }
+
+    /// Verifies the dense occupancy index against a full lane scan:
+    /// every non-empty lane appears exactly once at its recorded
+    /// position, every empty lane is absent. Debug builds run this from
+    /// `len()` on every emptiness probe; the property suite calls it
+    /// directly after each random operation.
+    #[doc(hidden)]
+    pub fn check_occupancy_index(&self) {
+        assert_eq!(self.lane_pos.len(), self.lanes.len());
+        let mut indexed = 0usize;
+        for (l, lane) in self.lanes.iter().enumerate() {
+            let pos = self.lane_pos[l];
+            if lane.is_empty() {
+                assert_eq!(pos, NOT_OCCUPIED, "empty lane {l} still indexed");
+            } else {
+                indexed += 1;
+                assert!(
+                    pos != NOT_OCCUPIED
+                        && (pos as usize) < self.occupied.len()
+                        && self.occupied[pos as usize] as usize == l,
+                    "occupied lane {l} missing or misplaced in the index"
+                );
+            }
+        }
+        assert_eq!(
+            self.occupied.len(),
+            indexed,
+            "occupancy index holds stale lanes"
+        );
+    }
+
+    /// Adds `lane` to the occupancy index if it is not already present.
+    #[inline]
+    fn mark_occupied(&mut self, lane: usize) {
+        if self.lane_pos[lane] == NOT_OCCUPIED {
+            self.lane_pos[lane] = self.occupied.len() as u32;
+            self.occupied.push(lane as u32);
+        }
+    }
+
+    /// Removes `occupied[pos]` from the index (its lane went empty).
+    #[inline]
+    fn unmark_at(&mut self, pos: usize) {
+        let lane = self.occupied.swap_remove(pos);
+        self.lane_pos[lane as usize] = NOT_OCCUPIED;
+        if let Some(&moved) = self.occupied.get(pos) {
+            self.lane_pos[moved as usize] = pos as u32;
+        }
+    }
+
+    /// Drops `lane` from the index if its last entry was just popped.
+    #[inline]
+    fn lane_emptied(&mut self, lane: usize) {
+        if self.lanes[lane].front().is_none() {
+            let pos = self.lane_pos[lane];
+            debug_assert_ne!(pos, NOT_OCCUPIED, "emptied lane was never indexed");
+            self.unmark_at(pos as usize);
+        }
     }
 
     /// True if every lane (and the recovery queue) is empty. O(1).
@@ -244,6 +342,7 @@ impl<T> LogicalFifo<T> {
         match l.push_back(Entry::Phantom { key, ts }) {
             Ok(seq) => {
                 self.total += 1;
+                self.mark_occupied(lane.index());
                 let addr = FifoAddr { lane, seq };
                 self.directory.insert(key, addr);
                 Ok(addr)
@@ -264,6 +363,7 @@ impl<T> LogicalFifo<T> {
         match l.push_back(Entry::Data { item, ts }) {
             Ok(seq) => {
                 self.total += 1;
+                self.mark_occupied(lane.index());
                 Ok(FifoAddr { lane, seq })
             }
             Err(Entry::Data { item, .. }) => {
@@ -350,26 +450,90 @@ impl<T> LogicalFifo<T> {
         true
     }
 
-    /// Reclaims any `free` stale entries sitting at lane heads. Called
-    /// internally by `pop`, but also useful standalone at end-of-run.
-    fn drain_free_stale(&mut self) {
-        for lane in &mut self.lanes {
-            while matches!(lane.front(), Some(Entry::Stale { free: true, .. })) {
-                lane.pop_front();
+    /// Fused service scan: reclaims any `free` stale entries sitting at
+    /// the heads of occupied lanes, drops lanes that drained empty from
+    /// the index, and returns the lane whose head has the globally
+    /// smallest timestamp. Walks only the packed occupied-lane list, so
+    /// the cost is proportional to the number of *non-empty* lanes
+    /// rather than `k` — the win on heavy-queue configs where traffic
+    /// concentrates on few lanes. The minimum is taken over the explicit
+    /// `(ts, lane)` key so the result is independent of the packed
+    /// list's arbitrary order (ties are impossible anyway: order keys
+    /// are unique per packet and one packet's entries share a lane).
+    fn service_head(&mut self) -> Option<usize> {
+        let mut best: Option<(OrderKey, usize)> = None;
+        let mut i = 0;
+        while i < self.occupied.len() {
+            let lane = self.occupied[i] as usize;
+            while matches!(
+                self.lanes[lane].front(),
+                Some(Entry::Stale { free: true, .. })
+            ) {
+                self.lanes[lane].pop_front();
                 self.total -= 1;
             }
+            match self.lanes[lane].front() {
+                None => {
+                    // Drained empty: swap-remove without advancing, so
+                    // the lane swapped into slot `i` is visited next.
+                    self.unmark_at(i);
+                }
+                Some(e) => {
+                    let key = (e.ts(), lane);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                    i += 1;
+                }
+            }
         }
+        best.map(|(_, lane)| lane)
     }
 
-    /// Peeks the globally-oldest entry without consuming anything:
-    /// returns the lane whose head has the smallest timestamp.
-    fn oldest_lane(&self) -> Option<usize> {
-        self.lanes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.front().map(|e| (i, e.ts())))
-            .min_by_key(|&(_, ts)| ts)
-            .map(|(i, _)| i)
+    /// Reference service scan: the pre-index two-pass implementation,
+    /// kept verbatim for the scalar reference path — reclaim `free`
+    /// stale entries at every lane head (`drain_free_stale`), then pick
+    /// the minimum-timestamp head over **all** `k` lanes, the way the
+    /// paper's `pop()` reads. Keeps the index in sync for lanes it
+    /// drains empty, so either scan can follow the other.
+    fn service_scan(&mut self) -> Option<usize> {
+        for lane in 0..self.lanes.len() {
+            let mut drained = false;
+            while matches!(
+                self.lanes[lane].front(),
+                Some(Entry::Stale { free: true, .. })
+            ) {
+                self.lanes[lane].pop_front();
+                self.total -= 1;
+                drained = true;
+            }
+            if drained && self.lanes[lane].front().is_none() {
+                let pos = self.lane_pos[lane];
+                debug_assert_ne!(pos, NOT_OCCUPIED, "drained lane was never indexed");
+                self.unmark_at(pos as usize);
+            }
+        }
+        let mut best: Option<(OrderKey, usize)> = None;
+        for (lane, buf) in self.lanes.iter().enumerate() {
+            if let Some(e) = buf.front() {
+                let key = (e.ts(), lane);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, lane)| lane)
+    }
+
+    /// The mode-appropriate service scan (see
+    /// [`Self::set_reference_service`]).
+    #[inline]
+    fn service(&mut self) -> Option<usize> {
+        if self.indexed {
+            self.service_head()
+        } else {
+            self.service_scan()
+        }
     }
 
     /// `pop()`: examines the `k` lane heads and picks the entry with the
@@ -380,8 +544,7 @@ impl<T> LogicalFifo<T> {
     ///   blocked this cycle ([`PopOutcome::BlockedOnPhantom`]).
     /// * Non-free stale head → reclaimed, consuming the cycle.
     pub fn pop(&mut self) -> PopOutcome<T> {
-        self.drain_free_stale();
-        let lane = self.oldest_lane();
+        let lane = self.service();
         if self.recovered_wins(lane) {
             return match self.recovered.pop_front() {
                 Some(Entry::Data { item, .. }) => {
@@ -398,6 +561,7 @@ impl<T> LogicalFifo<T> {
             Entry::Data { .. } => match self.lanes[lane].pop_front() {
                 Some(Entry::Data { item, .. }) => {
                     self.total -= 1;
+                    self.lane_emptied(lane);
                     PopOutcome::Data(item)
                 }
                 _ => unreachable!("head was data"),
@@ -411,6 +575,7 @@ impl<T> LogicalFifo<T> {
                 self.lanes[lane].pop_front();
                 self.total -= 1;
                 self.stats.stale_cycles += 1;
+                self.lane_emptied(lane);
                 PopOutcome::ConsumedStale
             }
             Entry::Stale { free: true, .. } => {
@@ -422,9 +587,8 @@ impl<T> LogicalFifo<T> {
     /// Timestamp of the globally-oldest *data* or *phantom* entry, if
     /// any — used by schedulers to decide starvation.
     pub fn oldest_ts(&mut self) -> Option<OrderKey> {
-        self.drain_free_stale();
         let lane_ts = self
-            .oldest_lane()
+            .service()
             .map(|l| self.lanes[l].front().expect("non-empty").ts());
         match (lane_ts, self.recovered_head_ts()) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -436,8 +600,7 @@ impl<T> LogicalFifo<T> {
     /// without consuming anything. Used by per-index schedulers (the
     /// ideal-MP5 baseline) to compare heads across many queues.
     pub fn peek_oldest(&mut self) -> Option<&Entry<T>> {
-        self.drain_free_stale();
-        let lane = self.oldest_lane();
+        let lane = self.service();
         if self.recovered_wins(lane) {
             return self.recovered.front();
         }

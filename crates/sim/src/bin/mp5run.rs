@@ -6,13 +6,19 @@
 //! cargo run --release -p mp5-sim --bin mp5run -- program.dsl \
 //!     [--pipelines 4] [--packets 20000] [--pattern uniform|skewed] \
 //!     [--design mp5|ideal|no-d4|static|naive|recirc] [--seed 1] \
-//!     [--engine seq|par|par:N] [--keys 1024] [--packet-size 64] \
+//!     [--engine seq|par|par:N] [--exec scalar|batch] [--keys 1024] \
+//!     [--packet-size 64] \
 //!     [--trace out.jsonl] [--audit] [--rollup out.csv] [--chrome out.json]
 //! ```
 //!
 //! The program's declared packet fields are filled with keys drawn from
 //! the chosen access pattern (every field gets an independent draw),
 //! which drives the register indexes for typical hash-indexed programs.
+//!
+//! `--exec scalar|batch` selects the work-phase implementation for the
+//! MP5-family designs (default `batch`; results are bit-identical —
+//! the scalar path is the frozen reference oracle). `recirc` has a
+//! single implementation and ignores the flag.
 //!
 //! Observability flags (any of them switches the run into traced mode):
 //!
@@ -38,7 +44,7 @@
 use mp5_banzai::BanzaiSwitch;
 use mp5_baselines::{RecircConfig, RecircSwitch};
 use mp5_compiler::{compile, Target};
-use mp5_core::{EngineMode, Mp5Switch, SwitchConfig};
+use mp5_core::{EngineMode, ExecPath, Mp5Switch, SwitchConfig};
 use mp5_faults::FaultPlan;
 use mp5_sim::c1_violation_fraction;
 use mp5_trace::{audit, Event, MemSink, NopSink, Rollup};
@@ -51,6 +57,7 @@ struct Args {
     pattern: AccessPattern,
     design: String,
     engine: EngineMode,
+    exec: ExecPath,
     seed: u64,
     keys: u64,
     packet_size: u32,
@@ -66,7 +73,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mp5run <program.dsl> [--pipelines N] [--packets N] \
          [--pattern uniform|skewed] [--design mp5|ideal|no-d4|static|naive|recirc] \
-         [--engine seq|par|par:N] [--seed N] [--keys N] [--packet-size BYTES] \
+         [--engine seq|par|par:N] [--exec scalar|batch] [--seed N] [--keys N] \
+         [--packet-size BYTES] \
          [--trace FILE] [--audit] [--rollup FILE] [--chrome FILE] \
          [--faults PLAN.json] [--chaos-seed N]"
     );
@@ -81,6 +89,7 @@ fn parse_args() -> Args {
         pattern: AccessPattern::Uniform,
         design: "mp5".into(),
         engine: EngineMode::Sequential,
+        exec: ExecPath::Batch,
         seed: 1,
         keys: 1024,
         packet_size: 64,
@@ -123,6 +132,12 @@ fn parse_args() -> Args {
             "--engine" => {
                 args.engine = val("--engine").parse().unwrap_or_else(|e| {
                     eprintln!("--engine: {e}");
+                    usage()
+                })
+            }
+            "--exec" => {
+                args.exec = val("--exec").parse().unwrap_or_else(|e| {
+                    eprintln!("--exec: {e}");
                     usage()
                 })
             }
@@ -260,7 +275,8 @@ fn main() {
                     usage()
                 }
             }
-            .with_engine(args.engine);
+            .with_engine(args.engine)
+            .with_exec(args.exec);
             let (report, events) = match (tracing, &plan) {
                 (true, Some(p)) => {
                     let (report, sink) =
@@ -285,9 +301,10 @@ fn main() {
 
     let c1 = c1_violation_fraction(&reference.access_log, &report.result.access_log);
     println!(
-        "design {:<7} k={k}: throughput {:.3} of line rate, completed {}/{}, \
+        "design {:<7} k={k} exec={}: throughput {:.3} of line rate, completed {}/{}, \
          steered {}, remap moves {}, max queue {}{extra}",
         args.design,
+        args.exec,
         report.normalized_throughput(),
         report.completed,
         report.offered,

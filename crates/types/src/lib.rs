@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fasthash;
 pub mod flow;
 pub mod ids;
 pub mod packet;
 pub mod time;
 
+pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use flow::FlowKey;
 pub use ids::{FieldId, PacketId, PipelineId, PortId, RegId, StageId};
 pub use packet::{AccessTag, Packet, PacketDisposition};

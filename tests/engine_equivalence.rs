@@ -158,7 +158,8 @@ fn batch_work_phase_matches_scalar_on_the_parallel_engine() {
 
 /// Fault injection runs on the shared phase machinery, so the batch
 /// work phase must not disturb it: same fault plan, same report on
-/// both exec paths (untraced — tracing forces the scalar path).
+/// both exec paths (untraced; the traced × faulted cross-product is
+/// covered by `traced_batch_stream_is_bit_identical_under_faults`).
 #[test]
 fn batch_work_phase_matches_scalar_under_faults() {
     for app in &ALL_APPS[..4] {
@@ -186,20 +187,86 @@ fn batch_work_phase_matches_scalar_under_faults() {
     }
 }
 
-/// Attaching a sink falls back to the scalar path (tracing hooks are
-/// per-packet), but that fallback must not change the simulation: a
-/// traced run's report equals the untraced batch run's report.
+/// Attaching a sink no longer changes the execution path: a traced run
+/// rides the SoA batch passes (events buffered per batch, flushed in
+/// canonical scalar order) and its report equals the untraced batch
+/// run's report.
 #[test]
-fn traced_fallback_matches_the_batch_report() {
+fn traced_runs_ride_the_batch_path() {
     for app in &ALL_APPS[..4] {
         let (prog, trace) = app_trace(app, 300, 7);
         let (traced_rep, _) = traced(&prog, &trace, SwitchConfig::mp5(4));
         let batch_rep = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4)).run(trace.clone());
         assert_eq!(
             traced_rep, batch_rep,
-            "{}: traced (scalar-fallback) and untraced batch reports diverged",
+            "{}: traced and untraced batch reports diverged",
             app.name
         );
+    }
+}
+
+/// The load-bearing contract of the traced batch path: for every
+/// bundled program, on both engines, the batch path's *event stream* is
+/// bit-identical (by `stream_hash`) to the traced scalar reference —
+/// recorded traces, JSONL files, and auditor verdicts cannot depend on
+/// which exec path produced them.
+#[test]
+fn traced_batch_stream_matches_traced_scalar() {
+    let packets = packets_per_run();
+    for app in &ALL_APPS {
+        let (prog, trace) = app_trace(app, packets, 1);
+        for k in [1usize, 4] {
+            let scalar_cfg = SwitchConfig::mp5(k).with_exec(ExecPath::Scalar);
+            let (scalar_rep, scalar_hash) = traced(&prog, &trace, scalar_cfg);
+            for engine in [EngineMode::Sequential, EngineMode::Parallel(k)] {
+                let cfg = SwitchConfig::mp5(k).with_engine(engine);
+                let (batch_rep, batch_hash) = traced(&prog, &trace, cfg);
+                assert_eq!(
+                    scalar_rep, batch_rep,
+                    "{} k={k} {engine:?}: traced batch report diverged from scalar",
+                    app.name
+                );
+                assert_eq!(
+                    scalar_hash, batch_hash,
+                    "{} k={k} {engine:?}: traced batch event stream diverged from scalar",
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+/// The same stream-identity bar under fault plans: stalls, kills,
+/// phantom drops and grant delays interleave with the batch passes
+/// without perturbing the canonical event order, on both engines.
+#[test]
+fn traced_batch_stream_is_bit_identical_under_faults() {
+    for app in &ALL_APPS[..4] {
+        let (prog, trace) = app_trace(app, 300, 3);
+        for k in [2usize, 4] {
+            let plan = FaultPlan::chaos(41, k, prog.num_stages(), 250);
+            let scalar_cfg = SwitchConfig::mp5(k).with_exec(ExecPath::Scalar);
+            let (scalar_rep, scalar_hash) = traced_faulted(&prog, &trace, scalar_cfg, &plan);
+            for engine in [EngineMode::Sequential, EngineMode::Parallel(k)] {
+                let cfg = SwitchConfig::mp5(k).with_engine(engine);
+                let (batch_rep, batch_hash) = traced_faulted(&prog, &trace, cfg, &plan);
+                assert_eq!(
+                    scalar_rep, batch_rep,
+                    "{} k={k} {engine:?}: faulted traced batch report diverged",
+                    app.name
+                );
+                assert_eq!(
+                    scalar_hash, batch_hash,
+                    "{} k={k} {engine:?}: faulted traced batch stream diverged",
+                    app.name
+                );
+            }
+            assert!(
+                scalar_rep.fault.accounted(),
+                "{} k={k}: fault ledger must close",
+                app.name
+            );
+        }
     }
 }
 
