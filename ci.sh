@@ -22,10 +22,12 @@ set -eu
 TRACE_TMP=""
 TRACE_SCALAR_TMP=""
 FABRIC_TMP=""
+SERVE_TMP=""
 cleanup() {
     if [ -n "$TRACE_TMP" ]; then rm -f "$TRACE_TMP"; fi
     if [ -n "$TRACE_SCALAR_TMP" ]; then rm -f "$TRACE_SCALAR_TMP"; fi
     if [ -n "$FABRIC_TMP" ]; then rm -rf "$FABRIC_TMP"; fi
+    if [ -n "$SERVE_TMP" ]; then rm -rf "$SERVE_TMP"; fi
 }
 trap cleanup EXIT
 
@@ -67,6 +69,7 @@ need_bin mp5audit
 need_bin mp5bench
 need_bin mp5chaos
 need_bin mp5fabric
+need_bin mp5serve
 
 echo "==> mp5lint over the program corpus"
 ./target/release/mp5lint -q crates/apps/programs \
@@ -118,6 +121,33 @@ done
 
 echo "==> fabric chaos smoke: spine fail-stop mid-run, ledger closed"
 ./target/release/mp5chaos --seeds 1 --apps flowlet --packets 400 --horizon 200 --fabric
+
+echo "==> serve smoke: checkpoint / kill / restore stitches the identical stream"
+# A run halted at a checkpoint and restored from the snapshot file —
+# on the *other* engine and exec path — must emit exactly the event
+# stream of the run that was never interrupted. Lifecycle markers
+# (snapshot/restored/swap) describe operator actions, not simulated
+# behaviour, so they are stripped before the byte compare; the
+# stitched stream must also satisfy the offline auditor.
+SERVE_TMP=$(mktemp -d -t mp5-ci-serve.XXXXXX)
+./target/release/mp5serve --app flowlet --packets 800 \
+    --trace "$SERVE_TMP/full.jsonl"
+./target/release/mp5serve --app flowlet --packets 800 \
+    --snapshot "$SERVE_TMP/ckpt.snap" --halt-at 120 \
+    --trace "$SERVE_TMP/pre.jsonl"
+./target/release/mp5serve --restore "$SERVE_TMP/ckpt.snap" \
+    --engine par:2 --exec scalar --trace "$SERVE_TMP/post.jsonl"
+grep -hv '"k":"snapshot"\|"k":"restored"\|"k":"swap"' \
+    "$SERVE_TMP/pre.jsonl" "$SERVE_TMP/post.jsonl" > "$SERVE_TMP/stitched.jsonl"
+cmp "$SERVE_TMP/full.jsonl" "$SERVE_TMP/stitched.jsonl" || {
+    echo "ci.sh: restored event stream diverged from the uninterrupted run" >&2
+    exit 1
+}
+./target/release/mp5audit --quiet "$SERVE_TMP/stitched.jsonl"
+
+echo "==> serve smoke: zero-downtime hot-swap, ledger closed"
+./target/release/mp5serve --app flowlet --packets 800 \
+    --swap-at 120 --swap-program crates/apps/programs/flowlet.mp5
 
 if [ "${CI_BENCH:-0}" = "1" ]; then
     echo "==> mp5bench perf-regression gate (CI_BENCH=1)"

@@ -24,9 +24,11 @@ use serde::{Deserialize, Serialize};
 /// scalar-vs-batch rows behind the SoA speedup check; v5 added the
 /// `resolved` column (how the engine actually ran, exposing the
 /// single-worker inline fast path) plus the `hotstate` heavy-queue
-/// rows behind the hot-state speedup check. Regenerate committed
+/// rows behind the hot-state speedup check; v6 added the `snapshot`
+/// row measuring the live-operation checkpoint path (state extraction
+/// plus codec encode) from `mp5-serve`. Regenerate committed
 /// baselines with `--out` after a schema bump.
-pub const SCHEMA: &str = "mp5bench/v5";
+pub const SCHEMA: &str = "mp5bench/v6";
 
 /// Pipeline counts of the full matrix.
 pub const FULL_PIPELINES: [usize; 4] = [1, 2, 4, 8];
@@ -417,6 +419,17 @@ pub fn run_suite(opts: &BenchOpts) -> BenchReport {
         );
     }
 
+    // Snapshot row: cost of the live-operation checkpoint path. The
+    // flowlet trace is replayed through the streaming `mp5-serve`
+    // server and a checkpoint — state extraction plus the full
+    // snapshot codec — is taken every few cycles; the per-checkpoint
+    // wall times feed the p50/p99 columns. Three columns are
+    // reinterpreted for this row: `wall_ms` is the total time spent
+    // checkpointing, `pkts_per_sec` is checkpoints per second (what
+    // the regression gate tracks), and `cycles_per_sec` is encoded
+    // snapshot bytes per second.
+    rows.push(snapshot_row(hot_app.source, &hot_trace));
+
     // Fabric rows: whole-switch composition through mp5-topo, seq and
     // par measured on the same workload with bit-identity asserted.
     let fabric_points: &[(usize, usize, u64)] = if opts.quick {
@@ -502,6 +515,71 @@ pub fn hotstate_trace(
         }
     }
     (prog, trace)
+}
+
+/// Cadence of the `snapshot` row's checkpoints, in cycles. Dense
+/// enough that even the quick suite's short run collects a handful of
+/// latency samples.
+const SNAPSHOT_EVERY: u64 = 32;
+
+/// Measures the `snapshot` row: replays `trace` through a streaming
+/// [`mp5_serve::Server`] at `k = 4` on the sequential engine, taking a
+/// checkpoint (state extraction + codec encode) every
+/// [`SNAPSHOT_EVERY`] cycles, and reports the per-checkpoint latency
+/// distribution.
+fn snapshot_row(source: &str, trace: &[mp5_types::Packet]) -> BenchRow {
+    use mp5_faults::NoFaults;
+    use mp5_serve::Server;
+    use mp5_trace::NopSink;
+
+    let k = 4usize;
+    let mut srv: Server<NopSink, NoFaults> =
+        Server::new(source, SwitchConfig::mp5(k), NopSink, None).expect("bundled app compiles");
+    srv.offer_all(trace.to_vec());
+    let mut ckpt_ns: Vec<u64> = Vec::new();
+    let mut encoded_bytes = 0u64;
+    while !srv.is_idle() {
+        srv.tick();
+        srv.drain_egress();
+        if srv.cycle().is_multiple_of(SNAPSHOT_EVERY) {
+            let t = Instant::now();
+            let text = srv.checkpoint().encode();
+            ckpt_ns.push(t.elapsed().as_nanos() as u64);
+            encoded_bytes += text.len() as u64;
+        }
+    }
+    let (report, _sink) = srv.finish();
+
+    ckpt_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        match ckpt_ns.len() {
+            0 => 0,
+            n => ckpt_ns[((n as f64 * p / 100.0).ceil() as usize).clamp(1, n) - 1],
+        }
+    };
+    let total_ns: u64 = ckpt_ns.iter().sum();
+    let secs = (total_ns as f64 / 1e9).max(1e-12);
+    BenchRow {
+        app: "snapshot".to_string(),
+        pipelines: k,
+        engine: "seq".to_string(),
+        exec: ExecPath::Batch.to_string(),
+        workers: 0,
+        resolved: "seq".to_string(),
+        packets: report.offered,
+        completed: report.completed,
+        cycles: report.cycles,
+        wall_ms: total_ns as f64 / 1e6,
+        pkts_per_sec: ckpt_ns.len() as f64 / secs,
+        cycles_per_sec: encoded_bytes as f64 / secs,
+        speedup_vs_sequential: 1.0,
+        p50_cycle_ns: pct(50.0),
+        p99_cycle_ns: pct(99.0),
+        normalized_throughput: report.normalized_throughput(),
+        degraded_cycles: 0,
+        phantoms_recovered: 0,
+        fabric: false,
+    }
 }
 
 fn par_cfg_workers(requested: usize, pipelines: usize) -> usize {
@@ -979,8 +1057,15 @@ mod tests {
         };
         let rep = run_suite(&opts);
         // 2 apps × 2 pipeline counts × 2 engines + 2 hotpath exec rows
-        // + 2 hotstate exec rows + 1 fabric point × 2 engines.
-        assert_eq!(rep.rows.len(), 14);
+        // + 2 hotstate exec rows + 1 snapshot row + 1 fabric point
+        // × 2 engines.
+        assert_eq!(rep.rows.len(), 15);
+        let snap: Vec<_> = rep.rows.iter().filter(|r| r.app == "snapshot").collect();
+        assert_eq!(snap.len(), 1, "one snapshot-cost row");
+        assert!(
+            snap[0].packets > 0 && snap[0].p50_cycle_ns > 0 && snap[0].p99_cycle_ns > 0,
+            "snapshot row measured at least one checkpoint"
+        );
         let fab: Vec<_> = rep.rows.iter().filter(|r| r.fabric).collect();
         assert_eq!(fab.len(), 2, "quick suite measures one fabric point");
         assert!(fab.iter().all(|r| r.app == "fabric-2x2"));
@@ -1006,7 +1091,7 @@ mod tests {
         let paired: Vec<_> = rep
             .rows
             .iter()
-            .filter(|r| r.app != "hotpath" && r.app != "hotstate")
+            .filter(|r| r.app != "hotpath" && r.app != "hotstate" && r.app != "snapshot")
             .collect();
         for chunk in paired.chunks(2) {
             let (seq, par) = (&chunk[0], &chunk[1]);

@@ -9,7 +9,7 @@
 /// register state, and (under tracing) the exact event stream — is
 /// **bit-identical** to the sequential engine's. See `DESIGN.md` §10
 /// for the determinism argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum EngineMode {
     /// One thread simulates every pipeline×stage in program order (the
     /// historical engine; still the default).
@@ -74,7 +74,7 @@ impl std::str::FromStr for EngineMode {
 /// interleaving — the batch path is an untraced-hot-path optimization,
 /// selected statically so traced builds pay nothing for the check. See
 /// `DESIGN.md` §13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ExecPath {
     /// The historical packet-at-a-time loop: each (pipeline, stage)
     /// slot resolves/executes its packet inline as the scheduler visits
@@ -162,7 +162,7 @@ impl std::error::Error for ConfigError {}
 
 /// How register state is distributed across pipelines (design principle
 /// D2 and its ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ShardingMode {
     /// Paper behaviour: indexes start round-robin across pipelines and
     /// the Figure 6 heuristic re-balances them every
@@ -180,7 +180,7 @@ pub enum ShardingMode {
 }
 
 /// How arriving packets are assigned to pipelines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SprayMode {
     /// Uniformly spray arrivals round-robin over all pipelines (D1).
     RoundRobin,
@@ -190,7 +190,7 @@ pub enum SprayMode {
 }
 
 /// Full configuration of an [`crate::Mp5Switch`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SwitchConfig {
     /// Number of parallel pipelines `k` (paper default 4).
     pub pipelines: usize,

@@ -40,10 +40,12 @@ pub mod engine;
 pub mod partition;
 pub mod report;
 pub mod shard;
+pub mod state;
 pub mod switch;
 
 pub use config::{ConfigError, EngineMode, ExecPath, ShardingMode, SprayMode, SwitchConfig};
 pub use engine::{CycleTimings, WorkerPool};
 pub use partition::{Partition, PartitionReport, PartitionedSwitch};
 pub use report::{DropCounts, FaultReport, RunReport};
+pub use state::{RestoreError, SwapError, SwapReport, SwitchState};
 pub use switch::{EnginePool, InvariantViolation, Mp5Switch};

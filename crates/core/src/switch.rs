@@ -3,9 +3,13 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use mp5_banzai::RunResult;
 use mp5_compiler::program::{INDEX_ARRAY_LEVEL, REG_STAGE_SENTINEL};
 use mp5_compiler::CompiledProgram;
-use mp5_fabric::{Crossbar, LogicalFifo, OrderKey, PhantomChannel, PhantomKey, PopOutcome};
+use mp5_fabric::{
+    Crossbar, Entry, FifoParts, FifoStats, LaneParts, LogicalFifo, OrderKey, PhantomChannel,
+    PhantomKey, PopOutcome,
+};
 use mp5_faults::{FaultClass, FaultInjector, FaultKind, NoFaults, PhantomFate};
 use mp5_trace::{
     BufSink, DropCause, Event, EventKind, MemSink, NopSink, TraceCtx, TraceSink, NO_LOC,
@@ -17,6 +21,11 @@ use crate::config::{ConfigError, EngineMode, ExecPath, ShardingMode, SprayMode, 
 use crate::engine::{shard_ranges, CycleTimings, WorkerPool};
 use crate::report::RunReport;
 use crate::shard;
+use crate::state::{
+    ChannelFlightSnap, ChannelSnap, DropsSnap, EntrySnap, FaultSnap, FifoSnap, FlightState,
+    KeySnap, LaneSnap, QueueSnap, ReportSnap, RestoreError, ResultSnap, StatsSnap, SwapError,
+    SwapReport, SwitchState, XbarSnap,
+};
 
 /// The struct-of-arrays work phase (a child module so it can share the
 /// private work-phase types below; see DESIGN.md §13).
@@ -2513,6 +2522,781 @@ impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
     }
 }
 
+// ------------------------------------------------------------------
+// Checkpoint / restore / hot swap (plain-data mirrors in crate::state)
+// ------------------------------------------------------------------
+
+fn snap_key(k: PhantomKey) -> KeySnap {
+    KeySnap {
+        pkt: k.pkt,
+        reg: k.reg,
+        index: k.index,
+    }
+}
+
+fn unsnap_key(k: KeySnap) -> PhantomKey {
+    PhantomKey {
+        pkt: k.pkt,
+        reg: k.reg,
+        index: k.index,
+    }
+}
+
+fn snap_flight(f: &Flight) -> FlightState {
+    FlightState {
+        pkt: f.pkt.clone(),
+        order: (f.order.0, f.order.1),
+        ingress: f.ingress.0,
+    }
+}
+
+fn unsnap_flight(f: FlightState) -> Flight {
+    Flight {
+        pkt: f.pkt,
+        order: OrderKey(f.order.0, f.order.1),
+        ingress: PipelineId(f.ingress),
+    }
+}
+
+fn snap_entry(e: &Entry<Flight>) -> EntrySnap {
+    match e {
+        Entry::Phantom { key, ts } => EntrySnap::Phantom {
+            key: snap_key(*key),
+            ts: (ts.0, ts.1),
+        },
+        Entry::Data { item, ts } => EntrySnap::Data {
+            item: snap_flight(item),
+            ts: (ts.0, ts.1),
+        },
+        Entry::Stale { ts, free } => EntrySnap::Stale {
+            ts: (ts.0, ts.1),
+            free: *free,
+        },
+    }
+}
+
+fn unsnap_entry(e: EntrySnap) -> Entry<Flight> {
+    match e {
+        EntrySnap::Phantom { key, ts } => Entry::Phantom {
+            key: unsnap_key(key),
+            ts: OrderKey(ts.0, ts.1),
+        },
+        EntrySnap::Data { item, ts } => Entry::Data {
+            item: unsnap_flight(item),
+            ts: OrderKey(ts.0, ts.1),
+        },
+        EntrySnap::Stale { ts, free } => Entry::Stale {
+            ts: OrderKey(ts.0, ts.1),
+            free,
+        },
+    }
+}
+
+fn snap_fifo(f: &LogicalFifo<Flight>) -> FifoSnap {
+    let parts = f.snapshot_parts();
+    FifoSnap {
+        capacity: parts.capacity,
+        lanes: parts
+            .lanes
+            .into_iter()
+            .map(|l| LaneSnap {
+                head_seq: l.head_seq,
+                max_occupancy: l.max_occupancy,
+                entries: l.entries.iter().map(snap_entry).collect(),
+            })
+            .collect(),
+        recovered: parts.recovered.iter().map(snap_entry).collect(),
+        max_recovered: parts.max_recovered,
+        stats: {
+            let s = parts.stats;
+            StatsSnap {
+                phantom_drops: s.phantom_drops,
+                data_drops_no_phantom: s.data_drops_no_phantom,
+                data_drops_full: s.data_drops_full,
+                stale_cycles: s.stale_cycles,
+                blocked_cycles: s.blocked_cycles,
+                recovered: s.recovered,
+            }
+        },
+    }
+}
+
+/// Rebuilds a logical FIFO; `indexed` selects the service-scan mode of
+/// the *target* switch (it is an execution detail, not state, so a
+/// scalar-path snapshot restores cleanly into a batch-path switch and
+/// vice versa).
+fn unsnap_fifo(s: FifoSnap, indexed: bool) -> LogicalFifo<Flight> {
+    LogicalFifo::from_parts(FifoParts {
+        capacity: s.capacity,
+        lanes: s
+            .lanes
+            .into_iter()
+            .map(|l| LaneParts {
+                head_seq: l.head_seq,
+                max_occupancy: l.max_occupancy,
+                entries: l.entries.into_iter().map(unsnap_entry).collect(),
+            })
+            .collect(),
+        recovered: s.recovered.into_iter().map(unsnap_entry).collect(),
+        max_recovered: s.max_recovered,
+        stats: FifoStats {
+            phantom_drops: s.stats.phantom_drops,
+            data_drops_no_phantom: s.stats.data_drops_no_phantom,
+            data_drops_full: s.stats.data_drops_full,
+            stale_cycles: s.stats.stale_cycles,
+            blocked_cycles: s.stats.blocked_cycles,
+            recovered: s.stats.recovered,
+        },
+        indexed,
+    })
+}
+
+fn snap_queue(q: &StageQueue) -> QueueSnap {
+    match q {
+        StageQueue::Logical(f) => QueueSnap::Logical(snap_fifo(f)),
+        StageQueue::PerIndex {
+            subs,
+            max_total,
+            capacity,
+        } => QueueSnap::PerIndex {
+            subs: subs.iter().map(|(i, f)| (*i, snap_fifo(f))).collect(),
+            max_total: *max_total,
+            capacity: *capacity,
+        },
+    }
+}
+
+fn unsnap_queue(q: QueueSnap, cfg: &SwitchConfig) -> Result<StageQueue, RestoreError> {
+    match q {
+        QueueSnap::Logical(s) => {
+            if cfg.per_index_fifos {
+                return Err(RestoreError::Incompatible(
+                    "logical-FIFO snapshot cannot restore into a per-index configuration".into(),
+                ));
+            }
+            if s.lanes.len() != cfg.pipelines {
+                return Err(RestoreError::Incompatible(format!(
+                    "FIFO snapshot has {} lanes, switch has {} pipelines",
+                    s.lanes.len(),
+                    cfg.pipelines
+                )));
+            }
+            Ok(StageQueue::Logical(unsnap_fifo(
+                s,
+                cfg.exec != ExecPath::Scalar,
+            )))
+        }
+        QueueSnap::PerIndex {
+            subs,
+            max_total,
+            capacity,
+        } => {
+            if !cfg.per_index_fifos {
+                return Err(RestoreError::Incompatible(
+                    "per-index snapshot cannot restore into a logical-FIFO configuration".into(),
+                ));
+            }
+            for (i, s) in &subs {
+                if s.lanes.len() != 1 {
+                    return Err(RestoreError::Incompatible(format!(
+                        "per-index sub-queue {i} has {} lanes, expected 1",
+                        s.lanes.len()
+                    )));
+                }
+            }
+            Ok(StageQueue::PerIndex {
+                subs: subs
+                    .into_iter()
+                    .map(|(i, s)| (i, unsnap_fifo(s, true)))
+                    .collect(),
+                max_total,
+                capacity,
+            })
+        }
+    }
+}
+
+fn snap_report(r: &RunReport) -> ReportSnap {
+    let mut outputs: Vec<(PacketId, Vec<Value>)> = r
+        .result
+        .outputs
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
+    outputs.sort_unstable_by_key(|(k, _)| *k);
+    let mut access_log: Vec<(RegId, u32, Vec<PacketId>)> = r
+        .result
+        .access_log
+        .iter()
+        .map(|((reg, idx), v)| (*reg, *idx, v.clone()))
+        .collect();
+    access_log.sort_unstable_by_key(|&(reg, idx, _)| (reg, idx));
+    ReportSnap {
+        result: ResultSnap {
+            final_regs: r.result.final_regs.clone(),
+            outputs,
+            access_log,
+            processed: r.result.processed,
+        },
+        offered: r.offered,
+        completed: r.completed,
+        drops: DropsSnap {
+            phantom_fifo_full: r.drops.phantom_fifo_full,
+            data_no_phantom: r.drops.data_no_phantom,
+            data_fifo_full: r.drops.data_fifo_full,
+            starvation: r.drops.starvation,
+        },
+        cycles: r.cycles,
+        input_duration: r.input_duration,
+        completions: r.completions.clone(),
+        max_queue_depth: r.max_queue_depth,
+        steered: r.steered,
+        phantoms_generated: r.phantoms_generated,
+        wasted_cycles: r.wasted_cycles,
+        remap_moves: r.remap_moves,
+        ecn_marked: r.ecn_marked,
+        cycle_len: r.cycle_len,
+        stage_drops: r
+            .stage_drops
+            .iter()
+            .map(|(&(pl, st), &n)| (pl, st, n))
+            .collect(),
+        fault: {
+            let f = &r.fault;
+            FaultSnap {
+                injected: f.injected,
+                recovered: f.recovered,
+                degraded: f.degraded,
+                degraded_cycles: f.degraded_cycles,
+                evacuated_indexes: f.evacuated_indexes,
+                phantoms_dropped: f.phantoms_dropped,
+                phantoms_recovered: f.phantoms_recovered,
+                dead_pipelines: f.dead_pipelines.clone(),
+                stall_cycles: f.stall_cycles,
+                delayed_grants: f.delayed_grants,
+                aborted_remaps: f.aborted_remaps,
+            }
+        },
+    }
+}
+
+fn unsnap_report(s: ReportSnap) -> RunReport {
+    let mut result = RunResult {
+        final_regs: s.result.final_regs,
+        outputs: Default::default(),
+        access_log: Default::default(),
+        processed: s.result.processed,
+    };
+    for (k, v) in s.result.outputs {
+        result.outputs.insert(k, v);
+    }
+    for (reg, idx, v) in s.result.access_log {
+        result.access_log.insert((reg, idx), v);
+    }
+    RunReport {
+        result,
+        offered: s.offered,
+        completed: s.completed,
+        drops: crate::report::DropCounts {
+            phantom_fifo_full: s.drops.phantom_fifo_full,
+            data_no_phantom: s.drops.data_no_phantom,
+            data_fifo_full: s.drops.data_fifo_full,
+            starvation: s.drops.starvation,
+        },
+        cycles: s.cycles,
+        input_duration: s.input_duration,
+        completions: s.completions,
+        max_queue_depth: s.max_queue_depth,
+        steered: s.steered,
+        phantoms_generated: s.phantoms_generated,
+        wasted_cycles: s.wasted_cycles,
+        remap_moves: s.remap_moves,
+        ecn_marked: s.ecn_marked,
+        cycle_len: s.cycle_len,
+        stage_drops: s
+            .stage_drops
+            .into_iter()
+            .map(|(pl, st, n)| ((pl, st), n))
+            .collect(),
+        fault: crate::report::FaultReport {
+            injected: s.fault.injected,
+            recovered: s.fault.recovered,
+            degraded: s.fault.degraded,
+            degraded_cycles: s.fault.degraded_cycles,
+            evacuated_indexes: s.fault.evacuated_indexes,
+            phantoms_dropped: s.fault.phantoms_dropped,
+            phantoms_recovered: s.fault.phantoms_recovered,
+            dead_pipelines: s.fault.dead_pipelines,
+            stall_cycles: s.fault.stall_cycles,
+            delayed_grants: s.fault.delayed_grants,
+            aborted_remaps: s.fault.aborted_remaps,
+        },
+    }
+}
+
+impl<S: TraceSink, F: FaultInjector> Mp5Switch<S, F> {
+    /// Captures the complete live state at the current cycle boundary.
+    ///
+    /// Must be called **between** `tick()` calls — every per-cycle
+    /// scratch buffer is empty then, so [`SwitchState`] plus the
+    /// program and configuration fully determine the rest of the run:
+    /// a switch rebuilt via [`Mp5Switch::try_restore_with`] continues
+    /// **bit-identically** (same `RunReport`, same traced
+    /// `stream_hash`) on either exec path and either engine.
+    ///
+    /// Emits a `SnapshotTaken` lifecycle event (traced runs only);
+    /// lifecycle events are excluded from `stream_hash` and ignored by
+    /// the auditor, so checkpointing never perturbs the evidence chain.
+    pub fn extract_state(&mut self, seq: u64) -> SwitchState {
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, NO_LOC, NO_LOC)
+                .emit(&mut self.sink, EventKind::SnapshotTaken { seq });
+        }
+        let mut cancelled: Vec<KeySnap> = self.cancelled.iter().copied().map(snap_key).collect();
+        cancelled.sort_unstable();
+        let mut lost: Vec<KeySnap> = self.lost.iter().copied().map(snap_key).collect();
+        lost.sort_unstable();
+        SwitchState {
+            cycle: self.cycle,
+            rr: self.rr,
+            regs: self.regs.clone(),
+            index_map: (*self.index_map).clone(),
+            access_ctr: self.access_ctr.clone(),
+            inflight: self.inflight.clone(),
+            queues: self
+                .queues
+                .iter()
+                .map(|row| row.iter().map(snap_queue).collect())
+                .collect(),
+            lanes: self
+                .lanes
+                .iter()
+                .map(|row| row.iter().map(|s| s.as_ref().map(snap_flight)).collect())
+                .collect(),
+            channel: ChannelSnap {
+                stages: self.channel.stages(),
+                max_in_flight: self.channel.max_in_flight(),
+                delivered: self.channel.delivered(),
+                flights: self
+                    .channel
+                    .snapshot_flights()
+                    .into_iter()
+                    .map(|(msg, at, dest_stage)| ChannelFlightSnap {
+                        key: snap_key(msg.key),
+                        ts: (msg.ts.0, msg.ts.1),
+                        dest: msg.dest.0,
+                        lane: msg.lane.0,
+                        at,
+                        dest_stage,
+                    })
+                    .collect(),
+            },
+            crossbars: self
+                .crossbars
+                .iter()
+                .map(|x| {
+                    let (routed, steer_cycles) = x.snapshot();
+                    XbarSnap {
+                        routed,
+                        steer_cycles,
+                    }
+                })
+                .collect(),
+            cancelled,
+            lost,
+            ingress_q: self.ingress_q.iter().map(snap_flight).collect(),
+            arrivals: self.arrivals.iter().cloned().collect(),
+            pending_grants: self
+                .pending_grants
+                .iter()
+                .map(|(ready, dest, st, fl)| (*ready, dest.0, *st, snap_flight(fl)))
+                .collect(),
+            egress_buf: self.egress_buf.clone(),
+            park_mask: self.park_mask.clone(),
+            inc_mask: self.inc_mask.clone(),
+            queue_mask: self.queue_mask.clone(),
+            dead: self.dead.clone(),
+            evac_done: self.evac_done.clone(),
+            evac_counts: self.evac_counts.clone(),
+            report: snap_report(&self.report),
+        }
+    }
+
+    /// Builds a fresh switch and injects a checkpointed state into it:
+    /// the crash-recovery constructor.
+    ///
+    /// `prog` and `cfg` must match the checkpointed run's (the snapshot
+    /// carries opaque register values and stage-resolved tags, so the
+    /// shapes must line up; mismatches are rejected as
+    /// [`RestoreError::Incompatible`]). The engine and exec path *may*
+    /// differ — both are bit-identical implementations of the same
+    /// machine, so a sequential/scalar checkpoint restores into a
+    /// parallel/batch switch and continues identically.
+    ///
+    /// Emits a `Restored` lifecycle event (traced runs only).
+    pub fn try_restore_with(
+        prog: CompiledProgram,
+        cfg: SwitchConfig,
+        state: SwitchState,
+        sink: S,
+        faults: F,
+    ) -> Result<Self, RestoreError> {
+        let mut sw = Self::build(prog, cfg, sink, faults, None)?;
+        sw.inject_state(state)?;
+        Ok(sw)
+    }
+
+    /// Replaces this freshly built switch's state with a checkpointed
+    /// one. Validates every shape against the program/configuration the
+    /// switch was built with before touching anything.
+    fn inject_state(&mut self, state: SwitchState) -> Result<(), RestoreError> {
+        let k = self.k;
+        let incompat = |why: String| Err(RestoreError::Incompatible(why));
+        if state.regs.len() != k {
+            return incompat(format!(
+                "snapshot has {} pipelines, switch has {k}",
+                state.regs.len()
+            ));
+        }
+        for (pl, regs) in state.regs.iter().enumerate() {
+            if regs.len() != self.prog.regs.len() {
+                return incompat(format!(
+                    "pipeline {pl}: snapshot has {} registers, program declares {}",
+                    regs.len(),
+                    self.prog.regs.len()
+                ));
+            }
+            for (ri, arr) in regs.iter().enumerate() {
+                if arr.len() != self.prog.regs[ri].size as usize {
+                    return incompat(format!(
+                        "register {ri}: snapshot size {} != program size {}",
+                        arr.len(),
+                        self.prog.regs[ri].size
+                    ));
+                }
+            }
+        }
+        if state.index_map.len() != self.prog.regs.len()
+            || state
+                .index_map
+                .iter()
+                .zip(&self.prog.regs)
+                .any(|(m, r)| m.len() != r.size as usize)
+        {
+            return incompat("index map shape does not match the program's registers".into());
+        }
+        if state.access_ctr.len() != self.prog.regs.len()
+            || state.inflight.len() != self.prog.regs.len()
+        {
+            return incompat("counter shape does not match the program's registers".into());
+        }
+        if state.queues.len() != k || state.queues.iter().any(|row| row.len() != self.stages) {
+            return incompat(format!(
+                "queue bank is not {k}x{} (pipelines x stages)",
+                self.stages
+            ));
+        }
+        if state.lanes.len() != k || state.lanes.iter().any(|row| row.len() != self.stages) {
+            return incompat(format!(
+                "lane grid is not {k}x{} (pipelines x stages)",
+                self.stages
+            ));
+        }
+        if state.channel.stages != self.stages {
+            return incompat(format!(
+                "channel spans {} stages, program has {}",
+                state.channel.stages, self.stages
+            ));
+        }
+        if state.crossbars.len() != self.stages
+            || state.crossbars.iter().any(|x| x.routed.len() != k * k)
+        {
+            return incompat("crossbar statistics are not stages x (k*k)".into());
+        }
+        for field in [
+            state.park_mask.len(),
+            state.inc_mask.len(),
+            state.queue_mask.len(),
+            state.dead.len(),
+            state.evac_done.len(),
+            state.evac_counts.len(),
+        ] {
+            if field != k {
+                return incompat("per-pipeline vector length does not match".into());
+            }
+        }
+        let mut queues = Vec::with_capacity(k);
+        for row in state.queues {
+            let mut qrow = Vec::with_capacity(self.stages);
+            for q in row {
+                qrow.push(unsnap_queue(q, &self.cfg)?);
+            }
+            queues.push(qrow);
+        }
+        self.queues = queues;
+        self.regs = state.regs;
+        self.index_map = Arc::new(state.index_map);
+        self.access_ctr = state.access_ctr;
+        self.inflight = state.inflight;
+        self.lanes = state
+            .lanes
+            .into_iter()
+            .map(|row| row.into_iter().map(|s| s.map(unsnap_flight)).collect())
+            .collect();
+        self.channel = PhantomChannel::from_parts(
+            self.stages,
+            state
+                .channel
+                .flights
+                .into_iter()
+                .map(|f| {
+                    (
+                        PhantomMsg {
+                            key: unsnap_key(f.key),
+                            ts: OrderKey(f.ts.0, f.ts.1),
+                            dest: PipelineId(f.dest),
+                            lane: PipelineId(f.lane),
+                        },
+                        f.at,
+                        f.dest_stage,
+                    )
+                })
+                .collect(),
+            state.channel.max_in_flight,
+            state.channel.delivered,
+        );
+        self.crossbars = state
+            .crossbars
+            .into_iter()
+            .map(|x| Crossbar::from_parts(k, x.routed, x.steer_cycles))
+            .collect();
+        self.cancelled = state.cancelled.into_iter().map(unsnap_key).collect();
+        self.lost = state.lost.into_iter().map(unsnap_key).collect();
+        self.ingress_q = state.ingress_q.into_iter().map(unsnap_flight).collect();
+        self.arrivals = state.arrivals.into();
+        self.pending_grants = state
+            .pending_grants
+            .into_iter()
+            .map(|(ready, dest, st, fl)| (ready, PipelineId(dest), st, unsnap_flight(fl)))
+            .collect();
+        self.egress_buf = state.egress_buf;
+        // The masks are derived occupancy views (batch-path
+        // accelerators), not state: the scalar path never maintains
+        // them, so rebuild from the restored lanes/queues — a snapshot
+        // taken on one exec path then restores cleanly onto the other.
+        for pl in 0..k {
+            let mut park = 0u64;
+            let mut qmask = 0u64;
+            for st in 0..self.stages.min(64) {
+                if self.lanes[pl][st].is_some() {
+                    park |= 1 << st;
+                }
+                if !self.queues[pl][st].is_empty() {
+                    qmask |= 1 << st;
+                }
+            }
+            self.park_mask[pl] = park;
+            self.queue_mask[pl] = qmask;
+            self.inc_mask[pl] = 0;
+        }
+        self.dead = state.dead;
+        self.evac_done = state.evac_done;
+        self.evac_counts = state.evac_counts;
+        self.rr = state.rr;
+        self.cycle = state.cycle;
+        let from_cycle = state.cycle;
+        self.report = unsnap_report(state.report);
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, NO_LOC, NO_LOC)
+                .emit(&mut self.sink, EventKind::Restored { from_cycle });
+        }
+        Ok(())
+    }
+
+    /// Swaps in a newly compiled program **without draining the
+    /// switch**, at the current cycle boundary.
+    ///
+    /// The candidate must have an identical *state layout* — packet
+    /// field names, stage count, prologue depth, and per-register
+    /// `(name, size, home stage, shardable)` — because every queued
+    /// phantom, in-flight tag, and index-map entry addresses state by
+    /// those coordinates. Anything else (the instruction stream, the
+    /// resolution plans, register initial values) may change freely;
+    /// packets already past their prologue keep their old-program tags
+    /// and complete under them, packets resolved after the swap use the
+    /// new program. An incompatible candidate is rejected as a typed
+    /// [`SwapError`] and the running switch is left untouched.
+    ///
+    /// Live register state migrates through the D2 ownership
+    /// discipline: each index's active copy (per the index map) is read
+    /// out of the old program's register file and written into the new
+    /// one's, with the [`SwapReport`] ledger counting both sides —
+    /// `migrated == evacuated` and `lost_phantoms == 0` on every
+    /// accepted swap. The index map itself does not change, so no
+    /// `RemapMove` evidence is emitted and `remap_moves` stays put —
+    /// the swap is invisible to the bit-identity contract except for
+    /// the `ProgramSwapped` lifecycle event (excluded from
+    /// `stream_hash`).
+    pub fn hot_swap(&mut self, new_prog: CompiledProgram) -> Result<SwapReport, SwapError> {
+        let old = &self.prog;
+        if new_prog.field_names != old.field_names {
+            return Err(SwapError::FieldLayout {
+                old: old.field_names.clone(),
+                new: new_prog.field_names.clone(),
+            });
+        }
+        if new_prog.num_stages() != self.stages {
+            return Err(SwapError::StageCount {
+                old: self.stages,
+                new: new_prog.num_stages(),
+            });
+        }
+        if new_prog.resolution.stages != self.prologue {
+            return Err(SwapError::PrologueDepth {
+                old: self.prologue,
+                new: new_prog.resolution.stages,
+            });
+        }
+        if new_prog.regs.len() != old.regs.len() {
+            return Err(SwapError::RegisterCount {
+                old: old.regs.len(),
+                new: new_prog.regs.len(),
+            });
+        }
+        for (i, (o, n)) in old.regs.iter().zip(&new_prog.regs).enumerate() {
+            if o.name != n.name || o.size != n.size || o.stage != n.stage {
+                return Err(SwapError::RegisterLayout {
+                    index: i,
+                    detail: format!(
+                        "{}[{}]@stage{:?} -> {}[{}]@stage{:?}",
+                        o.name, o.size, o.stage, n.name, n.size, n.stage
+                    ),
+                });
+            }
+            if o.shardable != n.shardable {
+                return Err(SwapError::RegisterLayout {
+                    index: i,
+                    detail: format!("shardable {} -> {}", o.shardable, n.shardable),
+                });
+            }
+        }
+        // Ledger side A: every queued or in-flight phantom must still
+        // address a valid register coordinate under the new program.
+        // Layout validation guarantees this; the scan is the evidence.
+        let valid = |key: &PhantomKey| {
+            key.reg.index() < new_prog.regs.len()
+                && (key.index == INDEX_ARRAY_LEVEL
+                    || (key.index as usize) < new_prog.regs[key.reg.index()].size as usize)
+        };
+        let mut lost_phantoms = 0u64;
+        for row in &self.queues {
+            for q in row {
+                let fifos: Vec<FifoParts<Flight>> = match q {
+                    StageQueue::Logical(f) => vec![f.snapshot_parts()],
+                    StageQueue::PerIndex { subs, .. } => {
+                        subs.values().map(|f| f.snapshot_parts()).collect()
+                    }
+                };
+                for parts in fifos {
+                    for lane in &parts.lanes {
+                        for e in &lane.entries {
+                            if let Entry::Phantom { key, .. } = e {
+                                if !valid(key) {
+                                    lost_phantoms += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (msg, _, _) in self.channel.snapshot_flights() {
+            if !valid(&msg.key) {
+                lost_phantoms += 1;
+            }
+        }
+        // Ledger sides B and C: read each index's active copy out of
+        // the old register file (evacuated), write it into the new
+        // one's (migrated). The index map is untouched, so ownership —
+        // and with it C1 — is preserved without any RemapMove.
+        let mut migrated = 0u64;
+        let mut evacuated = 0u64;
+        let mut fresh: Vec<Vec<Vec<Value>>> =
+            (0..self.k).map(|_| new_prog.initial_regs()).collect();
+        // Indexed loops, not iterators: the destination pipeline `pl`
+        // is data-dependent through the index map, so the write lands
+        // in a different outer slice than the one being scanned.
+        #[allow(clippy::needless_range_loop)]
+        for ri in 0..new_prog.regs.len() {
+            for idx in 0..new_prog.regs[ri].size as usize {
+                let pl = if new_prog.regs[ri].shardable {
+                    self.index_map[ri][idx] as usize
+                } else {
+                    0
+                };
+                let value = self.regs[pl][ri][idx];
+                evacuated += 1;
+                fresh[pl][ri][idx] = value;
+                migrated += 1;
+            }
+        }
+        self.regs = fresh;
+        // The parallel engine's workers read the program through the
+        // shared block; republish it with the new program.
+        if let Some(par) = self.par.as_mut() {
+            let s = &par.shared;
+            par.shared = Arc::new(EngineShared {
+                prog: new_prog.clone(),
+                phantoms: s.phantoms,
+                starvation_threshold: s.starvation_threshold,
+                clen: s.clen,
+                prologue: s.prologue,
+                tracing: s.tracing,
+                record_detail: s.record_detail,
+                batch: s.batch,
+            });
+        }
+        self.prog = new_prog;
+        if S::ENABLED {
+            TraceCtx::new(self.cycle, NO_LOC, NO_LOC)
+                .emit(&mut self.sink, EventKind::ProgramSwapped { migrated });
+        }
+        Ok(SwapReport {
+            cycle: self.cycle,
+            migrated,
+            evacuated,
+            lost_phantoms,
+        })
+    }
+
+    /// Mutable access to the trace sink (e.g. to flush a file-backed
+    /// sink after a checkpoint).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// The fault injector attached to this switch.
+    pub fn faults(&self) -> &F {
+        &self.faults
+    }
+
+    /// Mutable access to the fault injector (e.g. to checkpoint its
+    /// replay cursor alongside [`Mp5Switch::extract_state`]).
+    pub fn faults_mut(&mut self) -> &mut F {
+        &mut self.faults
+    }
+
+    /// Discards the switch mid-run and hands back the trace sink with
+    /// everything recorded so far. The halt path of a serving process:
+    /// checkpoint via [`Mp5Switch::extract_state`], then `abandon` to
+    /// persist the partial event stream without running `finish`'s
+    /// end-of-run aggregation (the run is not over — a restore will
+    /// continue it).
+    pub fn abandon(self) -> S {
+        self.sink
+    }
+}
+
 /// Initial index-to-pipeline map per the sharding mode.
 fn init_map(
     reg_index: usize,
@@ -3099,5 +3883,164 @@ mod tests {
         fn assert_sync<T: Sync>() {}
         assert_sync::<EngineShared>();
         assert_sync::<CompiledProgram>();
+    }
+
+    /// Sorted-by-entry-order trace for the streaming API.
+    fn sharded_trace(n: usize, seed: u64) -> (CompiledProgram, Vec<Packet>) {
+        let prog = compile(SHARDED, &Target::default()).unwrap();
+        let nf = prog.num_fields();
+        let mut trace = TraceBuilder::new(n, seed).build(nf, |r, _, f| {
+            use rand::Rng;
+            f[0] = r.gen_range(0..1_000);
+        });
+        trace.sort_by_key(|p| p.entry_order_key());
+        (prog, trace)
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let (prog, trace) = sharded_trace(3000, 11);
+        // (checkpoint cfg, restore cfg): the restore side may pick a
+        // different engine/exec path — all are bit-identical machines.
+        let cases = [
+            (
+                SwitchConfig::mp5(4).with_exec(ExecPath::Scalar),
+                SwitchConfig::mp5(4).with_exec(ExecPath::Scalar),
+            ),
+            (SwitchConfig::mp5(4), SwitchConfig::mp5(4)),
+            (
+                SwitchConfig::mp5(4).with_exec(ExecPath::Scalar),
+                SwitchConfig::mp5(4).with_exec(ExecPath::Batch),
+            ),
+            (
+                SwitchConfig::mp5(4),
+                SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(2)),
+            ),
+            (
+                SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(2)),
+                SwitchConfig::mp5(4),
+            ),
+        ];
+        for (cfg_a, cfg_b) in cases {
+            let oracle = Mp5Switch::new(prog.clone(), cfg_b.clone()).run(trace.clone());
+            let mut sw = Mp5Switch::new(prog.clone(), cfg_a.clone());
+            for p in trace.clone() {
+                sw.offer(p);
+            }
+            for _ in 0..40 {
+                sw.tick();
+                sw.drain_egress();
+            }
+            let state = sw.extract_state(1);
+            drop(sw);
+            // Round-trip a real mid-run state through JSON: proves every
+            // live structure serializes (the mp5serve codec depends on
+            // this).
+            let json = serde_json::to_string(&state).expect("state serializes");
+            let state: crate::SwitchState = serde_json::from_str(&json).expect("state parses");
+            let mut sw =
+                Mp5Switch::try_restore_with(prog.clone(), cfg_b.clone(), state, NopSink, NoFaults)
+                    .expect("restore");
+            while !sw.is_idle() {
+                sw.tick();
+                sw.drain_egress();
+            }
+            let (report, _) = sw.finish_stream();
+            assert_eq!(
+                report, oracle,
+                "restored run diverged ({cfg_a:?} -> {cfg_b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let (prog, trace) = sharded_trace(500, 3);
+        let mut sw = Mp5Switch::new(prog.clone(), SwitchConfig::mp5(4));
+        for p in trace {
+            sw.offer(p);
+        }
+        for _ in 0..10 {
+            sw.tick();
+            sw.drain_egress();
+        }
+        let state = sw.extract_state(1);
+        let err = Mp5Switch::try_restore_with(prog, SwitchConfig::mp5(8), state, NopSink, NoFaults)
+            .expect_err("4-pipeline snapshot must not restore into an 8-pipeline switch");
+        assert!(matches!(err, crate::RestoreError::Incompatible(_)));
+    }
+
+    #[test]
+    fn hot_swap_identical_program_completes_with_closed_ledger() {
+        let (prog, trace) = sharded_trace(3000, 13);
+        for cfg in [
+            SwitchConfig::mp5(4),
+            SwitchConfig::mp5(4).with_engine(EngineMode::Parallel(2)),
+        ] {
+            let oracle = Mp5Switch::new(prog.clone(), cfg.clone()).run(trace.clone());
+            let mut sw = Mp5Switch::new(prog.clone(), cfg.clone());
+            for p in trace.clone() {
+                sw.offer(p);
+            }
+            for _ in 0..30 {
+                sw.tick();
+                sw.drain_egress();
+            }
+            // Swap in a freshly compiled copy of the same source, mid-
+            // traffic, without draining.
+            let recompiled = compile(SHARDED, &Target::default()).unwrap();
+            let swap = sw.hot_swap(recompiled).expect("identical layout must swap");
+            assert!(swap.closed(), "swap ledger must close: {swap:?}");
+            assert_eq!(swap.migrated, 64, "SHARDED owns one 64-entry table");
+            assert_eq!(swap.lost_phantoms, 0);
+            while !sw.is_idle() {
+                sw.tick();
+                sw.drain_egress();
+            }
+            let (report, _) = sw.finish_stream();
+            assert_eq!(
+                report, oracle,
+                "swap to an identical program must be invisible"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_swap_rejects_incompatible_layouts() {
+        let (prog, trace) = sharded_trace(500, 5);
+        let mut sw = Mp5Switch::new(prog, SwitchConfig::mp5(4));
+        for p in trace {
+            sw.offer(p);
+        }
+        for _ in 0..10 {
+            sw.tick();
+            sw.drain_egress();
+        }
+        // Different packet field layout.
+        let other = compile(COUNTER, &Target::default()).unwrap();
+        assert!(matches!(
+            sw.hot_swap(other),
+            Err(crate::SwapError::FieldLayout { .. })
+        ));
+        // Same fields, different register size.
+        let wide = "struct Packet { int h; int out; };
+            int tbl[128] = {0};
+            void func(struct Packet p) {
+                tbl[p.h % 128] = tbl[p.h % 128] + 1;
+                p.out = tbl[p.h % 128];
+            }";
+        let wide = compile(wide, &Target::default()).unwrap();
+        match sw.hot_swap(wide) {
+            Err(crate::SwapError::RegisterLayout { .. })
+            | Err(crate::SwapError::StageCount { .. }) => {}
+            other => panic!("expected a layout rejection, got {other:?}"),
+        }
+        // The rejected swaps left the switch fully operational.
+        while !sw.is_idle() {
+            sw.tick();
+            sw.drain_egress();
+        }
+        let (report, _) = sw.finish_stream();
+        assert_eq!(report.completed, 500);
     }
 }

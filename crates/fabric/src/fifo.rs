@@ -143,6 +143,38 @@ pub enum PopOutcome<T> {
 /// is absent from the packed occupied-lane list.
 const NOT_OCCUPIED: u32 = u32::MAX;
 
+/// Checkpointed contents of one lane of a [`LogicalFifo`].
+#[derive(Debug, Clone)]
+pub struct LaneParts<T> {
+    /// Sequence number of the lane's head element (restores the stable
+    /// addresses the directory and any outstanding [`FifoAddr`]s use).
+    pub head_seq: u64,
+    /// Statistics high-water mark of the lane's ring.
+    pub max_occupancy: usize,
+    /// Queued entries, head to tail.
+    pub entries: Vec<Entry<T>>,
+}
+
+/// Checkpointed contents of a whole [`LogicalFifo`]. Only explicit
+/// state is captured: the phantom directory and the packed occupancy
+/// index are derived views and are rebuilt by
+/// [`LogicalFifo::from_parts`].
+#[derive(Debug, Clone)]
+pub struct FifoParts<T> {
+    /// Per-lane ring capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// The `k` lanes, in pipeline order.
+    pub lanes: Vec<LaneParts<T>>,
+    /// The timestamp-sorted recovery queue (data entries only).
+    pub recovered: Vec<Entry<T>>,
+    /// High-water mark of the recovery queue.
+    pub max_recovered: usize,
+    /// Statistics counters.
+    pub stats: FifoStats,
+    /// Service-scan mode (see [`LogicalFifo::set_reference_service`]).
+    pub indexed: bool,
+}
+
 /// Statistics counters for one logical FIFO.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FifoStats {
@@ -625,6 +657,80 @@ impl<T> LogicalFifo<T> {
             .chain(self.recovered.iter())
     }
 
+    /// Exports the FIFO's explicit state for a checkpoint. The phantom
+    /// directory and the occupancy index are derived from the lane
+    /// contents, so they are not exported; [`Self::from_parts`] rebuilds
+    /// them.
+    pub fn snapshot_parts(&self) -> FifoParts<T>
+    where
+        T: Clone,
+    {
+        FifoParts {
+            capacity: self.lanes[0].capacity(),
+            lanes: self
+                .lanes
+                .iter()
+                .map(|l| LaneParts {
+                    head_seq: l.head_seq(),
+                    max_occupancy: l.max_occupancy(),
+                    entries: l.iter().cloned().collect(),
+                })
+                .collect(),
+            recovered: self.recovered.iter().cloned().collect(),
+            max_recovered: self.max_recovered,
+            stats: self.stats,
+            indexed: self.indexed,
+        }
+    }
+
+    /// Rebuilds a FIFO from checkpointed parts, reconstructing the
+    /// phantom directory (every queued `Phantom` entry at its stable
+    /// `(lane, seq)` address) and the packed occupancy index.
+    pub fn from_parts(parts: FifoParts<T>) -> Self {
+        assert!(!parts.lanes.is_empty(), "a logical FIFO needs lanes");
+        let k = parts.lanes.len();
+        let mut directory = HashMap::new();
+        let mut total = parts.recovered.len();
+        let mut occupied = Vec::with_capacity(k);
+        let mut lane_pos = vec![NOT_OCCUPIED; k];
+        let mut lanes = Vec::with_capacity(k);
+        for (l, lp) in parts.lanes.into_iter().enumerate() {
+            total += lp.entries.len();
+            if !lp.entries.is_empty() {
+                lane_pos[l] = occupied.len() as u32;
+                occupied.push(l as u32);
+            }
+            for (pos, e) in lp.entries.iter().enumerate() {
+                if let Entry::Phantom { key, .. } = e {
+                    let addr = FifoAddr {
+                        lane: PipelineId::from(l),
+                        seq: lp.head_seq + pos as u64,
+                    };
+                    let prev = directory.insert(*key, addr);
+                    assert!(prev.is_none(), "duplicate phantom key in checkpoint");
+                }
+            }
+            lanes.push(RingBuffer::from_parts(
+                lp.entries,
+                lp.head_seq,
+                parts.capacity,
+                lp.max_occupancy,
+            ));
+        }
+        let max_recovered = parts.max_recovered.max(parts.recovered.len());
+        LogicalFifo {
+            lanes,
+            directory,
+            recovered: parts.recovered.into(),
+            max_recovered,
+            stats: parts.stats,
+            total,
+            occupied,
+            lane_pos,
+            indexed: parts.indexed,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Traced variants: identical semantics, but each outcome is emitted
     // into the sink. With `NopSink` the emission guard constant-folds,
@@ -969,6 +1075,34 @@ mod tests {
         assert_eq!(sink.events[0].kind.tag(), "ph_recovered");
         let _ = f.pop_traced(&mut sink, ctx, |_| PacketId(7));
         assert_eq!(sink.events[1].kind.tag(), "pop_data");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_service_order_and_directory() {
+        let mut f: LogicalFifo<&str> = LogicalFifo::new(3, Some(8));
+        f.push_phantom(key(0), OrderKey(0, 0), PipelineId(0))
+            .unwrap();
+        f.push_data("b", OrderKey(1, 0), PipelineId(1)).unwrap();
+        f.push_data("d", OrderKey(3, 0), PipelineId(2)).unwrap();
+        f.push_recovered("c", OrderKey(2, 0));
+        f.cancel(key(0), false);
+        f.push_phantom(key(9), OrderKey(4, 0), PipelineId(1))
+            .unwrap();
+        // Advance lane 1's head so sequence numbers diverge from zero.
+        assert!(matches!(f.pop(), PopOutcome::ConsumedStale));
+        assert!(matches!(f.pop(), PopOutcome::Data("b")));
+
+        let mut g = LogicalFifo::from_parts(f.snapshot_parts());
+        g.check_occupancy_index();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.stats().stale_cycles, 1);
+        assert!(g.has_phantom(key(9)));
+        // The restored directory addresses must be live: insert works.
+        g.insert_data(key(9), "e").unwrap();
+        assert!(matches!(g.pop(), PopOutcome::Data("c")));
+        assert!(matches!(g.pop(), PopOutcome::Data("d")));
+        assert!(matches!(g.pop(), PopOutcome::Data("e")));
+        assert!(matches!(g.pop(), PopOutcome::Empty));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod ring;
 pub mod xbar;
 
 pub use channel::PhantomChannel;
-pub use fifo::{Entry, FifoAddr, LogicalFifo, OrderKey, PhantomKey, PopOutcome, PushError};
+pub use fifo::{
+    Entry, FifoAddr, FifoParts, FifoStats, LaneParts, LogicalFifo, OrderKey, PhantomKey,
+    PopOutcome, PushError,
+};
 pub use ring::RingBuffer;
 pub use xbar::Crossbar;
 

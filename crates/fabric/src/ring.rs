@@ -125,6 +125,29 @@ impl<T> RingBuffer<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.buf.iter()
     }
+
+    /// Rebuilds a ring from checkpointed parts: the queued elements in
+    /// head-to-tail order, the head element's sequence number, and the
+    /// statistics high-water mark. Reconstructing `head_seq` exactly is
+    /// what keeps previously-issued [`FifoAddr`](crate::FifoAddr)-style
+    /// sequence addresses valid after a restore.
+    pub fn from_parts(
+        items: Vec<T>,
+        head_seq: u64,
+        capacity: Option<usize>,
+        max_occupancy: usize,
+    ) -> Self {
+        if let Some(c) = capacity {
+            assert!(items.len() <= c, "restored ring exceeds its capacity");
+        }
+        let buf: std::collections::VecDeque<T> = items.into();
+        RingBuffer {
+            max_occupancy: max_occupancy.max(buf.len()),
+            buf,
+            head_seq,
+            capacity,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +204,26 @@ mod tests {
         assert!(!r.is_full());
         assert_eq!(r.len(), 10_000);
         assert_eq!(r.max_occupancy(), 10_000);
+    }
+
+    #[test]
+    fn from_parts_restores_sequence_addresses() {
+        let mut r = RingBuffer::new(Some(4));
+        for i in 0..4 {
+            r.push_back(i).unwrap();
+        }
+        r.pop_front();
+        r.pop_front();
+        let items: Vec<i32> = r.iter().copied().collect();
+        let restored = RingBuffer::from_parts(items, r.head_seq(), r.capacity(), r.max_occupancy());
+        assert_eq!(restored.head_seq(), 2);
+        assert_eq!(restored.get(2), Some(&2));
+        assert_eq!(restored.get(3), Some(&3));
+        assert_eq!(restored.get(0), None);
+        assert_eq!(restored.max_occupancy(), 4);
+        // New pushes continue the original sequence numbering.
+        let mut restored = restored;
+        assert_eq!(restored.push_back(9).unwrap(), 4);
     }
 
     #[test]

@@ -111,6 +111,32 @@ impl Crossbar {
     pub fn steer_cycles(&self) -> u64 {
         self.steer_cycles
     }
+
+    /// Exports the routing statistics for a checkpoint: the flattened
+    /// row-major `k×k` route counts and the steer-cycle total. Only
+    /// valid at a cycle boundary (after [`Self::end_cycle`]), when the
+    /// in-cycle `cycle_had_steer` accumulator is clear.
+    pub fn snapshot(&self) -> (Vec<u64>, u64) {
+        debug_assert!(
+            !self.cycle_had_steer,
+            "crossbar snapshot mid-cycle: call end_cycle() first"
+        );
+        (self.routed.clone(), self.steer_cycles)
+    }
+
+    /// Rebuilds a crossbar from checkpointed statistics.
+    pub fn from_parts(k: usize, routed: Vec<u64>, steer_cycles: u64) -> Self {
+        assert!(
+            k > 0 && routed.len() == k * k,
+            "crossbar matrix must be k×k"
+        );
+        Crossbar {
+            k,
+            routed,
+            steer_cycles,
+            cycle_had_steer: false,
+        }
+    }
 }
 
 #[cfg(test)]

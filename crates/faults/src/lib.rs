@@ -687,6 +687,35 @@ struct DropWindow {
     silent: bool,
 }
 
+/// Checkpointed runtime state of a [`PlannedFaults`] injector.
+///
+/// A fired plan is *not* replay-reconstructible from the [`FaultPlan`]
+/// alone: window expiries are computed at fire time (`until` = fire
+/// cycle + length) and remap aborts are consumed as they happen. So a
+/// switch checkpoint must carry this explicit state and re-apply it on
+/// top of a freshly compiled injector via
+/// [`PlannedFaults::restore_state`]. The per-cycle `stall_pairs` cache
+/// is derived and rebuilt on the next `begin_cycle`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InjectorState {
+    /// Index of the next unfired plan entry.
+    pub cursor: usize,
+    /// Last cycle passed to `begin_cycle`.
+    pub cycle: u64,
+    /// Active stall windows as `(pipeline, stage, until)`.
+    pub stalls: Vec<(u16, u16, u64)>,
+    /// Active overflow windows as `(pipeline, stage, until)`.
+    pub overflows: Vec<(u16, u16, u64)>,
+    /// Active phantom-drop windows as `(rate_permille, until, silent)`.
+    pub drops: Vec<(u32, u64, bool)>,
+    /// Current crossbar grant latency (0 = none).
+    pub grant_delay: u64,
+    /// Cycle at which the grant-delay window expires.
+    pub grant_until: u64,
+    /// Unconsumed remap aborts.
+    pub remap_aborts: u32,
+}
+
 /// The real injector: a cycle-sorted plan cursor plus active windows.
 #[derive(Debug, Clone)]
 pub struct PlannedFaults {
@@ -720,6 +749,54 @@ impl PlannedFaults {
             grant_until: 0,
             remap_aborts: 0,
         }
+    }
+
+    /// Exports the runtime state for a checkpoint (see
+    /// [`InjectorState`]). The plan itself is not included — it is the
+    /// caller's separately-serialized [`FaultPlan`].
+    pub fn snapshot_state(&self) -> InjectorState {
+        InjectorState {
+            cursor: self.cursor,
+            cycle: self.cycle,
+            stalls: self.stalls.clone(),
+            overflows: self.overflows.clone(),
+            drops: self
+                .drops
+                .iter()
+                .map(|w| (w.rate_permille, w.until, w.silent))
+                .collect(),
+            grant_delay: self.grant_delay,
+            grant_until: self.grant_until,
+            remap_aborts: self.remap_aborts,
+        }
+    }
+
+    /// Re-applies checkpointed runtime state on top of a freshly
+    /// compiled injector for the same plan. The `stall_pairs` cache is
+    /// rebuilt immediately so `stage_stalled` answers correctly even
+    /// before the next `begin_cycle`.
+    pub fn restore_state(&mut self, state: &InjectorState) {
+        assert!(
+            state.cursor <= self.plan.len(),
+            "injector state cursor exceeds plan length"
+        );
+        self.cursor = state.cursor;
+        self.cycle = state.cycle;
+        self.stalls = state.stalls.clone();
+        self.overflows = state.overflows.clone();
+        self.drops = state
+            .drops
+            .iter()
+            .map(|&(rate_permille, until, silent)| DropWindow {
+                rate_permille,
+                until,
+                silent,
+            })
+            .collect();
+        self.grant_delay = state.grant_delay;
+        self.grant_until = state.grant_until;
+        self.remap_aborts = state.remap_aborts;
+        self.stall_pairs = self.stalls.iter().map(|&(p, s, _)| (p, s)).collect();
     }
 }
 
@@ -952,6 +1029,37 @@ mod tests {
         assert!(!inj.take_remap_abort());
         inj.begin_cycle(15);
         assert!(!inj.stage_stalled(1, 2), "window expired");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let plan = sample();
+        let mut live = plan.injector();
+        // Drive past several fire points so windows are mid-flight and
+        // one abort is consumed.
+        for c in 0..=21 {
+            live.begin_cycle(c);
+        }
+        assert!(live.take_remap_abort());
+        let state = live.snapshot_state();
+
+        let mut restored = plan.injector();
+        restored.restore_state(&state);
+        assert_eq!(restored.snapshot_state(), state);
+        // Mid-window queries answer identically before any begin_cycle.
+        assert_eq!(restored.stage_stalled(1, 2), live.stage_stalled(1, 2));
+        assert_eq!(restored.active_stalls(), live.active_stalls());
+        // And the two injectors stay in lock-step to the horizon.
+        for c in 22..60 {
+            assert_eq!(live.begin_cycle(c), restored.begin_cycle(c), "cycle {c}");
+            assert_eq!(live.active_stalls(), restored.active_stalls());
+            assert_eq!(live.grant_delay(), restored.grant_delay());
+            for key in 0..50u64 {
+                assert_eq!(live.phantom_fate(key), restored.phantom_fate(key));
+            }
+            assert_eq!(live.take_remap_abort(), restored.take_remap_abort());
+        }
+        assert_eq!(live.snapshot_state(), restored.snapshot_state());
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! `mp5-serve` — live operation of an MP5 switch: crash-safe
+//! checkpoints and zero-downtime program hot-swap.
+//!
+//! The simulation crates treat a run as a batch job: hand the switch a
+//! trace, get a [`RunReport`] back. A deployed switch is a *process*:
+//! it ingests packets indefinitely, survives crashes, and takes
+//! program updates without dropping what is in flight. This crate adds
+//! that operational layer on top of `mp5-core`'s cycle-accurate model:
+//!
+//! * [`Snapshot`] — a complete, versioned image of a running switch
+//!   (program source, configuration, every register file, FIFO and
+//!   phantom-lane occupancy, remap tables, crossbar cursors, cycle
+//!   counters, the fault ledger, and the fault injector's replay
+//!   cursor), serialized with a checksummed sectioned codec and
+//!   written atomically (tmp + fsync + rename) so a crash mid-write
+//!   can never corrupt the last good checkpoint.
+//! * [`Server`] — a thin stateful wrapper over [`Mp5Switch`]'s
+//!   streaming API (`offer`/`tick`/`drain_egress`) that knows how to
+//!   checkpoint itself, restore from a snapshot into a *fresh* switch
+//!   with bit-identical continued execution, and hot-swap a newly
+//!   compiled program at a cycle boundary without draining.
+//!
+//! The restore contract is exact: a run that is checkpointed at cycle
+//! `C`, killed, and restored produces the same [`RunReport`] and the
+//! same event-stream hash as the run that was never interrupted — on
+//! either execution path and either cycle engine, which are free to
+//! differ between the checkpoint and the restore.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::Path;
+
+use mp5_compiler::{compile, CompiledProgram, Target};
+use mp5_core::{
+    ConfigError, EngineMode, ExecPath, Mp5Switch, RestoreError, RunReport, SwapError, SwapReport,
+    SwitchConfig, SwitchState,
+};
+use mp5_faults::{FaultInjector, FaultPlan, InjectorState, NoFaults, PlannedFaults};
+use mp5_trace::TraceSink;
+use mp5_types::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot codec version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic tag on the first line of every snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "MP5SNAP";
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Everything that can go wrong while serving: IO, codec, compile,
+/// restore, and swap failures, each with enough context to print a
+/// one-line diagnosis and exit non-zero.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// The snapshot file is malformed.
+    Format(String),
+    /// The snapshot's checksum trailer does not match its contents.
+    Checksum {
+        /// Checksum recorded in the file.
+        expected: String,
+        /// Checksum recomputed from the file's contents.
+        found: String,
+    },
+    /// The snapshot was written by an incompatible codec version.
+    Version(u32),
+    /// The embedded program source no longer compiles.
+    Compile(String),
+    /// The snapshot's switch configuration is invalid.
+    Config(ConfigError),
+    /// The snapshot does not fit the switch it is being restored into.
+    Restore(RestoreError),
+    /// A hot-swap was rejected.
+    Swap(SwapError),
+    /// A fault plan is missing, malformed, or supplied where faults
+    /// are disabled.
+    Plan(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { path, err } => write!(f, "{path}: {err}"),
+            ServeError::Format(why) => write!(f, "malformed snapshot: {why}"),
+            ServeError::Checksum { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: file says {expected}, contents hash to {found} \
+                 (truncated or corrupted write?)"
+            ),
+            ServeError::Version(v) => write!(
+                f,
+                "snapshot codec version {v} is not supported (this build reads v{SNAPSHOT_VERSION})"
+            ),
+            ServeError::Compile(e) => write!(f, "embedded program does not compile: {e}"),
+            ServeError::Config(e) => write!(f, "snapshot configuration invalid: {e}"),
+            ServeError::Restore(e) => write!(f, "restore rejected: {e}"),
+            ServeError::Swap(e) => write!(f, "hot-swap rejected: {e}"),
+            ServeError::Plan(why) => write!(f, "fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RestoreError> for ServeError {
+    fn from(e: RestoreError) -> Self {
+        ServeError::Restore(e)
+    }
+}
+
+impl From<SwapError> for ServeError {
+    fn from(e: SwapError) -> Self {
+        ServeError::Swap(e)
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// Wraps an IO error with the path it happened on.
+pub fn io_err(path: &Path, err: std::io::Error) -> ServeError {
+    ServeError::Io {
+        path: path.display().to_string(),
+        err,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injector checkpointing
+// ---------------------------------------------------------------------
+
+/// Serializable mirror of [`InjectorState`] (the faults crate stays
+/// dependency-free, so the serde derive lives here).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InjectorSnap {
+    /// Index of the next unfired plan entry.
+    pub cursor: usize,
+    /// Last cycle the injector observed.
+    pub cycle: u64,
+    /// Active stall windows as `(pipeline, stage, until)`.
+    pub stalls: Vec<(u16, u16, u64)>,
+    /// Active overflow windows as `(pipeline, stage, until)`.
+    pub overflows: Vec<(u16, u16, u64)>,
+    /// Active phantom-drop windows as `(rate_permille, until, silent)`.
+    pub drops: Vec<(u32, u64, bool)>,
+    /// Current crossbar grant latency (0 = none).
+    pub grant_delay: u64,
+    /// Cycle at which the grant-delay window expires.
+    pub grant_until: u64,
+    /// Unconsumed remap aborts.
+    pub remap_aborts: u32,
+}
+
+impl From<InjectorState> for InjectorSnap {
+    fn from(s: InjectorState) -> Self {
+        InjectorSnap {
+            cursor: s.cursor,
+            cycle: s.cycle,
+            stalls: s.stalls,
+            overflows: s.overflows,
+            drops: s.drops,
+            grant_delay: s.grant_delay,
+            grant_until: s.grant_until,
+            remap_aborts: s.remap_aborts,
+        }
+    }
+}
+
+impl From<InjectorSnap> for InjectorState {
+    fn from(s: InjectorSnap) -> Self {
+        InjectorState {
+            cursor: s.cursor,
+            cycle: s.cycle,
+            stalls: s.stalls,
+            overflows: s.overflows,
+            drops: s.drops,
+            grant_delay: s.grant_delay,
+            grant_until: s.grant_until,
+            remap_aborts: s.remap_aborts,
+        }
+    }
+}
+
+/// A fault injector the server knows how to checkpoint and rebuild.
+///
+/// Implemented for [`NoFaults`] (nothing to save) and
+/// [`PlannedFaults`] (plan JSON + replay cursor). The server is
+/// generic over this trait so the no-faults configuration keeps the
+/// zero-cost `F::ENABLED = false` fast path.
+pub trait FaultState: FaultInjector + Sized {
+    /// Builds a fresh injector from an optional fault-plan JSON.
+    fn fresh(plan_json: Option<&str>) -> Result<Self, ServeError>;
+    /// Exports the replay cursor for a checkpoint (`None` if there is
+    /// nothing to save).
+    fn snap(&self) -> Option<InjectorSnap>;
+    /// Rebuilds the injector a snapshot was taken with.
+    fn restore_from(
+        plan_json: Option<&str>,
+        snap: Option<&InjectorSnap>,
+    ) -> Result<Self, ServeError>;
+}
+
+impl FaultState for NoFaults {
+    fn fresh(plan_json: Option<&str>) -> Result<Self, ServeError> {
+        match plan_json {
+            None => Ok(NoFaults),
+            Some(_) => Err(ServeError::Plan(
+                "a fault plan was supplied but fault injection is disabled".into(),
+            )),
+        }
+    }
+
+    fn snap(&self) -> Option<InjectorSnap> {
+        None
+    }
+
+    fn restore_from(
+        plan_json: Option<&str>,
+        _snap: Option<&InjectorSnap>,
+    ) -> Result<Self, ServeError> {
+        Self::fresh(plan_json)
+    }
+}
+
+impl FaultState for PlannedFaults {
+    fn fresh(plan_json: Option<&str>) -> Result<Self, ServeError> {
+        let text = plan_json
+            .ok_or_else(|| ServeError::Plan("fault injection requires a fault plan".into()))?;
+        let plan = FaultPlan::from_json(text).map_err(|e| ServeError::Plan(e.to_string()))?;
+        Ok(plan.injector())
+    }
+
+    fn snap(&self) -> Option<InjectorSnap> {
+        Some(self.snapshot_state().into())
+    }
+
+    fn restore_from(
+        plan_json: Option<&str>,
+        snap: Option<&InjectorSnap>,
+    ) -> Result<Self, ServeError> {
+        let mut inj = Self::fresh(plan_json)?;
+        if let Some(s) = snap {
+            inj.restore_state(&s.clone().into());
+        }
+        Ok(inj)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot container + codec
+// ---------------------------------------------------------------------
+
+/// A complete, restartable image of a running switch.
+///
+/// Everything needed to rebuild the exact machine: the program
+/// *source* (recompiled on restore — the compiler is deterministic),
+/// the switch configuration, the full [`SwitchState`], and — for
+/// fault-injected runs — the fault plan plus the injector's replay
+/// cursor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotone checkpoint sequence number within one serve session.
+    pub seq: u64,
+    /// DSL source of the running program.
+    pub source: String,
+    /// The switch configuration the state was captured under.
+    pub config: SwitchConfig,
+    /// The machine state itself.
+    pub state: SwitchState,
+    /// Fault plan JSON, if the run injects faults.
+    pub fault_plan: Option<String>,
+    /// Fault-injector replay cursor, if the run injects faults.
+    pub injector: Option<InjectorSnap>,
+}
+
+/// Serializes one section body. Snapshot sections are plain data
+/// (no maps with non-string keys, no NaNs), so serialization itself
+/// cannot fail; only IO can.
+fn json<T: Serialize + ?Sized>(v: &T) -> String {
+    serde_json::to_string(v).expect("snapshot sections are plain serializable data")
+}
+
+/// FNV-1a 64-bit over the snapshot body — stable across builds and
+/// platforms (unlike the std hasher, which is only stable within one
+/// process).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Snapshot {
+    /// The cycle the snapshot was taken at.
+    pub fn cycle(&self) -> u64 {
+        self.state.cycle
+    }
+
+    /// Serializes to the sectioned snapshot text format:
+    ///
+    /// ```text
+    /// MP5SNAP v1 seq=3 cycle=1200
+    /// @source "..."
+    /// @config {...}
+    /// @state {...}
+    /// @faults "..."          (only fault-injected runs)
+    /// @injector {...}        (only fault-injected runs)
+    /// @checksum 0123456789abcdef
+    /// ```
+    ///
+    /// One JSON document per section line (the same one-line-per-record
+    /// discipline as the trace JSONL codec), closed by an FNV-1a64
+    /// checksum over every preceding byte.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} seq={} cycle={}\n",
+            self.seq,
+            self.cycle()
+        );
+        out.push_str(&format!("@source {}\n", json(&self.source)));
+        out.push_str(&format!("@config {}\n", json(&self.config)));
+        out.push_str(&format!("@state {}\n", json(&self.state)));
+        if let Some(plan) = &self.fault_plan {
+            out.push_str(&format!("@faults {}\n", json(plan)));
+        }
+        if let Some(inj) = &self.injector {
+            out.push_str(&format!("@injector {}\n", json(inj)));
+        }
+        out.push_str(&format!("@checksum {:016x}\n", fnv1a64(out.as_bytes())));
+        out
+    }
+
+    /// Parses and verifies a snapshot file's text. Rejects version
+    /// skew, checksum mismatches (truncated or bit-rotted files), and
+    /// any missing or malformed section.
+    pub fn decode(text: &str) -> Result<Snapshot, ServeError> {
+        // Checksum first: everything up to the `@checksum` line must
+        // hash to the recorded trailer, otherwise nothing else in the
+        // file can be trusted.
+        let tail = text
+            .rfind("@checksum ")
+            .ok_or_else(|| ServeError::Format("missing @checksum trailer".into()))?;
+        let recorded = text[tail..].strip_prefix("@checksum ").unwrap_or("").trim();
+        let found = format!("{:016x}", fnv1a64(&text.as_bytes()[..tail]));
+        if recorded != found {
+            return Err(ServeError::Checksum {
+                expected: recorded.to_string(),
+                found,
+            });
+        }
+
+        let mut lines = text[..tail].lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ServeError::Format("empty snapshot".into()))?;
+        let mut words = header.split_whitespace();
+        if words.next() != Some(SNAPSHOT_MAGIC) {
+            return Err(ServeError::Format(format!(
+                "bad magic (expected '{SNAPSHOT_MAGIC}')"
+            )));
+        }
+        let version: u32 = words
+            .next()
+            .and_then(|w| w.strip_prefix('v'))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ServeError::Format("unparseable version in header".into()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(ServeError::Version(version));
+        }
+        let seq: u64 = words
+            .next()
+            .and_then(|w| w.strip_prefix("seq="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ServeError::Format("unparseable seq in header".into()))?;
+
+        let mut source: Option<String> = None;
+        let mut config: Option<SwitchConfig> = None;
+        let mut state: Option<SwitchState> = None;
+        let mut fault_plan: Option<String> = None;
+        let mut injector: Option<InjectorSnap> = None;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (tag, body) = line
+                .split_once(' ')
+                .ok_or_else(|| ServeError::Format(format!("section line without body: {line}")))?;
+            let parse_err =
+                |e: serde_json::Error| ServeError::Format(format!("section {tag}: {e}"));
+            match tag {
+                "@source" => source = Some(serde_json::from_str(body).map_err(parse_err)?),
+                "@config" => config = Some(serde_json::from_str(body).map_err(parse_err)?),
+                "@state" => state = Some(serde_json::from_str(body).map_err(parse_err)?),
+                "@faults" => fault_plan = Some(serde_json::from_str(body).map_err(parse_err)?),
+                "@injector" => injector = Some(serde_json::from_str(body).map_err(parse_err)?),
+                other => {
+                    return Err(ServeError::Format(format!("unknown section '{other}'")));
+                }
+            }
+        }
+
+        let snap = Snapshot {
+            seq,
+            source: source.ok_or_else(|| ServeError::Format("missing @source section".into()))?,
+            config: config.ok_or_else(|| ServeError::Format("missing @config section".into()))?,
+            state: state.ok_or_else(|| ServeError::Format("missing @state section".into()))?,
+            fault_plan,
+            injector,
+        };
+        if snap.fault_plan.is_some() != snap.injector.is_some() {
+            return Err(ServeError::Format(
+                "@faults and @injector must appear together".into(),
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot atomically: serialize to `<path>.tmp`,
+    /// fsync the file, rename over `path`, fsync the directory. A
+    /// crash at any point leaves either the previous snapshot or the
+    /// new one — never a torn file — which is what makes overwriting
+    /// one well-known path (`last.snap`) each checkpoint safe.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), ServeError> {
+        let text = self.encode();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(text.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                // Persist the rename itself; ignore filesystems that
+                // refuse to fsync a directory handle.
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies a snapshot file.
+    pub fn read(path: &Path) -> Result<Snapshot, ServeError> {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+        Self::decode(&text)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A long-running switch: [`Mp5Switch`] plus the bookkeeping needed to
+/// checkpoint, restore, and hot-swap it.
+pub struct Server<S: TraceSink, F: FaultState> {
+    sw: Mp5Switch<S, F>,
+    source: String,
+    config: SwitchConfig,
+    plan_json: Option<String>,
+    seq: u64,
+}
+
+impl<S: TraceSink, F: FaultState> Server<S, F> {
+    /// Compiles `source` and boots a fresh switch.
+    pub fn new(
+        source: &str,
+        config: SwitchConfig,
+        sink: S,
+        plan_json: Option<String>,
+    ) -> Result<Self, ServeError> {
+        let prog = compile_source(source)?;
+        let faults = F::fresh(plan_json.as_deref())?;
+        let sw = Mp5Switch::with_faults(prog, config.clone(), sink, faults);
+        Ok(Server {
+            sw,
+            source: source.to_string(),
+            config,
+            plan_json,
+            seq: 0,
+        })
+    }
+
+    /// Rebuilds a switch from a snapshot and resumes it, bit-identical
+    /// to the run that was checkpointed. `engine`/`exec` override the
+    /// snapshot's configuration when given — both cycle engines and
+    /// both execution paths implement the same machine, so a restore
+    /// may switch between them freely.
+    pub fn restore(
+        snap: Snapshot,
+        sink: S,
+        engine: Option<EngineMode>,
+        exec: Option<ExecPath>,
+    ) -> Result<Self, ServeError> {
+        let prog = compile_source(&snap.source)?;
+        let mut config = snap.config.clone();
+        if let Some(e) = engine {
+            config = config.with_engine(e);
+        }
+        if let Some(x) = exec {
+            config = config.with_exec(x);
+        }
+        let faults = F::restore_from(snap.fault_plan.as_deref(), snap.injector.as_ref())?;
+        let sw = Mp5Switch::try_restore_with(prog, config.clone(), snap.state, sink, faults)?;
+        Ok(Server {
+            sw,
+            source: snap.source,
+            config,
+            plan_json: snap.fault_plan,
+            seq: snap.seq,
+        })
+    }
+
+    /// Offers a batch of packets, sorting them into entry order first
+    /// (the streaming API's contract).
+    pub fn offer_all(&mut self, mut packets: Vec<Packet>) {
+        packets.sort_by_key(|p| p.entry_order_key());
+        for p in packets {
+            self.sw.offer(p);
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self) {
+        self.sw.tick();
+    }
+
+    /// Packets that exited since the last drain.
+    pub fn drain_egress(&mut self) -> Vec<(Packet, u64)> {
+        self.sw.drain_egress()
+    }
+
+    /// True when nothing is buffered or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.sw.is_idle()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.sw.cycle()
+    }
+
+    /// The live (in-progress) run report.
+    pub fn live_report(&self) -> &RunReport {
+        self.sw.live_report()
+    }
+
+    /// Captures a checkpoint of the running switch. Must be called at
+    /// a cycle boundary (between [`Server::tick`]s), which is the only
+    /// place the wrapper exposes — the machine state mid-cycle is not
+    /// a meaningful snapshot.
+    pub fn checkpoint(&mut self) -> Snapshot {
+        self.seq += 1;
+        let state = self.sw.extract_state(self.seq);
+        Snapshot {
+            seq: self.seq,
+            source: self.source.clone(),
+            config: self.config.clone(),
+            state,
+            fault_plan: self.plan_json.clone(),
+            injector: self.sw.faults().snap(),
+        }
+    }
+
+    /// Compiles `source` and swaps it into the running switch without
+    /// draining. See [`Mp5Switch::hot_swap`] for the migration ledger
+    /// and rejection rules.
+    pub fn hot_swap(&mut self, source: &str) -> Result<SwapReport, ServeError> {
+        let prog = compile_source(source)?;
+        let report = self.sw.hot_swap(prog)?;
+        self.source = source.to_string();
+        Ok(report)
+    }
+
+    /// Finalizes the run: end-of-run aggregates, report, sink.
+    pub fn finish(self) -> (RunReport, S) {
+        self.sw.finish_stream()
+    }
+
+    /// Discards the run mid-flight (after a final [`Server::checkpoint`])
+    /// and hands back the sink with the events recorded so far.
+    pub fn abandon(self) -> S {
+        self.sw.abandon()
+    }
+
+    /// The program source currently executing.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The switch configuration in effect.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+}
+
+/// Compiles DSL source for the default target, with the error mapped
+/// into [`ServeError`].
+pub fn compile_source(source: &str) -> Result<CompiledProgram, ServeError> {
+    compile(source, &Target::default()).map_err(|e| ServeError::Compile(e.to_string()))
+}
+
+/// Parses one newline-JSON packet feed line (the `mp5serve --stdin`
+/// ingest format: each line a serialized [`Packet`]).
+pub fn parse_packet_line(line: &str, lineno: usize) -> Result<Packet, ServeError> {
+    serde_json::from_str(line)
+        .map_err(|e| ServeError::Format(format!("packet feed line {lineno}: {e}")))
+}
+
+/// A quick content fingerprint for tests and logs (FNV-1a64 of the
+/// encoded snapshot, minus the checksum line).
+pub fn snapshot_fingerprint(snap: &Snapshot) -> u64 {
+    let text = snap.encode();
+    let body = text.rfind("@checksum ").unwrap_or(text.len());
+    fnv1a64(&text.as_bytes()[..body])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp5_core::SwitchConfig;
+    use mp5_trace::{stream_hash, MemSink, NopSink};
+
+    const COUNTER: &str = "struct Packet { int h; int out; };
+        int counters[64] = {0};
+        void func(struct Packet p) {
+            counters[p.h % 64] = counters[p.h % 64] + 1;
+            p.out = counters[p.h % 64];
+        }";
+
+    fn trace(n: usize, seed: u64) -> Vec<Packet> {
+        let prog = compile_source(COUNTER).unwrap();
+        mp5_traffic::TraceBuilder::new(n, seed).build(prog.num_fields(), |rng, _, f| {
+            use rand::Rng;
+            f[0] = rng.gen_range(0..1_000);
+        })
+    }
+
+    fn checkpoint_at(cycles: u64, n: usize, seed: u64) -> Snapshot {
+        let mut srv: Server<NopSink, NoFaults> =
+            Server::new(COUNTER, SwitchConfig::mp5(4), NopSink, None).unwrap();
+        srv.offer_all(trace(n, seed));
+        for _ in 0..cycles {
+            srv.tick();
+            srv.drain_egress();
+        }
+        srv.checkpoint()
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let snap = checkpoint_at(25, 400, 11);
+        let text = snap.encode();
+        let back = Snapshot::decode(&text).unwrap();
+        assert_eq!(snap, back);
+        assert!(text.starts_with("MP5SNAP v1 seq=1 cycle=25\n"));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let snap = checkpoint_at(10, 200, 3);
+        let text = snap.encode();
+
+        // Flip one byte inside the @state section.
+        let pos = text.find("@state").unwrap() + 20;
+        let mut bytes = text.clone().into_bytes();
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            Snapshot::decode(&corrupted),
+            Err(ServeError::Checksum { .. })
+        ));
+
+        // Truncation loses the trailer.
+        assert!(matches!(
+            Snapshot::decode(&text[..text.len() / 2]),
+            Err(ServeError::Format(_)) | Err(ServeError::Checksum { .. })
+        ));
+
+        // Version skew is a typed error.
+        let skewed = text.replace("MP5SNAP v1 ", "MP5SNAP v9 ");
+        let body_end = skewed.rfind("@checksum ").unwrap();
+        let refreshed = format!(
+            "{}@checksum {:016x}\n",
+            &skewed[..body_end],
+            fnv1a64(&skewed.as_bytes()[..body_end])
+        );
+        assert!(matches!(
+            Snapshot::decode(&refreshed),
+            Err(ServeError::Version(9))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_read_and_no_tmp_left_behind() {
+        let snap = checkpoint_at(15, 300, 7);
+        let dir = std::env::temp_dir().join("mp5serve-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("last.snap");
+        snap.write_atomic(&path).unwrap();
+        snap.write_atomic(&path).unwrap(); // overwrite is also safe
+        let back = Snapshot::read(&path).unwrap();
+        assert_eq!(snap, back);
+        assert!(!dir.join("last.snap.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_through_file_continues_bit_identically() {
+        let n = 600;
+        let seed = 42;
+        let prog = compile_source(COUNTER).unwrap();
+        let cfg = SwitchConfig::mp5(4);
+        let (oracle, oracle_sink) =
+            Mp5Switch::with_sink(prog, cfg.clone(), MemSink::new()).run_traced(trace(n, seed));
+
+        // Serve, checkpoint at cycle 30, "crash", restore from disk.
+        let mut srv: Server<MemSink, NoFaults> =
+            Server::new(COUNTER, cfg, MemSink::new(), None).unwrap();
+        srv.offer_all(trace(n, seed));
+        for _ in 0..30 {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let snap = srv.checkpoint();
+        let dir = std::env::temp_dir().join("mp5serve-test-restore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.snap");
+        snap.write_atomic(&path).unwrap();
+        let events_before = srv.abandon().into_events();
+
+        let mut srv: Server<MemSink, NoFaults> =
+            Server::restore(Snapshot::read(&path).unwrap(), MemSink::new(), None, None).unwrap();
+        while !srv.is_idle() {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let (report, sink) = srv.finish();
+        let mut events = events_before;
+        events.extend(sink.into_events());
+
+        assert_eq!(report, oracle);
+        assert_eq!(
+            stream_hash(&events),
+            stream_hash(&oracle_sink.into_events())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_run_checkpoints_injector_cursor() {
+        let n = 500;
+        let seed = 9;
+        let prog = compile_source(COUNTER).unwrap();
+        let plan = FaultPlan::chaos(5, 4, prog.num_stages(), 200);
+        let plan_json = plan.to_json();
+        let cfg = SwitchConfig::mp5(4);
+        let oracle =
+            Mp5Switch::with_faults(prog, cfg.clone(), NopSink, plan.injector()).run(trace(n, seed));
+
+        let mut srv: Server<NopSink, PlannedFaults> =
+            Server::new(COUNTER, cfg, NopSink, Some(plan_json)).unwrap();
+        srv.offer_all(trace(n, seed));
+        for _ in 0..70 {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let snap = srv.checkpoint();
+        assert!(snap.fault_plan.is_some() && snap.injector.is_some());
+        let snap = Snapshot::decode(&snap.encode()).unwrap();
+
+        let mut srv: Server<NopSink, PlannedFaults> =
+            Server::restore(snap, NopSink, None, None).unwrap();
+        while !srv.is_idle() {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let (report, _) = srv.finish();
+        assert_eq!(report, oracle);
+        assert!(report.fault.injected > 0, "chaos plan should have fired");
+    }
+
+    #[test]
+    fn hot_swap_preserves_state_and_closes_ledger() {
+        let n = 500;
+        let seed = 21;
+        let cfg = SwitchConfig::mp5(4);
+        let oracle = {
+            let prog = compile_source(COUNTER).unwrap();
+            Mp5Switch::new(prog, cfg.clone()).run(trace(n, seed))
+        };
+
+        let mut srv: Server<NopSink, NoFaults> = Server::new(COUNTER, cfg, NopSink, None).unwrap();
+        srv.offer_all(trace(n, seed));
+        for _ in 0..20 {
+            srv.tick();
+            srv.drain_egress();
+        }
+        // Swap in a recompile of the same source: state carries over,
+        // the ledger closes, and the run finishes as if never swapped.
+        let rep = srv.hot_swap(COUNTER).unwrap();
+        assert!(rep.closed(), "swap ledger must close: {rep:?}");
+        while !srv.is_idle() {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let (report, _) = srv.finish();
+        assert_eq!(report, oracle);
+    }
+
+    #[test]
+    fn packet_feed_lines_round_trip() {
+        let pkts = trace(3, 1);
+        for (i, p) in pkts.iter().enumerate() {
+            let line = serde_json::to_string(p).unwrap();
+            let back = parse_packet_line(&line, i + 1).unwrap();
+            assert_eq!(*p, back);
+        }
+        assert!(parse_packet_line("{not json", 7).is_err());
+    }
+}

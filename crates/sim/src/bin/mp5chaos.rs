@@ -31,13 +31,14 @@ struct Cli {
     opts: ChaosOpts,
     dump_plans: Option<String>,
     fabric: bool,
+    kill_restore: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mp5chaos [--seeds N] [--start-seed N] [--apps all|name,...] \
          [--pipelines K] [--packets N] [--horizon CYCLES] [--seq-only] [--dump-plans DIR] \
-         [--fabric]"
+         [--fabric] [--kill-restore]"
     );
     std::process::exit(2)
 }
@@ -50,6 +51,7 @@ fn parse_cli() -> Cli {
         opts: ChaosOpts::default(),
         dump_plans: None,
         fabric: false,
+        kill_restore: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,6 +75,7 @@ fn parse_cli() -> Cli {
             "--seq-only" => cli.opts.check_parallel = false,
             "--dump-plans" => cli.dump_plans = Some(val("--dump-plans")),
             "--fabric" => cli.fabric = true,
+            "--kill-restore" => cli.kill_restore = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -133,21 +136,43 @@ fn main() {
                 eprintln!("    FAIL [{} seed {}]: {f}", out.app, out.seed);
             }
             if let Some(dir) = &cli.dump_plans {
-                let prog = mp5_apps::by_name(&out.app)
-                    .expect("outcome app is a bundled app")
-                    .compile()
-                    .expect("bundled app compiles");
-                let plan = chaos::chaos_plan(&prog, out.seed, &cli.opts);
-                let path = format!("{dir}/chaos-{}-{}.json", out.app, out.seed);
-                match std::fs::write(&path, plan.to_json()) {
-                    Ok(()) => eprintln!("    plan -> {path} (replay: mp5run --faults {path})"),
-                    Err(e) => eprintln!("    cannot write plan to {path}: {e}"),
+                match mp5_apps::by_name(&out.app).map(|a| a.compile()) {
+                    Some(Ok(prog)) => {
+                        let plan = chaos::chaos_plan(&prog, out.seed, &cli.opts);
+                        let path = format!("{dir}/chaos-{}-{}.json", out.app, out.seed);
+                        match std::fs::write(&path, plan.to_json()) {
+                            Ok(()) => {
+                                eprintln!("    plan -> {path} (replay: mp5run --faults {path})")
+                            }
+                            Err(e) => eprintln!("    cannot write plan to {path}: {e}"),
+                        }
+                    }
+                    Some(Err(e)) => {
+                        eprintln!("    cannot dump plan: '{}' fails to compile: {e}", out.app)
+                    }
+                    None => eprintln!("    cannot dump plan: '{}' is not a bundled app", out.app),
                 }
             }
         }
     }
 
     let mut total = outcomes.len();
+    if cli.kill_restore {
+        println!(
+            "\n-- kill-restore chaos: checkpoint / kill / restore under faults, {} case(s) --",
+            apps.len() * seeds.len()
+        );
+        for out in chaos::run_kill_restore_campaign(&apps, &seeds, &cli.opts) {
+            println!("{}", out.summary());
+            if !out.passed() {
+                failed += 1;
+                for f in &out.failures {
+                    eprintln!("    FAIL [{} seed {}]: {f}", out.app, out.seed);
+                }
+            }
+            total += 1;
+        }
+    }
     if cli.fabric {
         println!(
             "\n-- fabric chaos: 4x2 leaf-spine, spine fail-stop mid-run, {} seed(s) --",

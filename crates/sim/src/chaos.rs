@@ -360,3 +360,202 @@ mod tests {
         assert_ne!(a.to_json(), c.to_json());
     }
 }
+
+// ---------------------------------------------------------------------
+// Kill–restore chaos: crash-safety of the snapshot/restore path
+// ---------------------------------------------------------------------
+
+/// The outcome of one kill–restore case: a chaos-faulted run is
+/// checkpointed every N cycles through the full snapshot codec, killed
+/// at the second checkpoint, restored, and must finish bit-identically
+/// to the run that was never interrupted.
+#[derive(Debug, Clone)]
+pub struct KillRestoreOutcome {
+    /// Application name.
+    pub app: String,
+    /// Chaos seed (drives traffic and the fault plan).
+    pub seed: u64,
+    /// Checkpoint cadence used (cycles).
+    pub every: u64,
+    /// Cycle the process was "killed" at (== the last checkpoint).
+    pub kill_cycle: u64,
+    /// Checkpoints taken (each round-tripped through the codec).
+    pub checkpoints: u64,
+    /// Auditor findings on the stitched (pre-kill + post-restore)
+    /// event stream.
+    pub audit_findings: usize,
+    /// Problems found; empty means the case passed.
+    pub failures: Vec<String>,
+}
+
+impl KillRestoreOutcome {
+    /// Did every kill–restore contract hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One summary line for tables and logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} seed {:>3}: {} checkpoint(s) every {} cycles, killed @ {}, \
+             audit findings {} -> {}",
+            self.app,
+            self.seed,
+            self.checkpoints,
+            self.every,
+            self.kill_cycle,
+            self.audit_findings,
+            if self.passed() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Runs one kill–restore case: app × seed under the same chaos fault
+/// plan as [`run_case`]. Contracts:
+///
+/// 1. Every checkpoint survives the snapshot codec losslessly.
+/// 2. The restored run (from the last pre-kill checkpoint, fault
+///    injector cursor included) finishes with the identical
+///    [`RunReport`] and identical event-stream hash as the
+///    uninterrupted oracle — on the sequential engine and (unless
+///    `check_parallel` is off) restored into the parallel engine too.
+/// 3. The stitched event stream (pre-kill + post-restore) passes the
+///    offline auditor with zero findings, and the fault ledger closes.
+pub fn run_kill_restore_case(
+    app: &mp5_apps::AppSpec,
+    seed: u64,
+    opts: &ChaosOpts,
+) -> KillRestoreOutcome {
+    use mp5_serve::{Server, Snapshot};
+
+    let (prog, trace) = crate::experiments::app_trace(app, opts.packets, seed);
+    let plan = chaos_plan(&prog, seed, opts);
+    let plan_json = plan.to_json();
+    let cfg = SwitchConfig::mp5(opts.pipelines);
+    let mut failures = Vec::new();
+
+    // The uninterrupted oracle (sequential, traced, same fault plan).
+    let (oracle_rep, oracle_sink) =
+        Mp5Switch::with_faults(prog, cfg.clone(), MemSink::new(), plan.injector())
+            .run_traced(trace.clone());
+    let oracle_hash = stream_hash(&oracle_sink.into_events());
+
+    // Checkpoint every ~1/5 of the run; die right after the second one
+    // (the crash model for a periodic-checkpoint service: the snapshot
+    // on disk is current as of the kill).
+    let every = (oracle_rep.cycles / 5).max(1);
+    let kill_cycle = 2 * every;
+
+    let mut srv: Server<MemSink, mp5_faults::PlannedFaults> =
+        Server::new(app.source, cfg, MemSink::new(), Some(plan_json))
+            .expect("bundled app boots a server");
+    srv.offer_all(trace);
+    let mut checkpoints = 0u64;
+    let mut last: Option<Snapshot> = None;
+    while srv.cycle() < kill_cycle {
+        srv.tick();
+        srv.drain_egress();
+        if srv.cycle().is_multiple_of(every) {
+            let snap = srv.checkpoint();
+            match Snapshot::decode(&snap.encode()) {
+                Ok(decoded) if decoded == snap => last = Some(decoded),
+                Ok(_) => {
+                    failures.push(format!("checkpoint @ {} not lossless", srv.cycle()));
+                    last = Some(snap);
+                }
+                Err(e) => {
+                    failures.push(format!(
+                        "checkpoint @ {} failed to decode: {e}",
+                        srv.cycle()
+                    ));
+                    last = Some(snap);
+                }
+            }
+            checkpoints += 1;
+        }
+    }
+    let events_before = srv.abandon().into_events();
+    let snap = last.expect("kill cycle is a checkpoint cycle");
+
+    let mut audit_findings = 0usize;
+    let engines = [
+        ("seq", None),
+        ("par", Some(EngineMode::Parallel(opts.pipelines))),
+    ];
+    for (label, engine) in engines {
+        if engine.is_some() && !opts.check_parallel {
+            continue;
+        }
+        let mut srv: Server<MemSink, mp5_faults::PlannedFaults> =
+            match Server::restore(snap.clone(), MemSink::new(), engine, None) {
+                Ok(s) => s,
+                Err(e) => {
+                    failures.push(format!("{label} restore failed: {e}"));
+                    continue;
+                }
+            };
+        while !srv.is_idle() {
+            srv.tick();
+            srv.drain_egress();
+        }
+        let (rep, sink) = srv.finish();
+        if rep != oracle_rep {
+            failures.push(format!(
+                "{label} restore diverged from the uninterrupted run"
+            ));
+        }
+        if !rep.fault.accounted() {
+            failures.push(format!(
+                "{label} restore: fault ledger open (injected {} != recovered {} + degraded {})",
+                rep.fault.injected, rep.fault.recovered, rep.fault.degraded
+            ));
+        }
+        let mut stitched = events_before.clone();
+        stitched.extend(sink.into_events());
+        if stream_hash(&stitched) != oracle_hash {
+            failures.push(format!("{label} restored event stream diverged"));
+        }
+        if label == "seq" {
+            let audit_rep = audit(&stitched);
+            audit_findings = audit_rep.findings.len();
+            if !audit_rep.is_clean() {
+                let mut shown = String::new();
+                for f in audit_rep.findings.iter().take(3) {
+                    shown.push_str(&format!(" [{f}]"));
+                }
+                failures.push(format!(
+                    "auditor found {} violation(s) on the stitched stream:{shown}",
+                    audit_rep.findings.len()
+                ));
+            }
+        }
+    }
+
+    KillRestoreOutcome {
+        app: app.name.to_string(),
+        seed,
+        every,
+        kill_cycle,
+        checkpoints,
+        audit_findings,
+        failures,
+    }
+}
+
+/// Runs a kill–restore campaign: every app × every seed, on the
+/// process thread pool. Returns outcomes in `(app, seed)` order.
+pub fn run_kill_restore_campaign(
+    apps: &[mp5_apps::AppSpec],
+    seeds: &[u64],
+    opts: &ChaosOpts,
+) -> Vec<KillRestoreOutcome> {
+    let mut jobs: Vec<Box<dyn FnOnce() -> KillRestoreOutcome + Send>> = Vec::new();
+    for app in apps {
+        let app = *app;
+        for &seed in seeds {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || run_kill_restore_case(&app, seed, &opts)));
+        }
+    }
+    crate::parallel_map(jobs)
+}

@@ -32,7 +32,6 @@ use mp5_core::{EngineMode, SwitchConfig};
 use mp5_topo::{Fabric, FabricConfig, FabricReport, RouteMode, SpineKill, TopologyConfig};
 use mp5_trace::{audit, MemSink, NopSink, TraceSink};
 use mp5_traffic::{DcPattern, DcWorkload};
-use std::io::Write as _;
 
 struct Cli {
     app: String,
@@ -322,12 +321,14 @@ fn main() {
         });
         for (i, sink) in sinks.iter().enumerate() {
             let path = format!("{dir}/sw{i}.jsonl");
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2)
-            }));
+            let mut out = String::new();
             for ev in &sink.events {
-                writeln!(f, "{}", ev.to_jsonl()).expect("trace write");
+                out.push_str(&ev.to_jsonl());
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("cannot write trace to {path}: {e}");
+                std::process::exit(2)
             }
         }
         if !cli.quiet {

@@ -534,7 +534,15 @@ impl Auditor {
                 | EventKind::PopBlocked { .. }
                 | EventKind::Steer { .. }
                 | EventKind::FaultInjected { .. }
-                | EventKind::PipelineEvacuated { .. } => {}
+                | EventKind::PipelineEvacuated { .. }
+                // Lifecycle markers (checkpoint / restore / hot-swap)
+                // describe operator actions, not packet behavior; a
+                // well-formed stream is invariant-clean with or without
+                // them, which is exactly what the kill-restore chaos
+                // campaign audits.
+                | EventKind::SnapshotTaken { .. }
+                | EventKind::Restored { .. }
+                | EventKind::ProgramSwapped { .. } => {}
             }
         }
         for ((p, st), pkt) in pending_pop.drain() {

@@ -258,6 +258,26 @@ pub enum EventKind {
         /// How many register indexes were moved off it.
         indexes: u64,
     },
+    // ---------------- lifecycle level ----------------
+    /// A consistent checkpoint of the whole switch was taken at this
+    /// cycle boundary (`mp5serve`). Lifecycle events are operator
+    /// markers: they are excluded from [`stream_hash`] so a
+    /// checkpointed run hashes identically to an uninterrupted one.
+    SnapshotTaken {
+        /// Checkpoint ordinal within the run (0, 1, 2, ...).
+        seq: u64,
+    },
+    /// Execution resumed from a checkpoint taken at cycle `from_cycle`.
+    Restored {
+        /// Cycle the restored snapshot was taken at.
+        from_cycle: u64,
+    },
+    /// A newly compiled program was hot-swapped in at this cycle
+    /// boundary, migrating live state through the D2 evacuation path.
+    ProgramSwapped {
+        /// Register indexes migrated into the new program's state.
+        migrated: u64,
+    },
 }
 
 impl EventKind {
@@ -288,7 +308,24 @@ impl EventKind {
             EventKind::FaultPhantomLost { .. } => "ph_lost",
             EventKind::PhantomRecovered { .. } => "ph_recovered",
             EventKind::PipelineEvacuated { .. } => "evacuated",
+            EventKind::SnapshotTaken { .. } => "snapshot",
+            EventKind::Restored { .. } => "restored",
+            EventKind::ProgramSwapped { .. } => "swap",
         }
+    }
+
+    /// True for operator lifecycle markers (checkpoint / restore /
+    /// hot-swap). These describe what an *operator* did to the switch,
+    /// not what the switch did to packets, so [`stream_hash`] skips
+    /// them: a run that was checkpointed, restored, or swapped to an
+    /// identical program hashes the same as an uninterrupted run.
+    pub fn is_lifecycle(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SnapshotTaken { .. }
+                | EventKind::Restored { .. }
+                | EventKind::ProgramSwapped { .. }
+        )
     }
 }
 
@@ -399,6 +436,15 @@ impl Event {
             }
             EventKind::PipelineEvacuated { pipeline, indexes } => {
                 let _ = write!(s, ",\"pl\":{pipeline},\"n\":{indexes}");
+            }
+            EventKind::SnapshotTaken { seq } => {
+                let _ = write!(s, ",\"seq\":{seq}");
+            }
+            EventKind::Restored { from_cycle } => {
+                let _ = write!(s, ",\"from\":{from_cycle}");
+            }
+            EventKind::ProgramSwapped { migrated } => {
+                let _ = write!(s, ",\"n\":{migrated}");
             }
             EventKind::PopStale => {}
         }
@@ -514,6 +560,13 @@ impl Event {
                 pipeline: num("pl")? as u16,
                 indexes: num("n")?,
             },
+            "snapshot" => EventKind::SnapshotTaken { seq: num("seq")? },
+            "restored" => EventKind::Restored {
+                from_cycle: num("from")?,
+            },
+            "swap" => EventKind::ProgramSwapped {
+                migrated: num("n")?,
+            },
             other => return Err(ParseError::new(format!("unknown event tag '{other}'"))),
         };
         Ok(Event {
@@ -624,6 +677,9 @@ fn tok_rest(r: &str) -> Result<&str, ParseError> {
 pub fn stream_hash(events: &[Event]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for ev in events {
+        if ev.kind.is_lifecycle() {
+            continue;
+        }
         h.write(ev.to_jsonl().as_bytes());
         h.write_u8(b'\n');
     }
@@ -704,6 +760,9 @@ mod tests {
                 pipeline: 2,
                 indexes: 40,
             },
+            EventKind::SnapshotTaken { seq: 3 },
+            EventKind::Restored { from_cycle: 4096 },
+            EventKind::ProgramSwapped { migrated: 96 },
         ]
     }
 
@@ -753,6 +812,38 @@ mod tests {
         ] {
             assert!(Event::parse_jsonl(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn lifecycle_events_do_not_perturb_stream_hash() {
+        let work = Event {
+            cycle: 5,
+            pipeline: 0,
+            stage: 0,
+            kind: EventKind::PopStale,
+        };
+        let marker = |kind| Event {
+            cycle: 5,
+            pipeline: NO_LOC,
+            stage: NO_LOC,
+            kind,
+        };
+        let clean = [work];
+        let operated = [
+            marker(EventKind::SnapshotTaken { seq: 0 }),
+            work,
+            marker(EventKind::Restored { from_cycle: 5 }),
+            marker(EventKind::ProgramSwapped { migrated: 12 }),
+        ];
+        assert_eq!(stream_hash(&clean), stream_hash(&operated));
+        for kind in [
+            EventKind::SnapshotTaken { seq: 0 },
+            EventKind::Restored { from_cycle: 0 },
+            EventKind::ProgramSwapped { migrated: 0 },
+        ] {
+            assert!(kind.is_lifecycle());
+        }
+        assert!(!EventKind::PopStale.is_lifecycle());
     }
 
     #[test]

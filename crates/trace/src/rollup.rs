@@ -234,7 +234,10 @@ impl Rollup {
                 | EventKind::DataEnqDropFull { .. }
                 | EventKind::FaultInjected { .. }
                 | EventKind::FaultPhantomLost { .. }
-                | EventKind::PipelineEvacuated { .. } => {}
+                | EventKind::PipelineEvacuated { .. }
+                | EventKind::SnapshotTaken { .. }
+                | EventKind::Restored { .. }
+                | EventKind::ProgramSwapped { .. } => {}
             }
             if let Some(d) = occ_delta {
                 stage.occ = (stage.occ + d).max(0);

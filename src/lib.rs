@@ -60,6 +60,7 @@
 //! | [`apps`] | `mp5-apps` | Flowlet, CONGA, WFQ, sequencer + four more stateful programs |
 //! | [`asic`] | `mp5-asic` | Analytic area/clock/SRAM model (paper Table 1) |
 //! | [`topo`] | `mp5-topo` | Leaf–spine fabric simulation: composed switches, links, ECMP/flowlet, `mp5fabric` |
+//! | [`serve`] | `mp5-serve` | Live operation: crash-safe snapshot/restore + program hot-swap, `mp5serve` |
 //! | [`sim`] | `mp5-sim` | Experiment harness regenerating every paper table & figure |
 
 #![forbid(unsafe_code)]
@@ -75,6 +76,7 @@ pub use mp5_core as core;
 pub use mp5_fabric as fabric;
 pub use mp5_faults as faults;
 pub use mp5_lang as lang;
+pub use mp5_serve as serve;
 pub use mp5_sim as sim;
 pub use mp5_topo as topo;
 pub use mp5_trace as trace;

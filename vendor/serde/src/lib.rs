@@ -492,6 +492,56 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.ser_json(),
+            self.1.ser_json(),
+            self.2.ser_json(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| json::Error::custom("expected 3-element array"))?;
+        if a.len() != 3 {
+            return Err(json::Error::custom("expected 3-element array"));
+        }
+        Ok((A::de_json(&a[0])?, B::de_json(&a[1])?, C::de_json(&a[2])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn ser_json(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.ser_json(),
+            self.1.ser_json(),
+            self.2.ser_json(),
+            self.3.ser_json(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn de_json(v: &json::Value) -> Result<Self, json::Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| json::Error::custom("expected 4-element array"))?;
+        if a.len() != 4 {
+            return Err(json::Error::custom("expected 4-element array"));
+        }
+        Ok((
+            A::de_json(&a[0])?,
+            B::de_json(&a[1])?,
+            C::de_json(&a[2])?,
+            D::de_json(&a[3])?,
+        ))
+    }
+}
+
 impl Serialize for json::Value {
     fn ser_json(&self) -> json::Value {
         self.clone()

@@ -383,11 +383,11 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii number");
         if !float {
-            if let Some(stripped) = text.strip_prefix('-') {
-                if let Ok(n) = stripped.parse::<u64>() {
-                    if let Ok(i) = i64::try_from(n).map(|v| -v) {
-                        return Ok(Value::I64(i));
-                    }
+            if text.starts_with('-') {
+                // i64's own FromStr accepts the full range, including
+                // i64::MIN (whose magnitude does not fit in i64).
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
                 }
             } else if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
@@ -446,6 +446,20 @@ mod tests {
         assert_eq!(
             to_string(&from_str::<Value>("0.25").unwrap()).unwrap(),
             "0.25"
+        );
+    }
+
+    #[test]
+    fn extreme_integers_round_trip_exactly() {
+        // i64::MIN's magnitude exceeds i64::MAX; it must still parse as
+        // an integer, not fall back to lossy f64.
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, i64::MAX] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<i64>(&text).unwrap(), v, "i64 {v}");
+        }
+        assert_eq!(
+            from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(),
+            u64::MAX
         );
     }
 }
